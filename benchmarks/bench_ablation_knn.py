@@ -1,0 +1,32 @@
+"""Ablation — the omitted kNN classifier.
+
+Section 3.2: kNN "gave considerably worse results in preliminary
+experiments" and was dropped.  This bench reproduces the preliminary
+experiment that justified the omission.
+"""
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.evaluation.metrics import average_f
+
+
+def test_ablation_knn(benchmark, context, report):
+    train = context.train.subsample(0.5, seed=1)
+
+    def fit_knn():
+        return LanguageIdentifier(
+            "words", "kNN", seed=0, algorithm_kwargs={"k": 5}
+        ).fit(train)
+
+    knn = benchmark.pedantic(fit_knn, rounds=1, iterations=1)
+    nb = LanguageIdentifier("words", "NB", seed=0).fit(train)
+    re = LanguageIdentifier("words", "RE", seed=0).fit(train)
+
+    lines = ["Ablation: the omitted kNN classifier (paper Section 3.2)"]
+    lines.append(f"{'test set':<8}{'kNN':>8}{'NB':>8}{'RE':>8}")
+    for name, test in context.test_sets.items():
+        knn_f = average_f(list(knn.evaluate(test).values()))
+        nb_f = average_f(list(nb.evaluate(test).values()))
+        re_f = average_f(list(re.evaluate(test).values()))
+        lines.append(f"{name:<8}{knn_f:>8.3f}{nb_f:>8.3f}{re_f:>8.3f}")
+        assert knn_f < max(nb_f, re_f), name
+    report("\n".join(lines))

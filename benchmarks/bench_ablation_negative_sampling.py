@@ -1,0 +1,50 @@
+"""Ablation — balanced negatives vs all negatives.
+
+Section 4.1: "Using all roughly 1.25M URLs to train each binary
+classifier would have led to too conservative classifiers as the
+negative samples (1M) would have dominated."  This bench verifies the
+mechanism: with all negatives, recall drops.
+"""
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.evaluation.metrics import average_f
+from repro.languages import LANGUAGES
+
+
+def test_ablation_negative_sampling(benchmark, context, report):
+    train = context.train
+    test = context.data.odp_test
+
+    def fit_all_negatives():
+        return LanguageIdentifier(
+            "words", "NB", seed=0, negative_sampling="all"
+        ).fit(train)
+
+    all_neg = benchmark.pedantic(fit_all_negatives, rounds=1, iterations=1)
+    balanced = context.pool.get("NB", "words")
+
+    balanced_metrics = balanced.evaluate(test)
+    all_neg_metrics = all_neg.evaluate(test)
+
+    balanced_recall = sum(m.recall for m in balanced_metrics.values()) / 5
+    all_neg_recall = sum(m.recall for m in all_neg_metrics.values()) / 5
+    # The paper's "too conservative" effect: recall drops with 4x
+    # negatives.
+    assert all_neg_recall < balanced_recall
+
+    lines = ["Ablation: negative sampling (paper Section 4.1)"]
+    lines.append(f"{'':<10}{'balanced':>10}{'all-negatives':>15}")
+    lines.append(
+        f"{'avg R':<10}{balanced_recall:>10.3f}{all_neg_recall:>15.3f}"
+    )
+    lines.append(
+        f"{'avg F':<10}{average_f(list(balanced_metrics.values())):>10.3f}"
+        f"{average_f(list(all_neg_metrics.values())):>15.3f}"
+    )
+    for language in LANGUAGES:
+        lines.append(
+            f"{language.display_name:<10}"
+            f"{balanced_metrics[language].recall:>10.3f}"
+            f"{all_neg_metrics[language].recall:>15.3f}"
+        )
+    report("\n".join(lines))

@@ -1,0 +1,45 @@
+"""Ablation — the paper's preliminary n-gram-method comparison.
+
+Section 2: "We used the latter approach [Relative Entropy] for our
+experiments because it performed best in preliminary experiments, where
+we compared Markov Models, rank-order statistics and relative entropy."
+
+This bench re-runs that preliminary comparison with trigram features.
+"""
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.evaluation.metrics import average_f
+
+
+def test_ablation_preliminary_comparison(benchmark, context, report):
+    train = context.train
+
+    def fit_all():
+        return {
+            algo: LanguageIdentifier("trigrams", algo, seed=0).fit(train)
+            for algo in ("RE", "RO", "MM")
+        }
+
+    fitted = benchmark.pedantic(fit_all, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: preliminary comparison of trigram methods (paper Section 2)",
+        f"{'test set':<8}{'RE':>8}{'RO':>8}{'MM':>8}",
+    ]
+    for name, test in context.test_sets.items():
+        scores = {
+            algo: average_f(list(identifier.evaluate(test).values()))
+            for algo, identifier in fitted.items()
+        }
+        lines.append(
+            f"{name:<8}{scores['RE']:>8.3f}{scores['RO']:>8.3f}"
+            f"{scores['MM']:>8.3f}"
+        )
+        # The robust part of the paper's finding: RE clearly beats the
+        # rank-order statistic on URL-length text.
+        assert scores["RE"] > scores["RO"], name
+    lines.append(
+        "RE > rank-order everywhere (the paper's reason for choosing RE); "
+        "the Markov chain is on par with RE at this corpus scale."
+    )
+    report("\n".join(lines))

@@ -1,0 +1,48 @@
+"""Micro-benchmarks of the hot paths: tokenisation, feature extraction,
+prediction.
+
+Not a paper table — engineering numbers a crawler operator cares about:
+how many URLs per second can the classifier triage?
+"""
+
+import pytest
+
+from repro.urls.tokenizer import tokenize
+from repro.urls.trigrams import url_trigrams
+
+
+@pytest.fixture(scope="module")
+def urls(request):
+    # Reuse the session context's test URLs.
+    context = request.getfixturevalue("context")
+    return context.data.odp_test.urls[:1000]
+
+
+def test_tokenizer_throughput(benchmark, urls):
+    result = benchmark(lambda: [tokenize(url) for url in urls])
+    assert len(result) == len(urls)
+
+
+def test_trigram_throughput(benchmark, urls):
+    result = benchmark(lambda: [url_trigrams(url) for url in urls])
+    assert len(result) == len(urls)
+
+
+def test_word_extraction_throughput(benchmark, context, urls):
+    extractor = context.pool.get("NB", "words").extractor
+    result = benchmark(lambda: extractor.extract_many(urls))
+    assert len(result) == len(urls)
+
+
+def test_nb_prediction_throughput(benchmark, context, urls):
+    identifier = context.pool.get("NB", "words")
+    decisions = benchmark(lambda: identifier.decisions(urls))
+    assert len(decisions) == 5
+
+
+def test_cctld_prediction_throughput(benchmark, context, urls):
+    from repro.core.pipeline import LanguageIdentifier
+
+    identifier = LanguageIdentifier(algorithm="ccTLD")
+    decisions = benchmark(lambda: identifier.decisions(urls))
+    assert len(decisions) == 5

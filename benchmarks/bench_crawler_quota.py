@@ -1,0 +1,36 @@
+"""Application bench — bandwidth saved by URL-based quota crawling.
+
+Quantifies the paper's motivating scenario (Section 1): a crawler with a
+German-page quota, comparing download-everything, ccTLD and the URL
+classifier policies.
+"""
+
+from repro.crawler.simulator import compare_policies
+from repro.languages import Language
+
+
+def test_crawler_quota(benchmark, context, report):
+    identifier = context.pool.get("NB", "words")
+    uncrawled = context.data.odp_test
+    quota = 150
+
+    comparison = benchmark.pedantic(
+        lambda: compare_policies(uncrawled, Language.GERMAN, quota, identifier),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The classifier policy must waste clearly less bandwidth than
+    # downloading everything.
+    assert comparison.classifier.waste_ratio < comparison.baseline.waste_ratio
+    assert comparison.classifier.quota_filled
+
+    lines = [
+        f"Quota crawl: {quota} German pages from "
+        f"{len(uncrawled)} uncrawled URLs",
+        comparison.format(),
+        f"bandwidth saved vs download-all: "
+        f"{comparison.baseline.total_downloads - comparison.classifier.total_downloads}"
+        " downloads",
+    ]
+    report("\n".join(lines))

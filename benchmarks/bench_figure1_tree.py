@@ -1,0 +1,20 @@
+"""Figure 1 bench — the pruned German decision tree."""
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.experiments import figure1_tree
+from repro.languages import Language
+
+
+def test_figure1_tree(benchmark, context, report):
+    train = context.train
+
+    def fit_tree():
+        return LanguageIdentifier("custom", "DT", seed=2).fit(train)
+
+    identifier = benchmark.pedantic(fit_tree, rounds=1, iterations=1)
+
+    tree = identifier.classifiers[Language.GERMAN]
+    # The root must test a German signal, as in Figure 1.
+    assert tree.root is not None and tree.root.feature is not None
+    assert tree.root.feature.endswith(":de")
+    report(figure1_tree.run(context))

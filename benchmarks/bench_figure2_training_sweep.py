@@ -1,0 +1,32 @@
+"""Figure 2 bench — F-measure vs amount of training data.
+
+The heaviest bench: trains every combination at several training-set
+fractions.  Checks the paper's two central Figure 2 claims.
+"""
+
+from repro.experiments import figure2_training_sweep
+
+
+def test_figure2_training_sweep(benchmark, context, report):
+    fractions = (0.001, 0.01, 0.1, 1.0)
+
+    curves = benchmark.pedantic(
+        lambda: figure2_training_sweep.sweep(context, fractions),
+        rounds=1,
+        iterations=1,
+    )
+
+    words = curves[("NB", "words")]
+    trigrams = curves[("NB", "trigrams")]
+    # (1) trigrams ahead when data is scarce...
+    assert trigrams[0] > words[0]
+    # ... and the gap shrinks as data grows (words catch up).
+    assert trigrams[-1] - words[-1] < trigrams[0] - words[0]
+    # (2) every learning curve improves from minimal to full data.
+    for values in curves.values():
+        assert values[-1] > values[0]
+    # (3) baselines are flat and below the best learned classifier.
+    flat = figure2_training_sweep.baselines(context)
+    assert flat["ccTLD"] < words[-1]
+    assert flat["human"] < words[-1]
+    report(figure2_training_sweep.run(context, fractions))

@@ -1,0 +1,18 @@
+"""Figure 3 bench — domain memorisation vs training-set size."""
+
+from repro.experiments import figure3_domain_memo
+
+
+def test_figure3_domain_memo(benchmark, context, report):
+    fractions = (0.001, 0.01, 0.1, 1.0)
+
+    percentages = benchmark(
+        lambda: figure3_domain_memo.seen_percentages(context, fractions)
+    )
+
+    # Monotone growth with training size, every collection.
+    for values in percentages.values():
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+    # Paper: 53% of crawl-test domains seen at full training data.
+    assert 0.35 <= percentages["WC"][-1] <= 0.70
+    report(figure3_domain_memo.run(context, fractions))

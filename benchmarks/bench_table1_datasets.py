@@ -1,0 +1,17 @@
+"""Table 1 bench — dataset construction.
+
+Times corpus generation for all three collections; prints the size table
+with the paper's numbers alongside.
+"""
+
+from repro.datasets import build_datasets
+from repro.experiments import table1_datasets
+
+
+def test_table1_datasets(benchmark, context, report):
+    def build():
+        return build_datasets(seed=1, scale=0.5)
+
+    bundle = benchmark(build)
+    assert len(bundle.wc_test) == 1260
+    report(table1_datasets.run(context))

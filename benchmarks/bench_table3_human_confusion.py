@@ -1,0 +1,21 @@
+"""Table 3 bench — human confusion matrix on the crawl set."""
+
+from repro.experiments import table3_human_confusion
+from repro.languages import LANGUAGES, Language
+
+
+def test_table3_human_confusion(benchmark, context, report):
+    matrix = benchmark(lambda: table3_human_confusion.human_confusion(context))
+
+    # Paper's headline: every non-English language confuses mostly with
+    # English.
+    for row in LANGUAGES:
+        if row is Language.ENGLISH:
+            continue
+        other = max(
+            matrix.percentage(row, col)
+            for col in LANGUAGES
+            if col not in (row, Language.ENGLISH)
+        )
+        assert matrix.percentage(row, Language.ENGLISH) >= other
+    report(table3_human_confusion.run(context))

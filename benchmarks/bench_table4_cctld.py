@@ -1,0 +1,28 @@
+"""Table 4 bench — ccTLD / ccTLD+ baselines on all three test sets."""
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.evaluation.metrics import average_f
+from repro.experiments import table4_cctld
+from repro.languages import LANGUAGES
+
+
+def test_table4_cctld(benchmark, context, report):
+    cctld = LanguageIdentifier(algorithm="ccTLD")
+    odp = context.data.odp_test
+
+    metrics = benchmark(lambda: cctld.evaluate(odp))
+
+    # Paper shape: near-perfect precision, low recall, modest F.
+    for language in LANGUAGES:
+        assert metrics[language].balanced_precision > 0.9
+    assert min(m.recall for m in metrics.values()) < 0.5
+
+    wc_metrics = cctld.evaluate(context.data.wc_test)
+    ser_metrics = cctld.evaluate(context.data.ser_test)
+    # Table 4 ordering: SER > ODP > WC for the baseline's average F.
+    assert (
+        average_f(list(ser_metrics.values()))
+        > average_f(list(metrics.values()))
+        > average_f(list(wc_metrics.values()))
+    )
+    report(table4_cctld.run(context))

@@ -1,0 +1,22 @@
+"""Table 5 bench — ccTLD confusion matrix on the crawl set."""
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.experiments import table5_cctld_confusion
+from repro.languages import LANGUAGES
+
+
+def test_table5_cctld_confusion(benchmark, context, report):
+    identifier = LanguageIdentifier(algorithm="ccTLD")
+    test = context.data.wc_test
+
+    matrix = benchmark(lambda: identifier.confusion(test))
+
+    # The baseline abstains instead of mislabelling: off-diagonals ~0.
+    off_diagonal = [
+        matrix.percentage(row, col)
+        for row in LANGUAGES
+        for col in LANGUAGES
+        if row != col
+    ]
+    assert max(off_diagonal) < 5.0
+    report(table5_cctld_confusion.run(context))

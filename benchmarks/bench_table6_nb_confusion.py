@@ -1,0 +1,17 @@
+"""Table 6 bench — NB + word features confusion matrix on the crawl set."""
+
+from repro.experiments import table6_nb_confusion
+from repro.languages import LANGUAGES, Language
+
+
+def test_table6_nb_confusion(benchmark, context, report):
+    identifier = context.pool.get("NB", "words")
+    test = context.data.wc_test
+
+    matrix = benchmark(lambda: identifier.confusion(test))
+
+    # Less confusion than humans/ccTLD: diagonal well above 70% on
+    # average (paper: 93/78/97/95/100).
+    diagonal = [matrix.percentage(lang, lang) for lang in LANGUAGES]
+    assert sum(diagonal) / 5 > 75.0
+    report(table6_nb_confusion.run(context))

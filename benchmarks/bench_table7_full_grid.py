@@ -1,0 +1,35 @@
+"""Table 7 bench — the full algorithm x feature-set grid.
+
+Trains and evaluates all ten (algorithm, feature set) combinations on
+all three test sets; checks the paper's family ordering and prints the
+complete grid with the paper's averages.
+"""
+
+from repro.evaluation.metrics import average_f
+from repro.experiments import table7_full_grid
+
+
+def _avg(context, algorithm, features, test):
+    identifier = context.pool.get(algorithm, features)
+    return average_f(list(identifier.evaluate(test).values()))
+
+
+def test_table7_full_grid(benchmark, context, report):
+    # Pre-train everything once via the pool, then time the evaluation
+    # of the strongest combination on the largest test set.
+    for algorithm, features in table7_full_grid.GRID:
+        context.pool.get(algorithm, features)
+    odp = context.data.odp_test
+
+    benchmark(lambda: context.pool.get("NB", "words").evaluate(odp))
+
+    # Paper shape checks, averaged over languages:
+    for test_name, test in context.test_sets.items():
+        words = _avg(context, "NB", "words", test)
+        custom = _avg(context, "NB", "custom", test)
+        assert words > custom, (test_name, words, custom)
+    # SER easiest, ODP hardest for the best classifier (Table 8 margins).
+    assert _avg(context, "NB", "words", context.data.ser_test) > _avg(
+        context, "NB", "words", context.data.odp_test
+    )
+    report(table7_full_grid.run(context))

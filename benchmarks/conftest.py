@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper at full default
+scale and prints the paper-vs-measured report (run pytest with ``-s`` to
+see the tables inline; they are also appended to ``bench_reports.txt``
+next to this file).
+
+The timed portion of each bench is the *interesting* computational step
+(training or batch prediction); the corpus is built once per session.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+REPORT_PATH = pathlib.Path(__file__).with_name("bench_reports.txt")
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Full-scale experiment context shared by all benches."""
+    return ExperimentContext(seed=0, scale=1.0, wc_scale=1.0)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report_file():
+    REPORT_PATH.write_text("")
+    yield
+
+
+@pytest.fixture()
+def report():
+    """Print a reproduction report and append it to bench_reports.txt."""
+
+    def emit(text: str) -> None:
+        print("\n" + text + "\n")
+        with REPORT_PATH.open("a") as handle:
+            handle.write(text + "\n\n" + "=" * 72 + "\n\n")
+
+    return emit

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The target environment has setuptools but no ``wheel`` package, so PEP
+660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  This shim keeps the legacy ``python setup.py develop`` path
+working; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""repro — URL-based web page language identification.
+
+A full reproduction of Baykan, Henzinger & Weber, *Web Page Language
+Identification Based on URLs* (VLDB 2008): word/trigram/custom feature
+sets, Naive Bayes / Decision Tree / Relative Entropy / Maximum Entropy
+classifiers, ccTLD baselines, classifier combination, the evaluation
+methodology, and synthetic stand-ins for the paper's corpora and human
+study.
+
+Quickstart
+----------
+>>> from repro import LanguageIdentifier, build_datasets
+>>> data = build_datasets(scale=0.2)
+>>> identifier = LanguageIdentifier(feature_set="words", algorithm="NB")
+>>> _ = identifier.fit(data.combined_train)
+"""
+
+from repro.algorithms import (
+    ALGORITHMS,
+    BinaryClassifier,
+    CcTldLabeler,
+    DecisionTreeClassifier,
+    KNearestNeighborsClassifier,
+    MaxEntClassifier,
+    NaiveBayesClassifier,
+    RelativeEntropyClassifier,
+    make_classifier,
+)
+from repro.core import (
+    BEST_COMBINATIONS,
+    CombinedIdentifier,
+    LanguageIdentifier,
+    TrainedPool,
+    build_best_combination,
+    forward_select,
+    make_extractor,
+)
+from repro.corpus import (
+    Corpus,
+    LabeledUrl,
+    UrlCorpusGenerator,
+    train_test_split,
+)
+from repro.datasets import DatasetBundle, build_datasets
+from repro.evaluation import (
+    BinaryMetrics,
+    ConfusionMatrix,
+    confusion_matrix,
+    evaluate_binary,
+)
+from repro.features import (
+    CustomFeatureExtractor,
+    TrigramFeatureExtractor,
+    WordFeatureExtractor,
+)
+from repro.humans import HumanEvaluator, default_evaluators
+from repro.languages import LANGUAGES, Language
+from repro.urls import parse_url, tokenize, url_trigrams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "BEST_COMBINATIONS",
+    "BinaryClassifier",
+    "BinaryMetrics",
+    "CcTldLabeler",
+    "CombinedIdentifier",
+    "ConfusionMatrix",
+    "Corpus",
+    "CustomFeatureExtractor",
+    "DatasetBundle",
+    "DecisionTreeClassifier",
+    "HumanEvaluator",
+    "KNearestNeighborsClassifier",
+    "LANGUAGES",
+    "LabeledUrl",
+    "Language",
+    "LanguageIdentifier",
+    "MaxEntClassifier",
+    "NaiveBayesClassifier",
+    "RelativeEntropyClassifier",
+    "TrainedPool",
+    "TrigramFeatureExtractor",
+    "UrlCorpusGenerator",
+    "WordFeatureExtractor",
+    "build_best_combination",
+    "build_datasets",
+    "confusion_matrix",
+    "default_evaluators",
+    "evaluate_binary",
+    "forward_select",
+    "make_classifier",
+    "make_extractor",
+    "parse_url",
+    "tokenize",
+    "train_test_split",
+    "url_trigrams",
+]

@@ -1,0 +1,85 @@
+"""Classifier interfaces.
+
+The paper trains, for each language, a *binary* classifier ("Is it
+language X or not?", Section 3.2).  Every algorithm here implements
+:class:`BinaryClassifier` over sparse feature vectors; URL-level
+composition with a feature extractor happens in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Sequence
+
+from repro.features.base import FeatureVector
+
+
+class BinaryClassifier(abc.ABC):
+    """A yes/no classifier over sparse feature vectors."""
+
+    #: Short identifier used in reports ("NB", "RE", "ME", "DT", "kNN").
+    name: str = "base"
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        vectors: Sequence[Mapping[str, float]],
+        labels: Sequence[bool],
+    ) -> "BinaryClassifier":
+        """Train on feature vectors with boolean labels (True = positive)."""
+
+    @abc.abstractmethod
+    def decision_score(self, vector: Mapping[str, float]) -> float:
+        """Real-valued score; positive means "yes, language X"."""
+
+    def predict(self, vector: Mapping[str, float]) -> bool:
+        """Binary decision for one vector."""
+        return self.decision_score(vector) > 0.0
+
+    def predict_many(self, vectors: Sequence[Mapping[str, float]]) -> list[bool]:
+        """Binary decisions for a batch."""
+        return [self.predict(vector) for vector in vectors]
+
+
+def check_fit_inputs(
+    vectors: Sequence[Mapping[str, float]], labels: Sequence[bool]
+) -> None:
+    """Shared validation for all ``fit`` implementations."""
+    if len(vectors) != len(labels):
+        raise ValueError(
+            f"vectors ({len(vectors)}) and labels ({len(labels)}) differ in length"
+        )
+    if not vectors:
+        raise ValueError("cannot fit a classifier on an empty training set")
+    if not any(labels):
+        raise ValueError("training set contains no positive examples")
+    if all(labels):
+        raise ValueError("training set contains no negative examples")
+
+
+class ConstantClassifier(BinaryClassifier):
+    """Always answers the same thing.
+
+    The paper notes that recall 1.0 is "trivial to achieve by classifying
+    everything as belonging to the language" (and F = .67 in the balanced
+    setting); this classifier makes that degenerate baseline available to
+    tests and sanity checks.
+    """
+
+    name = "const"
+
+    def __init__(self, answer: bool) -> None:
+        self.answer = answer
+
+    def fit(
+        self,
+        vectors: Sequence[Mapping[str, float]],
+        labels: Sequence[bool],
+    ) -> "ConstantClassifier":
+        return self
+
+    def decision_score(self, vector: Mapping[str, float]) -> float:
+        return 1.0 if self.answer else -1.0
+
+
+FeatureVectors = Sequence[FeatureVector]

@@ -1,0 +1,96 @@
+"""ccTLD and ccTLD+ baselines (Section 3.2).
+
+"Our baseline algorithm takes the ccTLD of a URL, checks the official
+language for the ccTLD's country and assigns the corresponding language
+to the URL." ccTLD+ additionally counts ``.com`` and ``.org`` as English.
+
+These baselines work directly on URLs (their only "feature" is the TLD)
+and need no training — the property Section 6 highlights when comparing
+training-data requirements.  They are exposed both as a multi-way
+labeller (:class:`CcTldLabeler`) and, for the unified evaluation, as
+per-language binary classifiers (:class:`CcTldBinaryClassifier`),
+mirroring "we mapped the multi-way classifier to five binary classifiers
+in the obvious way".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.algorithms.base import BinaryClassifier
+from repro.languages import CCTLD_PLUS_EXTRA, Language, language_for_cctld
+from repro.urls.parsing import parse_url
+
+
+class CcTldLabeler:
+    """Multi-way URL labeller using only the top-level domain.
+
+    Parameters
+    ----------
+    plus:
+        If true, behaves as ccTLD+ (``.com``/``.org`` count as English).
+    """
+
+    def __init__(self, plus: bool = False) -> None:
+        self.plus = plus
+
+    @property
+    def name(self) -> str:
+        return "ccTLD+" if self.plus else "ccTLD"
+
+    def label(self, url: str) -> Language | None:
+        """The language assigned to ``url``, or ``None`` for unmapped TLDs."""
+        tld = parse_url(url).tld
+        language = language_for_cctld(tld)
+        if language is not None:
+            return language
+        if self.plus and tld in CCTLD_PLUS_EXTRA:
+            return Language.ENGLISH
+        return None
+
+    def label_many(self, urls: Sequence[str]) -> list[Language | None]:
+        return [self.label(url) for url in urls]
+
+
+class CcTldBinaryClassifier(BinaryClassifier):
+    """The ccTLD baseline viewed as a binary "language X or not" classifier.
+
+    Unlike the learning algorithms it ignores feature vectors and keeps a
+    reference to the original URL; use :meth:`predict_url`, or rely on
+    the pipeline which passes URLs through.
+    """
+
+    def __init__(self, language: Language | str, plus: bool = False) -> None:
+        self.language = Language.coerce(language)
+        self.labeler = CcTldLabeler(plus=plus)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.labeler.name
+
+    def fit(
+        self,
+        vectors: Sequence[Mapping[str, float]],
+        labels: Sequence[bool],
+    ) -> "CcTldBinaryClassifier":
+        return self  # needs no training data
+
+    def predict_url(self, url: str) -> bool:
+        return self.labeler.label(url) == self.language
+
+    def decision_score(self, vector: Mapping[str, float]) -> float:
+        """Score from a feature vector carrying a ``url=...`` passthrough.
+
+        The pipeline stores the raw URL under the reserved feature name
+        ``"__url__"`` index; plain feature vectors without it score
+        negative (the baseline cannot see the TLD).
+        """
+        raise NotImplementedError(
+            "CcTldBinaryClassifier works on URLs; use predict_url or the "
+            "UrlPipeline, which routes URLs to TLD baselines directly"
+        )
+
+    def predict(self, vector: Mapping[str, float]) -> bool:  # pragma: no cover
+        raise NotImplementedError(
+            "CcTldBinaryClassifier works on URLs; use predict_url"
+        )

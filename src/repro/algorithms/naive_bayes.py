@@ -1,0 +1,113 @@
+"""Multinomial Naive Bayes (Section 3.2, "NB").
+
+"This simple algorithm assumes conditional statistical independence of
+the individual features given the language.  It then applies the maximum
+likelihood principle to find the language which is most likely to
+generate the observed feature vector."
+
+The event model is multinomial with Laplace (add-``alpha``) smoothing,
+the standard choice for count features and what the Bow toolkit uses.
+Features never seen at training time are ignored at prediction time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.algorithms.base import BinaryClassifier, check_fit_inputs
+
+
+class NaiveBayesClassifier(BinaryClassifier):
+    """Binary multinomial Naive Bayes over sparse count vectors.
+
+    Parameters
+    ----------
+    alpha:
+        Laplace smoothing pseudo-count added to every (feature, class)
+        count.  ``alpha=1`` is plain Laplace smoothing.
+    """
+
+    name = "NB"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self._log_prior: dict[bool, float] = {}
+        self._log_likelihood: dict[bool, dict[str, float]] = {}
+        self._log_unseen: dict[bool, float] = {}
+        self._vocabulary: set[str] = set()
+        self._fitted = False
+
+    def fit(
+        self,
+        vectors: Sequence[Mapping[str, float]],
+        labels: Sequence[bool],
+    ) -> "NaiveBayesClassifier":
+        check_fit_inputs(vectors, labels)
+
+        counts: dict[bool, dict[str, float]] = {True: {}, False: {}}
+        totals: dict[bool, float] = {True: 0.0, False: 0.0}
+        class_sizes: dict[bool, int] = {True: 0, False: 0}
+        vocabulary: set[str] = set()
+
+        for vector, label in zip(vectors, labels):
+            label = bool(label)
+            class_sizes[label] += 1
+            class_counts = counts[label]
+            for name, value in vector.items():
+                if value <= 0:
+                    continue
+                class_counts[name] = class_counts.get(name, 0.0) + value
+                totals[label] += value
+                vocabulary.add(name)
+
+        n_total = class_sizes[True] + class_sizes[False]
+        vocab_size = max(len(vocabulary), 1)
+
+        self._vocabulary = vocabulary
+        self._log_prior = {
+            cls: math.log(class_sizes[cls] / n_total) for cls in (True, False)
+        }
+        self._log_likelihood = {}
+        self._log_unseen = {}
+        for cls in (True, False):
+            denominator = totals[cls] + self.alpha * vocab_size
+            self._log_likelihood[cls] = {
+                name: math.log((count + self.alpha) / denominator)
+                for name, count in counts[cls].items()
+            }
+            self._log_unseen[cls] = math.log(self.alpha / denominator)
+        self._fitted = True
+        return self
+
+    def log_posterior_ratio(self, vector: Mapping[str, float]) -> float:
+        """``log P(+|x) - log P(-|x)`` up to the shared evidence term."""
+        if not self._fitted:
+            raise RuntimeError("NaiveBayesClassifier used before fit")
+        score = self._log_prior[True] - self._log_prior[False]
+        pos = self._log_likelihood[True]
+        neg = self._log_likelihood[False]
+        pos_unseen = self._log_unseen[True]
+        neg_unseen = self._log_unseen[False]
+        for name, value in vector.items():
+            if value <= 0 or name not in self._vocabulary:
+                continue
+            score += value * (
+                pos.get(name, pos_unseen) - neg.get(name, neg_unseen)
+            )
+        return score
+
+    def decision_score(self, vector: Mapping[str, float]) -> float:
+        return self.log_posterior_ratio(vector)
+
+    def feature_log_odds(self, name: str) -> float:
+        """Interpretability hook: the per-occurrence log-odds a feature
+        contributes (e.g. large positive for ``w:recherche`` in the
+        French classifier)."""
+        if not self._fitted:
+            raise RuntimeError("NaiveBayesClassifier used before fit")
+        pos = self._log_likelihood[True].get(name, self._log_unseen[True])
+        neg = self._log_likelihood[False].get(name, self._log_unseen[False])
+        return pos - neg

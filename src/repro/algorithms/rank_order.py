@@ -1,0 +1,94 @@
+"""Rank-order (out-of-place) classifier after Cavnar & Trenkle (1994).
+
+The paper's related work: "Cavnar and Trenkle use the aforementioned
+rank-order statistic, which compares the different frequency ranks"; the
+authors ran it in preliminary experiments and chose Relative Entropy
+instead because it "performed best".  This implementation lets that
+preliminary comparison be reproduced (see
+``benchmarks/bench_ablation_preliminary.py``).
+
+Each class gets a profile: its ``profile_size`` most frequent features,
+ranked.  A test vector is ranked the same way and scored by the
+out-of-place measure — the sum over test features of the distance
+between their test rank and their rank in the class profile (features
+missing from the profile cost the maximum penalty).  Lower distance =
+closer class.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.algorithms.base import BinaryClassifier, check_fit_inputs
+
+
+def _ranked(counts: Mapping[str, float], size: int) -> dict[str, int]:
+    """Feature -> rank (0 = most frequent), ties broken alphabetically."""
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return {name: rank for rank, (name, _) in enumerate(ordered[:size])}
+
+
+class RankOrderClassifier(BinaryClassifier):
+    """Binary rank-order (out-of-place) classifier.
+
+    Parameters
+    ----------
+    profile_size:
+        Number of top-ranked features kept per class profile (Cavnar &
+        Trenkle use a few hundred for documents; URLs need fewer).
+    """
+
+    name = "RO"
+
+    def __init__(self, profile_size: int = 300) -> None:
+        if profile_size < 1:
+            raise ValueError("profile_size must be >= 1")
+        self.profile_size = profile_size
+        self._profiles: dict[bool, dict[str, int]] = {}
+        self._fitted = False
+
+    def fit(
+        self,
+        vectors: Sequence[Mapping[str, float]],
+        labels: Sequence[bool],
+    ) -> "RankOrderClassifier":
+        check_fit_inputs(vectors, labels)
+        totals: dict[bool, dict[str, float]] = {True: {}, False: {}}
+        for vector, label in zip(vectors, labels):
+            class_totals = totals[bool(label)]
+            for name, value in vector.items():
+                if value > 0:
+                    class_totals[name] = class_totals.get(name, 0.0) + value
+        self._profiles = {
+            cls: _ranked(counts, self.profile_size)
+            for cls, counts in totals.items()
+        }
+        self._fitted = True
+        return self
+
+    def out_of_place(self, vector: Mapping[str, float], positive: bool) -> float:
+        """Cavnar-Trenkle distance between ``vector`` and a class profile.
+
+        Normalised by the number of test features so that URLs of
+        different lengths are comparable.
+        """
+        if not self._fitted:
+            raise RuntimeError("RankOrderClassifier used before fit")
+        test_ranks = _ranked(
+            {k: v for k, v in vector.items() if v > 0}, self.profile_size
+        )
+        if not test_ranks:
+            return float(self.profile_size)
+        profile = self._profiles[positive]
+        distance = 0.0
+        for name, rank in test_ranks.items():
+            profile_rank = profile.get(name)
+            if profile_rank is None:
+                distance += self.profile_size  # maximum out-of-place penalty
+            else:
+                distance += abs(rank - profile_rank)
+        return distance / len(test_ranks)
+
+    def decision_score(self, vector: Mapping[str, float]) -> float:
+        """Positive when the vector is closer to the positive profile."""
+        return self.out_of_place(vector, False) - self.out_of_place(vector, True)

@@ -1,0 +1,108 @@
+"""Relative Entropy classifier (Section 3.2, "RE").
+
+"This algorithm first learns a probability distribution for each of the
+possible languages in the training set, by simply computing the average
+distribution for each language.  Every feature vector from the test set
+is converted into a probability distribution.  It is assigned to the
+class with the lowest relative entropy between the trained average
+distribution and the test feature vector distribution."
+
+Following Sibun & Reynar the divergence is KL(test || class).  Class
+distributions are smoothed so that the divergence stays finite for test
+features absent from a class; features never seen in *either* class are
+dropped from the test distribution (open-vocabulary behaviour).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.algorithms.base import BinaryClassifier, check_fit_inputs
+from repro.features.base import l1_normalize
+
+
+class RelativeEntropyClassifier(BinaryClassifier):
+    """Binary Relative Entropy (KL-divergence) classifier.
+
+    Parameters
+    ----------
+    smoothing:
+        Pseudo-count mass (per known feature) blended into each class
+        distribution so KL divergence is finite everywhere.
+    """
+
+    name = "RE"
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.smoothing = smoothing
+        self._class_dist: dict[bool, dict[str, float]] = {}
+        self._class_floor: dict[bool, float] = {}
+        self._vocabulary: set[str] = set()
+        self._fitted = False
+
+    def fit(
+        self,
+        vectors: Sequence[Mapping[str, float]],
+        labels: Sequence[bool],
+    ) -> "RelativeEntropyClassifier":
+        check_fit_inputs(vectors, labels)
+
+        sums: dict[bool, dict[str, float]] = {True: {}, False: {}}
+        sizes: dict[bool, int] = {True: 0, False: 0}
+        vocabulary: set[str] = set()
+
+        # Average of the L1-normalised training vectors per class.
+        for vector, label in zip(vectors, labels):
+            label = bool(label)
+            sizes[label] += 1
+            for name, value in l1_normalize(vector).items():
+                sums[label][name] = sums[label].get(name, 0.0) + value
+                vocabulary.add(name)
+
+        self._vocabulary = vocabulary
+        vocab_size = max(len(vocabulary), 1)
+        self._class_dist = {}
+        self._class_floor = {}
+        for cls in (True, False):
+            size = max(sizes[cls], 1)
+            mean = {name: value / size for name, value in sums[cls].items()}
+            # Blend with the uniform distribution over the joint vocabulary.
+            mass = sum(mean.values())  # ~1.0 for non-empty classes
+            denom = mass + self.smoothing
+            uniform = self.smoothing / (denom * vocab_size)
+            self._class_dist[cls] = {
+                name: (value / denom) + uniform for name, value in mean.items()
+            }
+            self._class_floor[cls] = uniform
+        self._fitted = True
+        return self
+
+    def divergence(self, vector: Mapping[str, float], positive: bool) -> float:
+        """KL(test-distribution || class-distribution) in nats.
+
+        An empty test distribution (no known features) diverges equally
+        from both classes and yields 0.0.
+        """
+        if not self._fitted:
+            raise RuntimeError("RelativeEntropyClassifier used before fit")
+        test = l1_normalize(
+            {
+                name: value
+                for name, value in vector.items()
+                if name in self._vocabulary
+            }
+        )
+        if not test:
+            return 0.0
+        dist = self._class_dist[positive]
+        floor = self._class_floor[positive]
+        return sum(
+            p * math.log(p / dist.get(name, floor)) for name, p in test.items()
+        )
+
+    def decision_score(self, vector: Mapping[str, float]) -> float:
+        """Positive when the vector is closer (in KL) to the positive class."""
+        return self.divergence(vector, False) - self.divergence(vector, True)

@@ -1,0 +1,15 @@
+"""Diagnostics: error analysis over URL archetypes."""
+
+from repro.analysis.errors import (
+    ErrorBreakdown,
+    archetype_bucket,
+    error_breakdown,
+    hardest_bucket,
+)
+
+__all__ = [
+    "ErrorBreakdown",
+    "archetype_bucket",
+    "error_breakdown",
+    "hardest_bucket",
+]

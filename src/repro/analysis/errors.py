@@ -1,0 +1,107 @@
+"""Error analysis: where do URL language classifiers fail?
+
+The paper explains its results through URL *kinds* — English-looking
+URLs, shared multi-language hosts, ccTLD-anchored hosts.  The synthetic
+corpus records which generative archetype produced each URL, so errors
+can be broken down along exactly those lines.  (On real data one would
+bucket by observable proxies — TLD class, host reuse — instead; the
+``bucket`` parameter supports that.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.corpus.records import Corpus, LabeledUrl
+from repro.languages import LANGUAGES, Language
+
+
+@dataclass
+class ErrorBreakdown:
+    """Per-bucket error accounting for the five binary classifiers."""
+
+    #: (bucket, language) -> counts.
+    false_negatives: dict[tuple[str, Language], int] = field(default_factory=dict)
+    false_positives: dict[tuple[str, Language], int] = field(default_factory=dict)
+    totals: dict[str, int] = field(default_factory=dict)
+
+    def buckets(self) -> list[str]:
+        keys = set(self.totals)
+        return sorted(keys)
+
+    def fn_count(self, bucket: str) -> int:
+        return sum(
+            count
+            for (b, _), count in self.false_negatives.items()
+            if b == bucket
+        )
+
+    def fp_count(self, bucket: str) -> int:
+        return sum(
+            count
+            for (b, _), count in self.false_positives.items()
+            if b == bucket
+        )
+
+    def error_rate(self, bucket: str) -> float:
+        """Errors per URL in the bucket (FN + FP over 5 classifiers)."""
+        total = self.totals.get(bucket, 0)
+        if total == 0:
+            return 0.0
+        return (self.fn_count(bucket) + self.fp_count(bucket)) / total
+
+    def format(self, title: str = "Error breakdown") -> str:
+        lines = [title, f"{'bucket':<18}{'URLs':>7}{'FN':>6}{'FP':>6}{'err/URL':>9}"]
+        for bucket in self.buckets():
+            lines.append(
+                f"{bucket:<18}{self.totals[bucket]:>7}"
+                f"{self.fn_count(bucket):>6}{self.fp_count(bucket):>6}"
+                f"{self.error_rate(bucket):>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+def archetype_bucket(record: LabeledUrl) -> str:
+    """Default bucketing: the generator archetype (diagnostics only)."""
+    return record.archetype or "unknown"
+
+
+def error_breakdown(
+    identifier,
+    test: Corpus,
+    bucket: Callable[[LabeledUrl], str] = archetype_bucket,
+) -> ErrorBreakdown:
+    """Break the identifier's errors on ``test`` down by URL bucket.
+
+    ``identifier`` is anything with a ``decisions(urls)`` method (a
+    :class:`~repro.core.pipeline.LanguageIdentifier`, a combined or
+    link-smoothed identifier, ...).
+    """
+    decisions = identifier.decisions(test.urls)
+    breakdown = ErrorBreakdown()
+    for position, record in enumerate(test.records):
+        name = bucket(record)
+        breakdown.totals[name] = breakdown.totals.get(name, 0) + 1
+        for language in LANGUAGES:
+            predicted = decisions[language][position]
+            truth = record.language == language
+            if truth and not predicted:
+                key = (name, language)
+                breakdown.false_negatives[key] = (
+                    breakdown.false_negatives.get(key, 0) + 1
+                )
+            elif predicted and not truth:
+                key = (name, language)
+                breakdown.false_positives[key] = (
+                    breakdown.false_positives.get(key, 0) + 1
+                )
+    return breakdown
+
+
+def hardest_bucket(breakdown: ErrorBreakdown) -> str:
+    """The bucket with the highest per-URL error rate."""
+    buckets = breakdown.buckets()
+    if not buckets:
+        raise ValueError("empty breakdown")
+    return max(buckets, key=breakdown.error_rate)

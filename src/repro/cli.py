@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+    python -m repro.cli generate --profile odp --per-language 100
+    python -m repro.cli train --out model.pkl --scale 0.4
+    python -m repro.cli classify --model model.pkl http://www.blumen.de/garten
+    python -m repro.cli evaluate --model model.pkl --test odp
+    python -m repro.cli experiment table8
+
+``generate`` emits a TSV of labelled synthetic URLs; ``train`` fits a
+:class:`~repro.core.pipeline.LanguageIdentifier` and pickles it;
+``classify`` labels URLs from arguments or stdin; ``evaluate`` prints
+the paper's metric table; ``experiment`` runs a table/figure driver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.corpus.generator import UrlCorpusGenerator
+from repro.datasets import build_datasets
+from repro.evaluation.metrics import average_f
+from repro.evaluation.reports import metrics_table
+from repro.languages import LANGUAGES
+
+#: Experiment drivers runnable via ``repro.cli experiment <name>``.
+EXPERIMENTS = {
+    "table1": "table1_datasets",
+    "table2": "table2_human",
+    "table3": "table3_human_confusion",
+    "table4": "table4_cctld",
+    "table5": "table5_cctld_confusion",
+    "table6": "table6_nb_confusion",
+    "table7": "table7_full_grid",
+    "table8": "table8_nb_words",
+    "table9": "table9_combinations",
+    "table10": "table10_content",
+    "figure1": "figure1_tree",
+    "figure2": "figure2_training_sweep",
+    "figure3": "figure3_domain_memo",
+    "selection": "selection_15",
+    "errors": "error_analysis",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="URL-based web page language identification "
+        "(Baykan, Henzinger & Weber, VLDB 2008 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="emit a synthetic labelled URL corpus as TSV"
+    )
+    generate.add_argument("--profile", choices=("odp", "ser", "wc"), default="odp")
+    generate.add_argument("--per-language", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=0)
+
+    train = commands.add_parser("train", help="train and pickle an identifier")
+    train.add_argument("--out", required=True, help="output pickle path")
+    train.add_argument("--features", default="words",
+                       choices=("words", "trigrams", "custom"))
+    train.add_argument("--algorithm", default="NB",
+                       choices=("NB", "RE", "ME", "DT", "kNN"))
+    train.add_argument("--scale", type=float, default=0.4)
+    train.add_argument("--seed", type=int, default=0)
+
+    classify = commands.add_parser("classify", help="classify URLs")
+    classify.add_argument("--model", required=True, help="pickled identifier")
+    classify.add_argument("urls", nargs="*", help="URLs (default: stdin)")
+
+    evaluate = commands.add_parser("evaluate", help="evaluate on a test set")
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--test", choices=("odp", "ser", "wc"), default="odp")
+    evaluate.add_argument("--scale", type=float, default=0.4)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    experiment = commands.add_parser(
+        "experiment", help="run a table/figure reproduction driver"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", type=float, default=0.5)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace, out) -> int:
+    generator = UrlCorpusGenerator(seed=args.seed)
+    corpus = generator.generate_corpus(
+        args.profile, {lang: args.per_language for lang in LANGUAGES}
+    )
+    for record in corpus:
+        out.write(f"{record.language.value}\t{record.url}\n")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace, out) -> int:
+    data = build_datasets(seed=args.seed, scale=args.scale)
+    identifier = LanguageIdentifier(
+        feature_set=args.features, algorithm=args.algorithm, seed=args.seed
+    )
+    identifier.fit(data.combined_train)
+    with open(args.out, "wb") as handle:
+        pickle.dump(identifier, handle)
+    out.write(
+        f"trained {identifier.name} on {len(data.combined_train)} URLs "
+        f"-> {args.out}\n"
+    )
+    return 0
+
+
+def _load_model(path: str) -> LanguageIdentifier:
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def _cmd_classify(args: argparse.Namespace, out) -> int:
+    identifier = _load_model(args.model)
+    urls = args.urls or [line.strip() for line in sys.stdin if line.strip()]
+    for url in urls:
+        best = identifier.classify(url)
+        languages = sorted(l.value for l in identifier.predict_languages(url))
+        label = best.value if best else "-"
+        out.write(f"{label}\t{','.join(languages) or '-'}\t{url}\n")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace, out) -> int:
+    identifier = _load_model(args.model)
+    data = build_datasets(seed=args.seed, scale=args.scale)
+    test = {"odp": data.odp_test, "ser": data.ser_test, "wc": data.wc_test}[
+        args.test
+    ]
+    metrics = identifier.evaluate(test)
+    rows = [(lang.display_name, metrics[lang]) for lang in LANGUAGES]
+    out.write(
+        metrics_table(rows, title=f"{identifier.name} on {args.test.upper()}")
+        + "\n"
+    )
+    out.write(f"average F: {average_f(list(metrics.values())):.3f}\n")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace, out) -> int:
+    import importlib
+
+    from repro.experiments.common import ExperimentContext
+
+    module = importlib.import_module(
+        f"repro.experiments.{EXPERIMENTS[args.name]}"
+    )
+    context = ExperimentContext(scale=args.scale)
+    out.write(module.run(context) + "\n")
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "train": _cmd_train,
+        "classify": _cmd_classify,
+        "evaluate": _cmd_evaluate,
+        "experiment": _cmd_experiment,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Core pipeline: identifiers, combination, selection, training helpers."""
+
+from repro.core.combination import (
+    BEST_COMBINATIONS,
+    PRECISION,
+    RECALL,
+    CombinationSpec,
+    CombinedIdentifier,
+    build_best_combination,
+    merge_decisions,
+    search_best_combination,
+)
+from repro.core.pipeline import (
+    BASELINE_ALGORITHMS,
+    FEATURE_SETS,
+    LanguageIdentifier,
+    make_extractor,
+)
+from repro.core.selection import (
+    SelectionResult,
+    SelectionStep,
+    forward_select,
+)
+from repro.core.training import (
+    EvaluationRun,
+    TrainedPool,
+    evaluate_grid,
+    language_f_table,
+)
+
+__all__ = [
+    "BASELINE_ALGORITHMS",
+    "BEST_COMBINATIONS",
+    "CombinationSpec",
+    "CombinedIdentifier",
+    "EvaluationRun",
+    "FEATURE_SETS",
+    "LanguageIdentifier",
+    "PRECISION",
+    "RECALL",
+    "SelectionResult",
+    "SelectionStep",
+    "TrainedPool",
+    "build_best_combination",
+    "evaluate_grid",
+    "forward_select",
+    "language_f_table",
+    "make_extractor",
+    "merge_decisions",
+    "search_best_combination",
+]

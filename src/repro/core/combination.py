@@ -1,0 +1,250 @@
+"""Merging classifiers (Section 3.3 and 5.6, S12).
+
+Two merge rules, each with a "main" and a "helper" algorithm:
+
+* *Recall improvement* — output "no" only if **both** say no (OR).
+* *Precision improvement* — output "yes" only if **both** say yes (AND).
+
+Section 5.6 lists the per-language pairs that worked best; they are
+reproduced in :data:`BEST_COMBINATIONS` and used by the Table 9 bench.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.corpus.records import Corpus
+from repro.evaluation.confusion import ConfusionMatrix, confusion_matrix
+from repro.evaluation.metrics import BinaryMetrics, evaluate_binary
+from repro.languages import LANGUAGES, Language
+
+__all__ = [
+    "BEST_COMBINATIONS",
+    "CombinationSpec",
+    "CombinedIdentifier",
+    "PRECISION",
+    "RECALL",
+    "build_best_combination",
+    "merge_decisions",
+    "search_best_combination",
+]
+
+#: Merge modes.
+RECALL = "recall"
+PRECISION = "precision"
+_MODES = (RECALL, PRECISION)
+
+
+@dataclass(frozen=True)
+class CombinationSpec:
+    """One Section 5.6 recipe: two (algorithm, feature set) pairs + mode."""
+
+    main_algorithm: str
+    main_features: str
+    helper_algorithm: str
+    helper_features: str
+    mode: str
+
+    def describe(self) -> str:
+        arrow = "OR" if self.mode == RECALL else "AND"
+        return (
+            f"{self.main_algorithm}/{self.main_features} {arrow} "
+            f"{self.helper_algorithm}/{self.helper_features}"
+        )
+
+
+#: The best per-language combinations reported in Section 5.6.
+BEST_COMBINATIONS: dict[Language, CombinationSpec] = {
+    # English and German: ME + RE, both word features, recall improvement.
+    Language.ENGLISH: CombinationSpec("ME", "words", "RE", "words", RECALL),
+    Language.GERMAN: CombinationSpec("ME", "words", "RE", "words", RECALL),
+    # French: RE on trigrams with NB on words, recall improvement.
+    Language.FRENCH: CombinationSpec("RE", "trigrams", "NB", "words", RECALL),
+    # Spanish: ME on trigrams with NB on words, precision improvement.
+    Language.SPANISH: CombinationSpec("ME", "trigrams", "NB", "words", PRECISION),
+    # Italian: RE on trigrams and RE on words, recall improvement.
+    Language.ITALIAN: CombinationSpec("RE", "trigrams", "RE", "words", RECALL),
+}
+
+
+def merge_decisions(
+    main: Sequence[bool], helper: Sequence[bool], mode: str
+) -> list[bool]:
+    """Combine two decision sequences under the given merge rule."""
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    if len(main) != len(helper):
+        raise ValueError("decision sequences must have equal length")
+    if mode == RECALL:
+        return [m or h for m, h in zip(main, helper)]
+    return [m and h for m, h in zip(main, helper)]
+
+
+class CombinedIdentifier:
+    """A per-language merge of two fitted :class:`LanguageIdentifier` s.
+
+    ``modes`` maps each language to its merge rule; languages absent from
+    the map fall back to the main identifier alone.  The same fitted
+    identifiers can be shared across several combinations — they are not
+    copied.
+    """
+
+    def __init__(
+        self,
+        main: dict[Language, LanguageIdentifier] | LanguageIdentifier,
+        helper: dict[Language, LanguageIdentifier] | LanguageIdentifier,
+        modes: dict[Language, str] | str = RECALL,
+    ) -> None:
+        self._main = self._as_map(main)
+        self._helper = self._as_map(helper)
+        if isinstance(modes, str):
+            modes = {language: modes for language in LANGUAGES}
+        self.modes = modes
+
+    @staticmethod
+    def _as_map(
+        value: dict[Language, LanguageIdentifier] | LanguageIdentifier,
+    ) -> dict[Language, LanguageIdentifier]:
+        if isinstance(value, LanguageIdentifier):
+            return {language: value for language in LANGUAGES}
+        return dict(value)
+
+    def decisions(self, urls: Sequence[str]) -> dict[Language, list[bool]]:
+        """Merged per-language decisions for a batch of URLs."""
+        # Compute each distinct identifier's decisions once.
+        cache: dict[int, dict[Language, list[bool]]] = {}
+
+        def decisions_of(identifier: LanguageIdentifier) -> dict[Language, list[bool]]:
+            key = id(identifier)
+            if key not in cache:
+                cache[key] = identifier.decisions(urls)
+            return cache[key]
+
+        merged: dict[Language, list[bool]] = {}
+        for language in LANGUAGES:
+            main = decisions_of(self._main[language])[language]
+            mode = self.modes.get(language)
+            if mode is None:
+                merged[language] = list(main)
+                continue
+            helper = decisions_of(self._helper[language])[language]
+            merged[language] = merge_decisions(main, helper, mode)
+        return merged
+
+    def evaluate(self, test: Corpus) -> dict[Language, BinaryMetrics]:
+        """Section 4.2 metrics of the merged classifiers."""
+        decisions = self.decisions(test.urls)
+        truths = test.labels
+        return {
+            language: evaluate_binary(
+                decisions[language], [truth == language for truth in truths]
+            )
+            for language in LANGUAGES
+        }
+
+    def confusion(self, test: Corpus) -> ConfusionMatrix:
+        return confusion_matrix(test.labels, self.decisions(test.urls))
+
+
+def search_best_combination(
+    fitted: dict[tuple[str, str], LanguageIdentifier],
+    validation: Corpus,
+) -> tuple[dict[Language, CombinationSpec | None], CombinedIdentifier]:
+    """Find the best per-language pair+mode on a validation corpus.
+
+    This is the *procedure* behind Section 5.6: for every language, try
+    every ordered pair of fitted identifiers under both merge rules and
+    keep whatever beats the best single classifier's F-measure (or
+    ``None`` if nothing does).  Decisions are computed once per
+    identifier, so the search is cheap.
+
+    Returns the chosen spec per language (``None`` = best single main
+    classifier wins) and a ready :class:`CombinedIdentifier`.
+    """
+    if not fitted:
+        raise ValueError("fitted must contain at least one identifier")
+    urls = validation.urls
+    truths = validation.labels
+    decisions = {key: ident.decisions(urls) for key, ident in fitted.items()}
+
+    def f_of(answer: Sequence[bool], language: Language) -> float:
+        return evaluate_binary(
+            list(answer), [t == language for t in truths]
+        ).f_measure
+
+    chosen_specs: dict[Language, CombinationSpec | None] = {}
+    mains: dict[Language, LanguageIdentifier] = {}
+    helpers: dict[Language, LanguageIdentifier] = {}
+    modes: dict[Language, str] = {}
+
+    for language in LANGUAGES:
+        best_single_key = max(
+            fitted, key=lambda key: f_of(decisions[key][language], language)
+        )
+        best_f = f_of(decisions[best_single_key][language], language)
+        best: tuple[tuple[str, str], tuple[str, str], str] | None = None
+        for main_key in fitted:
+            for helper_key in fitted:
+                if helper_key == main_key:
+                    continue
+                for mode in _MODES:
+                    merged = merge_decisions(
+                        decisions[main_key][language],
+                        decisions[helper_key][language],
+                        mode,
+                    )
+                    f = f_of(merged, language)
+                    if f > best_f:
+                        best_f = f
+                        best = (main_key, helper_key, mode)
+        if best is None:
+            chosen_specs[language] = None
+            mains[language] = fitted[best_single_key]
+            helpers[language] = fitted[best_single_key]
+            # no mode entry -> CombinedIdentifier falls back to main
+        else:
+            main_key, helper_key, mode = best
+            chosen_specs[language] = CombinationSpec(
+                main_algorithm=main_key[0],
+                main_features=main_key[1],
+                helper_algorithm=helper_key[0],
+                helper_features=helper_key[1],
+                mode=mode,
+            )
+            mains[language] = fitted[main_key]
+            helpers[language] = fitted[helper_key]
+            modes[language] = mode
+
+    return chosen_specs, CombinedIdentifier(mains, helpers, modes)
+
+
+def build_best_combination(
+    train: Corpus, seed: int = 0
+) -> CombinedIdentifier:
+    """Train the Section 5.6 per-language best combination.
+
+    Distinct (algorithm, feature set) pairs are fitted once and shared
+    across languages.
+    """
+    fitted: dict[tuple[str, str], LanguageIdentifier] = {}
+
+    def get(algorithm: str, features: str) -> LanguageIdentifier:
+        key = (algorithm, features)
+        if key not in fitted:
+            identifier = LanguageIdentifier(
+                feature_set=features, algorithm=algorithm, seed=seed
+            )
+            identifier.fit(train)
+            fitted[key] = identifier
+        return fitted[key]
+
+    mains: dict[Language, LanguageIdentifier] = {}
+    helpers: dict[Language, LanguageIdentifier] = {}
+    modes: dict[Language, str] = {}
+    for language, spec in BEST_COMBINATIONS.items():
+        mains[language] = get(spec.main_algorithm, spec.main_features)
+        helpers[language] = get(spec.helper_algorithm, spec.helper_features)
+        modes[language] = spec.mode
+    return CombinedIdentifier(mains, helpers, modes)

@@ -1,0 +1,91 @@
+"""Training/evaluation orchestration helpers shared by experiments.
+
+Thin layer over :class:`~repro.core.pipeline.LanguageIdentifier` that
+caches fitted identifiers per (algorithm, feature set) and renders the
+per-language metric rows of the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.corpus.records import Corpus
+from repro.evaluation.metrics import BinaryMetrics, average_f
+from repro.languages import LANGUAGES, Language
+
+
+@dataclass
+class EvaluationRun:
+    """Metrics of one identifier on one test collection."""
+
+    identifier_name: str
+    test_name: str
+    per_language: dict[Language, BinaryMetrics]
+
+    @property
+    def average_f(self) -> float:
+        return average_f(list(self.per_language.values()))
+
+    def f_of(self, language: Language | str) -> float:
+        return self.per_language[Language.coerce(language)].f_measure
+
+
+@dataclass
+class TrainedPool:
+    """Cache of fitted identifiers over one training corpus.
+
+    Experiments frequently need the same (algorithm, feature set) pair —
+    e.g. NB/words appears in Tables 6, 7, 8 and the combinations — so
+    fitting is memoised.
+    """
+
+    train: Corpus
+    seed: int = 0
+    _cache: dict[tuple[str, str], LanguageIdentifier] = field(default_factory=dict)
+
+    def get(self, algorithm: str, feature_set: str = "words") -> LanguageIdentifier:
+        key = (algorithm, feature_set)
+        if key not in self._cache:
+            identifier = LanguageIdentifier(
+                feature_set=feature_set, algorithm=algorithm, seed=self.seed
+            )
+            identifier.fit(self.train)
+            self._cache[key] = identifier
+        return self._cache[key]
+
+    def evaluate(
+        self, algorithm: str, feature_set: str, test: Corpus, test_name: str = ""
+    ) -> EvaluationRun:
+        identifier = self.get(algorithm, feature_set)
+        return EvaluationRun(
+            identifier_name=identifier.name,
+            test_name=test_name or test.name,
+            per_language=identifier.evaluate(test),
+        )
+
+
+def evaluate_grid(
+    pool: TrainedPool,
+    combos: Iterable[tuple[str, str]],
+    tests: dict[str, Corpus],
+) -> list[EvaluationRun]:
+    """Evaluate several (algorithm, feature set) pairs on several tests."""
+    runs = []
+    for algorithm, feature_set in combos:
+        for test_name, test in tests.items():
+            runs.append(pool.evaluate(algorithm, feature_set, test, test_name))
+    return runs
+
+
+def language_f_table(
+    run_by_test: dict[str, EvaluationRun],
+) -> dict[tuple[str, str], float]:
+    """Cells for :func:`repro.evaluation.reports.f_measure_grid`:
+    (language display name, test name) -> F."""
+    cells: dict[tuple[str, str], float] = {}
+    for test_name, run in run_by_test.items():
+        for language in LANGUAGES:
+            cells[(language.display_name, test_name)] = run.f_of(language)
+    return cells

@@ -1,0 +1,39 @@
+"""Synthetic corpus layer: URL generation, content generation, records."""
+
+from repro.corpus.content import FUNCTION_WORDS, contents_for, generate_content
+from repro.corpus.generator import UrlCorpusGenerator
+from repro.corpus.profiles import (
+    ODP_PROFILE,
+    PROFILES,
+    SER_PROFILE,
+    WC_LANGUAGE_COUNTS,
+    WC_PROFILE,
+    DatasetProfile,
+    GeneratorConfig,
+)
+from repro.corpus.records import (
+    Corpus,
+    LabeledUrl,
+    balanced_binary_indices,
+    balanced_binary_labels,
+    train_test_split,
+)
+
+__all__ = [
+    "Corpus",
+    "DatasetProfile",
+    "FUNCTION_WORDS",
+    "GeneratorConfig",
+    "LabeledUrl",
+    "ODP_PROFILE",
+    "PROFILES",
+    "SER_PROFILE",
+    "UrlCorpusGenerator",
+    "WC_LANGUAGE_COUNTS",
+    "WC_PROFILE",
+    "balanced_binary_indices",
+    "balanced_binary_labels",
+    "contents_for",
+    "generate_content",
+    "train_test_split",
+]

@@ -1,0 +1,480 @@
+"""Synthetic URL generator — the stand-in for the paper's web corpora.
+
+Design notes
+------------
+The generator owns *global* per-language domain pools shared by all three
+dataset profiles (the web is one place; the crawl's domains overlap with
+ODP's).  Popular domains are reused Zipf-style, which is what makes the
+domain-memorisation analysis of Figure 3 meaningful: with the default
+profiles about half of the crawl-test domains also occur in training
+data, matching the paper's 53%.
+
+Every URL is produced by one of five archetypes:
+
+* ``cctld``            — language-named host under one of the language's
+                         ccTLDs (``blumenhaus-mueller.de``),
+* ``generic``          — language-named host under .com/.org/.net
+                         (``wasserbett-test.com``, the paper's example),
+* ``english_looking``  — technical-English host and path for a
+                         *non-English* page (``priceminister.com`` style),
+* ``shared``           — multi-language host (``wordpress.com`` style),
+                         language signal only in subdomain/path,
+* ``other_tld``        — host under a TLD the baseline maps to no
+                         language (``.ch``, ``.info`` ...).
+
+The archetype frequencies come from the dataset profiles, which are in
+turn calibrated against the paper's own measurements (see
+:mod:`repro.corpus.profiles`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from collections.abc import Sequence
+
+from repro.corpus.profiles import (
+    PROFILES,
+    DatasetProfile,
+    GeneratorConfig,
+)
+from repro.corpus.records import Corpus, LabeledUrl
+from repro.data.wordlists import get_lexicon
+from repro.data.wordlists.web import (
+    FILE_EXTENSIONS,
+    FILE_STEMS,
+    GENERIC_SEGMENTS,
+    SECOND_LEVEL,
+    SHARED_HOSTS,
+    TECH_WORDS,
+)
+from repro.languages import LANGUAGES, Language, cctlds_for
+
+
+class _ZipfPool:
+    """A pool of reusable items sampled with Zipf(0.9) weights."""
+
+    def __init__(self, items: Sequence[str]) -> None:
+        if not items:
+            raise ValueError("pool must not be empty")
+        self.items = list(items)
+        weights = [1.0 / (rank + 1) ** 0.9 for rank in range(len(self.items))]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        self._cumulative = cumulative
+
+    def sample(self, rng: random.Random) -> str:
+        return self.items[bisect.bisect_left(self._cumulative, rng.random())]
+
+
+def _weighted_choice(
+    rng: random.Random, items: Sequence[str], weights: Sequence[float]
+) -> str:
+    total = sum(weights)
+    target = rng.random() * total
+    acc = 0.0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if target <= acc:
+            return item
+    return items[-1]
+
+
+class UrlCorpusGenerator:
+    """Deterministic URL factory for the three collections.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; two generators with equal seeds produce identical
+        corpora.
+    config:
+        Structural knobs shared by all datasets.
+    """
+
+    def __init__(self, seed: int = 0, config: GeneratorConfig | None = None) -> None:
+        self.seed = seed
+        self.config = config or GeneratorConfig()
+        self._rng = random.Random(seed)
+        self._pools_cctld: dict[Language, _ZipfPool] = {}
+        self._pools_generic: dict[Language, _ZipfPool] = {}
+        self._pools_english: dict[Language, _ZipfPool] = {}
+        self._oov_pools: dict[Language, tuple[str, ...]] = {}
+        self._build_oov_pools()
+        self._build_pools()
+
+    def _build_oov_pools(self) -> None:
+        """Pre-mint per-language out-of-vocabulary words.
+
+        Real URL tokens frequently miss spelling dictionaries
+        (inflections, compounds, brand coinages).  The pools are fixed at
+        construction so that the same OOV words recur across URLs: word
+        features and the trained dictionary can *learn* them, while the
+        OpenOffice/city dictionaries always miss them — exactly the
+        asymmetry the paper observes between the feature sets.
+        """
+        rng = self._rng
+        for language in LANGUAGES:
+            lexicon = get_lexicon(language)
+            suffixes = self._OOV_SUFFIXES[language]
+            pool = set()
+            while len(pool) < 300:
+                word = rng.choice(lexicon.word_tuple) + rng.choice(suffixes)
+                if word not in lexicon.common_words:
+                    pool.add(word)
+            self._oov_pools[language] = tuple(sorted(pool))
+
+    # -- pool construction ----------------------------------------------------
+
+    def _build_pools(self) -> None:
+        rng = self._rng
+        cfg = self.config
+        for language in LANGUAGES:
+            providers = get_lexicon(language).providers
+            cctld_domains = [
+                f"{name}.{self._pick_cctld(language, rng)}"
+                for name in providers[:4]
+            ]
+            cctld_domains += [
+                self._mint_domain(language, rng, tld=self._pick_cctld(language, rng))
+                for _ in range(cfg.pool_cctld_domains)
+            ]
+            self._pools_cctld[language] = _ZipfPool(cctld_domains)
+
+            generic_domains = [f"{name}.com" for name in providers[4:]]
+            generic_domains += [
+                self._mint_domain(language, rng, tld=self._pick_generic_tld(rng))
+                for _ in range(cfg.pool_generic_domains)
+            ]
+            self._pools_generic[language] = _ZipfPool(generic_domains)
+
+            english_domains = [
+                self._mint_domain(
+                    language, rng, tld="com", english_looking=True
+                )
+                for _ in range(cfg.pool_english_looking_domains)
+            ]
+            self._pools_english[language] = _ZipfPool(english_domains)
+
+        shared = [f"{name}.com" for name in SHARED_HOSTS]
+        shared += [
+            self._mint_domain(
+                Language.ENGLISH, rng, tld="com", english_looking=True
+            )
+            for _ in range(max(cfg.pool_shared_domains - len(shared), 0))
+        ]
+        self._pool_shared = _ZipfPool(shared)
+
+        # International brand-style domains that host pages in several
+        # languages; sampled by the "generic" archetype of any language.
+        international = [
+            self._mint_domain(
+                Language.ENGLISH,
+                rng,
+                tld=self._pick_generic_tld(rng),
+                english_looking=True,
+            )
+            for _ in range(150)
+        ]
+        self._pool_international = _ZipfPool(international)
+
+    def _pick_cctld(self, language: Language, rng: random.Random) -> str:
+        tlds = cctlds_for(language)
+        weights = self.config.cctld_weights[language]
+        tld = _weighted_choice(rng, tlds, weights)
+        second_levels = SECOND_LEVEL.get(tld)
+        if second_levels and rng.random() < 0.7:
+            return f"{rng.choice(second_levels)}.{tld}"
+        return tld
+
+    def _pick_generic_tld(self, rng: random.Random) -> str:
+        items = [tld for tld, _ in self.config.generic_tlds]
+        weights = [weight for _, weight in self.config.generic_tlds]
+        return _weighted_choice(rng, items, weights)
+
+    # -- word material ----------------------------------------------------------
+
+    #: Language-typical derivational endings used to mint words that are
+    #: *not* in the embedded dictionaries.  Real URL tokens frequently
+    #: miss spelling dictionaries (inflections, compounds, brand names);
+    #: this is what keeps the custom dictionary-count features from being
+    #: unrealistically clean.
+    _OOV_SUFFIXES: dict[Language, tuple[str, ...]] = {
+        Language.ENGLISH: ("s", "er", "ers", "ing", "ville", "ware"),
+        Language.GERMAN: ("en", "ern", "ung", "chen", "werk", "dorf"),
+        Language.FRENCH: ("s", "ement", "ier", "age", "eur", "otte"),
+        Language.SPANISH: ("s", "es", "ito", "eria", "dad", "illo"),
+        Language.ITALIAN: ("ini", "one", "etto", "eria", "issimo", "aio"),
+    }
+
+    #: Probability that a sampled word gets mutated out of vocabulary.
+    oov_rate = 0.25
+
+    #: Probability that a domain-name word is a technical English word
+    #: rather than a language word ("kunst-online.de").
+    tech_contamination = 0.10
+
+    #: Minimum fresh-domain rate for english-looking hosts; the pooled
+    #: remainder is what word features can memorise (and trigrams cannot),
+    #: the paper's jazzpages.com effect.
+    english_looking_fresh_rate = 0.45
+
+    # Note: the international-pool rate is per-dataset; see
+    # DatasetProfile.international_rate.
+
+    def _language_word(self, language: Language, rng: random.Random) -> str:
+        if rng.random() < self.oov_rate:
+            return rng.choice(self._oov_pools[language])
+        lexicon = get_lexicon(language)
+        if rng.random() < 0.12 and lexicon.city_tuple:
+            return rng.choice(lexicon.city_tuple)
+        return rng.choice(lexicon.word_tuple)
+
+    def _mint_name(
+        self, language: Language, rng: random.Random, english_looking: bool = False
+    ) -> str:
+        """A domain-name stem: one or two joined words, maybe hyphenated."""
+        if english_looking:
+            pick = lambda: rng.choice(TECH_WORDS)  # noqa: E731
+        else:
+            # Domain names mix language words with the web's English
+            # vocabulary ("kunst-online.de"), diluting dictionary hits.
+            pick = lambda: (  # noqa: E731
+                rng.choice(TECH_WORDS)
+                if rng.random() < self.tech_contamination
+                else self._language_word(language, rng)
+            )
+        words = [pick()]
+        if rng.random() < 0.40:
+            second = pick()
+            if second != words[0]:
+                words.append(second)
+        hyphen_rate = self.config.hyphen_rate[language]
+        joiner = (
+            "-"
+            if len(words) > 1 and rng.random() < min(hyphen_rate * 3.0, 0.9)
+            else ""
+        )
+        name = joiner.join(words)
+        if rng.random() < 0.05:
+            name += str(rng.randint(1, 24))
+        return name
+
+    def _mint_domain(
+        self,
+        language: Language,
+        rng: random.Random,
+        tld: str,
+        english_looking: bool = False,
+    ) -> str:
+        return f"{self._mint_name(language, rng, english_looking)}.{tld}"
+
+    # -- path material -----------------------------------------------------------
+
+    def _path_segment(
+        self,
+        language: Language,
+        profile: DatasetProfile,
+        rng: random.Random,
+        english_looking: bool,
+    ) -> str:
+        roll = rng.random()
+        language_rate = (
+            0.12 if english_looking else profile.path_language_rate
+        )
+        if roll < language_rate:
+            word = self._language_word(language, rng)
+            if rng.random() < 0.18:
+                # Compound path segments hyphenate at the language's
+                # hyphen rate (part of the paper's German-hyphen signal).
+                hyphen_rate = self.config.hyphen_rate[language]
+                joiner = "-" if rng.random() < min(hyphen_rate * 3.0, 0.9) else ""
+                word = joiner.join((word, self._language_word(language, rng)))
+            return word
+        roll -= language_rate
+        if roll < 0.22:
+            return rng.choice(GENERIC_SEGMENTS)
+        if roll < 0.32:
+            return str(rng.randint(1, 99999))
+        if roll < 0.42:
+            return rng.choice(TECH_WORDS)
+        if roll < 0.46:
+            return f"t-{rng.randint(100, 9999)}"
+        return rng.choice(GENERIC_SEGMENTS)
+
+    def _build_path(
+        self,
+        language: Language,
+        profile: DatasetProfile,
+        rng: random.Random,
+        english_looking: bool,
+        force_language_token: bool,
+    ) -> str:
+        mean = profile.path_segments_mean
+        n_segments = 0
+        while n_segments < 4 and rng.random() < mean / (mean + 1.0):
+            n_segments += 1
+        segments = [
+            self._path_segment(language, profile, rng, english_looking)
+            for _ in range(n_segments)
+        ]
+        if force_language_token and not any(
+            self._is_language_word(language, segment) for segment in segments
+        ):
+            segments.append(self._language_word(language, rng))
+
+        if segments and rng.random() < 0.45:
+            stem = rng.choice(FILE_STEMS)
+            if rng.random() < 0.35:
+                stem = self._language_word(language, rng)
+            if rng.random() < 0.3:
+                stem += str(rng.randint(1, 30))
+            segments.append(f"{stem}.{rng.choice(FILE_EXTENSIONS)}")
+        elif segments and rng.random() < 0.4:
+            segments[-1] = segments[-1] + "/"
+        if not segments:
+            return "/" if rng.random() < 0.5 else ""
+        path = "/" + "/".join(segments)
+        return path
+
+    @staticmethod
+    def _is_language_word(language: Language, segment: str) -> bool:
+        lexicon = get_lexicon(language)
+        return segment in lexicon.common_words or segment in lexicon.cities
+
+    # -- URL assembly -------------------------------------------------------------
+
+    def generate_url(
+        self,
+        language: Language | str,
+        profile: DatasetProfile | str,
+        rng: random.Random | None = None,
+    ) -> LabeledUrl:
+        """One labelled URL for ``language`` under ``profile``."""
+        language = Language.coerce(language)
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        rng = rng or self._rng
+
+        archetype = self._pick_archetype(language, profile, rng)
+        english_looking = archetype == "english_looking"
+
+        host, force_token = self._build_host(language, profile, rng, archetype)
+        path = self._build_path(language, profile, rng, english_looking, force_token)
+        url = f"http://{host}{path}"
+        return LabeledUrl(url=url, language=language, archetype=archetype)
+
+    def _pick_archetype(
+        self, language: Language, profile: DatasetProfile, rng: random.Random
+    ) -> str:
+        roll = rng.random()
+        cctld_rate = profile.cctld_rate[language]
+        if roll < cctld_rate:
+            return "cctld"
+        roll -= cctld_rate
+        if roll < profile.other_tld_rate:
+            return "other_tld"
+        roll -= profile.other_tld_rate
+        if roll < profile.shared_domain_rate:
+            return "shared"
+        if language is not Language.ENGLISH:
+            if rng.random() < profile.english_looking_rate[language] / max(
+                1.0 - cctld_rate - profile.other_tld_rate - profile.shared_domain_rate,
+                1e-9,
+            ):
+                return "english_looking"
+        return "generic"
+
+    def _build_host(
+        self,
+        language: Language,
+        profile: DatasetProfile,
+        rng: random.Random,
+        archetype: str,
+    ) -> tuple[str, bool]:
+        """Return (host, force_language_token_in_path)."""
+        cfg = self.config
+        force_token = False
+
+        if archetype == "cctld":
+            if rng.random() < profile.fresh_domain_rate:
+                domain = self._mint_domain(
+                    language, rng, tld=self._pick_cctld(language, rng)
+                )
+            else:
+                domain = self._pools_cctld[language].sample(rng)
+        elif archetype == "generic":
+            if rng.random() < profile.international_rate:
+                domain = self._pool_international.sample(rng)
+                force_token = rng.random() < profile.path_language_rate
+            elif rng.random() < profile.fresh_domain_rate:
+                domain = self._mint_domain(
+                    language, rng, tld=self._pick_generic_tld(rng)
+                )
+            else:
+                domain = self._pools_generic[language].sample(rng)
+        elif archetype == "english_looking":
+            fresh_rate = max(
+                profile.fresh_domain_rate, self.english_looking_fresh_rate
+            )
+            if rng.random() < fresh_rate:
+                domain = self._mint_domain(
+                    language, rng, tld="com", english_looking=True
+                )
+            else:
+                domain = self._pools_english[language].sample(rng)
+        elif archetype == "shared":
+            domain = self._pool_shared.sample(rng)
+            force_token = rng.random() < profile.path_language_rate
+        elif archetype == "other_tld":
+            domain = self._mint_domain(
+                language, rng, tld=rng.choice(cfg.unassigned_tlds)
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown archetype {archetype!r}")
+
+        host = domain
+        if archetype == "shared":
+            roll = rng.random()
+            if roll < 0.10:
+                # Language subdomain, e.g. http://fr.search.yahoo.com style.
+                host = f"{cctlds_for(language)[0]}.{domain}"
+            elif roll < 0.55:
+                # User subdomain, often a language word.
+                if rng.random() < 0.5:
+                    host = f"{self._language_word(language, rng)}.{domain}"
+                else:
+                    host = f"{rng.choice(TECH_WORDS)}{rng.randint(1, 99)}.{domain}"
+        elif rng.random() < profile.www_rate:
+            host = f"www.{domain}"
+        return host, force_token
+
+    # -- corpus-level API ------------------------------------------------------------
+
+    def generate_corpus(
+        self,
+        profile: DatasetProfile | str,
+        counts: dict[Language, int],
+        seed_offset: int = 0,
+        name: str = "",
+    ) -> Corpus:
+        """Generate ``counts[language]`` URLs per language under ``profile``.
+
+        Records are interleaved deterministically; the result is stable
+        for a fixed (generator seed, seed_offset) pair.
+        """
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        # str seeds are hashed with SHA-512 by random.Random -> stable
+        # across processes (unlike tuple hashing under PYTHONHASHSEED).
+        rng = random.Random(f"{self.seed}:{profile.name}:{seed_offset}")
+        records: list[LabeledUrl] = []
+        for language in LANGUAGES:
+            for _ in range(counts.get(language, 0)):
+                records.append(self.generate_url(language, profile, rng))
+        rng.shuffle(records)
+        return Corpus(records=records, name=name or profile.name)

@@ -1,0 +1,146 @@
+"""Generation profiles for the three data sets.
+
+Each profile encodes the regularities the paper *measures* about a
+collection, so that the synthetic stand-in exhibits the same structure:
+
+* ``cctld_rate`` — fraction of a language's URLs hosted under one of its
+  ccTLDs.  Taken directly from the recall column of Table 4, since the
+  ccTLD baseline's recall *is* that fraction (e.g. only 11% of Spanish
+  crawl URLs are under Spanish ccTLDs, 83% of German ODP URLs under
+  .de/.at).
+* ``english_looking_rate`` — probability that a non-English URL is
+  built from English/technical vocabulary ("URLs 'look' English,
+  although the corresponding web page is not").  Calibrated against the
+  human and NB confusion matrices (Tables 3 and 6).
+* ``shared_domain_rate`` — probability of drawing the host from the
+  cross-language shared pool (wordpress.com-style; 48% of ODP test URLs
+  come from multi-language domains, ~30% for SER/WC).
+* ``fresh_domain_rate`` — probability of minting a brand-new domain
+  instead of reusing a pooled one; controls the Figure 3 memorisation
+  percentages (53% of crawl-test domains seen in training).
+* ``path_language_rate`` — probability that a path segment uses a word
+  of the page's language (high for SER, whose two query modes guarantee
+  a strong language signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.languages import Language
+
+EN, DE, FR, ES, IT = (
+    Language.ENGLISH,
+    Language.GERMAN,
+    Language.FRENCH,
+    Language.SPANISH,
+    Language.ITALIAN,
+)
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Knobs of the URL generator for one collection."""
+
+    name: str
+    cctld_rate: dict[Language, float]
+    english_looking_rate: dict[Language, float]
+    shared_domain_rate: float
+    fresh_domain_rate: float
+    path_language_rate: float
+    #: Probability of an unassigned TLD (.ch, .nl, .info ...).
+    other_tld_rate: float = 0.06
+    #: Probability that a "generic" host comes from the international,
+    #: multi-language domain pool (the paper: 48% of ODP test URLs and
+    #: ~30% of SER/WC URLs live on domains hosting several languages).
+    international_rate: float = 0.30
+    #: Mean number of path segments (geometric-ish distribution).
+    path_segments_mean: float = 1.3
+    #: Probability a generated URL gets a www. prefix.
+    www_rate: float = 0.55
+
+
+#: Open Directory Project: heterogeneous, many shared domains, the
+#: hardest collection (Table 8's bottom row).
+ODP_PROFILE = DatasetProfile(
+    name="odp",
+    cctld_rate={EN: 0.13, DE: 0.83, FR: 0.25, ES: 0.30, IT: 0.62},
+    english_looking_rate={EN: 0.0, DE: 0.12, FR: 0.24, ES: 0.22, IT: 0.16},
+    shared_domain_rate=0.22,
+    fresh_domain_rate=0.30,
+    path_language_rate=0.38,
+    international_rate=0.45,
+)
+
+#: Search-engine results: both query modes (ccTLD-restricted and
+#: stop-word-restricted) guarantee a clean language signal -> easiest set.
+SER_PROFILE = DatasetProfile(
+    name="ser",
+    cctld_rate={EN: 0.52, DE: 0.67, FR: 0.60, ES: 0.64, IT: 0.75},
+    english_looking_rate={EN: 0.0, DE: 0.03, FR: 0.04, ES: 0.03, IT: 0.02},
+    shared_domain_rate=0.06,
+    fresh_domain_rate=0.35,
+    path_language_rate=0.65,
+    international_rate=0.10,
+)
+
+#: Hand-labelled web crawl: breadth-first from a US directory, extremely
+#: English-heavy and rich in English-looking non-English URLs.
+WC_PROFILE = DatasetProfile(
+    name="wc",
+    cctld_rate={EN: 0.10, DE: 0.61, FR: 0.23, ES: 0.11, IT: 0.62},
+    english_looking_rate={EN: 0.0, DE: 0.22, FR: 0.10, ES: 0.12, IT: 0.02},
+    shared_domain_rate=0.10,
+    fresh_domain_rate=0.47,
+    path_language_rate=0.52,
+    other_tld_rate=0.10,
+)
+
+#: Language mix of the 1,260-page crawl sample (Table 1).
+WC_LANGUAGE_COUNTS: dict[Language, int] = {EN: 1082, DE: 81, FR: 57, ES: 19, IT: 21}
+
+PROFILES: dict[str, DatasetProfile] = {
+    "odp": ODP_PROFILE,
+    "ser": SER_PROFILE,
+    "wc": WC_PROFILE,
+}
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Global knobs of the URL generator, independent of the data set."""
+
+    #: Per-language hyphen probability inside domain names.  "hyphens
+    #: occur about five times more often in German URLs than in English
+    #: URLs" (Section 3.1).
+    hyphen_rate: dict[Language, float] = field(
+        default_factory=lambda: {EN: 0.04, DE: 0.30, FR: 0.10, ES: 0.08, IT: 0.08}
+    )
+    #: Weights of a language's ccTLDs (first ccTLD in the registry list
+    #: is the "home" country and dominates).
+    cctld_weights: dict[Language, tuple[float, ...]] = field(
+        default_factory=lambda: {
+            FR: (0.92, 0.04, 0.02, 0.02),
+            DE: (0.88, 0.12),
+            IT: (1.0,),
+            ES: (0.55, 0.06, 0.15, 0.12, 0.05, 0.04, 0.03),
+            EN: (0.14, 0.05, 0.05, 0.15, 0.08, 0.02, 0.06, 0.45),
+        }
+    )
+    #: Generic TLD weights for non-ccTLD hosts (about 60% of the web is
+    #: .com and 10% .org according to the paper's reference [1]).
+    generic_tlds: tuple[tuple[str, float], ...] = (
+        ("com", 0.78),
+        ("org", 0.14),
+        ("net", 0.08),
+    )
+    #: TLDs the ccTLD baseline assigns to no language.
+    unassigned_tlds: tuple[str, ...] = (
+        "ch", "be", "nl", "ca", "se", "dk", "pl", "cz", "eu", "info",
+        "biz", "tv", "cc", "to",
+    )
+    #: Size of each language's reusable domain pools.
+    pool_cctld_domains: int = 400
+    pool_generic_domains: int = 400
+    pool_english_looking_domains: int = 250
+    pool_shared_domains: int = 60

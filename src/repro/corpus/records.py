@@ -1,0 +1,158 @@
+"""Core corpus records and containers.
+
+A corpus is a list of labelled URLs.  The paper splits each downloaded
+collection "into a training and a test set by randomly selecting a fixed
+percentage of URLs as test URLs"; :func:`train_test_split` reproduces
+that procedure deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.languages import LANGUAGES, Language
+from repro.urls.parsing import registered_domain
+
+
+@dataclass(frozen=True)
+class LabeledUrl:
+    """One URL with its ground-truth language.
+
+    ``archetype`` records which generative branch produced the URL
+    ("cctld", "generic", "english_looking", "shared", "other_tld"); it is
+    diagnostic metadata only and must never be shown to a classifier.
+    """
+
+    url: str
+    language: Language
+    archetype: str = ""
+
+    @property
+    def domain(self) -> str:
+        """Registered domain (Section 6's memorisation unit)."""
+        return registered_domain(self.url)
+
+
+@dataclass
+class Corpus:
+    """A list of labelled URLs with convenience accessors."""
+
+    records: list[LabeledUrl] = field(default_factory=list)
+    name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[LabeledUrl]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> LabeledUrl:
+        return self.records[index]
+
+    @property
+    def urls(self) -> list[str]:
+        return [record.url for record in self.records]
+
+    @property
+    def labels(self) -> list[Language]:
+        return [record.language for record in self.records]
+
+    def of_language(self, language: Language | str) -> "Corpus":
+        """Sub-corpus of a single language."""
+        lang = Language.coerce(language)
+        return Corpus(
+            records=[r for r in self.records if r.language == lang],
+            name=f"{self.name}/{lang.value}",
+        )
+
+    def counts(self) -> dict[Language, int]:
+        """Number of URLs per language."""
+        counts = {lang: 0 for lang in LANGUAGES}
+        for record in self.records:
+            counts[record.language] += 1
+        return counts
+
+    def domains(self) -> set[str]:
+        """Set of registered domains occurring in the corpus."""
+        return {record.domain for record in self.records}
+
+    def filter(self, predicate: Callable[[LabeledUrl], bool]) -> "Corpus":
+        return Corpus(
+            records=[r for r in self.records if predicate(r)], name=self.name
+        )
+
+    def extend(self, records: Iterable[LabeledUrl]) -> None:
+        self.records.extend(records)
+
+    def subsample(self, fraction: float, seed: int = 0) -> "Corpus":
+        """Random subset with ``fraction`` of the records (Section 6 sweeps).
+
+        Always keeps at least one record per represented language so that
+        binary training sets stay well-formed even at 0.1%.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if fraction == 1.0:
+            return Corpus(records=list(self.records), name=self.name)
+        rng = random.Random(seed)
+        picked = [r for r in self.records if rng.random() < fraction]
+        present = {r.language for r in picked}
+        for language in {r.language for r in self.records} - present:
+            pool = [r for r in self.records if r.language == language]
+            picked.append(rng.choice(pool))
+        return Corpus(records=picked, name=f"{self.name}@{fraction:g}")
+
+
+def train_test_split(
+    corpus: Corpus, test_fraction: float, seed: int = 0
+) -> tuple[Corpus, Corpus]:
+    """Random split into (train, test), the paper's procedure."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = random.Random(seed)
+    indices = list(range(len(corpus)))
+    rng.shuffle(indices)
+    n_test = max(1, int(round(test_fraction * len(corpus))))
+    test_indices = set(indices[:n_test])
+    train = Corpus(name=f"{corpus.name}/train")
+    test = Corpus(name=f"{corpus.name}/test")
+    for index, record in enumerate(corpus.records):
+        (test if index in test_indices else train).records.append(record)
+    return train, test
+
+
+def balanced_binary_indices(
+    corpus: Corpus, language: Language | str, seed: int = 0
+) -> tuple[list[int], list[bool]]:
+    """Indices of all positive samples plus an equally sized random
+    negative sample, shuffled.
+
+    Reproduces Section 4.1: "For each language we trained the classifiers
+    on the set of all available positive training samples ... and a random
+    subset of equal size of negative samples"; using all negatives "would
+    have led to too conservative classifiers".  Index-based so callers can
+    align side data (e.g. page contents) with the selection.
+    """
+    lang = Language.coerce(language)
+    positives = [i for i, r in enumerate(corpus.records) if r.language == lang]
+    negatives = [i for i, r in enumerate(corpus.records) if r.language != lang]
+    if not positives:
+        raise ValueError(f"corpus has no URLs for {lang}")
+    rng = random.Random(seed)
+    if len(negatives) > len(positives):
+        negatives = rng.sample(negatives, len(positives))
+    indices = positives + negatives
+    labels = [True] * len(positives) + [False] * len(negatives)
+    order = list(range(len(indices)))
+    rng.shuffle(order)
+    return [indices[i] for i in order], [labels[i] for i in order]
+
+
+def balanced_binary_labels(
+    corpus: Corpus, language: Language | str, seed: int = 0
+) -> tuple[list[str], list[bool]]:
+    """URL-level convenience wrapper around :func:`balanced_binary_indices`."""
+    indices, labels = balanced_binary_indices(corpus, language, seed)
+    return [corpus.records[i].url for i in indices], labels

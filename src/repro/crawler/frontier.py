@@ -1,0 +1,78 @@
+"""Crawl frontier: the URL queue of a crawler.
+
+The paper's motivating scenario (Section 1): a web-search-engine crawler
+"maintains a list, or rather a queue, of URLs of all uncrawled pages"
+and needs to satisfy per-language download quotas without wasting
+bandwidth on pages in the wrong language.
+
+:class:`Frontier` is a FIFO queue with optional priority classes, enough
+to express the crawling policies in :mod:`repro.crawler.quota`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.corpus.records import LabeledUrl
+
+
+class Frontier:
+    """FIFO frontier with a high-priority lane.
+
+    URLs promoted by a policy (e.g. "classifier says this is German")
+    are dequeued before the regular lane, modelling a crawler that
+    reorders its queue based on predicted language.
+    """
+
+    def __init__(self, urls: Iterable[LabeledUrl] = ()) -> None:
+        self._regular: deque[LabeledUrl] = deque(urls)
+        self._priority: deque[LabeledUrl] = deque()
+        self._seen: set[str] = {record.url for record in self._regular}
+
+    def __len__(self) -> int:
+        return len(self._regular) + len(self._priority)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._regular and not self._priority
+
+    def add(self, record: LabeledUrl, priority: bool = False) -> bool:
+        """Enqueue ``record``; duplicates are dropped. Returns whether
+        the URL was new."""
+        if record.url in self._seen:
+            return False
+        self._seen.add(record.url)
+        (self._priority if priority else self._regular).append(record)
+        return True
+
+    def promote(self, record: LabeledUrl) -> None:
+        """Move an already-queued record conceptually to the fast lane.
+
+        Implemented as add-to-priority; the duplicate guard in
+        :meth:`pop` ignores the stale regular-lane copy.
+        """
+        self._priority.append(record)
+
+    def pop(self) -> LabeledUrl:
+        """Dequeue the next URL (priority lane first)."""
+        popped: set[str] = getattr(self, "_popped", set())
+        self._popped = popped
+        while True:
+            if self._priority:
+                record = self._priority.popleft()
+            elif self._regular:
+                record = self._regular.popleft()
+            else:
+                raise IndexError("pop from an empty frontier")
+            if record.url not in popped:
+                popped.add(record.url)
+                return record
+
+    def drain(self) -> Iterable[LabeledUrl]:
+        """Yield URLs until the frontier is empty."""
+        while not self.is_empty:
+            try:
+                yield self.pop()
+            except IndexError:
+                return

@@ -1,0 +1,80 @@
+"""End-to-end quota-crawl comparison: baseline vs ccTLD vs URL classifier.
+
+Quantifies the paper's motivation: how much bandwidth does a URL-based
+language classifier save a language-specific crawler (fireball.de /
+yandex.ru scenario) compared with downloading everything, and how does
+it compare with the ccTLD heuristic?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.corpus.records import Corpus
+from repro.crawler.frontier import Frontier
+from repro.crawler.quota import (
+    CrawlReport,
+    classifier_policy,
+    crawl_with_quota,
+    download_everything_policy,
+)
+from repro.languages import Language
+
+
+@dataclass
+class ComparisonResult:
+    """Reports of the three policies on the same frontier."""
+
+    baseline: CrawlReport
+    cctld: CrawlReport
+    classifier: CrawlReport
+
+    def format(self) -> str:
+        lines = [
+            "policy          downloads  wasted  waste%  quota filled",
+        ]
+        for name, report in (
+            ("download-all", self.baseline),
+            ("ccTLD", self.cctld),
+            ("URL classifier", self.classifier),
+        ):
+            lines.append(
+                f"{name:<15}{report.total_downloads:>10}"
+                f"{report.wasted_downloads:>8}"
+                f"{report.waste_ratio:>8.0%}"
+                f"{str(report.quota_filled):>14}"
+            )
+        return "\n".join(lines)
+
+
+def compare_policies(
+    uncrawled: Corpus,
+    target: Language | str,
+    quota: int,
+    identifier: LanguageIdentifier,
+) -> ComparisonResult:
+    """Run the three download policies over identical frontiers."""
+    target = Language.coerce(target)
+
+    baseline = crawl_with_quota(
+        Frontier(uncrawled.records), target, quota, download_everything_policy()
+    )
+
+    cctld_identifier = LanguageIdentifier(algorithm="ccTLD")
+    cctld = crawl_with_quota(
+        Frontier(uncrawled.records),
+        target,
+        quota,
+        classifier_policy(
+            lambda url: target in cctld_identifier.predict_languages(url)
+        ),
+    )
+
+    classifier = crawl_with_quota(
+        Frontier(uncrawled.records),
+        target,
+        quota,
+        classifier_policy(lambda url: target in identifier.predict_languages(url)),
+    )
+    return ComparisonResult(baseline=baseline, cctld=cctld, classifier=classifier)

@@ -1,0 +1,5 @@
+"""Embedded data resources (lexicons) for the reproduction."""
+
+from repro.data.wordlists import Lexicon, all_lexicons, get_lexicon
+
+__all__ = ["Lexicon", "all_lexicons", "get_lexicon"]

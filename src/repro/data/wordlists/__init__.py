@@ -1,0 +1,77 @@
+"""Embedded lexicons for the five languages of the study.
+
+These lists substitute for the external language resources of the paper
+(OpenOffice spelling dictionaries and Wikipedia city lists, Section 3.1),
+which are not available offline.  Each language exposes
+
+* ``COMMON_WORDS`` — head of the language's vocabulary, URL-transliterated,
+* ``CITIES``       — cities of countries speaking the language,
+* ``STOPWORDS``    — the ten stop words used for the SER query mode,
+* ``PROVIDERS``    — hosting providers whose pages are mostly in the language.
+
+Use :func:`get_lexicon` for structured access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.languages import LANGUAGES, Language
+from repro.data.wordlists import english, french, german, italian, spanish
+
+
+@dataclass(frozen=True)
+class Lexicon:
+    """All embedded word data for one language."""
+
+    language: Language
+    common_words: frozenset[str]
+    cities: frozenset[str]
+    stopwords: tuple[str, ...]
+    providers: tuple[str, ...]
+    #: Ordered tuple kept for sampling (frozensets have no stable order).
+    word_tuple: tuple[str, ...] = field(repr=False, default=())
+    city_tuple: tuple[str, ...] = field(repr=False, default=())
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.common_words or token in self.cities
+
+
+_MODULES = {
+    Language.ENGLISH: english,
+    Language.GERMAN: german,
+    Language.FRENCH: french,
+    Language.SPANISH: spanish,
+    Language.ITALIAN: italian,
+}
+
+
+def _build(language: Language) -> Lexicon:
+    module = _MODULES[language]
+    words = tuple(dict.fromkeys(module.COMMON_WORDS))
+    cities = tuple(dict.fromkeys(module.CITIES))
+    return Lexicon(
+        language=language,
+        common_words=frozenset(words),
+        cities=frozenset(cities),
+        stopwords=tuple(module.STOPWORDS),
+        providers=tuple(module.PROVIDERS),
+        word_tuple=words,
+        city_tuple=cities,
+    )
+
+
+_LEXICONS: dict[Language, Lexicon] = {lang: _build(lang) for lang in LANGUAGES}
+
+
+def get_lexicon(language: Language | str) -> Lexicon:
+    """Return the embedded :class:`Lexicon` for ``language``."""
+    return _LEXICONS[Language.coerce(language)]
+
+
+def all_lexicons() -> dict[Language, Lexicon]:
+    """All five lexicons keyed by :class:`Language`."""
+    return dict(_LEXICONS)
+
+
+__all__ = ["Lexicon", "get_lexicon", "all_lexicons"]

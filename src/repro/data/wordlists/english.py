@@ -1,0 +1,123 @@
+"""English lexicon used by the dictionary features and the URL generator.
+
+Stands in for the OpenOffice *United States* spelling dictionary and the
+Wikipedia city list of the paper (Section 3.1).  The lists cover the head
+of the English distribution, which is where URL tokens come from.
+"""
+
+from __future__ import annotations
+
+#: Common English words (OpenOffice-dictionary substitute).
+COMMON_WORDS: tuple[str, ...] = (
+    "the", "and", "for", "are", "but", "not", "you", "all", "any", "can",
+    "had", "her", "was", "one", "our", "out", "day", "get", "has", "him",
+    "his", "how", "man", "new", "now", "old", "see", "two", "way", "who",
+    "about", "after", "again", "air", "also", "america", "animal", "answer",
+    "around", "because", "been", "before", "begin", "being", "below",
+    "between", "book", "both", "boy", "came", "change", "city", "close",
+    "come", "could", "country", "cross", "does", "down", "each", "earth",
+    "eat", "end", "enough", "even", "every", "example", "eye", "face",
+    "family", "far", "father", "feet", "few", "find", "first", "follow",
+    "food", "form", "found", "four", "from", "girl", "give", "good", "got",
+    "great", "grow", "hand", "hard", "have", "head", "hear", "help", "here",
+    "high", "home", "house", "idea", "important", "into", "just", "keep",
+    "kind", "know", "land", "large", "last", "later", "learn", "leave",
+    "left", "letter", "life", "light", "like", "line", "list", "little",
+    "live", "long", "look", "made", "make", "many", "mean", "men", "might",
+    "mile", "more", "most", "mother", "mountain", "move", "much", "must",
+    "name", "near", "need", "never", "next", "night", "often", "once",
+    "only", "open", "other", "over", "own", "page", "paper", "part",
+    "people", "picture", "place", "plant", "play", "point", "put", "question",
+    "quick", "read", "really", "right", "river", "said", "same", "saw",
+    "say", "school", "sea", "second", "seem", "sentence", "set", "she",
+    "should", "show", "side", "small", "some", "something", "sometimes",
+    "song", "soon", "sound", "spell", "stand", "start", "state", "still",
+    "stop", "story", "study", "such", "take", "talk", "teach", "tell",
+    "than", "that", "their", "them", "then", "there", "these", "they", "thing",
+    "think", "this", "those", "thought", "three", "through", "time",
+    "together", "too", "took", "tree", "try", "turn", "under", "until",
+    "use", "very", "walk", "want", "watch", "water", "well", "went", "were",
+    "what", "when", "where", "which", "while", "white", "why", "will",
+    "with", "word", "work", "world", "would", "write", "year", "young",
+    "your",
+    # Domain-flavoured vocabulary common in English URLs.
+    "news", "weather", "sports", "music", "movies", "games", "travel",
+    "health", "business", "finance", "shopping", "store", "shop", "cheap",
+    "best", "top", "free", "online", "daily", "weekly", "review", "reviews",
+    "guide", "guides", "tips", "deals", "price", "prices", "sale", "offers",
+    "jobs", "career", "careers", "estate", "garden", "kitchen", "fashion",
+    "beauty", "photos", "pictures", "gallery", "library", "history",
+    "science", "technology", "computer", "software", "hardware", "internet",
+    "network", "security", "solutions", "services", "service", "products",
+    "product", "company", "group", "international", "global", "national",
+    "local", "community", "society", "foundation", "institute", "college",
+    "university", "research", "development", "design", "studio", "media",
+    "press", "report", "reports", "article", "articles", "blog", "journal",
+    "magazine", "newsletter", "events", "event", "calendar", "directory",
+    "resources", "links", "contact", "support", "members", "member",
+    "account", "login", "register", "welcome", "official", "government",
+    "department", "office", "public", "private", "center", "central",
+    "east", "west", "north", "south", "street", "road", "park", "lake",
+    "beach", "island", "valley", "spring", "summer", "autumn", "winter",
+    "green", "blue", "red", "black", "silver", "golden", "royal", "grand",
+    "union", "united", "american", "british", "english", "club", "team",
+    "league", "football", "baseball", "basketball", "hockey", "golf",
+    "tennis", "fishing", "hunting", "cooking", "recipes", "recipe", "wine",
+    "coffee", "restaurant", "hotel", "hotels", "flights", "airport",
+    "insurance", "mortgage", "lawyer", "attorney", "doctor", "dental",
+    "hospital", "church", "bible", "christian", "wedding", "baby", "kids",
+    "children", "toys", "pets", "dogs", "cats", "horse", "farm", "ranch",
+    "county", "township", "village", "heritage", "museum", "theatre",
+    "theater", "cinema", "festival", "awards", "winner", "champion",
+    "championship", "racing", "motor", "motors", "auto", "cars", "truck",
+    "bike", "boats", "marine", "outdoor", "adventure", "camping", "hiking",
+    "trail", "trails", "map", "maps", "search", "engine", "portal",
+    "directory", "classifieds", "auction", "auctions", "market", "markets",
+    "trade", "trading", "bank", "banking", "credit", "loans", "money",
+    "investment", "investors", "stock", "stocks", "exchange", "capital",
+    "partners", "consulting", "management", "marketing", "advertising",
+    "printing", "publishing", "books", "authors", "writers", "poetry",
+    "stories", "fiction", "comics", "cartoon", "animation", "video",
+    "videos", "audio", "radio", "television", "channel", "station",
+    "studios", "records", "band", "bands", "guitar", "piano", "dance",
+    "singer", "songs", "lyrics", "concert", "tickets", "schedule",
+    "standings", "scores", "results", "forum", "forums", "board", "boards",
+    "chat", "mail", "email", "hosting", "domain", "domains", "web",
+    "webmaster", "tools", "download", "downloads", "update", "updates",
+    "archive", "archives", "collection", "collections", "antiques", "crafts",
+    "quilt", "knitting", "woodworking", "painting", "drawing", "artist",
+    "artists", "photography", "photographer", "portfolio", "gallery",
+)
+
+#: English-speaking cities (Wikipedia-city-list substitute).
+CITIES: tuple[str, ...] = (
+    "london", "manchester", "birmingham", "liverpool", "leeds", "glasgow",
+    "edinburgh", "bristol", "sheffield", "cardiff", "belfast", "dublin",
+    "cork", "galway", "newyork", "losangeles", "chicago", "houston",
+    "phoenix", "philadelphia", "sanantonio", "sandiego", "dallas",
+    "austin", "jacksonville", "columbus", "charlotte", "indianapolis",
+    "seattle", "denver", "boston", "nashville", "memphis", "portland",
+    "lasvegas", "baltimore", "milwaukee", "albuquerque", "tucson",
+    "sacramento", "kansascity", "atlanta", "miami", "oakland",
+    "minneapolis", "cleveland", "tampa", "orlando", "pittsburgh",
+    "cincinnati", "stlouis", "toronto", "vancouver", "montreal", "ottawa",
+    "calgary", "edmonton", "winnipeg", "sydney", "melbourne", "brisbane",
+    "perth", "adelaide", "canberra", "auckland", "wellington",
+    "christchurch", "capetown", "johannesburg", "durban", "brighton",
+    "cambridge", "oxford", "york", "bath", "nottingham", "leicester",
+    "southampton", "portsmouth", "plymouth", "aberdeen", "dundee",
+    "swansea", "newcastle", "sunderland", "coventry", "bradford", "hull",
+    "stoke", "wolverhampton", "derby", "norwich", "exeter", "gloucester",
+)
+
+#: The ten language-specific stop words used for the SER query mode.
+STOPWORDS: tuple[str, ...] = (
+    "the", "and", "that", "with", "this", "from", "have", "which", "their",
+    "about",
+)
+
+#: Hosting providers / portals whose pages are predominantly English.
+PROVIDERS: tuple[str, ...] = (
+    "geocities", "angelfire", "tripod", "blogspot", "freeservers",
+    "homestead", "bravenet", "fortunecity",
+)

@@ -1,0 +1,124 @@
+"""German lexicon used by the dictionary features and the URL generator.
+
+Stands in for the OpenOffice *Germany (F. M. Baumann)* spelling dictionary
+and the Wikipedia city list.  Umlauts are transliterated (ae/oe/ue/ss) as
+they would appear inside URLs.
+"""
+
+from __future__ import annotations
+
+#: Common German words (OpenOffice-dictionary substitute).
+COMMON_WORDS: tuple[str, ...] = (
+    "der", "die", "das", "und", "ist", "ich", "nicht", "sie", "wir", "ihr",
+    "ein", "eine", "einen", "einem", "eines", "auch", "auf", "aus", "bei",
+    "bin", "bis", "dann", "dem", "den", "des", "doch", "dort", "durch",
+    "ganz", "gegen", "haben", "hat", "hier", "immer", "jetzt", "kann",
+    "kein", "koennen", "machen", "mehr", "mein", "mit", "nach", "noch",
+    "nur", "oder", "ohne", "schon", "sehr", "sein", "seit", "sich", "sind",
+    "ueber",
+    "uns", "unter", "vom", "von", "vor", "war", "warum", "wenn", "werden",
+    "wieder", "wie", "wird", "zum", "zur", "zwischen",
+    "abend", "alle", "allgemein", "angebot", "angebote", "anfahrt",
+    "anfrage", "anmeldung", "ansprechpartner", "arbeit", "arbeiten",
+    "artikel", "arzt", "aerzte", "ausbildung", "ausflug", "ausstellung",
+    "auto", "autos", "bauen", "baum", "berg", "berge", "bericht",
+    "berichte", "beruf", "besuch", "besucher", "betrieb", "bewertung",
+    "bild", "bilder", "blume", "blumen", "brief", "buch", "buecher",
+    "buero", "burg", "computer", "datenschutz", "deutsch", "deutsche",
+    "deutschland", "dienstleistung", "dienstleistungen", "donnerstag",
+    "dorf", "drucken", "einkaufen", "eltern", "erfahrung", "erfahrungen",
+    "ergebnis", "ergebnisse", "essen", "fahrrad", "fahrzeug", "fahrzeuge",
+    "familie", "farbe", "farben", "ferien", "ferienwohnung", "fenster",
+    "fest", "feuerwehr", "firma", "firmen", "fisch", "flug", "fluss",
+    "foto", "fotos", "frage", "fragen", "frau", "frauen", "freitag",
+    "freizeit", "freund", "freunde", "fuer", "garten", "gast", "gaeste",
+    "gebiet", "geburtstag", "gedicht", "gedichte", "geld", "gemeinde",
+    "gericht", "geschenk", "geschenke", "geschichte", "geschichten",
+    "gesellschaft", "gesundheit", "gewinn", "glas", "glueck", "grafik",
+    "gruppe", "gruppen", "gruss", "gruesse", "gut", "haus", "haeuser",
+    "heim", "heimat", "herbst", "herr", "herren", "herz", "heute",
+    "himmel", "hilfe", "hobby", "hochzeit", "holz", "hotel", "hotels",
+    "hund", "hunde", "impressum", "informatik", "information",
+    "informationen", "ingenieur", "internet", "jahr", "jahre", "jagd",
+    "jugend", "junge", "kalender", "karte", "karten", "katze", "katzen",
+    "kaufen", "kind", "kinder", "kirche", "klein", "kleinanzeigen",
+    "kontakt", "konzept", "konzert", "kosten", "kostenlos", "kraft",
+    "krankenhaus", "kueche", "kultur", "kunst", "kunde", "kunden",
+    "kurs", "kurse", "lage", "land", "landschaft", "leben", "lehrer",
+    "leistung", "leistungen", "leute", "licht", "liebe", "lied", "lieder",
+    "liste", "literatur", "luft", "madchen", "maedchen", "mann", "maenner",
+    "markt", "maschine", "maschinen", "medien", "meer", "mensch",
+    "menschen", "messe", "mitglied", "mitglieder", "mittwoch", "mode",
+    "montag", "morgen", "musik", "mutter", "nachricht", "nachrichten",
+    "natur", "neu", "neue", "neuigkeiten", "nummer", "oeffnungszeiten",
+    "oldtimer", "onlineshop", "ort", "osten", "ostern", "partner",
+    "pension", "pferd", "pferde", "pflanze", "pflanzen", "pflege",
+    "politik", "polizei", "praxis", "preis", "preise", "presse",
+    "privat", "produkt", "produkte", "projekt", "projekte", "rad",
+    "rathaus", "raum", "recht", "region", "reise", "reisen", "restaurant",
+    "rezept", "rezepte", "richtig", "rund", "sache", "sachen", "samstag",
+    "schiff", "schloss", "schnell", "schoen", "schule", "schulen",
+    "schueler", "schwarz", "schwer", "see", "sehen", "seite", "seiten",
+    "sommer", "sonne", "sonntag", "spiel", "spiele", "spielen", "sport",
+    "sprache", "sprachen", "stadt", "staedte", "stark", "stelle",
+    "stellen", "stellenangebote", "steuer", "strasse", "strassen",
+    "stunde", "stunden", "suche", "suchen", "sueden", "tag", "tage",
+    "tagung", "technik", "teil", "termin", "termine", "thema", "themen",
+    "tier", "tiere", "tipps", "tisch", "tochter", "tor", "tour",
+    "touren", "tourismus", "treffen", "treffpunkt", "turnier", "uebersicht",
+    "uhr", "umwelt", "unternehmen", "unterricht", "urlaub", "vater",
+    "verein", "vereine", "verkauf", "vermietung", "versand",
+    "versicherung", "verzeichnis", "viel", "viele", "vogel", "voegel",
+    "volk", "wald", "wandern", "wanderung", "ware", "waren", "wasser",
+    "weg", "wege", "weihnachten", "wein", "welt", "werkstatt", "wetter",
+    "willkommen", "winter", "wirtschaft", "wissen", "wissenschaft",
+    "woche", "wochen", "wohnen", "wohnung", "wohnungen", "wort", "zahl",
+    "zahlen", "zeit", "zeiten", "zeitung", "zentrum", "ziel", "ziele",
+    "zimmer", "zucht", "zukunft", "zusammen", "zubehoer", "anzeige",
+    "anzeigen", "bestellung", "bestellen", "lieferung", "rechnung",
+    "warenkorb", "startseite", "hauptseite", "gaestebuch", "vorstand",
+    "satzung", "mitgliedschaft", "spende", "spenden", "ehrenamt",
+    "feriendorf", "gasthof", "gasthaus", "brauerei", "baeckerei",
+    "metzgerei", "apotheke", "friseur", "handwerk", "handwerker",
+    "elektro", "heizung", "sanitaer", "dach", "fliesen", "maler",
+    "schreiner", "tischler", "zimmerei", "galerie", "atelier",
+    "fotografie", "musikverein", "schuetzenverein", "sportverein",
+    "fussball", "handball", "turnen", "schwimmen", "tanzen", "reiten",
+    "angeln", "kegeln", "schach", "skat", "basteln", "naehen",
+    "stricken", "kochen", "backen", "grillen",
+)
+
+#: German-speaking cities (Wikipedia-city-list substitute).
+CITIES: tuple[str, ...] = (
+    "berlin", "hamburg", "muenchen", "koeln", "frankfurt", "stuttgart",
+    "duesseldorf", "dortmund", "essen", "leipzig", "bremen", "dresden",
+    "hannover", "nuernberg", "duisburg", "bochum", "wuppertal",
+    "bielefeld", "bonn", "muenster", "karlsruhe", "mannheim", "augsburg",
+    "wiesbaden", "gelsenkirchen", "moenchengladbach", "braunschweig",
+    "chemnitz", "kiel", "aachen", "halle", "magdeburg", "freiburg",
+    "krefeld", "luebeck", "oberhausen", "erfurt", "mainz", "rostock",
+    "kassel", "hagen", "hamm", "saarbruecken", "muelheim", "potsdam",
+    "ludwigshafen", "oldenburg", "leverkusen", "osnabrueck", "solingen",
+    "heidelberg", "herne", "neuss", "darmstadt", "paderborn",
+    "regensburg", "ingolstadt", "wuerzburg", "fuerth", "wolfsburg",
+    "offenbach", "ulm", "heilbronn", "pforzheim", "goettingen",
+    "bottrop", "trier", "recklinghausen", "reutlingen", "bremerhaven",
+    "koblenz", "bergisch", "jena", "remscheid", "erlangen", "moers",
+    "siegen", "hildesheim", "salzgitter", "wien", "graz", "linz",
+    "salzburg", "innsbruck", "klagenfurt", "villach", "wels", "dornbirn",
+    "zuerich", "basel", "bern", "luzern", "winterthur", "stgallen",
+    "bamberg", "bayreuth", "passau", "rosenheim", "konstanz", "tuebingen",
+)
+
+#: The ten language-specific stop words used for the SER query mode.
+STOPWORDS: tuple[str, ...] = (
+    "und", "der", "die", "das", "ist", "nicht", "auch", "eine", "sich",
+    "werden",
+)
+
+#: Hosting providers / portals whose pages are predominantly German.
+#: ``arcor`` is the paper's own example of a trained-dictionary token.
+PROVIDERS: tuple[str, ...] = (
+    "arcor", "beepworld", "freenet", "gmx", "lycos", "kilu", "funpic",
+    "piranho",
+)

@@ -1,0 +1,81 @@
+"""Language-neutral web vocabulary shared by all five languages.
+
+The paper observes that "in many countries English is considered to be
+the 'technical language' of the web and thus English-looking URLs are
+created for non-English web pages".  The vocabulary below is the raw
+material for such URLs: technical English terms, shared international
+hosts (the ``wordpress.com`` phenomenon of Section 6), and generic path
+segments that carry no language signal at all.
+"""
+
+from __future__ import annotations
+
+#: English-looking technical vocabulary found in URLs of every language.
+TECH_WORDS: tuple[str, ...] = (
+    "web", "net", "online", "site", "page", "home", "homepage", "info",
+    "portal", "server", "host", "hosting", "data", "digital", "cyber",
+    "tech", "soft", "software", "media", "multimedia", "design", "studio",
+    "pro", "plus", "max", "top", "best", "first", "one", "star", "world",
+    "global", "inter", "euro", "international", "group", "team", "club",
+    "center", "point", "zone", "area", "space", "place", "line", "link",
+    "links", "list", "blog", "forum", "chat", "mail", "shop", "store",
+    "market", "trade", "service", "services", "system", "systems",
+    "solutions", "consulting", "project", "projects", "lab", "labs",
+    "works", "factory", "express", "direct", "easy", "fast", "smart",
+    "power", "energy", "action", "active", "live", "real", "true",
+    "new", "news", "now", "today", "daily", "archive", "gallery",
+    "photo", "photos", "image", "images", "video", "videos", "audio",
+    "music", "radio", "game", "games", "play", "fun", "cool", "free",
+    "download", "downloads", "search", "click", "view", "print",
+    "default", "main", "start", "menu", "content", "article", "artikel",
+    "category", "section", "thread", "topic", "post", "posts", "user",
+    "users", "member", "members", "profile", "account", "admin",
+    "support", "help", "faq", "contact", "about", "en", "pub",
+)
+
+#: Hosts that carry pages in *many* languages (48% of ODP test URLs in
+#: the paper come from such multi-language domains).
+SHARED_HOSTS: tuple[str, ...] = (
+    "wordpress", "blogger", "myspace", "youtube", "flickr", "wikipedia",
+    "wikia", "freewebs", "webs", "narod", "ucoz", "webnode", "jimdo",
+    "weebly", "over-blog", "typepad", "livejournal", "spaces",
+    "mamboserver", "phpbb", "vbulletin", "forumfree", "forumcommunity",
+    "xoom", "netfirms", "50megs", "000webhost", "awardspace",
+)
+
+#: Generic, language-free path segments (numbers get generated separately).
+GENERIC_SEGMENTS: tuple[str, ...] = (
+    "archive", "archives", "category", "cat", "page", "pages", "item",
+    "items", "id", "node", "view", "print", "default", "main", "misc",
+    "files", "file", "doc", "docs", "img", "images", "pics", "thumb",
+    "thumbs", "gallery", "photo", "foto", "media", "static", "assets",
+    "content", "modules", "plugins", "themes", "template", "templates",
+    "includes", "lib", "src", "bin", "cgi", "cgibin", "tmp", "temp",
+    "old", "new", "test", "beta", "dev", "v2", "en", "showthread",
+    "viewtopic", "profile", "user", "member", "post", "thread", "topic",
+)
+
+#: File-name stems that appear at the end of URL paths.
+FILE_STEMS: tuple[str, ...] = (
+    "index", "default", "main", "home", "start", "welcome", "page",
+    "article", "story", "item", "view", "print", "frame", "body",
+    "left", "right", "top", "nav", "menu", "header", "footer",
+)
+
+#: File extensions, with ``html``/``htm`` dominating like on the 2008 web.
+FILE_EXTENSIONS: tuple[str, ...] = (
+    "html", "html", "html", "htm", "htm", "php", "php", "asp", "aspx",
+    "jsp", "shtml", "cfm", "pl", "cgi",
+)
+
+#: Second-level domain suffixes used under some ccTLDs (``co.uk`` style).
+SECOND_LEVEL: dict[str, tuple[str, ...]] = {
+    "uk": ("co", "org", "ac", "gov"),
+    "au": ("com", "org", "edu"),
+    "nz": ("co", "org"),
+    "ar": ("com", "org"),
+    "mx": ("com", "org"),
+    "co": ("com",),
+    "pe": ("com",),
+    "ve": ("com",),
+}

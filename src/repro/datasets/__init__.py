@@ -1,0 +1,161 @@
+"""Builders for the three collections of Table 1 (ODP, SER, WC).
+
+All builders share one :class:`~repro.corpus.generator.UrlCorpusGenerator`
+so that domain pools are global: crawl-test domains genuinely overlap
+with ODP/SER training domains, which is what makes the Figure 3
+memorisation analysis meaningful.
+
+Sizes default to a laptop-scale fraction of the paper's (which used 145k
+training URLs per language for ODP); the ``scale`` knob of
+:func:`build_datasets` moves between quick tests and full benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.generator import UrlCorpusGenerator
+from repro.corpus.profiles import WC_LANGUAGE_COUNTS
+from repro.corpus.records import Corpus
+from repro.languages import LANGUAGES, Language
+
+
+@dataclass
+class DatasetBundle:
+    """The train/test corpora of all three collections."""
+
+    odp_train: Corpus
+    odp_test: Corpus
+    ser_train: Corpus
+    ser_test: Corpus
+    wc_test: Corpus
+
+    @property
+    def combined_train(self) -> Corpus:
+        """ODP + SER training pool — what the paper trains on (its 1.2M)."""
+        combined = Corpus(name="train")
+        combined.extend(self.odp_train.records)
+        combined.extend(self.ser_train.records)
+        return combined
+
+    @property
+    def test_sets(self) -> dict[str, Corpus]:
+        """Test collections keyed by the paper's abbreviations."""
+        return {"ODP": self.odp_test, "SER": self.ser_test, "WC": self.wc_test}
+
+
+#: Default per-language sizes (laptop-scale stand-ins for Table 1).
+DEFAULT_SIZES = {
+    "odp_train": 1500,
+    "odp_test": 350,
+    "ser_train": 1000,
+    "ser_test": 150,
+}
+
+
+def build_odp(
+    generator: UrlCorpusGenerator,
+    train_per_language: int = DEFAULT_SIZES["odp_train"],
+    test_per_language: int = DEFAULT_SIZES["odp_test"],
+) -> tuple[Corpus, Corpus]:
+    """ODP train/test corpora (equal language balance, like the paper's
+    ~145k train / ~5k test per language)."""
+    train = generator.generate_corpus(
+        "odp",
+        {lang: train_per_language for lang in LANGUAGES},
+        seed_offset=1,
+        name="odp/train",
+    )
+    test = generator.generate_corpus(
+        "odp",
+        {lang: test_per_language for lang in LANGUAGES},
+        seed_offset=2,
+        name="odp/test",
+    )
+    return train, test
+
+
+def build_ser(
+    generator: UrlCorpusGenerator,
+    train_per_language: int = DEFAULT_SIZES["ser_train"],
+    test_per_language: int = DEFAULT_SIZES["ser_test"],
+) -> tuple[Corpus, Corpus]:
+    """Search-engine-results train/test corpora (~100k train / ~1k test
+    per language in the paper)."""
+    train = generator.generate_corpus(
+        "ser",
+        {lang: train_per_language for lang in LANGUAGES},
+        seed_offset=3,
+        name="ser/train",
+    )
+    test = generator.generate_corpus(
+        "ser",
+        {lang: test_per_language for lang in LANGUAGES},
+        seed_offset=4,
+        name="ser/test",
+    )
+    return train, test
+
+
+def build_webcrawl(
+    generator: UrlCorpusGenerator, scale: float = 1.0
+) -> Corpus:
+    """The 1,260-URL hand-labelled crawl sample (test only, Table 1).
+
+    ``scale`` multiplies the per-language counts while preserving the
+    paper's exact skew (1082 En / 81 De / 57 Fr / 19 Es / 21 It).
+    """
+    counts: dict[Language, int] = {
+        language: max(1, round(count * scale))
+        for language, count in WC_LANGUAGE_COUNTS.items()
+    }
+    return generator.generate_corpus("wc", counts, seed_offset=5, name="wc/test")
+
+
+def build_datasets(
+    seed: int = 0,
+    scale: float = 1.0,
+    odp_train: int | None = None,
+    odp_test: int | None = None,
+    ser_train: int | None = None,
+    ser_test: int | None = None,
+    wc_scale: float = 1.0,
+) -> DatasetBundle:
+    """Build all three collections from one generator.
+
+    ``scale`` uniformly scales the ODP/SER sizes; explicit per-collection
+    sizes override it.
+    """
+    generator = UrlCorpusGenerator(seed=seed)
+    odp_train_n = odp_train if odp_train is not None else round(
+        DEFAULT_SIZES["odp_train"] * scale
+    )
+    odp_test_n = odp_test if odp_test is not None else round(
+        DEFAULT_SIZES["odp_test"] * scale
+    )
+    ser_train_n = ser_train if ser_train is not None else round(
+        DEFAULT_SIZES["ser_train"] * scale
+    )
+    ser_test_n = ser_test if ser_test is not None else round(
+        DEFAULT_SIZES["ser_test"] * scale
+    )
+    odp_train_c, odp_test_c = build_odp(generator, odp_train_n, odp_test_n)
+    ser_train_c, ser_test_c = build_ser(generator, ser_train_n, ser_test_n)
+    wc_test_c = build_webcrawl(generator, scale=wc_scale)
+    return DatasetBundle(
+        odp_train=odp_train_c,
+        odp_test=odp_test_c,
+        ser_train=ser_train_c,
+        ser_test=ser_test_c,
+        wc_test=wc_test_c,
+    )
+
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "DatasetBundle",
+    "build_datasets",
+    "build_odp",
+    "build_ser",
+    "build_webcrawl",
+]

@@ -1,0 +1,32 @@
+"""Evaluation measures and report rendering (S14)."""
+
+from repro.evaluation.confusion import ConfusionMatrix, confusion_matrix
+from repro.evaluation.metrics import (
+    BinaryMetrics,
+    average_f,
+    correlation_coefficient,
+    evaluate_binary,
+    f_measure,
+    macro_average,
+)
+from repro.evaluation.reports import (
+    f_measure_grid,
+    format_metric,
+    language_label,
+    metrics_table,
+)
+
+__all__ = [
+    "BinaryMetrics",
+    "ConfusionMatrix",
+    "average_f",
+    "confusion_matrix",
+    "correlation_coefficient",
+    "evaluate_binary",
+    "f_measure",
+    "f_measure_grid",
+    "format_metric",
+    "language_label",
+    "macro_average",
+    "metrics_table",
+]

@@ -1,0 +1,90 @@
+"""Confusion matrices in the paper's format (Section 4.2).
+
+"This matrix has a row for each language in the test set and a column
+for each language of the classification algorithm. ... All numbers are
+given in percent.  The values along the diagonal are exactly the recall
+R = p(+|+).  Note that the rows do not have to add up to 100%, as a URL
+can be classified as belonging to different languages simultaneously.
+Neither do the columns ..."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.languages import LANGUAGES, Language
+
+
+@dataclass
+class ConfusionMatrix:
+    """Percentage of row-language URLs the column classifier said yes to."""
+
+    #: cell[(test_language, classifier_language)] -> percentage in [0, 100].
+    cells: dict[tuple[Language, Language], float] = field(default_factory=dict)
+    #: Number of test URLs per row language.
+    row_counts: dict[Language, int] = field(default_factory=dict)
+
+    def percentage(
+        self, test_language: Language | str, classifier_language: Language | str
+    ) -> float:
+        key = (Language.coerce(test_language), Language.coerce(classifier_language))
+        return self.cells.get(key, 0.0)
+
+    def recall(self, language: Language | str) -> float:
+        """Diagonal cell / 100 — exactly p(+|+) for that language."""
+        lang = Language.coerce(language)
+        return self.percentage(lang, lang) / 100.0
+
+    def format(self, title: str = "") -> str:
+        """Render the matrix the way the paper prints it."""
+        header = "test\\clf " + " ".join(
+            f"{lang.display_name[:7]:>8}" for lang in LANGUAGES
+        )
+        lines = [title, header] if title else [header]
+        for row in LANGUAGES:
+            cells = " ".join(
+                f"{self.percentage(row, col):>7.0f}%" for col in LANGUAGES
+            )
+            lines.append(f"{row.display_name[:8]:<9}{cells}")
+        return "\n".join(lines)
+
+
+def confusion_matrix(
+    truths: Sequence[Language],
+    decisions: Mapping[Language, Sequence[bool]],
+) -> ConfusionMatrix:
+    """Build the paper's confusion matrix.
+
+    Parameters
+    ----------
+    truths:
+        The test-set language of each URL (one entry per URL).
+    decisions:
+        For each classifier language, the per-URL yes/no decisions of
+        that language's binary classifier (aligned with ``truths``).
+    """
+    n = len(truths)
+    for language, answers in decisions.items():
+        if len(answers) != n:
+            raise ValueError(
+                f"decisions for {language} have length {len(answers)}, "
+                f"expected {n}"
+            )
+
+    matrix = ConfusionMatrix()
+    row_counts: dict[Language, int] = {lang: 0 for lang in LANGUAGES}
+    yes_counts: dict[tuple[Language, Language], int] = {}
+    for position, truth in enumerate(truths):
+        truth = Language.coerce(truth)
+        row_counts[truth] += 1
+        for classifier_language, answers in decisions.items():
+            if answers[position]:
+                key = (truth, Language.coerce(classifier_language))
+                yes_counts[key] = yes_counts.get(key, 0) + 1
+
+    matrix.row_counts = row_counts
+    for (row, column), count in yes_counts.items():
+        if row_counts[row]:
+            matrix.cells[(row, column)] = 100.0 * count / row_counts[row]
+    return matrix

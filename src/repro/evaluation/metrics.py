@@ -1,0 +1,175 @@
+"""Evaluation measures of Section 4.2, implemented verbatim.
+
+The paper reports, per binary classifier:
+
+* recall ``R = p(+|+)`` — the positive success ratio,
+* the negative success ratio ``p(-|-)``,
+* precision ``P`` — **always computed for the balanced setting** with
+  equally many positive and negative test samples via
+
+      P = p(+|+) / (p(+|+) + (1 - p(-|-)))
+
+  ("our procedure for computing P gives us the true limit, which we
+  would obtain if we took infinitely many equally sized positive and
+  negative test samples"),
+* F-measure ``F = 2 / (1/R + 1/P)``.
+
+A trivial always-yes classifier therefore gets R=1, P=.5, F=2/3 — the
+floor the paper quotes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """The paper's four numbers for one binary classifier."""
+
+    n_positive: int
+    n_negative: int
+    true_positives: int
+    true_negatives: int
+
+    @property
+    def recall(self) -> float:
+        """``R = p(+|+)``; 0.0 when there are no positive samples."""
+        if self.n_positive == 0:
+            return 0.0
+        return self.true_positives / self.n_positive
+
+    @property
+    def negative_success_ratio(self) -> float:
+        """``p(-|-)``; 1.0 when there are no negative samples."""
+        if self.n_negative == 0:
+            return 1.0
+        return self.true_negatives / self.n_negative
+
+    @property
+    def balanced_precision(self) -> float:
+        """Precision in the balanced n+ == n- limit (see module docstring)."""
+        recall = self.recall
+        false_positive_rate = 1.0 - self.negative_success_ratio
+        denominator = recall + false_positive_rate
+        if denominator == 0.0:
+            return 0.0
+        return recall / denominator
+
+    @property
+    def precision(self) -> float:
+        """Alias for :attr:`balanced_precision` (the paper's P)."""
+        return self.balanced_precision
+
+    @property
+    def raw_precision(self) -> float:
+        """Unbalanced precision TP / (TP + FP), given for completeness."""
+        false_positives = self.n_negative - self.true_negatives
+        denominator = self.true_positives + false_positives
+        if denominator == 0:
+            return 0.0
+        return self.true_positives / denominator
+
+    @property
+    def f_measure(self) -> float:
+        """``F = 2/(1/R + 1/P)`` — harmonic mean of recall and balanced P."""
+        recall, precision = self.recall, self.balanced_precision
+        if recall == 0.0 or precision == 0.0:
+            return 0.0
+        return 2.0 / (1.0 / recall + 1.0 / precision)
+
+    @property
+    def accuracy(self) -> float:
+        """Plain accuracy on the (possibly unbalanced) test set."""
+        total = self.n_positive + self.n_negative
+        if total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / total
+
+    def as_row(self) -> dict[str, float]:
+        """The table row the paper prints: P, R, p(-|-), F."""
+        return {
+            "P": self.balanced_precision,
+            "R": self.recall,
+            "p(-|-)": self.negative_success_ratio,
+            "F": self.f_measure,
+        }
+
+
+def evaluate_binary(
+    predictions: Sequence[bool], truths: Sequence[bool]
+) -> BinaryMetrics:
+    """Aggregate predictions vs truths into :class:`BinaryMetrics`."""
+    if len(predictions) != len(truths):
+        raise ValueError(
+            f"predictions ({len(predictions)}) and truths ({len(truths)}) "
+            "differ in length"
+        )
+    n_positive = n_negative = true_positives = true_negatives = 0
+    for predicted, truth in zip(predictions, truths):
+        if truth:
+            n_positive += 1
+            if predicted:
+                true_positives += 1
+        else:
+            n_negative += 1
+            if not predicted:
+                true_negatives += 1
+    return BinaryMetrics(
+        n_positive=n_positive,
+        n_negative=n_negative,
+        true_positives=true_positives,
+        true_negatives=true_negatives,
+    )
+
+
+def f_measure(recall: float, precision: float) -> float:
+    """Standalone ``F = 2/(1/R+1/P)`` helper."""
+    if recall <= 0.0 or precision <= 0.0:
+        return 0.0
+    return 2.0 / (1.0 / recall + 1.0 / precision)
+
+
+def average_f(metrics: Sequence[BinaryMetrics]) -> float:
+    """F-measure averaged over several classifiers (the paper's summary
+    number, e.g. ".90 averaged over all languages")."""
+    if not metrics:
+        return 0.0
+    return sum(m.f_measure for m in metrics) / len(metrics)
+
+
+def correlation_coefficient(
+    first: Sequence[bool], second: Sequence[bool]
+) -> float:
+    """Pearson correlation between two binary assignment sequences.
+
+    Used for the inter-evaluator agreement in Section 5.1: "We created a
+    variable for each language-URL pair and set it to 1 if the human
+    classified the URL as belonging to the language and to 0 otherwise."
+    Returns 0.0 when either sequence is constant.
+    """
+    if len(first) != len(second):
+        raise ValueError("sequences must have equal length")
+    n = len(first)
+    if n == 0:
+        return 0.0
+    xs = [1.0 if value else 0.0 for value in first]
+    ys = [1.0 if value else 0.0 for value in second]
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def macro_average(rows: Sequence[Mapping[str, float]]) -> dict[str, float]:
+    """Column-wise average of several metric rows (table bottom lines)."""
+    if not rows:
+        return {}
+    keys = rows[0].keys()
+    return {key: sum(row[key] for row in rows) / len(rows) for key in keys}

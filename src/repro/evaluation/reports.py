@@ -1,0 +1,88 @@
+"""Plain-text report rendering for the reproduced tables.
+
+Every benchmark prints its table through these helpers so the harness
+output lines up with the paper's rows (P, R = p(+|+), p(-|-), F).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.evaluation.metrics import BinaryMetrics
+from repro.languages import Language
+
+
+def format_metric(value: float) -> str:
+    """The paper's two-digit style: .90, 1.0."""
+    if value >= 0.995:
+        return "1.0"
+    return f"{value:.2f}"[1:] if value < 1.0 else f"{value:.2f}"
+
+
+def metrics_table(
+    rows: Sequence[tuple[str, BinaryMetrics]],
+    title: str = "",
+    with_average: bool = True,
+) -> str:
+    """Render labelled metric rows as a fixed-width text table."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'':<12}{'P':>7}{'R=p(+|+)':>10}{'p(-|-)':>8}{'F':>7}")
+    f_values = []
+    for label, metrics in rows:
+        lines.append(
+            f"{label:<12}"
+            f"{format_metric(metrics.balanced_precision):>7}"
+            f"{format_metric(metrics.recall):>10}"
+            f"{format_metric(metrics.negative_success_ratio):>8}"
+            f"{format_metric(metrics.f_measure):>7}"
+        )
+        f_values.append(metrics.f_measure)
+    if with_average and f_values:
+        average = sum(f_values) / len(f_values)
+        lines.append(f"{'Average':<12}{'':>7}{'':>10}{'':>8}{format_metric(average):>7}")
+    return "\n".join(lines)
+
+
+def f_measure_grid(
+    cells: Mapping[tuple[str, str], float],
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    title: str = "",
+    with_averages: bool = True,
+) -> str:
+    """Render an F-measure grid (rows x columns), Tables 8/9 style."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'':<12}" + "".join(f"{label:>9}" for label in column_labels)
+    if with_averages:
+        header += f"{'Avg':>9}"
+    lines.append(header)
+
+    column_sums = {label: 0.0 for label in column_labels}
+    for row in row_labels:
+        values = [cells.get((row, column), float("nan")) for column in column_labels]
+        line = f"{row:<12}" + "".join(f"{format_metric(v):>9}" for v in values)
+        if with_averages:
+            line += f"{format_metric(sum(values) / len(values)):>9}"
+        lines.append(line)
+        for column, value in zip(column_labels, values):
+            column_sums[column] += value
+
+    if with_averages and row_labels:
+        n = len(row_labels)
+        footer = f"{'Average':<12}" + "".join(
+            f"{format_metric(column_sums[c] / n):>9}" for c in column_labels
+        )
+        overall = sum(column_sums.values()) / (n * len(column_labels))
+        footer += f"{format_metric(overall):>9}"
+        lines.append(footer)
+    return "\n".join(lines)
+
+
+def language_label(language: Language | str) -> str:
+    """Short row label used by the paper ("En.", "Ge.", ...)."""
+    lang = Language.coerce(language)
+    return lang.display_name[:2] + "."

@@ -1,0 +1,10 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+Each module exposes ``run(context=None) -> str`` returning the
+reproduced table as text (with the paper's numbers alongside), and can
+be executed directly: ``python -m repro.experiments.table8_nb_words``.
+"""
+
+from repro.experiments.common import ExperimentContext, default_context
+
+__all__ = ["ExperimentContext", "default_context"]

@@ -1,0 +1,66 @@
+"""Shared context for the experiment drivers.
+
+Every table/figure driver takes an :class:`ExperimentContext`, which
+lazily builds the three collections once and memoises fitted identifiers
+(via :class:`~repro.core.training.TrainedPool`).  ``scale`` trades
+fidelity for runtime: benches default to 1.0, tests use ~0.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.core.training import TrainedPool
+from repro.corpus.records import Corpus
+from repro.datasets import DatasetBundle, build_datasets
+
+
+@dataclass
+class ExperimentContext:
+    """Datasets + fitted-model cache shared by all experiment drivers."""
+
+    seed: int = 0
+    scale: float = 1.0
+    wc_scale: float = 1.0
+    _pool: TrainedPool | None = field(default=None, repr=False)
+
+    @cached_property
+    def data(self) -> DatasetBundle:
+        return build_datasets(seed=self.seed, scale=self.scale, wc_scale=self.wc_scale)
+
+    @property
+    def train(self) -> Corpus:
+        return self.data.combined_train
+
+    @property
+    def pool(self) -> TrainedPool:
+        if self._pool is None:
+            self._pool = TrainedPool(train=self.train, seed=self.seed)
+        return self._pool
+
+    @property
+    def test_sets(self) -> dict[str, Corpus]:
+        return self.data.test_sets
+
+
+_DEFAULT_CONTEXT: ExperimentContext | None = None
+
+
+def default_context() -> ExperimentContext:
+    """Process-wide shared context so benches reuse fitted models."""
+    global _DEFAULT_CONTEXT
+    if _DEFAULT_CONTEXT is None:
+        _DEFAULT_CONTEXT = ExperimentContext()
+    return _DEFAULT_CONTEXT
+
+
+def paper_vs_measured(title: str, rows: list[tuple[str, float, float]]) -> str:
+    """Render a paper-vs-measured comparison block.
+
+    ``rows`` are (label, paper value, measured value).
+    """
+    lines = [title, f"{'':<26}{'paper':>8}{'measured':>10}"]
+    for label, paper, measured in rows:
+        lines.append(f"{label:<26}{paper:>8.2f}{measured:>10.2f}")
+    return "\n".join(lines)

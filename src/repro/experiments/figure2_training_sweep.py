@@ -1,0 +1,121 @@
+"""Figure 2 — F-measure on the crawl set vs amount of training data.
+
+The paper varies training data from 0.1% to 100% of 1.2M URLs and finds:
+
+1. feature sets separate the curves more than algorithms do,
+2. with minimal data the custom-feature decision tree degenerates to the
+   ccTLD+ heuristic,
+3. trigrams beat words when data is scarce; words win with all data
+   (at our corpus scale — about 1% of the paper's — the crossover is
+   near the top of our range, so words close the gap rather than
+   decisively overtake; the *trend* is the reproduced claim).
+
+The baselines (ccTLD, ccTLD+, human) appear as flat lines.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.evaluation.metrics import average_f, evaluate_binary
+from repro.experiments.common import ExperimentContext, default_context
+from repro.humans import default_evaluators
+from repro.languages import LANGUAGES
+
+#: Training-data fractions swept (the paper uses 0.1% .. 100%).
+DEFAULT_FRACTIONS: tuple[float, ...] = (0.001, 0.01, 0.1, 1.0)
+
+#: Curves swept: (algorithm, feature set).
+DEFAULT_COMBOS: tuple[tuple[str, str], ...] = (
+    ("NB", "words"), ("RE", "words"), ("ME", "words"),
+    ("NB", "trigrams"), ("RE", "trigrams"), ("ME", "trigrams"),
+    ("NB", "custom"), ("RE", "custom"), ("ME", "custom"), ("DT", "custom"),
+)
+
+
+def sweep(
+    context: ExperimentContext,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    combos: tuple[tuple[str, str], ...] = DEFAULT_COMBOS,
+) -> dict[tuple[str, str], list[float]]:
+    """Average F on the crawl set for each combo at each fraction."""
+    test = context.data.wc_test
+    curves: dict[tuple[str, str], list[float]] = {combo: [] for combo in combos}
+    for fraction in fractions:
+        train = context.train.subsample(fraction, seed=context.seed)
+        for algorithm, feature_set in combos:
+            identifier = LanguageIdentifier(
+                feature_set, algorithm, seed=context.seed
+            ).fit(train)
+            metrics = identifier.evaluate(test)
+            curves[(algorithm, feature_set)].append(
+                average_f(list(metrics.values()))
+            )
+    return curves
+
+
+def baselines(context: ExperimentContext) -> dict[str, float]:
+    """Flat reference lines: ccTLD, ccTLD+ and the human evaluators."""
+    test = context.data.wc_test
+    result: dict[str, float] = {}
+    for name in ("ccTLD", "ccTLD+"):
+        identifier = LanguageIdentifier(algorithm=name)
+        result[name] = average_f(list(identifier.evaluate(test).values()))
+
+    human_f = []
+    for evaluator in default_evaluators(seed=context.seed):
+        decisions = evaluator.decisions(test.urls)
+        metrics = [
+            evaluate_binary(
+                decisions[language], [t == language for t in test.labels]
+            )
+            for language in LANGUAGES
+        ]
+        human_f.append(average_f(metrics))
+    result["human"] = sum(human_f) / len(human_f)
+    return result
+
+
+def run(
+    context: ExperimentContext | None = None,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    combos: tuple[tuple[str, str], ...] = DEFAULT_COMBOS,
+) -> str:
+    context = context or default_context()
+    curves = sweep(context, fractions, combos)
+    flat = baselines(context)
+
+    lines = [
+        "Figure 2: avg F on the crawl test set vs fraction of training data",
+        f"{'combo':<16}" + "".join(f"{fraction:>9.1%}" for fraction in fractions),
+    ]
+    for (algorithm, feature_set), values in curves.items():
+        lines.append(
+            f"{algorithm+'/'+feature_set:<16}"
+            + "".join(f"{value:>9.3f}" for value in values)
+        )
+    for name, value in flat.items():
+        lines.append(f"{name:<16}" + f"{value:>9.3f}" * len(fractions))
+
+    # Shape checks the paper calls out.
+    def at(combo: tuple[str, str], index: int) -> float:
+        return curves[combo][index]
+
+    if ("NB", "trigrams") in curves and ("NB", "words") in curves:
+        gap_low = at(("NB", "trigrams"), 0) - at(("NB", "words"), 0)
+        gap_high = at(("NB", "trigrams"), -1) - at(("NB", "words"), -1)
+        lines.append(
+            f"\ntrigram-over-words gap: {gap_low:+.3f} at {fractions[0]:.1%} -> "
+            f"{gap_high:+.3f} at {fractions[-1]:.1%} "
+            "(paper: trigrams ahead when data is scarce, words catch up)"
+        )
+    if ("DT", "custom") in curves:
+        dt_low = at(("DT", "custom"), 0)
+        lines.append(
+            f"DT/custom at {fractions[0]:.1%}: {dt_low:.3f} vs ccTLD+ "
+            f"{flat['ccTLD+']:.3f} (paper: near-identical with minimal data)"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,77 @@
+"""Figure 3 — percentage of test URLs whose domain was seen in training.
+
+Section 6's memorisation analysis: as training data grows, more test
+domains have been seen before (53% for the crawl set at 100% training
+data in the paper), which is part — but, the paper argues, not all — of
+why word features win.  The driver also reproduces the supporting
+argument: at ~1% training data NB/words still performs far above what
+pure memorisation of seen domains could deliver.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.evaluation.metrics import average_f
+from repro.experiments.common import ExperimentContext, default_context
+
+DEFAULT_FRACTIONS: tuple[float, ...] = (0.001, 0.01, 0.1, 1.0)
+
+
+def seen_percentages(
+    context: ExperimentContext,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+) -> dict[str, list[float]]:
+    """Fraction of test URLs with a training-seen domain, per test set."""
+    result: dict[str, list[float]] = {
+        name: [] for name in context.test_sets
+    }
+    for fraction in fractions:
+        train = context.train.subsample(fraction, seed=context.seed)
+        train_domains = train.domains()
+        for name, test in context.test_sets.items():
+            seen = sum(1 for record in test.records if record.domain in train_domains)
+            result[name].append(seen / len(test))
+    return result
+
+
+def run(
+    context: ExperimentContext | None = None,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+) -> str:
+    context = context or default_context()
+    percentages = seen_percentages(context, fractions)
+
+    lines = [
+        "Figure 3: % of test URLs whose domain occurs in the training data",
+        f"{'test set':<12}" + "".join(f"{fraction:>9.1%}" for fraction in fractions),
+    ]
+    for name, values in percentages.items():
+        lines.append(
+            f"{name:<12}" + "".join(f"{100 * value:>8.0f}%" for value in values)
+        )
+    lines.append(
+        f"\npaper: 53% of crawl-test domains seen at 100% training data; "
+        f"measured {100 * percentages['WC'][-1]:.0f}%"
+    )
+
+    # Memorisation alone cannot explain the performance (Section 6).
+    small = context.train.subsample(0.01, seed=context.seed)
+    identifier = LanguageIdentifier("words", "NB", seed=context.seed).fit(small)
+    metrics = identifier.evaluate(context.data.wc_test)
+    recall = sum(m.recall for m in metrics.values()) / len(metrics)
+    seen_at_small = percentages["WC"][fractions.index(0.01)] if 0.01 in fractions else None
+    lines.append(
+        f"at 1% training data: NB/words avg F "
+        f"{average_f(list(metrics.values())):.2f}, avg recall {recall:.2f}"
+    )
+    if seen_at_small is not None:
+        lines.append(
+            f"only {100 * seen_at_small:.0f}% of crawl domains seen -> recall "
+            "exceeds what domain memorisation alone could give "
+            "(paper: recall .80 with 18% seen)"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(run())

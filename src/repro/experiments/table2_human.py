@@ -1,0 +1,61 @@
+"""Table 2 — aggregate human performance on the web-crawl test set.
+
+Paper numbers (P / R / p(-|-) / F): En .73/.99/.63/.84, Ge .99/.70/.99/.82,
+Fr .99/.54/.99/.70, Sp .99/.37/.99/.54, It .99/.76/.99/.86; average F .75.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.metrics import BinaryMetrics, average_f, evaluate_binary
+from repro.evaluation.reports import metrics_table
+from repro.experiments.common import ExperimentContext, default_context
+from repro.humans import default_evaluators
+from repro.languages import LANGUAGES, Language
+
+#: The paper's Table 2 (P, R, p(-|-), F) per language.
+PAPER_TABLE2 = {
+    Language.ENGLISH: (0.73, 0.99, 0.63, 0.84),
+    Language.GERMAN: (0.99, 0.70, 0.99, 0.82),
+    Language.FRENCH: (0.99, 0.54, 0.99, 0.70),
+    Language.SPANISH: (0.99, 0.37, 0.99, 0.54),
+    Language.ITALIAN: (0.99, 0.76, 0.99, 0.86),
+}
+
+
+def human_metrics(context: ExperimentContext) -> dict[Language, BinaryMetrics]:
+    """Averaged metrics of the two evaluators on the crawl set.
+
+    The paper's Table 2 aggregates both evaluators; here their per-URL
+    decisions are concatenated, which averages their success ratios.
+    """
+    test = context.data.wc_test
+    evaluators = default_evaluators(seed=context.seed)
+    metrics: dict[Language, BinaryMetrics] = {}
+    for language in LANGUAGES:
+        predictions: list[bool] = []
+        truths: list[bool] = []
+        for evaluator in evaluators:
+            decisions = evaluator.decisions(test.urls)
+            predictions.extend(decisions[language])
+            truths.extend(truth == language for truth in test.labels)
+        metrics[language] = evaluate_binary(predictions, truths)
+    return metrics
+
+
+def run(context: ExperimentContext | None = None) -> str:
+    context = context or default_context()
+    metrics = human_metrics(context)
+    rows = [(lang.display_name, metrics[lang]) for lang in LANGUAGES]
+    report = metrics_table(
+        rows, title="Table 2: human performance on the web-crawl test set"
+    )
+    paper_avg = sum(values[3] for values in PAPER_TABLE2.values()) / 5
+    measured_avg = average_f(list(metrics.values()))
+    report += (
+        f"\npaper average F: {paper_avg:.2f}   measured: {measured_avg:.2f}"
+    )
+    return report
+
+
+if __name__ == "__main__":
+    print(run())

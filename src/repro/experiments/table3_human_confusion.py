@@ -1,0 +1,69 @@
+"""Table 3 — confusion matrix of the human evaluation on the crawl set.
+
+The paper's key observation: "for all languages the biggest confusion is
+with English, i.e., URLs 'look' English, although the corresponding web
+page is not."  Paper diagonal: En 99, Ge 70, Fr 54, Sp 37, It 76 (in %),
+with the English column carrying almost all off-diagonal mass.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.confusion import ConfusionMatrix
+from repro.experiments.common import ExperimentContext, default_context
+from repro.humans import default_evaluators
+from repro.languages import LANGUAGES, Language
+
+#: Paper's Table 3 (%), rows = test language, columns = reported language.
+PAPER_TABLE3 = {
+    Language.ENGLISH: (99, 0, 1, 0, 0),
+    Language.GERMAN: (30, 70, 0, 0, 0),
+    Language.FRENCH: (45, 0, 54, 1, 0),
+    Language.SPANISH: (58, 0, 0, 37, 5),
+    Language.ITALIAN: (24, 0, 0, 0, 76),
+}
+
+
+def human_confusion(context: ExperimentContext) -> ConfusionMatrix:
+    """Confusion matrix averaged over both evaluators."""
+    test = context.data.wc_test
+    evaluators = default_evaluators(seed=context.seed)
+    matrix = ConfusionMatrix()
+    counts: dict[Language, int] = {lang: 0 for lang in LANGUAGES}
+    yes: dict[tuple[Language, Language], float] = {}
+    for evaluator in evaluators:
+        labels = evaluator.label_many(test.urls)
+        for truth, reported in zip(test.labels, labels):
+            counts[truth] += 1
+            key = (truth, reported)
+            yes[key] = yes.get(key, 0.0) + 1.0
+    matrix.row_counts = counts
+    for (row, column), count in yes.items():
+        matrix.cells[(row, column)] = 100.0 * count / counts[row]
+    return matrix
+
+
+def run(context: ExperimentContext | None = None) -> str:
+    context = context or default_context()
+    matrix = human_confusion(context)
+    report = matrix.format(
+        title="Table 3: human confusion matrix, crawl test set (percent, avg of 2 evaluators)"
+    )
+    english_column_biggest = all(
+        matrix.percentage(row, Language.ENGLISH)
+        >= max(
+            matrix.percentage(row, column)
+            for column in LANGUAGES
+            if column not in (row, Language.ENGLISH)
+        )
+        for row in LANGUAGES
+        if row is not Language.ENGLISH
+    )
+    report += (
+        "\nbiggest confusion is with English for every non-English row: "
+        f"{english_column_biggest}"
+    )
+    return report
+
+
+if __name__ == "__main__":
+    print(run())

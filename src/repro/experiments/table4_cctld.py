@@ -1,0 +1,59 @@
+"""Table 4 — the ccTLD / ccTLD+ baselines on all three test sets.
+
+Paper shape: precision near 1.0 everywhere, recall low (down to .11 for
+Spanish on the crawl set), average F around .68; ccTLD+ boosts English
+recall at a precision cost and leaves other languages unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.evaluation.metrics import average_f
+from repro.evaluation.reports import format_metric, metrics_table
+from repro.experiments.common import ExperimentContext, default_context
+from repro.languages import LANGUAGES, Language
+
+#: Paper's Table 4 F-measures (ccTLD; English ccTLD+ in parentheses).
+PAPER_F = {
+    "ODP": {Language.ENGLISH: 0.22, Language.GERMAN: 0.90, Language.FRENCH: 0.40,
+            Language.SPANISH: 0.46, Language.ITALIAN: 0.76},
+    "SER": {Language.ENGLISH: 0.78, Language.GERMAN: 0.80, Language.FRENCH: 0.75,
+            Language.SPANISH: 0.78, Language.ITALIAN: 0.85},
+    "WC": {Language.ENGLISH: 0.18, Language.GERMAN: 0.75, Language.FRENCH: 0.37,
+           Language.SPANISH: 0.20, Language.ITALIAN: 0.77},
+}
+PAPER_F_EN_PLUS = {"ODP": 0.79, "SER": 0.87, "WC": 0.76}
+
+
+def run(context: ExperimentContext | None = None) -> str:
+    context = context or default_context()
+    cctld = LanguageIdentifier(algorithm="ccTLD")
+    cctld_plus = LanguageIdentifier(algorithm="ccTLD+")
+
+    blocks = []
+    for name, test in context.test_sets.items():
+        metrics = cctld.evaluate(test)
+        plus_metrics = cctld_plus.evaluate(test)
+        rows = [(lang.display_name, metrics[lang]) for lang in LANGUAGES]
+        block = metrics_table(
+            rows, title=f"Table 4 [{name}]: ccTLD baseline", with_average=True
+        )
+        en_plus = plus_metrics[Language.ENGLISH]
+        block += (
+            f"\nEnglish with ccTLD+ (.com/.org as English): "
+            f"P={format_metric(en_plus.balanced_precision)} "
+            f"R={format_metric(en_plus.recall)} "
+            f"F={format_metric(en_plus.f_measure)} "
+            f"(paper F {PAPER_F_EN_PLUS[name]:.2f})"
+        )
+        paper_avg = sum(PAPER_F[name].values()) / 5
+        block += (
+            f"\npaper average F: {paper_avg:.2f}   measured: "
+            f"{average_f(list(metrics.values())):.2f}"
+        )
+        blocks.append(block)
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(run())

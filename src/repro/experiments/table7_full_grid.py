@@ -1,0 +1,82 @@
+"""Table 7 — the full algorithm x feature-set x language x test-set grid.
+
+The paper's master table: NB/RE/ME on words, trigrams and custom
+features, plus DT on custom features, for every language and test set
+(P, R, p(-|-), F each).  Headline checks reproduced here:
+
+* NB with word features is among the best overall,
+* custom features trail word/trigram features (at full training data),
+* SER is the easiest test set and ODP the hardest,
+* Relative Entropy has the best precision of the learners.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.metrics import average_f
+from repro.evaluation.reports import metrics_table
+from repro.experiments.common import ExperimentContext, default_context
+from repro.languages import LANGUAGES
+
+#: The paper's combinations: (algorithm, feature set).
+GRID: tuple[tuple[str, str], ...] = (
+    ("NB", "words"), ("RE", "words"), ("ME", "words"),
+    ("NB", "trigrams"), ("RE", "trigrams"), ("ME", "trigrams"),
+    ("NB", "custom"), ("RE", "custom"), ("ME", "custom"), ("DT", "custom"),
+)
+
+#: Paper's Table 7 F-measures averaged over languages, per test set.
+PAPER_AVG_F = {
+    ("NB", "words"): {"ODP": 0.88, "SER": 0.96, "WC": 0.90},
+    ("RE", "words"): {"ODP": 0.86, "SER": 0.96, "WC": 0.89},
+    ("ME", "words"): {"ODP": 0.88, "SER": 0.96, "WC": 0.88},
+    ("NB", "trigrams"): {"ODP": 0.86, "SER": 0.92, "WC": 0.86},
+    ("RE", "trigrams"): {"ODP": 0.85, "SER": 0.91, "WC": 0.83},
+    ("ME", "trigrams"): {"ODP": 0.88, "SER": 0.94, "WC": 0.88},
+    ("NB", "custom"): {"ODP": 0.78, "SER": 0.88, "WC": 0.78},
+    ("RE", "custom"): {"ODP": 0.79, "SER": 0.83, "WC": 0.76},
+    ("ME", "custom"): {"ODP": 0.83, "SER": 0.89, "WC": 0.81},
+    ("DT", "custom"): {"ODP": 0.84, "SER": 0.91, "WC": 0.84},
+}
+
+
+def run(
+    context: ExperimentContext | None = None,
+    grid: tuple[tuple[str, str], ...] = GRID,
+) -> str:
+    context = context or default_context()
+    blocks: list[str] = []
+    summary: list[str] = [
+        "Table 7 summary: average F per (algorithm/features, test set)",
+        f"{'combo':<16}" + "".join(f"{name:>8}" for name in context.test_sets)
+        + f"{'paper':>26}",
+    ]
+
+    for algorithm, feature_set in grid:
+        identifier = context.pool.get(algorithm, feature_set)
+        averages = []
+        for test_name, test in context.test_sets.items():
+            metrics = identifier.evaluate(test)
+            averages.append(average_f(list(metrics.values())))
+            rows = [(lang.display_name, metrics[lang]) for lang in LANGUAGES]
+            blocks.append(
+                metrics_table(
+                    rows,
+                    title=(
+                        f"Table 7 [{test_name}] "
+                        f"{algorithm} / {feature_set} features"
+                    ),
+                )
+            )
+        paper = PAPER_AVG_F[(algorithm, feature_set)]
+        summary.append(
+            f"{algorithm+'/'+feature_set:<16}"
+            + "".join(f"{value:>8.3f}" for value in averages)
+            + "    paper: "
+            + " ".join(f"{paper[name]:.2f}" for name in context.test_sets)
+        )
+
+    return "\n".join(summary) + "\n\n" + "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(run())

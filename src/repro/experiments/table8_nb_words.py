@@ -1,0 +1,64 @@
+"""Table 8 — F-measures of NB + word features, per language and test set.
+
+Paper: column averages show English hardest (.90) and Italian easiest
+(.94); row averages show ODP hardest (.88), SER easiest (.96), WC .90;
+grand average .91.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.reports import f_measure_grid
+from repro.experiments.common import ExperimentContext, default_context
+from repro.languages import LANGUAGES, Language
+
+#: Paper's Table 8 cells: (language, test set) -> F.
+PAPER_TABLE8 = {
+    (Language.ENGLISH, "ODP"): 0.88, (Language.ENGLISH, "SER"): 0.94,
+    (Language.ENGLISH, "WC"): 0.87,
+    (Language.GERMAN, "ODP"): 0.94, (Language.GERMAN, "SER"): 0.97,
+    (Language.GERMAN, "WC"): 0.86,
+    (Language.FRENCH, "ODP"): 0.86, (Language.FRENCH, "SER"): 0.94,
+    (Language.FRENCH, "WC"): 0.92,
+    (Language.SPANISH, "ODP"): 0.88, (Language.SPANISH, "SER"): 0.96,
+    (Language.SPANISH, "WC"): 0.88,
+    (Language.ITALIAN, "ODP"): 0.86, (Language.ITALIAN, "SER"): 0.97,
+    (Language.ITALIAN, "WC"): 0.97,
+}
+
+
+def measured_cells(context: ExperimentContext) -> dict[tuple[str, str], float]:
+    identifier = context.pool.get("NB", "words")
+    cells: dict[tuple[str, str], float] = {}
+    for test_name, test in context.test_sets.items():
+        metrics = identifier.evaluate(test)
+        for language in LANGUAGES:
+            cells[(language.display_name, test_name)] = metrics[language].f_measure
+    return cells
+
+
+def run(context: ExperimentContext | None = None) -> str:
+    context = context or default_context()
+    cells = measured_cells(context)
+    test_names = list(context.test_sets)
+    report = f_measure_grid(
+        cells,
+        row_labels=[lang.display_name for lang in LANGUAGES],
+        column_labels=test_names,
+        title="Table 8: F-measure, NB with word features",
+    )
+    paper_cells = {
+        (lang.display_name, name): PAPER_TABLE8[(lang, name)]
+        for lang in LANGUAGES
+        for name in test_names
+    }
+    report += "\n\npaper values:\n"
+    report += f_measure_grid(
+        paper_cells,
+        row_labels=[lang.display_name for lang in LANGUAGES],
+        column_labels=test_names,
+    )
+    return report
+
+
+if __name__ == "__main__":
+    print(run())

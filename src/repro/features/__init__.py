@@ -1,0 +1,57 @@
+"""Feature extraction: word, trigram and custom-made features (S3-S5)."""
+
+from repro.features.base import (
+    FeatureExtractor,
+    FeatureVector,
+    add_vectors,
+    cosine_similarity,
+    counts,
+    dot,
+    l1_normalize,
+    l2_norm,
+    scale_vector,
+)
+from repro.features.custom import (
+    ALL_FEATURE_NAMES,
+    SELECTED_FEATURE_NAMES,
+    CustomFeatureExtractor,
+    describe_feature,
+)
+from repro.features.dictionaries import (
+    LanguageDictionary,
+    TrainedDictionary,
+    city_dictionary,
+    merged_dictionary,
+    openoffice_dictionary,
+)
+from repro.features.ngrams import TrigramFeatureExtractor, trigram_vectors
+from repro.features.vectorizer import CountVectorizer, Vocabulary
+from repro.features.words import TokenSetExtractor, WordFeatureExtractor, word_vectors
+
+__all__ = [
+    "ALL_FEATURE_NAMES",
+    "CountVectorizer",
+    "CustomFeatureExtractor",
+    "FeatureExtractor",
+    "FeatureVector",
+    "LanguageDictionary",
+    "SELECTED_FEATURE_NAMES",
+    "TokenSetExtractor",
+    "TrainedDictionary",
+    "TrigramFeatureExtractor",
+    "Vocabulary",
+    "WordFeatureExtractor",
+    "add_vectors",
+    "city_dictionary",
+    "cosine_similarity",
+    "counts",
+    "describe_feature",
+    "dot",
+    "l1_normalize",
+    "l2_norm",
+    "merged_dictionary",
+    "openoffice_dictionary",
+    "scale_vector",
+    "trigram_vectors",
+    "word_vectors",
+]

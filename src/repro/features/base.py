@@ -1,0 +1,101 @@
+"""Feature-vector fundamentals shared by all feature sets.
+
+A feature vector is a sparse mapping from feature name to a non-negative
+count (``dict[str, float]``).  Keeping string keys end-to-end makes every
+model inspectable — one can ask a trained Naive Bayes what weight the
+token ``recherche`` carries — which mirrors the paper's interpretability
+argument for decision trees.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.languages import Language
+
+#: Sparse feature vector: feature name -> non-negative count/value.
+FeatureVector = dict[str, float]
+
+
+class FeatureExtractor(abc.ABC):
+    """Maps URLs to sparse feature vectors.
+
+    Extractors with trainable state (vocabularies, trained dictionaries)
+    implement :meth:`fit`; stateless extractors inherit the no-op.
+    """
+
+    #: Short identifier used in reports ("words", "trigrams", "custom").
+    name: str = "base"
+
+    def fit(
+        self,
+        urls: Sequence[str],
+        labels: Sequence[Language] | None = None,
+    ) -> "FeatureExtractor":
+        """Learn any vocabulary/dictionary state from training URLs."""
+        return self
+
+    @abc.abstractmethod
+    def extract(self, url: str) -> FeatureVector:
+        """Feature vector for a single URL."""
+
+    def extract_many(self, urls: Iterable[str]) -> list[FeatureVector]:
+        """Feature vectors for a batch of URLs."""
+        return [self.extract(url) for url in urls]
+
+
+def l1_normalize(vector: Mapping[str, float]) -> FeatureVector:
+    """Return ``vector`` scaled to unit L1 norm (a distribution).
+
+    The Relative Entropy classifier requires distributions; the paper:
+    "All of our feature sets give non-negative feature vectors and so we
+    simply normalized these to unit L1 norm."  A zero vector normalises
+    to an empty vector.
+    """
+    total = sum(vector.values())
+    if total <= 0:
+        return {}
+    return {key: value / total for key, value in vector.items() if value > 0}
+
+
+def add_vectors(left: Mapping[str, float], right: Mapping[str, float]) -> FeatureVector:
+    """Element-wise sum of two sparse vectors."""
+    out: FeatureVector = dict(left)
+    for key, value in right.items():
+        out[key] = out.get(key, 0.0) + value
+    return out
+
+
+def scale_vector(vector: Mapping[str, float], factor: float) -> FeatureVector:
+    """Sparse vector scaled by ``factor``."""
+    return {key: value * factor for key, value in vector.items()}
+
+
+def dot(left: Mapping[str, float], right: Mapping[str, float]) -> float:
+    """Sparse dot product (iterates over the smaller operand)."""
+    if len(left) > len(right):
+        left, right = right, left
+    return sum(value * right.get(key, 0.0) for key, value in left.items())
+
+
+def l2_norm(vector: Mapping[str, float]) -> float:
+    """Euclidean norm of a sparse vector."""
+    return math.sqrt(sum(value * value for value in vector.values()))
+
+
+def cosine_similarity(left: Mapping[str, float], right: Mapping[str, float]) -> float:
+    """Cosine similarity; 0.0 when either vector is empty/zero."""
+    denom = l2_norm(left) * l2_norm(right)
+    if denom == 0.0:
+        return 0.0
+    return dot(left, right) / denom
+
+
+def counts(items: Iterable[str]) -> FeatureVector:
+    """Count occurrences of ``items`` into a sparse vector."""
+    vector: FeatureVector = {}
+    for item in items:
+        vector[item] = vector.get(item, 0.0) + 1.0
+    return vector

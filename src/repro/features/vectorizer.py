@@ -1,0 +1,120 @@
+"""Vocabulary management and dense matrix assembly.
+
+The word/trigram feature spaces are open-ended ("the dimensionality of the
+feature vectors depends on the training set", Section 3.1): a
+:class:`Vocabulary` fixes the dimensions observed during training, and
+:class:`CountVectorizer` turns sparse vectors into dense numpy rows for
+algorithms that need fixed-size input (the decision tree, kNN on custom
+features).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.features.base import FeatureVector
+
+
+class Vocabulary:
+    """An ordered, immutable-after-freeze feature-name <-> index map."""
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._index: dict[str, int] = {}
+        self._names: list[str] = []
+        self._frozen = False
+        for name in names:
+            self.add(name)
+
+    def add(self, name: str) -> int:
+        """Register ``name`` (idempotent) and return its index."""
+        if self._frozen and name not in self._index:
+            raise ValueError(f"vocabulary is frozen; cannot add {name!r}")
+        index = self._index.get(name)
+        if index is None:
+            index = len(self._names)
+            self._index[name] = index
+            self._names.append(name)
+        return index
+
+    def freeze(self) -> "Vocabulary":
+        """Disallow further additions (test-time behaviour)."""
+        self._frozen = True
+        return self
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def index_of(self, name: str) -> int | None:
+        """Index of ``name`` or ``None`` if unseen."""
+        return self._index.get(name)
+
+    def name_of(self, index: int) -> str:
+        return self._names[index]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._names)
+
+
+class CountVectorizer:
+    """Collects a vocabulary from sparse vectors and densifies them.
+
+    Features unseen at fit time are silently dropped at transform time —
+    the behaviour of every count-based model in the paper's toolchain.
+    """
+
+    def __init__(self, min_count: int = 1) -> None:
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        self.min_count = min_count
+        self.vocabulary = Vocabulary()
+        self._fitted = False
+
+    def fit(self, vectors: Sequence[Mapping[str, float]]) -> "CountVectorizer":
+        """Build the vocabulary from training vectors.
+
+        Features whose *total* count across the corpus is below
+        ``min_count`` are excluded, mirroring the frequency-threshold
+        n-gram selection discussed in Section 2.
+        """
+        totals: dict[str, float] = {}
+        for vector in vectors:
+            for name, value in vector.items():
+                totals[name] = totals.get(name, 0.0) + value
+        self.vocabulary = Vocabulary(
+            name for name, total in sorted(totals.items()) if total >= self.min_count
+        )
+        self.vocabulary.freeze()
+        self._fitted = True
+        return self
+
+    def transform(self, vectors: Sequence[Mapping[str, float]]) -> np.ndarray:
+        """Dense ``(n_vectors, n_features)`` float array."""
+        if not self._fitted:
+            raise RuntimeError("CountVectorizer.transform called before fit")
+        matrix = np.zeros((len(vectors), len(self.vocabulary)), dtype=np.float64)
+        for row, vector in enumerate(vectors):
+            for name, value in vector.items():
+                index = self.vocabulary.index_of(name)
+                if index is not None:
+                    matrix[row, index] = value
+        return matrix
+
+    def fit_transform(self, vectors: Sequence[Mapping[str, float]]) -> np.ndarray:
+        return self.fit(vectors).transform(vectors)
+
+    def restrict(self, vector: Mapping[str, float]) -> FeatureVector:
+        """Sparse projection of ``vector`` onto the fitted vocabulary."""
+        if not self._fitted:
+            raise RuntimeError("CountVectorizer.restrict called before fit")
+        return {
+            name: value for name, value in vector.items() if name in self.vocabulary
+        }

@@ -1,0 +1,77 @@
+"""Words-as-features extractor (Section 3.1, first feature set).
+
+Each URL token becomes one dimension; the value is the number of times
+the token occurs in the URL.  "Algorithms using words features keep
+counters for the number of times a certain token is seen in the URLs of
+a given language.  This way algorithms can learn that tokens such as
+``cnn`` or ``gov`` are indicative of English, whereas ``produits`` or
+``recherche`` are indicative of French."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.features.base import FeatureExtractor, FeatureVector, counts
+from repro.languages import Language
+from repro.urls.tokenizer import tokenize, tokenize_text
+
+
+class WordFeatureExtractor(FeatureExtractor):
+    """Token-count features.
+
+    Parameters
+    ----------
+    prefix:
+        Namespace prepended to every feature name so word features can be
+        mixed with other feature sets without collisions.
+    """
+
+    name = "words"
+
+    def __init__(self, prefix: str = "w:") -> None:
+        self.prefix = prefix
+
+    def extract(self, url: str) -> FeatureVector:
+        return {
+            self.prefix + token: count
+            for token, count in counts(tokenize(url)).items()
+        }
+
+    def extract_with_content(self, url: str, content: str) -> FeatureVector:
+        """URL features augmented with page-content terms (Section 7).
+
+        Used only for *training* in the content experiment; test URLs are
+        always featurised by :meth:`extract` alone.
+        """
+        vector = counts(tokenize(url))
+        for term, count in counts(tokenize_text(content)).items():
+            vector[term] = vector.get(term, 0.0) + count
+        return {self.prefix + name: value for name, value in vector.items()}
+
+
+class TokenSetExtractor(FeatureExtractor):
+    """Binary (presence/absence) variant of word features.
+
+    Not part of the paper's main grid, but useful as a sanity baseline:
+    URL tokens rarely repeat, so binary and count features should perform
+    almost identically — a property the test suite checks.
+    """
+
+    name = "token-set"
+
+    def __init__(self, prefix: str = "w:") -> None:
+        self.prefix = prefix
+
+    def extract(self, url: str) -> FeatureVector:
+        return {self.prefix + token: 1.0 for token in set(tokenize(url))}
+
+
+def word_vectors(
+    urls: Sequence[str], labels: Sequence[Language] | None = None
+) -> list[FeatureVector]:
+    """Convenience: word feature vectors for a batch of URLs."""
+    extractor = WordFeatureExtractor()
+    if labels is not None:
+        extractor.fit(urls, labels)
+    return extractor.extract_many(urls)

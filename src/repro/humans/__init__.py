@@ -1,0 +1,17 @@
+"""Simulated human evaluators (substitute for the Section 5.1 study)."""
+
+from repro.humans.evaluator import (
+    EVALUATOR_A,
+    EVALUATOR_B,
+    HumanEvaluator,
+    HumanProfile,
+    default_evaluators,
+)
+
+__all__ = [
+    "EVALUATOR_A",
+    "EVALUATOR_B",
+    "HumanEvaluator",
+    "HumanProfile",
+    "default_evaluators",
+]

@@ -1,0 +1,157 @@
+"""Behavioural model of the paper's two human evaluators (Section 5.1).
+
+The paper's humans could only use what a person sees in a URL: the
+ccTLD, recognisable words of the five languages, and known city names.
+They could *not* use memorised host statistics (the trained dictionary /
+word-feature memorisation that lets the algorithms win).  Their failure
+mode is systematic: URLs without a recognised non-English clue default
+to English ("in many countries English is considered to be the
+'technical language' of the web"), producing high English recall, low
+English precision, and for every other language the biggest confusion
+with English (Table 3).
+
+:class:`HumanEvaluator` reproduces that behaviour: it scans a URL for
+ccTLD and dictionary evidence per language, recognises each clue only
+with probability ``recognition`` (people skim), and answers with the
+best-evidenced language, defaulting to English.  Two parameterisations
+(:func:`default_evaluators`) stand in for the paper's two volunteers.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from functools import lru_cache
+
+from repro.data.wordlists import get_lexicon
+from repro.languages import LANGUAGES, Language, cctlds_for
+from repro.urls.parsing import parse_url
+from repro.urls.tokenizer import tokenize
+
+
+@lru_cache(maxsize=1)
+def ambiguous_words() -> frozenset[str]:
+    """Words present in at least two of the five lexicons.
+
+    A person seeing ``hotel`` or ``radio`` in a URL learns nothing —
+    such cross-language words carry no evidence for the human model.
+    """
+    seen: dict[str, int] = {}
+    for language in LANGUAGES:
+        lexicon = get_lexicon(language)
+        for word in lexicon.common_words | lexicon.cities:
+            seen[word] = seen.get(word, 0) + 1
+    return frozenset(word for word, count in seen.items() if count >= 2)
+
+
+@dataclass(frozen=True)
+class HumanProfile:
+    """Skill parameters of one simulated evaluator."""
+
+    name: str
+    #: Probability of noticing any individual dictionary-word clue.
+    recognition: float
+    #: Probability of noticing a ccTLD clue (more salient than words).
+    cctld_attention: float
+    #: Evidence threshold below which the evaluator falls back to English.
+    english_default_bias: float
+    #: Chance of an outright slip (labels English despite clues).
+    slip_rate: float
+    #: Probability of actually reading the URL path; people often stop at
+    #: the host, and this per-URL lapse is independent between the two
+    #: evaluators (it drives their imperfect correlation of ~0.77).
+    path_attention: float = 1.0
+
+
+class HumanEvaluator:
+    """One simulated evaluator; deterministic given (profile, seed)."""
+
+    def __init__(self, profile: HumanProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+
+    def label(self, url: str) -> Language:
+        """The single language this evaluator reports for ``url``."""
+        # Per-URL deterministic randomness: the same person gives the
+        # same answer when shown the same URL twice.
+        rng = random.Random(f"{self.profile.name}:{self.seed}:{url}")
+        profile = self.profile
+
+        evidence: dict[Language, float] = {language: 0.0 for language in LANGUAGES}
+        parsed = parse_url(url)
+        host_labels = set(parsed.host_labels)
+        if rng.random() < profile.path_attention:
+            visible = url
+        else:
+            visible = parsed.host
+        tokens = [
+            token for token in tokenize(visible) if token not in ambiguous_words()
+        ]
+
+        for language in LANGUAGES:
+            if host_labels & set(cctlds_for(language)):
+                if rng.random() < profile.cctld_attention:
+                    evidence[language] += 2.0
+            lexicon = get_lexicon(language)
+            for token in tokens:
+                if token in lexicon.common_words or token in lexicon.cities:
+                    if rng.random() < profile.recognition:
+                        evidence[language] += 1.0
+
+        # English evidence is discounted: tech English in a URL does not
+        # convince a person the page is in English, it is just "the web".
+        evidence[Language.ENGLISH] *= 0.5
+
+        best_language = max(
+            LANGUAGES, key=lambda language: (evidence[language], language.value)
+        )
+        if evidence[best_language] <= profile.english_default_bias:
+            return Language.ENGLISH
+        if best_language is not Language.ENGLISH and rng.random() < profile.slip_rate:
+            return Language.ENGLISH
+        return best_language
+
+    def label_many(self, urls: Sequence[str]) -> list[Language]:
+        return [self.label(url) for url in urls]
+
+    def decisions(self, urls: Sequence[str]) -> dict[Language, list[bool]]:
+        """Binary yes/no per language, for the unified evaluation.
+
+        A human picks exactly one language per URL, so each row of the
+        resulting decision matrix has exactly one ``True``.
+        """
+        labels = self.label_many(urls)
+        return {
+            language: [label == language for label in labels]
+            for language in LANGUAGES
+        }
+
+
+#: The two volunteers: similar overall skill, slightly different habits,
+#: chosen so their F-measures bracket the paper's .71 / .79.
+EVALUATOR_A = HumanProfile(
+    name="evaluator-a",
+    recognition=0.62,
+    cctld_attention=0.82,
+    english_default_bias=0.0,
+    slip_rate=0.10,
+    path_attention=0.70,
+)
+EVALUATOR_B = HumanProfile(
+    name="evaluator-b",
+    recognition=0.74,
+    cctld_attention=0.90,
+    english_default_bias=0.0,
+    slip_rate=0.05,
+    path_attention=0.80,
+)
+
+
+def default_evaluators(seed: int = 0) -> tuple[HumanEvaluator, HumanEvaluator]:
+    """The paper's two independent evaluators."""
+    return (
+        HumanEvaluator(EVALUATOR_A, seed=seed),
+        HumanEvaluator(EVALUATOR_B, seed=seed + 1),
+    )

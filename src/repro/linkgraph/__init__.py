@@ -1,0 +1,10 @@
+"""Hyperlink-structure extension (the paper's Section 8 future work)."""
+
+from repro.linkgraph.graph import build_link_graph, language_assortativity
+from repro.linkgraph.smoothing import LinkSmoothedIdentifier
+
+__all__ = [
+    "LinkSmoothedIdentifier",
+    "build_link_graph",
+    "language_assortativity",
+]

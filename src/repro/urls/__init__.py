@@ -1,0 +1,32 @@
+"""URL substrate: parsing, tokenisation and trigram extraction (S1-S2)."""
+
+from repro.urls.parsing import ParsedUrl, parse_url, registered_domain, tld_of
+from repro.urls.tokenizer import (
+    MIN_TOKEN_LENGTH,
+    SPECIAL_WORDS,
+    iter_tokens,
+    tokenize,
+    tokenize_text,
+)
+from repro.urls.trigrams import (
+    raw_trigrams,
+    token_trigrams,
+    trigrams_of_tokens,
+    url_trigrams,
+)
+
+__all__ = [
+    "MIN_TOKEN_LENGTH",
+    "ParsedUrl",
+    "SPECIAL_WORDS",
+    "iter_tokens",
+    "parse_url",
+    "raw_trigrams",
+    "registered_domain",
+    "tld_of",
+    "token_trigrams",
+    "tokenize",
+    "tokenize_text",
+    "trigrams_of_tokens",
+    "url_trigrams",
+]

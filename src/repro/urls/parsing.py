@@ -1,0 +1,143 @@
+"""Structural URL parsing.
+
+The paper's features need a few structural facts about a URL besides its
+raw text: the host, the top-level domain, the *registered domain* used in
+the domain-memorisation analysis of Section 6 (``epfl.ch`` for
+``http://ltaa.epfl.ch/algorithms.html``, ``cam.ac.uk`` for
+``http://chu.cam.ac.uk/``), and the position of the first ``/`` (several
+custom features are counted separately before and after it).
+
+This is a small, dependency-free parser tuned for the messy URLs found
+in web crawls; it never raises on malformed input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+#: Second-level suffixes under which registrations happen one level deeper
+#: (so the registered domain of ``chu.cam.ac.uk`` is ``cam.ac.uk``).
+_SECOND_LEVEL_SUFFIXES = frozenset(
+    {
+        "ac.uk", "co.uk", "gov.uk", "org.uk", "me.uk", "net.uk",
+        "com.au", "net.au", "org.au", "edu.au", "gov.au",
+        "co.nz", "org.nz", "net.nz", "govt.nz", "ac.nz",
+        "com.ar", "org.ar", "net.ar", "edu.ar", "gov.ar",
+        "com.mx", "org.mx", "net.mx", "edu.mx", "gob.mx",
+        "com.co", "org.co", "net.co", "edu.co", "gov.co",
+        "com.pe", "org.pe", "net.pe", "edu.pe", "gob.pe",
+        "com.ve", "org.ve", "net.ve", "co.ve",
+        "com.es", "org.es", "nom.es", "gob.es",
+        "com.it", "edu.it", "gov.it",
+        "com.fr", "asso.fr", "gouv.fr",
+        "co.at", "or.at", "ac.at", "gv.at",
+        "com.de", "co.de",
+        "com.tn", "org.tn", "gov.tn",
+        "com.dz", "org.dz", "gov.dz",
+        "com.mg", "org.mg",
+        "co.il", "co.jp", "com.br", "com.cn",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ParsedUrl:
+    """Decomposition of a URL into the parts the features care about."""
+
+    raw: str
+    scheme: str
+    host: str
+    path: str
+    #: Labels of the host, e.g. ``("www", "epfl", "ch")``.
+    host_labels: tuple[str, ...]
+    #: Top-level domain (last host label), ``""`` if the host is empty.
+    tld: str
+    #: Registered domain, e.g. ``epfl.ch`` or ``cam.ac.uk``.
+    domain: str
+
+    @property
+    def before_slash(self) -> str:
+        """The URL text before the first ``/`` after the scheme (the host)."""
+        return self.host
+
+    @property
+    def after_slash(self) -> str:
+        """The URL text after the first ``/`` (path, query and fragment)."""
+        return self.path
+
+
+def parse_url(url: str) -> ParsedUrl:
+    """Parse ``url`` into a :class:`ParsedUrl`.
+
+    Tolerant of missing schemes, ports, userinfo, queries and fragments;
+    never raises on malformed input.
+    """
+    return _parse_cached(url)
+
+
+@lru_cache(maxsize=65536)
+def _parse_cached(url: str) -> ParsedUrl:
+    raw = url
+    text = url.strip()
+
+    scheme = ""
+    marker = text.find("://")
+    if marker != -1:
+        scheme = text[:marker].lower()
+        text = text[marker + 3 :]
+    elif text.lower().startswith("mailto:"):
+        scheme = "mailto"
+        text = text[len("mailto:") :]
+
+    slash = text.find("/")
+    if slash == -1:
+        authority, path = text, ""
+    else:
+        authority, path = text[:slash], text[slash:]
+
+    # Strip userinfo and port from the authority.
+    if "@" in authority:
+        authority = authority.rsplit("@", 1)[1]
+    if ":" in authority:
+        authority = authority.split(":", 1)[0]
+
+    host = authority.lower().strip(".")
+    labels = tuple(label for label in host.split(".") if label)
+    tld = labels[-1] if labels else ""
+    domain = _registered_domain(labels)
+
+    return ParsedUrl(
+        raw=raw,
+        scheme=scheme,
+        host=host,
+        path=path,
+        host_labels=labels,
+        tld=tld,
+        domain=domain,
+    )
+
+
+def _registered_domain(labels: tuple[str, ...]) -> str:
+    """Compute the registered domain from host labels.
+
+    ``("chu", "cam", "ac", "uk")`` -> ``"cam.ac.uk"``;
+    ``("ltaa", "epfl", "ch")`` -> ``"epfl.ch"``;
+    a bare TLD or empty host maps to itself joined by dots.
+    """
+    if len(labels) <= 2:
+        return ".".join(labels)
+    suffix2 = ".".join(labels[-2:])
+    if suffix2 in _SECOND_LEVEL_SUFFIXES:
+        return ".".join(labels[-3:])
+    return suffix2
+
+
+def registered_domain(url: str) -> str:
+    """Convenience wrapper: the registered domain of ``url``."""
+    return parse_url(url).domain
+
+
+def tld_of(url: str) -> str:
+    """Convenience wrapper: the top-level domain of ``url``."""
+    return parse_url(url).tld

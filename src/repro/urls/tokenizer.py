@@ -1,0 +1,68 @@
+"""URL tokenisation, exactly as specified in Section 3.1 of the paper.
+
+    "Each URL is split into a sequence of strings of letters at any
+    punctuation marks, numbers or other non-letter characters.  Resulting
+    strings of length less than 2 and special words, namely, 'www',
+    'index', 'html', 'htm', 'http' and 'https' are removed.  We refer to
+    a single valid string as a token."
+
+Example from the paper: ``http://www.internetwordstats.com/africa2.htm``
+tokenises to ``['internetwordstats', 'com', 'africa']``.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+
+#: Words removed from every token stream (Section 3.1).
+SPECIAL_WORDS: frozenset[str] = frozenset(
+    {"www", "index", "html", "htm", "http", "https"}
+)
+
+#: Minimum token length; strings shorter than this are dropped.
+MIN_TOKEN_LENGTH = 2
+
+_LETTER_RUN = re.compile(r"[a-z]+")
+
+
+def tokenize(url: str, *, keep_special: bool = False) -> list[str]:
+    """Split ``url`` into the paper's tokens.
+
+    Splitting happens at every non-letter character; runs of letters
+    shorter than :data:`MIN_TOKEN_LENGTH` and the :data:`SPECIAL_WORDS`
+    are dropped (unless ``keep_special`` is set, which retains the
+    special words — useful for diagnostics).
+
+    The paper's URLs are effectively ASCII; uppercase letters are folded
+    to lowercase before splitting so ``NewYork`` yields ``newyork``.
+    """
+    lowered = url.lower()
+    tokens = []
+    for match in _LETTER_RUN.finditer(lowered):
+        token = match.group()
+        if len(token) < MIN_TOKEN_LENGTH:
+            continue
+        if not keep_special and token in SPECIAL_WORDS:
+            continue
+        tokens.append(token)
+    return tokens
+
+
+def iter_tokens(url: str) -> Iterator[str]:
+    """Iterator variant of :func:`tokenize` with default options."""
+    lowered = url.lower()
+    for match in _LETTER_RUN.finditer(lowered):
+        token = match.group()
+        if len(token) >= MIN_TOKEN_LENGTH and token not in SPECIAL_WORDS:
+            yield token
+
+
+def tokenize_text(text: str) -> list[str]:
+    """Tokenise free text (page content, Section 7) with the same rules.
+
+    Content training reuses URL tokenisation so that URL tokens and
+    content terms live in one feature space, as the paper does when it
+    "lengthens" the URL with the page content.
+    """
+    return tokenize(text)

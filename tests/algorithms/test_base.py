@@ -1,0 +1,56 @@
+"""Tests for the classifier interface helpers."""
+
+import pytest
+
+from repro.algorithms.base import ConstantClassifier, check_fit_inputs
+from repro.evaluation.metrics import evaluate_binary
+
+
+class TestCheckFitInputs:
+    def test_accepts_valid(self):
+        check_fit_inputs([{"a": 1.0}, {"b": 1.0}], [True, False])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            check_fit_inputs([{"a": 1.0}], [True, False])
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_fit_inputs([], [])
+
+    def test_no_positives(self):
+        with pytest.raises(ValueError, match="no positive"):
+            check_fit_inputs([{"a": 1.0}], [False])
+
+    def test_no_negatives(self):
+        with pytest.raises(ValueError, match="no negative"):
+            check_fit_inputs([{"a": 1.0}], [True])
+
+
+class TestConstantClassifier:
+    def test_always_yes(self):
+        clf = ConstantClassifier(True)
+        assert clf.predict({"anything": 1.0}) is True
+        assert clf.decision_score({}) > 0
+
+    def test_always_no(self):
+        clf = ConstantClassifier(False)
+        assert clf.predict({"anything": 1.0}) is False
+
+    def test_fit_is_noop(self):
+        clf = ConstantClassifier(True)
+        assert clf.fit([], []) is clf
+
+    def test_trivial_f_measure_two_thirds(self):
+        """Section 4.2: always-yes gives R=1, P=.5, F=2/3 in the
+        balanced setting."""
+        clf = ConstantClassifier(True)
+        predictions = clf.predict_many([{}] * 100)
+        truths = [True] * 50 + [False] * 50
+        metrics = evaluate_binary(predictions, truths)
+        assert metrics.recall == 1.0
+        assert metrics.balanced_precision == 0.5
+        assert metrics.f_measure == pytest.approx(2.0 / 3.0)
+
+    def test_predict_many(self):
+        assert ConstantClassifier(True).predict_many([{}, {}]) == [True, True]

@@ -1,0 +1,75 @@
+"""Tests for the ccTLD / ccTLD+ baselines."""
+
+import pytest
+
+from repro.algorithms.cctld import CcTldBinaryClassifier, CcTldLabeler
+from repro.languages import Language
+
+
+class TestCcTldLabeler:
+    def test_maps_paper_examples(self):
+        labeler = CcTldLabeler()
+        assert labeler.label("http://www.fireball.de/") is Language.GERMAN
+        assert labeler.label("http://www.monde.fr/") is Language.FRENCH
+        assert labeler.label("http://www.corriere.it/") is Language.ITALIAN
+        assert labeler.label("http://www.uol.mx/") is Language.SPANISH
+        assert labeler.label("http://www.bbc.co.uk/") is Language.ENGLISH
+
+    def test_gov_and_mil_are_english(self):
+        labeler = CcTldLabeler()
+        assert labeler.label("http://www.nasa.gov/") is Language.ENGLISH
+        assert labeler.label("http://www.army.mil/") is Language.ENGLISH
+
+    def test_unmapped_tlds_are_none(self):
+        labeler = CcTldLabeler()
+        assert labeler.label("http://www.example.com/") is None
+        assert labeler.label("http://www.example.net/") is None
+        assert labeler.label("http://www.admin.ch/") is None
+
+    def test_plus_mode_assigns_com_org_to_english(self):
+        plus = CcTldLabeler(plus=True)
+        # The paper's motivating failure: a German page on .com is
+        # labelled English by ccTLD+.
+        assert plus.label("http://www.wasserbett-test.com") is Language.ENGLISH
+        assert plus.label("http://www.example.org/") is Language.ENGLISH
+
+    def test_plus_mode_leaves_cctlds_alone(self):
+        plus = CcTldLabeler(plus=True)
+        assert plus.label("http://www.heise.de/") is Language.GERMAN
+
+    def test_plus_mode_still_none_for_net(self):
+        assert CcTldLabeler(plus=True).label("http://x.net/") is None
+
+    def test_names(self):
+        assert CcTldLabeler().name == "ccTLD"
+        assert CcTldLabeler(plus=True).name == "ccTLD+"
+
+    def test_label_many(self):
+        labeler = CcTldLabeler()
+        labels = labeler.label_many(["http://a.de/", "http://b.com/"])
+        assert labels == [Language.GERMAN, None]
+
+    def test_tld_only_not_path(self):
+        # only the TLD counts; a /de/ path segment is ignored
+        assert CcTldLabeler().label("http://example.com/de/") is None
+
+
+class TestCcTldBinaryClassifier:
+    def test_predict_url(self):
+        german = CcTldBinaryClassifier("de")
+        assert german.predict_url("http://www.spiegel.de/") is True
+        assert german.predict_url("http://www.lemonde.fr/") is False
+
+    def test_fit_is_noop(self):
+        clf = CcTldBinaryClassifier("fr")
+        assert clf.fit([], []) is clf
+
+    def test_name_reflects_plus(self):
+        assert CcTldBinaryClassifier("en", plus=True).name == "ccTLD+"
+
+    def test_feature_vector_interface_not_supported(self):
+        clf = CcTldBinaryClassifier("de")
+        with pytest.raises(NotImplementedError):
+            clf.decision_score({"w:de": 1.0})
+        with pytest.raises(NotImplementedError):
+            clf.predict({"w:de": 1.0})

@@ -1,0 +1,120 @@
+"""Tests for the decision tree classifier."""
+
+import pytest
+
+from repro.algorithms.decision_tree import DecisionTreeClassifier
+
+
+def threshold_data():
+    """Positive iff feature "x" >= 2 (with a distractor feature)."""
+    vectors, labels = [], []
+    for x in range(5):
+        for _ in range(8):
+            vectors.append({"x": float(x), "noise": float(x % 2)})
+            labels.append(x >= 2)
+    return vectors, labels
+
+
+class TestDecisionTree:
+    def test_learns_threshold_rule(self):
+        vectors, labels = threshold_data()
+        clf = DecisionTreeClassifier(min_samples_leaf=2).fit(vectors, labels)
+        assert clf.predict({"x": 4.0}) is True
+        assert clf.predict({"x": 0.0}) is False
+        assert clf.predict({"x": 2.0}) is True
+        assert clf.predict({"x": 1.0}) is False
+
+    def test_learns_toy_problem(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = DecisionTreeClassifier(min_samples_leaf=2).fit(vectors, labels)
+        positive, negative = toy_test
+        assert clf.predict(positive) is True
+        assert clf.predict(negative) is False
+
+    def test_missing_feature_treated_as_zero(self):
+        vectors, labels = threshold_data()
+        clf = DecisionTreeClassifier(min_samples_leaf=2).fit(vectors, labels)
+        assert clf.predict({}) is False  # x absent -> 0 -> below threshold
+
+    def test_root_splits_on_informative_feature(self):
+        vectors, labels = threshold_data()
+        clf = DecisionTreeClassifier(min_samples_leaf=2).fit(vectors, labels)
+        assert clf.root is not None
+        assert clf.root.feature == "x"
+
+    def test_max_depth_limits(self):
+        vectors, labels = threshold_data()
+        clf = DecisionTreeClassifier(max_depth=1, min_samples_leaf=2).fit(
+            vectors, labels
+        )
+        assert clf.depth() <= 1
+
+    def test_pruned_copy(self):
+        vectors, labels = toy = threshold_data()
+        clf = DecisionTreeClassifier(min_samples_leaf=2).fit(vectors, labels)
+        pruned = clf.pruned(0)
+        assert pruned.depth() == 0
+        assert clf.depth() >= 1  # original untouched
+        assert pruned.n_leaves() == 1
+
+    def test_format_tree_contains_labels(self):
+        vectors, labels = threshold_data()
+        clf = DecisionTreeClassifier(min_samples_leaf=2).fit(vectors, labels)
+        text = clf.format_tree()
+        assert "x >=" in text
+        assert "YES" in text and "NO" in text
+        assert "s=" in text  # success ratios, Figure 1 style
+
+    def test_format_tree_describe_hook(self):
+        vectors, labels = threshold_data()
+        clf = DecisionTreeClassifier(min_samples_leaf=2).fit(vectors, labels)
+        text = clf.format_tree(describe=lambda name: f"<{name.upper()}>")
+        assert "<X>" in text
+
+    def test_success_ratio_bounds(self):
+        vectors, labels = threshold_data()
+        clf = DecisionTreeClassifier(min_samples_leaf=2).fit(vectors, labels)
+
+        def walk(node):
+            assert 0.5 <= node.success_ratio <= 1.0
+            if not node.is_leaf:
+                walk(node.left)
+                walk(node.right)
+
+        walk(clf.root)
+
+    def test_decision_score_sign_matches_predict(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = DecisionTreeClassifier(min_samples_leaf=2).fit(vectors, labels)
+        for vector in toy_test:
+            assert (clf.decision_score(vector) > 0) == clf.predict(vector)
+
+    def test_explicit_feature_names(self):
+        vectors, labels = threshold_data()
+        clf = DecisionTreeClassifier(feature_names=["x"], min_samples_leaf=2)
+        clf.fit(vectors, labels)
+        assert clf.feature_names == ("x",)  # noise excluded from splits
+
+    def test_criterion_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="entropy")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().decision_score({"x": 1.0})
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().format_tree()
+
+    def test_misclassification_criterion(self):
+        vectors, labels = threshold_data()
+        clf = DecisionTreeClassifier(
+            criterion="misclassification", min_samples_leaf=2
+        ).fit(vectors, labels)
+        assert clf.predict({"x": 4.0}) is True
+        assert clf.predict({"x": 0.0}) is False

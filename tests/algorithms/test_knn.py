@@ -1,0 +1,63 @@
+"""Tests for the kNN classifier (the paper's omitted algorithm)."""
+
+import pytest
+
+from repro.algorithms.knn import KNearestNeighborsClassifier
+
+
+class TestKnn:
+    def test_learns_separable_toy(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = KNearestNeighborsClassifier(k=5).fit(vectors, labels)
+        positive, negative = toy_test
+        assert clf.predict(positive) is True
+        assert clf.predict(negative) is False
+
+    def test_k1_memorises_training_points(self, toy_training):
+        vectors, labels = toy_training
+        clf = KNearestNeighborsClassifier(k=1).fit(vectors, labels)
+        for vector, label in zip(vectors[:20], labels[:20]):
+            assert clf.predict(vector) is label
+
+    def test_no_overlap_says_no(self, toy_training):
+        vectors, labels = toy_training
+        clf = KNearestNeighborsClassifier(k=3).fit(vectors, labels)
+        assert clf.predict({"unrelated": 1.0}) is False
+
+    def test_empty_query_says_no(self, toy_training):
+        vectors, labels = toy_training
+        clf = KNearestNeighborsClassifier(k=3).fit(vectors, labels)
+        assert clf.predict({}) is False
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KNearestNeighborsClassifier(k=0)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KNearestNeighborsClassifier().decision_score({"a": 1.0})
+
+    def test_majority_vote(self):
+        vectors = [
+            {"a": 1.0}, {"a": 1.0, "b": 0.1}, {"a": 1.0, "c": 0.1},
+            {"a": 1.0, "z": 3.0}, {"a": 1.0, "z": 3.1},
+        ]
+        labels = [True, True, True, False, False]
+        clf = KNearestNeighborsClassifier(k=5).fit(vectors, labels)
+        # query close to the three positives
+        assert clf.predict({"a": 1.0}) is True
+
+    def test_underperforms_on_url_task(self, small_train, small_bundle):
+        """The reason the paper dropped kNN: 'considerably worse results
+        in preliminary experiments'.  Reproduce the preliminary check."""
+        from repro.core.pipeline import LanguageIdentifier
+        from repro.evaluation.metrics import average_f
+
+        knn = LanguageIdentifier(
+            "words", "kNN", algorithm_kwargs={"k": 5}
+        ).fit(small_train)
+        nb = LanguageIdentifier("words", "NB").fit(small_train)
+        test = small_bundle.odp_test
+        knn_f = average_f(list(knn.evaluate(test).values()))
+        nb_f = average_f(list(nb.evaluate(test).values()))
+        assert knn_f < nb_f

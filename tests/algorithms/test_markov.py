@@ -1,0 +1,80 @@
+"""Tests for the character-level Markov-chain classifier."""
+
+import pytest
+
+from repro.algorithms.markov import MarkovChainClassifier
+from repro.features.ngrams import TrigramFeatureExtractor
+
+
+def trigram_data():
+    """German-ish vs English-ish URLs as trigram vectors."""
+    extractor = TrigramFeatureExtractor()
+    german = [
+        "http://blumenhaus.de/strassen", "http://zeitschrift.de/wirtschaft",
+        "http://oeffnung.de/geschichte", "http://schmetterling.de/schloss",
+        "http://verzeichnis.de/zeitung", "http://strassenbahn.de/schule",
+    ]
+    english = [
+        "http://weather.com/forecast", "http://shopping.com/cheapest",
+        "http://thinking.com/knowledge", "http://searching.com/through",
+        "http://wishing.com/weather", "http://theater.com/thoughts",
+    ]
+    vectors = [extractor.extract(url) for url in german + english]
+    labels = [True] * len(german) + [False] * len(english)
+    return extractor, vectors, labels
+
+
+class TestMarkovChain:
+    def test_learns_character_statistics(self):
+        extractor, vectors, labels = trigram_data()
+        clf = MarkovChainClassifier().fit(vectors, labels)
+        german_like = extractor.extract("http://strassenschild.de/")
+        english_like = extractor.extract("http://weathershop.com/")
+        assert clf.predict(german_like) is True
+        assert clf.predict(english_like) is False
+
+    def test_loglikelihood_negative(self):
+        extractor, vectors, labels = trigram_data()
+        clf = MarkovChainClassifier().fit(vectors, labels)
+        vector = extractor.extract("http://zeitung.de/")
+        assert clf.log_likelihood(vector, True) < 0.0
+        assert clf.log_likelihood(vector, False) < 0.0
+
+    def test_requires_trigram_features(self):
+        with pytest.raises(ValueError, match="trigram features"):
+            MarkovChainClassifier().fit(
+                [{"w:token": 1.0}, {"w:other": 1.0}], [True, False]
+            )
+
+    def test_empty_vector_neutral(self):
+        _, vectors, labels = trigram_data()
+        clf = MarkovChainClassifier().fit(vectors, labels)
+        assert clf.decision_score({}) == 0.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            MarkovChainClassifier(alpha=0.0)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MarkovChainClassifier().log_likelihood({"t:abc": 1.0}, True)
+
+    def test_transition_conditioning(self):
+        # P(c|ab) must sum over observed continuations to < 1 (smoothed).
+        _, vectors, labels = trigram_data()
+        clf = MarkovChainClassifier(alpha=0.1).fit(vectors, labels)
+        import math
+
+        prefix_mass = sum(
+            math.exp(clf._log_transition("sc" + ch, True))
+            for ch in "abcdefghijklmnopqrstuvwxyz "
+        )
+        assert prefix_mass == pytest.approx(1.0, abs=0.05)
+
+    def test_registry_access(self):
+        from repro.algorithms import make_classifier
+
+        assert isinstance(make_classifier("MM"), MarkovChainClassifier)
+        from repro.algorithms.rank_order import RankOrderClassifier
+
+        assert isinstance(make_classifier("RO"), RankOrderClassifier)

@@ -1,0 +1,90 @@
+"""Tests for the Maximum Entropy classifier (all three trainers)."""
+
+import pytest
+
+from repro.algorithms.maxent import MaxEntClassifier
+
+
+@pytest.mark.parametrize("method", ["lbfgs", "iis", "gd"])
+class TestMaxEntAllMethods:
+    def test_learns_separable_toy(self, method, toy_training, toy_test):
+        vectors, labels = toy_training
+        iterations = 40 if method != "gd" else 120
+        clf = MaxEntClassifier(method=method, iterations=iterations).fit(
+            vectors, labels
+        )
+        positive, negative = toy_test
+        assert clf.predict(positive) is True
+        assert clf.predict(negative) is False
+
+    def test_probability_in_unit_interval(self, method, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = MaxEntClassifier(method=method, iterations=15).fit(vectors, labels)
+        positive, negative = toy_test
+        for vector in (positive, negative, {}):
+            assert 0.0 <= clf.probability(vector) <= 1.0
+
+    def test_probability_ordering(self, method, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = MaxEntClassifier(method=method, iterations=30).fit(vectors, labels)
+        positive, negative = toy_test
+        assert clf.probability(positive) > clf.probability(negative)
+
+
+class TestMaxEntSpecifics:
+    def test_default_method_is_lbfgs(self):
+        assert MaxEntClassifier().method == "lbfgs"
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError, match="method"):
+            MaxEntClassifier(method="sgd")
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError, match="iterations"):
+            MaxEntClassifier(iterations=0)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MaxEntClassifier().decision_score({"a": 1.0})
+
+    def test_iis_is_scale_invariant(self, toy_training, toy_test):
+        """The IIS trainer works on L1-normalised frequencies (Nigam et
+        al.), so scaling a test vector must not change its score."""
+        vectors, labels = toy_training
+        clf = MaxEntClassifier(method="iis", iterations=10).fit(vectors, labels)
+        positive, _ = toy_test
+        scaled = {name: 50.0 * value for name, value in positive.items()}
+        assert clf.decision_score(scaled) == pytest.approx(
+            clf.decision_score(positive)
+        )
+
+    def test_more_iterations_fit_better(self, toy_training):
+        vectors, labels = toy_training
+        under = MaxEntClassifier(method="iis", iterations=1).fit(vectors, labels)
+        full = MaxEntClassifier(method="iis", iterations=25).fit(vectors, labels)
+
+        def training_accuracy(clf):
+            return sum(
+                clf.predict(v) == label for v, label in zip(vectors, labels)
+            ) / len(labels)
+
+        assert training_accuracy(full) >= training_accuracy(under)
+
+    def test_unseen_features_ignored(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = MaxEntClassifier(iterations=20).fit(vectors, labels)
+        positive, _ = toy_test
+        with_unseen = dict(positive)
+        with_unseen["brand-new"] = 3.0
+        # lbfgs scores raw vectors; unseen features have no weight
+        assert clf.decision_score(with_unseen) == pytest.approx(
+            clf.decision_score(positive)
+        )
+
+    def test_l2_shrinks_weights(self, toy_training):
+        vectors, labels = toy_training
+        loose = MaxEntClassifier(iterations=60, l2=1e-6).fit(vectors, labels)
+        tight = MaxEntClassifier(iterations=60, l2=1.0).fit(vectors, labels)
+        loose_norm = sum(w * w for w in loose.weights.values())
+        tight_norm = sum(w * w for w in tight.weights.values())
+        assert tight_norm < loose_norm

@@ -1,0 +1,81 @@
+"""Tests for the multinomial Naive Bayes classifier."""
+
+import pytest
+
+from repro.algorithms.naive_bayes import NaiveBayesClassifier
+
+
+class TestNaiveBayes:
+    def test_learns_separable_toy(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = NaiveBayesClassifier().fit(vectors, labels)
+        positive, negative = toy_test
+        assert clf.predict(positive) is True
+        assert clf.predict(negative) is False
+
+    def test_decision_score_signs(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = NaiveBayesClassifier().fit(vectors, labels)
+        positive, negative = toy_test
+        assert clf.decision_score(positive) > 0 > clf.decision_score(negative)
+
+    def test_unseen_features_ignored(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = NaiveBayesClassifier().fit(vectors, labels)
+        positive, _ = toy_test
+        with_unseen = dict(positive)
+        with_unseen["never-seen-feature"] = 100.0
+        assert clf.decision_score(with_unseen) == pytest.approx(
+            clf.decision_score(positive)
+        )
+
+    def test_counts_matter(self):
+        vectors = [{"de": 1.0}, {"fr": 1.0}]
+        clf = NaiveBayesClassifier().fit(vectors, [True, False])
+        weak = clf.decision_score({"de": 1.0})
+        strong = clf.decision_score({"de": 3.0})
+        assert strong > weak > 0
+
+    def test_prior_reflects_imbalance(self):
+        vectors = [{"x": 1.0}] * 3 + [{"x": 1.0}] * 1
+        clf = NaiveBayesClassifier().fit(vectors, [True, True, True, False])
+        # identical likelihoods; prior 3:1 drives the positive decision
+        assert clf.predict({"x": 1.0}) is True
+
+    def test_feature_log_odds(self, toy_training):
+        vectors, labels = toy_training
+        clf = NaiveBayesClassifier().fit(vectors, labels)
+        assert clf.feature_log_odds("f0") > 0
+        assert clf.feature_log_odds("f2") < 0
+
+    def test_empty_vector_scores_prior(self):
+        vectors = [{"a": 1.0}] * 2 + [{"b": 1.0}] * 2
+        clf = NaiveBayesClassifier().fit(vectors, [True, True, False, False])
+        assert clf.decision_score({}) == pytest.approx(0.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            NaiveBayesClassifier(alpha=0.0)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            NaiveBayesClassifier().decision_score({"a": 1.0})
+
+    def test_negative_values_ignored(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = NaiveBayesClassifier().fit(vectors, labels)
+        positive, _ = toy_test
+        noisy = dict(positive)
+        noisy["f2"] = -5.0  # negative counts are not meaningful; ignored
+        assert clf.decision_score(noisy) == pytest.approx(
+            clf.decision_score(positive)
+        )
+
+    def test_smoothing_strength(self):
+        vectors = [{"rare": 1.0, "common": 5.0}, {"common": 5.0}]
+        weak = NaiveBayesClassifier(alpha=10.0).fit(vectors, [True, False])
+        strong = NaiveBayesClassifier(alpha=0.01).fit(vectors, [True, False])
+        # less smoothing -> the rare feature is more decisive
+        assert strong.decision_score({"rare": 1.0}) > weak.decision_score(
+            {"rare": 1.0}
+        )

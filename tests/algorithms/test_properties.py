@@ -1,0 +1,61 @@
+"""Cross-algorithm property tests (hypothesis).
+
+Invariants every binary classifier in the library must satisfy,
+regardless of training data: decision/predict consistency, determinism,
+and robustness to irrelevant perturbations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import make_classifier
+
+ALGOS = ("NB", "RE", "ME", "DT", "kNN", "RO")
+
+#: Random sparse vectors over a small feature alphabet.
+VECTOR = st.dictionaries(
+    st.sampled_from(["f0", "f1", "f2", "f3", "shared"]),
+    st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+    min_size=1,
+    max_size=5,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_all(toy_training):
+    vectors, labels = toy_training
+    fitted = {}
+    for name in ALGOS:
+        kwargs = {"iterations": 15} if name == "ME" else {}
+        fitted[name] = make_classifier(name, **kwargs).fit(vectors, labels)
+    return fitted
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+class TestClassifierInvariants:
+    @given(vector=VECTOR)
+    @settings(max_examples=25, deadline=None)
+    def test_predict_matches_score_sign(self, algo, fitted_all, vector):
+        clf = fitted_all[algo]
+        assert clf.predict(vector) == (clf.decision_score(vector) > 0.0)
+
+    @given(vector=VECTOR)
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, algo, fitted_all, vector):
+        clf = fitted_all[algo]
+        assert clf.decision_score(vector) == clf.decision_score(vector)
+
+    @given(vector=VECTOR)
+    @settings(max_examples=25, deadline=None)
+    def test_score_is_finite(self, algo, fitted_all, vector):
+        import math
+
+        score = fitted_all[algo].decision_score(vector)
+        assert math.isfinite(score)
+
+    @given(vectors=st.lists(VECTOR, min_size=1, max_size=5))
+    @settings(max_examples=10, deadline=None)
+    def test_predict_many_matches_predict(self, algo, fitted_all, vectors):
+        clf = fitted_all[algo]
+        assert clf.predict_many(vectors) == [clf.predict(v) for v in vectors]

@@ -1,0 +1,57 @@
+"""Tests for the Cavnar-Trenkle rank-order classifier."""
+
+import pytest
+
+from repro.algorithms.rank_order import RankOrderClassifier
+
+
+class TestRankOrder:
+    def test_learns_separable_toy(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = RankOrderClassifier(profile_size=10).fit(vectors, labels)
+        positive, negative = toy_test
+        assert clf.predict(positive) is True
+        assert clf.predict(negative) is False
+
+    def test_out_of_place_nonnegative(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = RankOrderClassifier(profile_size=10).fit(vectors, labels)
+        for vector in toy_test:
+            assert clf.out_of_place(vector, True) >= 0.0
+            assert clf.out_of_place(vector, False) >= 0.0
+
+    def test_profile_feature_zero_distance(self):
+        # A test vector ranked identically to the class profile has
+        # out-of-place distance 0 to that class.
+        vectors = [{"a": 3.0, "b": 2.0, "c": 1.0}] * 5 + [{"z": 1.0}] * 5
+        labels = [True] * 5 + [False] * 5
+        clf = RankOrderClassifier(profile_size=5).fit(vectors, labels)
+        assert clf.out_of_place({"a": 3.0, "b": 2.0, "c": 1.0}, True) == 0.0
+
+    def test_unknown_features_max_penalty(self):
+        vectors = [{"a": 1.0}] * 3 + [{"b": 1.0}] * 3
+        labels = [True] * 3 + [False] * 3
+        clf = RankOrderClassifier(profile_size=7).fit(vectors, labels)
+        assert clf.out_of_place({"zzz": 1.0}, True) == 7.0
+
+    def test_empty_vector(self, toy_training):
+        vectors, labels = toy_training
+        clf = RankOrderClassifier(profile_size=10).fit(vectors, labels)
+        assert clf.out_of_place({}, True) == 10.0
+
+    def test_profile_size_validation(self):
+        with pytest.raises(ValueError):
+            RankOrderClassifier(profile_size=0)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RankOrderClassifier().out_of_place({"a": 1.0}, True)
+
+    def test_length_normalisation(self):
+        # The same distribution repeated should not change the decision.
+        vectors = [{"a": 2.0, "b": 1.0}] * 4 + [{"c": 2.0, "d": 1.0}] * 4
+        labels = [True] * 4 + [False] * 4
+        clf = RankOrderClassifier(profile_size=10).fit(vectors, labels)
+        short = clf.decision_score({"a": 2.0, "b": 1.0})
+        long = clf.decision_score({"a": 20.0, "b": 10.0})
+        assert (short > 0) == (long > 0)

@@ -1,0 +1,45 @@
+"""Tests for the algorithm factory registry."""
+
+import pytest
+
+from repro.algorithms import (
+    ALGORITHMS,
+    DecisionTreeClassifier,
+    KNearestNeighborsClassifier,
+    MaxEntClassifier,
+    NaiveBayesClassifier,
+    RelativeEntropyClassifier,
+    make_classifier,
+)
+
+
+class TestRegistry:
+    def test_all_paper_abbreviations(self):
+        # NB/DT/RE/ME: the paper's grid.  kNN: dropped in Section 3.2.
+        # RO/MM: the related-work methods rejected for RE in Section 2.
+        assert set(ALGORITHMS) == {"NB", "DT", "RE", "ME", "kNN", "RO", "MM"}
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("NB", NaiveBayesClassifier),
+            ("DT", DecisionTreeClassifier),
+            ("RE", RelativeEntropyClassifier),
+            ("ME", MaxEntClassifier),
+            ("kNN", KNearestNeighborsClassifier),
+        ],
+    )
+    def test_make_classifier(self, name, cls):
+        assert isinstance(make_classifier(name), cls)
+
+    def test_make_classifier_kwargs(self):
+        clf = make_classifier("NB", alpha=0.5)
+        assert clf.alpha == 0.5
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_classifier("SVM")
+
+    def test_names_match_paper_labels(self):
+        for name, factory in ALGORITHMS.items():
+            assert factory().name == name

@@ -1,0 +1,68 @@
+"""Tests for the Relative Entropy classifier."""
+
+import pytest
+
+from repro.algorithms.relative_entropy import RelativeEntropyClassifier
+
+
+class TestRelativeEntropy:
+    def test_learns_separable_toy(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = RelativeEntropyClassifier().fit(vectors, labels)
+        positive, negative = toy_test
+        assert clf.predict(positive) is True
+        assert clf.predict(negative) is False
+
+    def test_divergence_nonnegative(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = RelativeEntropyClassifier().fit(vectors, labels)
+        positive, negative = toy_test
+        for vector in (positive, negative):
+            assert clf.divergence(vector, True) >= -1e-12
+            assert clf.divergence(vector, False) >= -1e-12
+
+    def test_closer_class_wins(self, toy_training, toy_test):
+        vectors, labels = toy_training
+        clf = RelativeEntropyClassifier().fit(vectors, labels)
+        positive, _ = toy_test
+        assert clf.divergence(positive, True) < clf.divergence(positive, False)
+
+    def test_unknown_features_dropped(self, toy_training):
+        vectors, labels = toy_training
+        clf = RelativeEntropyClassifier().fit(vectors, labels)
+        assert clf.divergence({"totally-new": 5.0}, True) == 0.0
+        assert clf.decision_score({"totally-new": 5.0}) == 0.0
+
+    def test_empty_vector_neutral(self, toy_training):
+        vectors, labels = toy_training
+        clf = RelativeEntropyClassifier().fit(vectors, labels)
+        assert clf.decision_score({}) == 0.0
+
+    def test_scale_invariance(self, toy_training, toy_test):
+        """RE works on L1-normalised distributions, so scaling the test
+        vector must not change the decision."""
+        vectors, labels = toy_training
+        clf = RelativeEntropyClassifier().fit(vectors, labels)
+        positive, _ = toy_test
+        scaled = {name: 100.0 * value for name, value in positive.items()}
+        assert clf.decision_score(scaled) == pytest.approx(
+            clf.decision_score(positive)
+        )
+
+    def test_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            RelativeEntropyClassifier(smoothing=0.0)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RelativeEntropyClassifier().divergence({"a": 1.0}, True)
+
+    def test_identical_distribution_zero_divergence(self):
+        # Train a class on a single distribution; testing that exact
+        # distribution must yield (near-)minimal divergence.
+        vectors = [{"a": 1.0, "b": 1.0}] * 5 + [{"c": 1.0}] * 5
+        labels = [True] * 5 + [False] * 5
+        clf = RelativeEntropyClassifier(smoothing=0.01).fit(vectors, labels)
+        d_same = clf.divergence({"a": 1.0, "b": 1.0}, True)
+        d_other = clf.divergence({"c": 1.0}, True)
+        assert d_same < d_other

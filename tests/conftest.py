@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.records import Corpus, LabeledUrl
+from repro.datasets import build_datasets
+from repro.languages import Language
+
+
+@pytest.fixture(scope="session")
+def toy_training():
+    """A small, noisy but separable binary problem over sparse vectors.
+
+    Positive vectors emphasise features f0/f1, negative ones f2/f3, with
+    a shared neutral feature.  Deterministic.
+    """
+    rng = random.Random(7)
+    vectors, labels = [], []
+    for _ in range(60):
+        vectors.append(
+            {
+                "f0": 1.0 + rng.random(),
+                "f1": rng.random(),
+                "shared": 1.0,
+                **({"f2": 0.3} if rng.random() < 0.2 else {}),
+            }
+        )
+        labels.append(True)
+        vectors.append(
+            {
+                "f2": 1.0 + rng.random(),
+                "f3": rng.random(),
+                "shared": 1.0,
+                **({"f0": 0.3} if rng.random() < 0.2 else {}),
+            }
+        )
+        labels.append(False)
+    return vectors, labels
+
+
+@pytest.fixture(scope="session")
+def toy_test():
+    positive = {"f0": 1.2, "f1": 0.5, "shared": 1.0}
+    negative = {"f2": 1.2, "f3": 0.5, "shared": 1.0}
+    return positive, negative
+
+
+@pytest.fixture(scope="session")
+def small_bundle():
+    """A small but realistic dataset bundle shared across tests."""
+    return build_datasets(seed=11, scale=0.15, wc_scale=0.5)
+
+
+@pytest.fixture(scope="session")
+def small_train(small_bundle):
+    return small_bundle.combined_train
+
+
+def make_corpus(counts: dict[str, int], name: str = "toy") -> Corpus:
+    """Tiny deterministic corpus with per-language hand-written URLs."""
+    stems = {
+        "en": "http://www.weather-news.com/story{i}.html",
+        "de": "http://www.blumen-haus.de/garten{i}.html",
+        "fr": "http://www.recherche.fr/produits{i}.html",
+        "es": "http://www.noticias.es/paginas{i}.html",
+        "it": "http://www.giornale.it/pagina{i}.html",
+    }
+    records = []
+    for code, count in counts.items():
+        for i in range(count):
+            records.append(
+                LabeledUrl(
+                    url=stems[code].format(i=i),
+                    language=Language.coerce(code),
+                )
+            )
+    return Corpus(records=records, name=name)

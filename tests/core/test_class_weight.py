@@ -1,0 +1,63 @@
+"""Tests for the positive/negative weighting option (Section 3.2)."""
+
+import pytest
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.languages import LANGUAGES
+
+
+class TestPositiveWeight:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive_weight"):
+            LanguageIdentifier("words", "NB", positive_weight=0)
+        with pytest.raises(ValueError, match="positive_weight"):
+            LanguageIdentifier("words", "NB", positive_weight=-1)
+        with pytest.raises(ValueError, match="positive_weight"):
+            LanguageIdentifier("words", "NB", positive_weight=1.5)
+
+    def test_weight_one_is_default_behaviour(self, small_train, small_bundle):
+        default = LanguageIdentifier("words", "NB", seed=0).fit(small_train)
+        explicit = LanguageIdentifier(
+            "words", "NB", seed=0, positive_weight=1
+        ).fit(small_train)
+        urls = small_bundle.odp_test.urls[:30]
+        assert default.decisions(urls) == explicit.decisions(urls)
+
+    def test_positive_weight_leans_recall(self, small_train, small_bundle):
+        """Repeating positives makes every binary classifier more eager
+        to say yes: recall up, negative success ratio down."""
+        symmetric = LanguageIdentifier("words", "NB", seed=0).fit(small_train)
+        recall_leaning = LanguageIdentifier(
+            "words", "NB", seed=0, positive_weight=3
+        ).fit(small_train)
+        test = small_bundle.odp_test
+
+        def averages(identifier):
+            metrics = identifier.evaluate(test)
+            recall = sum(m.recall for m in metrics.values()) / 5
+            nsr = sum(m.negative_success_ratio for m in metrics.values()) / 5
+            return recall, nsr
+
+        base_recall, base_nsr = averages(symmetric)
+        up_recall, up_nsr = averages(recall_leaning)
+        assert up_recall >= base_recall
+        assert up_nsr <= base_nsr
+
+    def test_negative_weight_leans_precision(self, small_train, small_bundle):
+        symmetric = LanguageIdentifier("words", "NB", seed=0).fit(small_train)
+        precision_leaning = LanguageIdentifier(
+            "words", "NB", seed=0, positive_weight=-3
+        ).fit(small_train)
+        test = small_bundle.odp_test
+
+        def average_nsr(identifier):
+            metrics = identifier.evaluate(test)
+            return sum(m.negative_success_ratio for m in metrics.values()) / 5
+
+        assert average_nsr(precision_leaning) >= average_nsr(symmetric)
+
+    def test_all_languages_trained(self, small_train):
+        identifier = LanguageIdentifier(
+            "words", "NB", positive_weight=2
+        ).fit(small_train)
+        assert set(identifier.classifiers) == set(LANGUAGES)

@@ -1,0 +1,126 @@
+"""Tests for classifier merging (Section 3.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.combination import (
+    BEST_COMBINATIONS,
+    PRECISION,
+    RECALL,
+    CombinedIdentifier,
+    CombinationSpec,
+    merge_decisions,
+)
+from repro.core.pipeline import LanguageIdentifier
+from repro.evaluation.metrics import evaluate_binary
+from repro.languages import LANGUAGES, Language
+
+BOOLS = st.lists(st.booleans(), min_size=1, max_size=50)
+
+
+class TestMergeDecisions:
+    def test_recall_is_or(self):
+        assert merge_decisions([True, False, False], [False, False, True], RECALL) \
+            == [True, False, True]
+
+    def test_precision_is_and(self):
+        assert merge_decisions([True, True, False], [True, False, True], PRECISION) \
+            == [True, False, False]
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            merge_decisions([True], [True], "accuracy")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            merge_decisions([True], [True, False], RECALL)
+
+    @given(st.tuples(BOOLS, BOOLS).filter(lambda p: len(p[0]) == len(p[1])))
+    def test_or_never_lowers_recall(self, pair):
+        main, helper = pair
+        merged = merge_decisions(main, helper, RECALL)
+        assert all(m >= a for m, a in zip(merged, main))
+
+    @given(st.tuples(BOOLS, BOOLS).filter(lambda p: len(p[0]) == len(p[1])))
+    def test_and_never_raises_yes_count(self, pair):
+        main, helper = pair
+        merged = merge_decisions(main, helper, PRECISION)
+        assert sum(merged) <= min(sum(main), sum(helper))
+
+    @given(BOOLS)
+    def test_self_merge_identity(self, decisions):
+        assert merge_decisions(decisions, decisions, RECALL) == list(decisions)
+        assert merge_decisions(decisions, decisions, PRECISION) == list(decisions)
+
+
+class TestRecallPrecisionGuarantees:
+    """The structural guarantees of Section 3.3 on real classifiers."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, small_train):
+        nb = LanguageIdentifier("words", "NB", seed=0).fit(small_train)
+        re = LanguageIdentifier("words", "RE", seed=0).fit(small_train)
+        return nb, re
+
+    def test_or_merge_recall_at_least_main(self, fitted, small_bundle):
+        nb, re = fitted
+        test = small_bundle.odp_test
+        combined = CombinedIdentifier(nb, re, RECALL)
+        merged = combined.evaluate(test)
+        single = nb.evaluate(test)
+        for language in LANGUAGES:
+            assert merged[language].recall >= single[language].recall - 1e-9
+
+    def test_and_merge_nsr_at_least_main(self, fitted, small_bundle):
+        nb, re = fitted
+        test = small_bundle.odp_test
+        combined = CombinedIdentifier(nb, re, PRECISION)
+        merged = combined.evaluate(test)
+        single = nb.evaluate(test)
+        for language in LANGUAGES:
+            assert (
+                merged[language].negative_success_ratio
+                >= single[language].negative_success_ratio - 1e-9
+            )
+
+    def test_per_language_modes(self, fitted, small_bundle):
+        nb, re = fitted
+        modes = {Language.GERMAN: RECALL}  # others fall back to main
+        combined = CombinedIdentifier(nb, re, modes)
+        test = small_bundle.odp_test
+        merged = combined.decisions(test.urls)
+        main_only = nb.decisions(test.urls)
+        assert merged[Language.FRENCH] == main_only[Language.FRENCH]
+        assert merged[Language.GERMAN] != main_only[Language.GERMAN] or True
+
+    def test_confusion_available(self, fitted, small_bundle):
+        nb, re = fitted
+        combined = CombinedIdentifier(nb, re, RECALL)
+        matrix = combined.confusion(small_bundle.odp_test)
+        assert matrix.row_counts
+
+
+class TestBestCombinations:
+    def test_recipes_cover_all_languages(self):
+        assert set(BEST_COMBINATIONS) == set(LANGUAGES)
+
+    def test_paper_recipes(self):
+        english = BEST_COMBINATIONS[Language.ENGLISH]
+        assert (english.main_algorithm, english.helper_algorithm) == ("ME", "RE")
+        assert english.mode == RECALL
+        spanish = BEST_COMBINATIONS[Language.SPANISH]
+        assert spanish.mode == PRECISION
+        assert spanish.main_features == "trigrams"
+
+    def test_word_features_in_every_recipe(self):
+        # Section 5.6: "in all combinations at least one algorithm used
+        # word features".
+        for spec in BEST_COMBINATIONS.values():
+            assert "words" in (spec.main_features, spec.helper_features)
+
+    def test_describe(self):
+        spec = CombinationSpec("NB", "words", "RE", "trigrams", RECALL)
+        assert spec.describe() == "NB/words OR RE/trigrams"
+        spec = CombinationSpec("NB", "words", "RE", "trigrams", PRECISION)
+        assert "AND" in spec.describe()

@@ -1,0 +1,75 @@
+"""Tests for the validation-driven combination search (Section 5.6's
+procedure)."""
+
+import pytest
+
+from repro.core.combination import search_best_combination
+from repro.core.pipeline import LanguageIdentifier
+from repro.evaluation.metrics import average_f, evaluate_binary
+from repro.languages import LANGUAGES
+
+
+@pytest.fixture(scope="module")
+def fitted(small_train):
+    keys = (("NB", "words"), ("RE", "words"), ("NB", "trigrams"))
+    return {
+        key: LanguageIdentifier(key[1], key[0], seed=0).fit(small_train)
+        for key in keys
+    }
+
+
+class TestSearchBestCombination:
+    def test_never_worse_than_best_single(self, fitted, small_bundle):
+        validation = small_bundle.odp_test
+        _, combined = search_best_combination(fitted, validation)
+        merged = combined.evaluate(validation)
+
+        decisions = {
+            key: ident.decisions(validation.urls) for key, ident in fitted.items()
+        }
+        for language in LANGUAGES:
+            best_single = max(
+                evaluate_binary(
+                    decisions[key][language],
+                    [t == language for t in validation.labels],
+                ).f_measure
+                for key in fitted
+            )
+            assert merged[language].f_measure >= best_single - 1e-9
+
+    def test_specs_reference_fitted_keys(self, fitted, small_bundle):
+        specs, _ = search_best_combination(fitted, small_bundle.odp_test)
+        assert set(specs) == set(LANGUAGES)
+        for spec in specs.values():
+            if spec is None:
+                continue
+            assert (spec.main_algorithm, spec.main_features) in fitted
+            assert (spec.helper_algorithm, spec.helper_features) in fitted
+            assert spec.mode in ("recall", "precision")
+
+    def test_empty_fitted_raises(self, small_bundle):
+        with pytest.raises(ValueError):
+            search_best_combination({}, small_bundle.odp_test)
+
+    def test_single_identifier_degenerates_gracefully(
+        self, fitted, small_bundle
+    ):
+        only = {("NB", "words"): fitted[("NB", "words")]}
+        specs, combined = search_best_combination(only, small_bundle.odp_test)
+        # no pairs available -> every language keeps the single classifier
+        assert all(spec is None for spec in specs.values())
+        merged = combined.decisions(small_bundle.odp_test.urls[:20])
+        single = fitted[("NB", "words")].decisions(
+            small_bundle.odp_test.urls[:20]
+        )
+        assert merged == single
+
+    def test_generalises_beyond_validation(self, fitted, small_bundle):
+        """Selected on ODP, the combination should not collapse on SER."""
+        _, combined = search_best_combination(fitted, small_bundle.odp_test)
+        ser_f = average_f(list(combined.evaluate(small_bundle.ser_test).values()))
+        best_single_ser = max(
+            average_f(list(ident.evaluate(small_bundle.ser_test).values()))
+            for ident in fitted.values()
+        )
+        assert ser_f > best_single_ser - 0.05

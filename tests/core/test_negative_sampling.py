@@ -1,0 +1,45 @@
+"""Tests for the negative-sampling options of the pipeline (Section 4.1)."""
+
+import pytest
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.languages import LANGUAGES
+
+
+class TestNegativeSampling:
+    def test_invalid_option(self):
+        with pytest.raises(ValueError, match="negative_sampling"):
+            LanguageIdentifier("words", "NB", negative_sampling="half")
+
+    def test_all_negatives_more_conservative(self, small_train, small_bundle):
+        """Using all negatives dominates classifiers with "no" examples,
+        depressing recall — the paper's exact warning."""
+        balanced = LanguageIdentifier(
+            "words", "NB", seed=0, negative_sampling="balanced"
+        ).fit(small_train)
+        all_negatives = LanguageIdentifier(
+            "words", "NB", seed=0, negative_sampling="all"
+        ).fit(small_train)
+
+        test = small_bundle.odp_test
+        balanced_metrics = balanced.evaluate(test)
+        all_metrics = all_negatives.evaluate(test)
+
+        balanced_recall = sum(m.recall for m in balanced_metrics.values()) / 5
+        all_recall = sum(m.recall for m in all_metrics.values()) / 5
+        assert all_recall < balanced_recall
+
+        # ... but the conservative classifier gains negative success.
+        balanced_nsr = sum(
+            m.negative_success_ratio for m in balanced_metrics.values()
+        ) / 5
+        all_nsr = sum(
+            m.negative_success_ratio for m in all_metrics.values()
+        ) / 5
+        assert all_nsr > balanced_nsr
+
+    def test_all_mode_trains_every_language(self, small_train):
+        identifier = LanguageIdentifier(
+            "words", "NB", negative_sampling="all"
+        ).fit(small_train)
+        assert set(identifier.classifiers) == set(LANGUAGES)

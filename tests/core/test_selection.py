@@ -1,0 +1,103 @@
+"""Tests for greedy forward feature selection."""
+
+import random
+
+from repro.algorithms.decision_tree import DecisionTreeClassifier
+from repro.algorithms.naive_bayes import NaiveBayesClassifier
+from repro.core.selection import forward_select
+
+
+def synthetic_selection_problem(seed=0, n=120):
+    """Label depends on "signal" (strongly) and "weak" (mildly);
+    "noise" is irrelevant."""
+    rng = random.Random(seed)
+    vectors, labels = [], []
+    for _ in range(n):
+        label = rng.random() < 0.5
+        vector = {
+            "signal": 2.0 if label else 0.1,
+            "weak": (1.0 if label else 0.5) + rng.random(),
+            "noise": rng.random() * 3,
+        }
+        vectors.append(vector)
+        labels.append(label)
+    return vectors, labels
+
+
+class TestForwardSelect:
+    def test_picks_signal_first(self):
+        train_v, train_l = synthetic_selection_problem(seed=1)
+        valid_v, valid_l = synthetic_selection_problem(seed=2)
+        result = forward_select(
+            make_classifier=lambda: DecisionTreeClassifier(max_depth=3,
+                                                           min_samples_leaf=2),
+            candidate_features=["noise", "weak", "signal"],
+            train_vectors=train_v,
+            train_labels=train_l,
+            validation_vectors=valid_v,
+            validation_labels=valid_l,
+            max_features=2,
+        )
+        assert result.features[0] == "signal"
+
+    def test_respects_max_features(self):
+        train_v, train_l = synthetic_selection_problem(seed=1)
+        valid_v, valid_l = synthetic_selection_problem(seed=2)
+        result = forward_select(
+            make_classifier=lambda: DecisionTreeClassifier(max_depth=3,
+                                                           min_samples_leaf=2),
+            candidate_features=["signal", "weak", "noise"],
+            train_vectors=train_v,
+            train_labels=train_l,
+            validation_vectors=valid_v,
+            validation_labels=valid_l,
+            max_features=1,
+        )
+        assert len(result.features) == 1
+
+    def test_stops_without_improvement(self):
+        train_v, train_l = synthetic_selection_problem(seed=3)
+        valid_v, valid_l = synthetic_selection_problem(seed=4)
+        result = forward_select(
+            make_classifier=lambda: DecisionTreeClassifier(max_depth=3,
+                                                           min_samples_leaf=2),
+            candidate_features=["signal", "noise"],
+            train_vectors=train_v,
+            train_labels=train_l,
+            validation_vectors=valid_v,
+            validation_labels=valid_l,
+            max_features=5,
+            min_improvement=0.001,
+        )
+        # signal alone is near-perfect; noise cannot add .001 of F
+        assert len(result.features) <= 2
+
+    def test_monotone_f_measures(self):
+        train_v, train_l = synthetic_selection_problem(seed=5)
+        valid_v, valid_l = synthetic_selection_problem(seed=6)
+        result = forward_select(
+            make_classifier=lambda: DecisionTreeClassifier(max_depth=3,
+                                                           min_samples_leaf=2),
+            candidate_features=["signal", "weak", "noise"],
+            train_vectors=train_v,
+            train_labels=train_l,
+            validation_vectors=valid_v,
+            validation_labels=valid_l,
+            max_features=3,
+        )
+        values = [step.f_measure for step in result.steps]
+        assert values == sorted(values)
+
+    def test_best_f_property(self):
+        train_v, train_l = synthetic_selection_problem(seed=7)
+        valid_v, valid_l = synthetic_selection_problem(seed=8)
+        result = forward_select(
+            make_classifier=lambda: DecisionTreeClassifier(max_depth=3,
+                                                           min_samples_leaf=2),
+            candidate_features=["signal"],
+            train_vectors=train_v,
+            train_labels=train_l,
+            validation_vectors=valid_v,
+            validation_labels=valid_l,
+        )
+        assert result.best_f == max(s.f_measure for s in result.steps)

@@ -1,0 +1,41 @@
+"""Pickle round-trips: models must survive save/load (crawler deployments
+train offline and serve elsewhere)."""
+
+import pickle
+
+import pytest
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.languages import LANGUAGES
+
+
+@pytest.mark.parametrize(
+    "feature_set,algorithm",
+    [("words", "NB"), ("trigrams", "RE"), ("custom", "DT")],
+)
+class TestPickleRoundTrip:
+    def test_decisions_survive_pickle(
+        self, feature_set, algorithm, small_train, small_bundle
+    ):
+        identifier = LanguageIdentifier(feature_set, algorithm, seed=0).fit(
+            small_train.subsample(0.5, seed=1)
+        )
+        clone = pickle.loads(pickle.dumps(identifier))
+        urls = small_bundle.odp_test.urls[:40]
+        assert clone.decisions(urls) == identifier.decisions(urls)
+
+    def test_metadata_survives(self, feature_set, algorithm, small_train):
+        identifier = LanguageIdentifier(feature_set, algorithm, seed=0).fit(
+            small_train.subsample(0.5, seed=1)
+        )
+        clone = pickle.loads(pickle.dumps(identifier))
+        assert clone.name == identifier.name
+        assert set(clone.classifiers) == set(LANGUAGES)
+
+
+class TestBaselinePickle:
+    def test_cctld_identifier(self):
+        identifier = LanguageIdentifier(algorithm="ccTLD+")
+        clone = pickle.loads(pickle.dumps(identifier))
+        url = "http://www.wasserbett-test.com"
+        assert clone.predict_languages(url) == identifier.predict_languages(url)

@@ -1,0 +1,43 @@
+"""Tests for the training-pool orchestration helpers."""
+
+from repro.core.training import TrainedPool, evaluate_grid, language_f_table
+from repro.languages import LANGUAGES
+
+
+class TestTrainedPool:
+    def test_caches_fitted_identifiers(self, small_train):
+        pool = TrainedPool(train=small_train)
+        first = pool.get("NB", "words")
+        second = pool.get("NB", "words")
+        assert first is second
+
+    def test_distinct_keys_distinct_models(self, small_train):
+        pool = TrainedPool(train=small_train)
+        assert pool.get("NB", "words") is not pool.get("RE", "words")
+
+    def test_evaluate_run(self, small_train, small_bundle):
+        pool = TrainedPool(train=small_train)
+        run = pool.evaluate("NB", "words", small_bundle.odp_test, "ODP")
+        assert run.identifier_name == "NB/words"
+        assert run.test_name == "ODP"
+        assert 0.0 <= run.average_f <= 1.0
+        assert run.f_of("de") == run.per_language[LANGUAGES[1]].f_measure
+
+
+class TestGridHelpers:
+    def test_evaluate_grid(self, small_train, small_bundle):
+        pool = TrainedPool(train=small_train)
+        runs = evaluate_grid(
+            pool,
+            [("NB", "words")],
+            {"ODP": small_bundle.odp_test, "WC": small_bundle.wc_test},
+        )
+        assert len(runs) == 2
+        assert {run.test_name for run in runs} == {"ODP", "WC"}
+
+    def test_language_f_table(self, small_train, small_bundle):
+        pool = TrainedPool(train=small_train)
+        run = pool.evaluate("NB", "words", small_bundle.odp_test, "ODP")
+        cells = language_f_table({"ODP": run})
+        assert len(cells) == 5
+        assert ("German", "ODP") in cells

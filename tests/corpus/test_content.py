@@ -1,0 +1,78 @@
+"""Tests for synthetic page-content generation (Section 7 substrate)."""
+
+import random
+
+from repro.corpus.content import (
+    CROSS_LANGUAGE_RATE,
+    FUNCTION_WORD_RATE,
+    FUNCTION_WORDS,
+    contents_for,
+    generate_content,
+)
+from repro.data.wordlists import get_lexicon
+from repro.languages import LANGUAGES, Language
+
+
+class TestGenerateContent:
+    def test_word_count(self):
+        rng = random.Random(0)
+        text = generate_content("de", rng, n_words=50)
+        assert len(text.split()) == 50
+
+    def test_deterministic(self):
+        first = generate_content("fr", random.Random(1), 80)
+        second = generate_content("fr", random.Random(1), 80)
+        assert first == second
+
+    def test_language_vocabulary_dominates(self):
+        rng = random.Random(2)
+        text = generate_content("it", rng, 400)
+        lexicon = get_lexicon("it")
+        words = text.split()
+        in_lexicon = sum(1 for word in words if word in lexicon.common_words)
+        assert in_lexicon / len(words) > 0.4
+
+    def test_collider_tokens_present(self):
+        """'it' must appear in English text, 'de' in French/Spanish —
+        the dilution mechanism of Section 7."""
+        rng = random.Random(3)
+        english = generate_content("en", rng, 2000)
+        assert " it " in f" {english} "
+        french = generate_content("fr", rng, 2000)
+        assert " de " in f" {french} "
+
+    def test_function_word_inventories_cover_all_languages(self):
+        assert set(FUNCTION_WORDS) == set(LANGUAGES)
+        for words in FUNCTION_WORDS.values():
+            assert all(len(word) == 2 for word in words)
+
+    def test_rates_are_probabilities(self):
+        assert 0.0 < FUNCTION_WORD_RATE < 1.0
+        assert 0.0 <= CROSS_LANGUAGE_RATE < 1.0
+
+    def test_cross_language_leakage(self):
+        rng = random.Random(4)
+        text = generate_content("de", rng, 5000).split()
+        other_vocab = set()
+        for language in LANGUAGES:
+            if language is not Language.GERMAN:
+                other_vocab |= set(FUNCTION_WORDS[language])
+        german_lexicon = get_lexicon("de")
+        leaked = sum(
+            1
+            for word in text
+            if word in other_vocab and word not in german_lexicon.common_words
+        )
+        assert leaked > 0
+
+
+class TestContentsFor:
+    def test_aligned_with_labels(self):
+        labels = [Language.GERMAN, Language.FRENCH]
+        contents = contents_for(labels, seed=1, n_words=30)
+        assert len(contents) == 2
+        assert all(len(text.split()) == 30 for text in contents)
+
+    def test_deterministic(self):
+        labels = [Language.ITALIAN] * 3
+        assert contents_for(labels, seed=2) == contents_for(labels, seed=2)

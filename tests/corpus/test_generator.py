@@ -1,0 +1,155 @@
+"""Tests for the synthetic URL generator (the data substitution layer)."""
+
+import random
+from collections import Counter
+
+from repro.corpus.generator import UrlCorpusGenerator
+from repro.corpus.profiles import ODP_PROFILE, SER_PROFILE, WC_PROFILE
+from repro.languages import LANGUAGES, Language, cctlds_for
+from repro.urls.parsing import parse_url
+from repro.urls.tokenizer import tokenize
+
+
+def _sample(generator, language, profile, n, seed=123):
+    rng = random.Random(seed)
+    return [generator.generate_url(language, profile, rng) for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        counts = {lang: 30 for lang in LANGUAGES}
+        first = UrlCorpusGenerator(seed=5).generate_corpus("odp", counts)
+        second = UrlCorpusGenerator(seed=5).generate_corpus("odp", counts)
+        assert first.urls == second.urls
+        assert first.labels == second.labels
+
+    def test_different_seed_differs(self):
+        counts = {Language.GERMAN: 50}
+        first = UrlCorpusGenerator(seed=1).generate_corpus("odp", counts)
+        second = UrlCorpusGenerator(seed=2).generate_corpus("odp", counts)
+        assert first.urls != second.urls
+
+    def test_seed_offsets_disjointish(self):
+        generator = UrlCorpusGenerator(seed=0)
+        counts = {Language.FRENCH: 50}
+        a = generator.generate_corpus("odp", counts, seed_offset=1)
+        b = generator.generate_corpus("odp", counts, seed_offset=2)
+        assert a.urls != b.urls
+
+
+class TestStructure:
+    def test_counts_respected(self):
+        counts = {Language.ENGLISH: 10, Language.ITALIAN: 7}
+        corpus = UrlCorpusGenerator(seed=0).generate_corpus("ser", counts)
+        measured = corpus.counts()
+        assert measured[Language.ENGLISH] == 10
+        assert measured[Language.ITALIAN] == 7
+        assert measured[Language.GERMAN] == 0
+
+    def test_urls_parse_cleanly(self):
+        generator = UrlCorpusGenerator(seed=3)
+        for record in _sample(generator, Language.SPANISH, ODP_PROFILE, 200):
+            parsed = parse_url(record.url)
+            assert record.url.startswith("http://")
+            assert parsed.host, record.url
+            assert parsed.tld, record.url
+
+    def test_archetype_recorded(self):
+        generator = UrlCorpusGenerator(seed=3)
+        archetypes = {
+            r.archetype
+            for r in _sample(generator, Language.FRENCH, ODP_PROFILE, 500)
+        }
+        assert archetypes <= {
+            "cctld", "generic", "english_looking", "shared", "other_tld",
+        }
+        assert "cctld" in archetypes and "generic" in archetypes
+
+
+class TestCalibration:
+    """Statistical properties the paper measures, within tolerance."""
+
+    def test_cctld_rate_matches_profile(self):
+        generator = UrlCorpusGenerator(seed=7)
+        for language, expected in ODP_PROFILE.cctld_rate.items():
+            records = _sample(generator, language, ODP_PROFILE, 1500)
+            cctlds = set(cctlds_for(language))
+            rate = sum(
+                1 for r in records if parse_url(r.url).tld in cctlds
+            ) / len(records)
+            assert abs(rate - expected) < 0.05, (language, rate, expected)
+
+    def test_italian_it_token_majority(self):
+        # Section 7: "the token it ... appears in 67% of their URLs".
+        generator = UrlCorpusGenerator(seed=7)
+        records = _sample(generator, Language.ITALIAN, ODP_PROFILE, 1000)
+        rate = sum(1 for r in records if "it" in tokenize(r.url)) / len(records)
+        assert 0.5 < rate < 0.85
+
+    def test_german_hyphens_exceed_english(self):
+        # Section 3.1: "hyphens occur about five times more often in
+        # German URLs than in English URLs".
+        generator = UrlCorpusGenerator(seed=7)
+        german = _sample(generator, Language.GERMAN, ODP_PROFILE, 1500, seed=1)
+        english = _sample(generator, Language.ENGLISH, ODP_PROFILE, 1500, seed=2)
+        german_rate = sum(r.url.count("-") for r in german) / len(german)
+        english_rate = sum(r.url.count("-") for r in english) / len(english)
+        assert german_rate > 2.5 * english_rate
+
+    def test_english_looking_only_non_english(self):
+        generator = UrlCorpusGenerator(seed=7)
+        english = _sample(generator, Language.ENGLISH, WC_PROFILE, 500)
+        assert all(r.archetype != "english_looking" for r in english)
+
+    def test_ser_cleaner_than_odp(self):
+        """SER URLs carry language words more often than ODP URLs."""
+        from repro.data.wordlists import get_lexicon
+
+        generator = UrlCorpusGenerator(seed=7)
+        lexicon = get_lexicon("fr")
+
+        def signal_rate(profile):
+            records = _sample(generator, Language.FRENCH, profile, 800)
+            hits = sum(
+                1
+                for r in records
+                if any(t in lexicon.common_words for t in tokenize(r.url))
+            )
+            return hits / len(records)
+
+        assert signal_rate(SER_PROFILE) > signal_rate(ODP_PROFILE)
+
+    def test_domain_pools_shared_across_profiles(self):
+        """One generator serves all three collections from shared pools,
+        so crawl domains overlap with ODP training domains (Figure 3)."""
+        generator = UrlCorpusGenerator(seed=7)
+        odp = generator.generate_corpus("odp", {lang: 400 for lang in LANGUAGES})
+        wc = generator.generate_corpus("wc", {lang: 150 for lang in LANGUAGES})
+        overlap = len(odp.domains() & wc.domains())
+        assert overlap > 20
+
+    def test_shared_hosts_carry_multiple_languages(self):
+        generator = UrlCorpusGenerator(seed=7)
+        corpus = generator.generate_corpus(
+            "odp", {lang: 800 for lang in LANGUAGES}
+        )
+        by_domain: dict[str, set] = {}
+        for record in corpus:
+            by_domain.setdefault(record.domain, set()).add(record.language)
+        multi = sum(1 for langs in by_domain.values() if len(langs) > 1)
+        assert multi > 10
+
+    def test_label_is_requested_language(self):
+        generator = UrlCorpusGenerator(seed=9)
+        records = _sample(generator, Language.GERMAN, SER_PROFILE, 50)
+        assert all(r.language is Language.GERMAN for r in records)
+
+    def test_oov_pool_words_not_in_dictionary(self):
+        from repro.data.wordlists import get_lexicon
+
+        generator = UrlCorpusGenerator(seed=7)
+        for language in LANGUAGES:
+            pool = generator._oov_pools[language]
+            lexicon = get_lexicon(language)
+            assert len(pool) == 300
+            assert all(word not in lexicon.common_words for word in pool)

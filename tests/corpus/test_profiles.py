@@ -1,0 +1,65 @@
+"""Tests for dataset generation profiles."""
+
+from repro.corpus.profiles import (
+    ODP_PROFILE,
+    PROFILES,
+    SER_PROFILE,
+    WC_LANGUAGE_COUNTS,
+    WC_PROFILE,
+)
+from repro.languages import LANGUAGES, Language
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert PROFILES["odp"] is ODP_PROFILE
+        assert PROFILES["ser"] is SER_PROFILE
+        assert PROFILES["wc"] is WC_PROFILE
+
+    def test_all_languages_covered(self):
+        for profile in PROFILES.values():
+            assert set(profile.cctld_rate) == set(LANGUAGES)
+            assert set(profile.english_looking_rate) == set(LANGUAGES)
+
+    def test_rates_are_probabilities(self):
+        for profile in PROFILES.values():
+            for rate in profile.cctld_rate.values():
+                assert 0.0 <= rate <= 1.0
+            for rate in profile.english_looking_rate.values():
+                assert 0.0 <= rate <= 1.0
+            assert 0.0 <= profile.shared_domain_rate <= 1.0
+            assert 0.0 <= profile.fresh_domain_rate <= 1.0
+
+    def test_archetype_mass_feasible(self):
+        # shared/english-looking rates saturate against the remaining
+        # probability mass, but ccTLD + unassigned-TLD must leave room.
+        for profile in PROFILES.values():
+            for language in LANGUAGES:
+                total = profile.cctld_rate[language] + profile.other_tld_rate
+                assert total < 1.0, (profile.name, language)
+
+    def test_cctld_rates_match_table4_recalls(self):
+        """The profiles encode Table 4's recall column."""
+        assert ODP_PROFILE.cctld_rate[Language.GERMAN] == 0.83
+        assert WC_PROFILE.cctld_rate[Language.SPANISH] == 0.11
+        assert SER_PROFILE.cctld_rate[Language.ITALIAN] == 0.75
+
+    def test_english_never_english_looking(self):
+        for profile in PROFILES.values():
+            assert profile.english_looking_rate[Language.ENGLISH] == 0.0
+
+    def test_ser_is_cleanest(self):
+        for language in LANGUAGES:
+            assert (
+                SER_PROFILE.english_looking_rate[language]
+                <= ODP_PROFILE.english_looking_rate[language]
+            )
+        assert SER_PROFILE.path_language_rate > ODP_PROFILE.path_language_rate
+
+    def test_wc_language_counts_match_table1(self):
+        assert WC_LANGUAGE_COUNTS[Language.ENGLISH] == 1082
+        assert WC_LANGUAGE_COUNTS[Language.GERMAN] == 81
+        assert WC_LANGUAGE_COUNTS[Language.FRENCH] == 57
+        assert WC_LANGUAGE_COUNTS[Language.SPANISH] == 19
+        assert WC_LANGUAGE_COUNTS[Language.ITALIAN] == 21
+        assert sum(WC_LANGUAGE_COUNTS.values()) == 1260

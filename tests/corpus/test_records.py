@@ -1,0 +1,153 @@
+"""Tests for corpus records, splitting and balanced sampling."""
+
+import pytest
+
+from repro.corpus.records import (
+    Corpus,
+    LabeledUrl,
+    balanced_binary_indices,
+    balanced_binary_labels,
+    train_test_split,
+)
+from repro.languages import Language
+from tests.conftest import make_corpus
+
+
+class TestLabeledUrl:
+    def test_domain(self):
+        record = LabeledUrl("http://ltaa.epfl.ch/x", Language.FRENCH)
+        assert record.domain == "epfl.ch"
+
+    def test_frozen(self):
+        record = LabeledUrl("http://a.de/", Language.GERMAN)
+        with pytest.raises(AttributeError):
+            record.url = "http://b.de/"
+
+
+class TestCorpus:
+    def test_accessors(self):
+        corpus = make_corpus({"en": 2, "de": 3})
+        assert len(corpus) == 5
+        assert len(corpus.urls) == 5
+        assert corpus.labels.count(Language.GERMAN) == 3
+
+    def test_of_language(self):
+        corpus = make_corpus({"en": 2, "de": 3})
+        german = corpus.of_language("de")
+        assert len(german) == 3
+        assert all(r.language is Language.GERMAN for r in german)
+
+    def test_counts(self):
+        counts = make_corpus({"en": 2, "it": 1}).counts()
+        assert counts[Language.ENGLISH] == 2
+        assert counts[Language.ITALIAN] == 1
+        assert counts[Language.FRENCH] == 0
+
+    def test_domains(self):
+        corpus = make_corpus({"de": 3})
+        assert corpus.domains() == {"blumen-haus.de"}
+
+    def test_filter(self):
+        corpus = make_corpus({"en": 3})
+        filtered = corpus.filter(lambda r: r.url.endswith("0.html"))
+        assert len(filtered) == 1
+
+    def test_iteration_and_indexing(self):
+        corpus = make_corpus({"fr": 2})
+        assert corpus[0].language is Language.FRENCH
+        assert len(list(corpus)) == 2
+
+
+class TestSubsample:
+    def test_fraction_one_copies(self):
+        corpus = make_corpus({"en": 5})
+        sub = corpus.subsample(1.0)
+        assert len(sub) == 5
+        assert sub.records is not corpus.records
+
+    def test_deterministic(self):
+        corpus = make_corpus({"en": 50, "de": 50})
+        first = corpus.subsample(0.3, seed=5)
+        second = corpus.subsample(0.3, seed=5)
+        assert first.urls == second.urls
+
+    def test_keeps_every_language(self):
+        corpus = make_corpus({"en": 200, "it": 2})
+        sub = corpus.subsample(0.01, seed=1)
+        assert any(r.language is Language.ITALIAN for r in sub)
+
+    def test_rough_size(self):
+        corpus = make_corpus({"en": 500, "de": 500})
+        sub = corpus.subsample(0.2, seed=0)
+        assert 120 <= len(sub) <= 280
+
+    def test_invalid_fraction(self):
+        corpus = make_corpus({"en": 5})
+        with pytest.raises(ValueError):
+            corpus.subsample(0.0)
+        with pytest.raises(ValueError):
+            corpus.subsample(1.5)
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        corpus = make_corpus({"en": 50, "de": 50})
+        train, test = train_test_split(corpus, 0.2, seed=3)
+        assert len(train) + len(test) == 100
+        assert set(train.urls).isdisjoint(test.urls)
+
+    def test_test_fraction(self):
+        corpus = make_corpus({"en": 100})
+        _, test = train_test_split(corpus, 0.25, seed=0)
+        assert len(test) == 25
+
+    def test_deterministic(self):
+        corpus = make_corpus({"en": 40, "fr": 40})
+        split1 = train_test_split(corpus, 0.3, seed=9)
+        split2 = train_test_split(corpus, 0.3, seed=9)
+        assert split1[1].urls == split2[1].urls
+
+    def test_invalid_fraction(self):
+        corpus = make_corpus({"en": 5})
+        with pytest.raises(ValueError):
+            train_test_split(corpus, 0.0)
+
+
+class TestBalancedBinary:
+    def test_balanced_counts(self):
+        corpus = make_corpus({"en": 10, "de": 30, "fr": 30})
+        indices, labels = balanced_binary_indices(corpus, "en", seed=0)
+        assert labels.count(True) == 10
+        assert labels.count(False) == 10
+
+    def test_all_positives_kept(self):
+        corpus = make_corpus({"en": 10, "de": 30})
+        indices, labels = balanced_binary_indices(corpus, "en", seed=0)
+        positive_indices = {i for i, l in zip(indices, labels) if l}
+        expected = {
+            i for i, r in enumerate(corpus.records)
+            if r.language is Language.ENGLISH
+        }
+        assert positive_indices == expected
+
+    def test_labels_match_indices(self):
+        corpus = make_corpus({"en": 5, "de": 5, "it": 5})
+        indices, labels = balanced_binary_indices(corpus, "it", seed=2)
+        for index, label in zip(indices, labels):
+            assert (corpus.records[index].language is Language.ITALIAN) == label
+
+    def test_shuffled(self):
+        corpus = make_corpus({"en": 50, "de": 50})
+        _, labels = balanced_binary_indices(corpus, "en", seed=1)
+        assert labels != sorted(labels, reverse=True)  # not all-pos-then-neg
+
+    def test_no_positives_raises(self):
+        corpus = make_corpus({"en": 5})
+        with pytest.raises(ValueError, match="no URLs"):
+            balanced_binary_indices(corpus, "it")
+
+    def test_url_wrapper(self):
+        corpus = make_corpus({"en": 4, "de": 8})
+        urls, labels = balanced_binary_labels(corpus, "en", seed=0)
+        assert len(urls) == len(labels) == 8
+        assert all(isinstance(u, str) for u in urls)

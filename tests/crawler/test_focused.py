@@ -1,0 +1,85 @@
+"""Tests for the focused language-specific crawler."""
+
+import pytest
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.crawler.focused import bfs_crawl, compare_crawlers, focused_crawl
+from repro.languages import Language
+from repro.linkgraph import build_link_graph
+
+
+@pytest.fixture(scope="module")
+def graph(small_bundle):
+    return build_link_graph(small_bundle.odp_test, seed=2)
+
+
+@pytest.fixture(scope="module")
+def identifier(small_train):
+    return LanguageIdentifier("words", "NB", seed=0).fit(small_train)
+
+
+@pytest.fixture(scope="module")
+def german_seeds(small_bundle, graph):
+    seeds = [
+        record.url
+        for record in small_bundle.odp_test.records
+        if record.language is Language.GERMAN and graph.out_degree(record.url) > 0
+    ]
+    return seeds[:5]
+
+
+class TestBfsCrawl:
+    def test_respects_budget(self, graph, german_seeds):
+        report = bfs_crawl(graph, german_seeds, "de", budget=30)
+        assert report.downloads <= 30
+        assert len(report.crawl_order) == report.downloads
+
+    def test_no_duplicate_downloads(self, graph, german_seeds):
+        report = bfs_crawl(graph, german_seeds, "de", budget=100)
+        assert len(set(report.crawl_order)) == len(report.crawl_order)
+
+    def test_harvest_ratio_bounds(self, graph, german_seeds):
+        report = bfs_crawl(graph, german_seeds, "de", budget=80)
+        assert 0.0 <= report.harvest_ratio <= 1.0
+
+    def test_empty_seeds(self, graph):
+        report = bfs_crawl(graph, [], "de", budget=10)
+        assert report.downloads == 0
+        assert report.harvest_ratio == 0.0
+
+
+class TestFocusedCrawl:
+    def test_respects_budget(self, graph, german_seeds, identifier):
+        report = focused_crawl(graph, german_seeds, "de", 30, identifier)
+        assert report.downloads <= 30
+
+    def test_no_duplicate_downloads(self, graph, german_seeds, identifier):
+        report = focused_crawl(graph, german_seeds, "de", 100, identifier)
+        assert len(set(report.crawl_order)) == len(report.crawl_order)
+
+    def test_budget_validation(self, graph, german_seeds, identifier):
+        with pytest.raises(ValueError):
+            focused_crawl(graph, german_seeds, "de", 0, identifier)
+
+    def test_beats_bfs_harvest(self, graph, german_seeds, identifier):
+        """The whole point: classifier + same-language-link guidance
+        harvests more target pages than blind BFS."""
+        bfs, focused = compare_crawlers(
+            graph, german_seeds, Language.GERMAN, 120, identifier
+        )
+        assert focused.harvest_ratio > bfs.harvest_ratio
+
+    def test_summary_text(self, graph, german_seeds, identifier):
+        report = focused_crawl(graph, german_seeds, "de", 20, identifier)
+        assert "German" in report.summary()
+        assert "harvest ratio" in report.summary()
+
+    def test_crawls_from_seeds_first(self, graph, german_seeds, identifier):
+        report = focused_crawl(graph, german_seeds, "de", 200, identifier)
+        # Every crawled page is graph-reachable from the seeds.
+        import networkx as nx
+
+        reachable = set(german_seeds)
+        for seed in german_seeds:
+            reachable |= nx.descendants(graph, seed)
+        assert set(report.crawl_order) <= reachable

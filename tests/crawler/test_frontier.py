@@ -1,0 +1,53 @@
+"""Tests for the crawl frontier."""
+
+import pytest
+
+from repro.corpus.records import LabeledUrl
+from repro.crawler.frontier import Frontier
+from repro.languages import Language
+
+
+def record(url: str) -> LabeledUrl:
+    return LabeledUrl(url=url, language=Language.ENGLISH)
+
+
+class TestFrontier:
+    def test_fifo_order(self):
+        frontier = Frontier([record("http://a.com"), record("http://b.com")])
+        assert frontier.pop().url == "http://a.com"
+        assert frontier.pop().url == "http://b.com"
+
+    def test_len_and_empty(self):
+        frontier = Frontier()
+        assert frontier.is_empty and len(frontier) == 0
+        frontier.add(record("http://a.com"))
+        assert not frontier.is_empty and len(frontier) == 1
+
+    def test_duplicates_dropped(self):
+        frontier = Frontier()
+        assert frontier.add(record("http://a.com")) is True
+        assert frontier.add(record("http://a.com")) is False
+        assert len(frontier) == 1
+
+    def test_priority_lane_first(self):
+        frontier = Frontier([record("http://slow.com")])
+        frontier.add(record("http://fast.com"), priority=True)
+        assert frontier.pop().url == "http://fast.com"
+
+    def test_promote_skips_stale_copy(self):
+        a, b = record("http://a.com"), record("http://b.com")
+        frontier = Frontier([a, b])
+        frontier.promote(b)
+        assert frontier.pop().url == "http://b.com"
+        assert frontier.pop().url == "http://a.com"
+        with pytest.raises(IndexError):
+            frontier.pop()  # the stale regular-lane copy of b is skipped
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            Frontier().pop()
+
+    def test_drain(self):
+        frontier = Frontier([record(f"http://{i}.com") for i in range(5)])
+        assert len(list(frontier.drain())) == 5
+        assert frontier.is_empty

@@ -1,0 +1,91 @@
+"""Tests for quota crawling and bandwidth accounting."""
+
+import pytest
+
+from repro.corpus.records import LabeledUrl
+from repro.crawler.frontier import Frontier
+from repro.crawler.quota import (
+    classifier_policy,
+    crawl_with_quota,
+    download_everything_policy,
+)
+from repro.languages import Language
+
+
+def mixed_frontier(n_german=10, n_french=30):
+    records = []
+    for i in range(max(n_german, n_french)):
+        if i < n_german:
+            records.append(
+                LabeledUrl(f"http://haus{i}.de/", Language.GERMAN)
+            )
+        if i < n_french:
+            records.append(
+                LabeledUrl(f"http://ecole{i}.fr/", Language.FRENCH)
+            )
+    return Frontier(records)
+
+
+class TestCrawlWithQuota:
+    def test_download_everything_wastes(self):
+        report = crawl_with_quota(
+            mixed_frontier(), "de", quota=5, policy=download_everything_policy()
+        )
+        assert report.useful_downloads == 5
+        assert report.wasted_downloads > 0
+        assert report.quota_filled
+
+    def test_perfect_policy_no_waste(self):
+        policy = classifier_policy(lambda url: url.endswith(".de/") or ".de/" in url)
+        report = crawl_with_quota(mixed_frontier(), "de", quota=5, policy=policy)
+        assert report.useful_downloads == 5
+        assert report.wasted_downloads == 0
+        assert report.waste_ratio == 0.0
+
+    def test_quota_not_fillable(self):
+        report = crawl_with_quota(
+            mixed_frontier(n_german=3, n_french=3),
+            "de",
+            quota=10,
+            policy=download_everything_policy(),
+        )
+        assert not report.quota_filled
+        assert report.useful_downloads == 3
+
+    def test_reject_all_policy_misses_targets(self):
+        report = crawl_with_quota(
+            mixed_frontier(n_german=4, n_french=4),
+            "de",
+            quota=2,
+            policy=classifier_policy(lambda url: False),
+        )
+        assert report.total_downloads == 0
+        assert report.skipped == 8
+        assert report.missed_targets == 4
+
+    def test_per_language_accounting(self):
+        report = crawl_with_quota(
+            mixed_frontier(n_german=2, n_french=2),
+            "de",
+            quota=5,
+            policy=download_everything_policy(),
+        )
+        assert report.per_language_downloads[Language.GERMAN] == 2
+        assert report.per_language_downloads[Language.FRENCH] == 2
+
+    def test_waste_ratio_empty(self):
+        report = crawl_with_quota(
+            Frontier(), "de", quota=1, policy=download_everything_policy()
+        )
+        assert report.waste_ratio == 0.0
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            crawl_with_quota(Frontier(), "de", 0, download_everything_policy())
+
+    def test_summary_text(self):
+        report = crawl_with_quota(
+            mixed_frontier(), "de", quota=2, policy=download_everything_policy()
+        )
+        text = report.summary()
+        assert "German" in text and "quota 2" in text

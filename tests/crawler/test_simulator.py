@@ -1,0 +1,37 @@
+"""Tests for the end-to-end crawl policy comparison."""
+
+import pytest
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.crawler.simulator import compare_policies
+from repro.languages import Language
+
+
+@pytest.fixture(scope="module")
+def comparison(small_train, small_bundle):
+    identifier = LanguageIdentifier("words", "NB", seed=0).fit(small_train)
+    uncrawled = small_bundle.odp_test
+    return compare_policies(uncrawled, Language.GERMAN, quota=20, identifier=identifier)
+
+
+class TestComparePolicies:
+    def test_classifier_wastes_less_than_baseline(self, comparison):
+        assert (
+            comparison.classifier.waste_ratio < comparison.baseline.waste_ratio
+        )
+
+    def test_classifier_downloads_fewer_pages(self, comparison):
+        assert (
+            comparison.classifier.total_downloads
+            <= comparison.baseline.total_downloads
+        )
+
+    def test_cctld_precision_but_low_coverage(self, comparison):
+        # ccTLD has almost no waste but may exhaust the frontier early.
+        assert comparison.cctld.waste_ratio <= comparison.baseline.waste_ratio
+
+    def test_format(self, comparison):
+        text = comparison.format()
+        assert "download-all" in text
+        assert "URL classifier" in text
+        assert "ccTLD" in text

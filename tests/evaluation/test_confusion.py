@@ -1,0 +1,64 @@
+"""Tests for the paper-format confusion matrix."""
+
+import pytest
+
+from repro.evaluation.confusion import ConfusionMatrix, confusion_matrix
+from repro.languages import LANGUAGES, Language
+
+EN, DE, FR = Language.ENGLISH, Language.GERMAN, Language.FRENCH
+
+
+class TestConfusionMatrix:
+    def _simple(self):
+        truths = [EN, EN, DE, DE]
+        decisions = {
+            EN: [True, True, True, False],   # English clf: both EN + 1 DE
+            DE: [False, False, True, True],  # German clf: both DE
+            FR: [False] * 4,
+            Language.SPANISH: [False] * 4,
+            Language.ITALIAN: [False] * 4,
+        }
+        return confusion_matrix(truths, decisions)
+
+    def test_diagonal_is_recall(self):
+        matrix = self._simple()
+        assert matrix.percentage(EN, EN) == 100.0
+        assert matrix.recall(DE) == 1.0
+
+    def test_off_diagonal(self):
+        matrix = self._simple()
+        assert matrix.percentage(DE, EN) == 50.0
+        assert matrix.percentage(EN, DE) == 0.0
+
+    def test_rows_may_exceed_100(self):
+        # A URL classified as two languages simultaneously.
+        truths = [EN]
+        decisions = {lang: [True] for lang in LANGUAGES}
+        matrix = confusion_matrix(truths, decisions)
+        total = sum(matrix.percentage(EN, lang) for lang in LANGUAGES)
+        assert total == 500.0
+
+    def test_row_counts(self):
+        matrix = self._simple()
+        assert matrix.row_counts[EN] == 2
+        assert matrix.row_counts[FR] == 0
+
+    def test_missing_cells_zero(self):
+        matrix = ConfusionMatrix()
+        assert matrix.percentage("en", "de") == 0.0
+
+    def test_format_contains_languages(self):
+        text = self._simple().format(title="T")
+        assert text.startswith("T")
+        for lang in LANGUAGES:
+            assert lang.display_name[:7] in text or lang.display_name[:8] in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([EN], {EN: [True, False]})
+
+    def test_string_language_keys_coerced(self):
+        matrix = confusion_matrix(
+            [EN], {lang: [lang is EN] for lang in LANGUAGES}
+        )
+        assert matrix.percentage("en", "en") == 100.0

@@ -1,0 +1,157 @@
+"""Tests for the Section 4.2 evaluation measures."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    BinaryMetrics,
+    average_f,
+    correlation_coefficient,
+    evaluate_binary,
+    f_measure,
+    macro_average,
+)
+
+
+class TestBinaryMetrics:
+    def test_hand_computed(self):
+        metrics = BinaryMetrics(
+            n_positive=10, n_negative=20, true_positives=8, true_negatives=18
+        )
+        assert metrics.recall == 0.8
+        assert metrics.negative_success_ratio == 0.9
+        # balanced P = .8 / (.8 + .1)
+        assert metrics.balanced_precision == pytest.approx(0.8 / 0.9)
+        assert metrics.f_measure == pytest.approx(
+            2 / (1 / 0.8 + 0.9 / 0.8)
+        )
+
+    def test_paper_balanced_precision_formula(self):
+        """P = n+ p(+|+) / (n+ p(+|+) + n- (1 - p(-|-))) with n+ = n-."""
+        metrics = BinaryMetrics(
+            n_positive=100, n_negative=300, true_positives=70, true_negatives=270
+        )
+        recall = metrics.recall
+        nsr = metrics.negative_success_ratio
+        n = 1000  # any balanced n+ = n- cancels out
+        expected = (n * recall) / (n * recall + n * (1 - nsr))
+        assert metrics.balanced_precision == pytest.approx(expected)
+
+    def test_raw_precision_differs_when_unbalanced(self):
+        metrics = BinaryMetrics(
+            n_positive=10, n_negative=1000, true_positives=10, true_negatives=900
+        )
+        assert metrics.raw_precision == pytest.approx(10 / 110)
+        assert metrics.balanced_precision == pytest.approx(1.0 / 1.1)
+
+    def test_trivial_always_yes(self):
+        metrics = evaluate_binary([True] * 10, [True] * 5 + [False] * 5)
+        assert metrics.recall == 1.0
+        assert metrics.balanced_precision == 0.5
+        assert metrics.f_measure == pytest.approx(2 / 3)
+
+    def test_trivial_always_no(self):
+        metrics = evaluate_binary([False] * 10, [True] * 5 + [False] * 5)
+        assert metrics.recall == 0.0
+        assert metrics.negative_success_ratio == 1.0
+        assert metrics.f_measure == 0.0
+
+    def test_perfect_classifier(self):
+        truths = [True, False, True, False]
+        metrics = evaluate_binary(truths, truths)
+        assert metrics.f_measure == 1.0
+        assert metrics.accuracy == 1.0
+
+    def test_empty_edge_cases(self):
+        metrics = BinaryMetrics(0, 0, 0, 0)
+        assert metrics.recall == 0.0
+        assert metrics.negative_success_ratio == 1.0
+        assert metrics.accuracy == 0.0
+
+    def test_as_row(self):
+        metrics = BinaryMetrics(10, 10, 9, 8)
+        row = metrics.as_row()
+        assert set(row) == {"P", "R", "p(-|-)", "F"}
+        assert row["R"] == metrics.recall
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_binary([True], [True, False])
+
+
+class TestMetricsProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.booleans()), min_size=4, max_size=200
+        ).filter(
+            lambda pairs: any(t for _, t in pairs) and any(not t for _, t in pairs)
+        )
+    )
+    def test_f_between_zero_and_one(self, pairs):
+        predictions = [p for p, _ in pairs]
+        truths = [t for _, t in pairs]
+        metrics = evaluate_binary(predictions, truths)
+        assert 0.0 <= metrics.f_measure <= 1.0
+        assert 0.0 <= metrics.balanced_precision <= 1.0
+        assert 0.0 <= metrics.recall <= 1.0
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_f_is_harmonic_mean(self, recall, precision):
+        f = f_measure(recall, precision)
+        assert min(recall, precision) - 1e-9 <= f <= max(recall, precision) + 1e-9
+        assert f == pytest.approx(2 * recall * precision / (recall + precision))
+
+    def test_f_zero_edges(self):
+        assert f_measure(0.0, 1.0) == 0.0
+        assert f_measure(1.0, 0.0) == 0.0
+
+
+class TestCorrelation:
+    def test_identical_sequences(self):
+        seq = [True, False, True, True, False]
+        assert correlation_coefficient(seq, seq) == pytest.approx(1.0)
+
+    def test_opposite_sequences(self):
+        first = [True, False, True, False]
+        second = [False, True, False, True]
+        assert correlation_coefficient(first, second) == pytest.approx(-1.0)
+
+    def test_constant_sequence_zero(self):
+        assert correlation_coefficient([True, True], [True, False]) == 0.0
+
+    def test_empty(self):
+        assert correlation_coefficient([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            correlation_coefficient([True], [True, False])
+
+    def test_known_value(self):
+        first = [True, True, False, False]
+        second = [True, False, True, False]
+        assert correlation_coefficient(first, second) == pytest.approx(0.0)
+
+
+class TestAverages:
+    def test_average_f(self):
+        metrics = [
+            BinaryMetrics(10, 10, 10, 10),  # F = 1.0
+            BinaryMetrics(10, 10, 0, 10),  # F = 0.0
+        ]
+        assert average_f(metrics) == pytest.approx(0.5)
+
+    def test_average_f_empty(self):
+        assert average_f([]) == 0.0
+
+    def test_macro_average(self):
+        rows = [{"a": 1.0, "b": 0.0}, {"a": 0.0, "b": 1.0}]
+        assert macro_average(rows) == {"a": 0.5, "b": 0.5}
+
+    def test_macro_average_empty(self):
+        assert macro_average([]) == {}

@@ -1,0 +1,56 @@
+"""Tests for report rendering."""
+
+from repro.evaluation.metrics import BinaryMetrics
+from repro.evaluation.reports import (
+    f_measure_grid,
+    format_metric,
+    language_label,
+    metrics_table,
+)
+
+
+class TestFormatMetric:
+    def test_paper_style(self):
+        assert format_metric(0.9) == ".90"
+        assert format_metric(0.675) == ".68"  # rounded
+        assert format_metric(1.0) == "1.0"
+        assert format_metric(0.999) == "1.0"
+        assert format_metric(0.0) == ".00"
+
+
+class TestMetricsTable:
+    def test_rows_and_average(self):
+        metrics = BinaryMetrics(10, 10, 9, 9)
+        text = metrics_table(
+            [("German", metrics), ("French", metrics)], title="T"
+        )
+        assert text.startswith("T")
+        assert "German" in text and "French" in text
+        assert "Average" in text
+        assert "p(-|-)" in text
+
+    def test_without_average(self):
+        metrics = BinaryMetrics(10, 10, 9, 9)
+        text = metrics_table([("X", metrics)], with_average=False)
+        assert "Average" not in text
+
+
+class TestFMeasureGrid:
+    def test_grid_cells(self):
+        cells = {("A", "c1"): 0.5, ("A", "c2"): 0.7, ("B", "c1"): 0.9, ("B", "c2"): 0.1}
+        text = f_measure_grid(cells, ["A", "B"], ["c1", "c2"], title="G")
+        assert text.startswith("G")
+        assert ".50" in text and ".90" in text
+        assert "Average" in text
+
+    def test_grid_averages(self):
+        cells = {("A", "c1"): 1.0, ("A", "c2"): 0.0}
+        text = f_measure_grid(cells, ["A"], ["c1", "c2"])
+        assert ".50" in text  # row average
+
+
+class TestLanguageLabel:
+    def test_labels(self):
+        assert language_label("en") == "En."
+        assert language_label("de") == "Ge."  # the paper's "Ge." for German
+        assert language_label("es") == "Sp."

@@ -1,0 +1,32 @@
+"""Tests for the shared experiment context."""
+
+from repro.experiments.common import ExperimentContext, paper_vs_measured
+
+
+class TestExperimentContext:
+    def test_lazy_data_and_pool(self):
+        context = ExperimentContext(seed=2, scale=0.05, wc_scale=0.1)
+        assert context.data is context.data  # cached
+        assert context.pool is context.pool
+        # combined_train materialises a fresh Corpus per access; contents
+        # must match.
+        assert context.pool.train.urls == context.train.urls
+
+    def test_test_sets_keys(self):
+        context = ExperimentContext(seed=2, scale=0.05, wc_scale=0.1)
+        assert set(context.test_sets) == {"ODP", "SER", "WC"}
+
+    def test_scale_controls_sizes(self):
+        small = ExperimentContext(seed=1, scale=0.05)
+        large = ExperimentContext(seed=1, scale=0.1)
+        assert len(large.train) > len(small.train)
+
+
+class TestPaperVsMeasured:
+    def test_format(self):
+        text = paper_vs_measured(
+            "T", [("metric", 0.9, 0.87), ("other", 0.5, 0.55)]
+        )
+        assert text.startswith("T")
+        assert "paper" in text and "measured" in text
+        assert "0.90" in text and "0.87" in text

@@ -1,0 +1,135 @@
+"""Smoke + shape tests for every table/figure driver on a small context.
+
+Each driver must run end-to-end and reproduce the *qualitative* claim of
+its table; the full-scale quantitative comparison lives in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments import (
+    figure1_tree,
+    figure2_training_sweep,
+    figure3_domain_memo,
+    selection_15,
+    table1_datasets,
+    table2_human,
+    table3_human_confusion,
+    table4_cctld,
+    table5_cctld_confusion,
+    table6_nb_confusion,
+    table7_full_grid,
+    table8_nb_words,
+    table9_combinations,
+    table10_content,
+)
+from repro.languages import Language
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(seed=5, scale=0.12, wc_scale=0.5)
+
+
+class TestTableDrivers:
+    def test_table1(self, context):
+        report = table1_datasets.run(context)
+        assert "Table 1" in report
+        assert "English outnumbers" in report
+
+    def test_table2(self, context):
+        report = table2_human.run(context)
+        assert "Table 2" in report and "paper average F" in report
+        metrics = table2_human.human_metrics(context)
+        # humans over-report English: its recall beats all others
+        english = metrics[Language.ENGLISH].recall
+        assert all(
+            english >= metrics[lang].recall
+            for lang in metrics
+            if lang is not Language.ENGLISH
+        )
+
+    def test_table3(self, context):
+        report = table3_human_confusion.run(context)
+        assert "Table 3" in report
+        matrix = table3_human_confusion.human_confusion(context)
+        # biggest confusion with English (the paper's headline)
+        for row in (Language.GERMAN, Language.FRENCH):
+            off = [
+                matrix.percentage(row, col)
+                for col in matrix.row_counts
+                if col not in (row, Language.ENGLISH)
+            ]
+            assert matrix.percentage(row, Language.ENGLISH) >= max(off)
+
+    def test_table4(self, context):
+        report = table4_cctld.run(context)
+        assert "ccTLD baseline" in report
+        assert "ccTLD+" in report
+
+    def test_table5(self, context):
+        report = table5_cctld_confusion.run(context)
+        assert "Table 5" in report and "abstains" in report
+
+    def test_table6(self, context):
+        report = table6_nb_confusion.run(context)
+        assert "Table 6" in report
+        assert "diagonal" in report
+
+    def test_table7_reduced_grid(self, context):
+        report = table7_full_grid.run(
+            context, grid=(("NB", "words"), ("NB", "custom"))
+        )
+        assert "NB/words" in report and "NB/custom" in report
+
+    def test_table8(self, context):
+        report = table8_nb_words.run(context)
+        assert "Table 8" in report and "paper values" in report
+
+    def test_table9(self, context):
+        report = table9_combinations.run(context)
+        assert "Table 9" in report
+        assert "OR" in report and "AND" in report
+
+    def test_table10(self, context):
+        report = table10_content.run(context, algorithms=("NB",))
+        assert "Table 10" in report
+        assert "(content training" in report
+
+
+class TestFigureDrivers:
+    def test_figure1(self, context):
+        report = figure1_tree.run(context, prune_depth=2)
+        assert "Figure 1" in report
+        assert "root feature" in report
+        assert "s=" in report
+
+    def test_figure2_small(self, context):
+        report = figure2_training_sweep.run(
+            context,
+            fractions=(0.05, 1.0),
+            combos=(("NB", "words"), ("NB", "trigrams")),
+        )
+        assert "Figure 2" in report
+        assert "trigram-over-words gap" in report
+
+    def test_figure3(self, context):
+        report = figure3_domain_memo.run(context, fractions=(0.01, 1.0))
+        assert "Figure 3" in report
+        percentages = figure3_domain_memo.seen_percentages(
+            context, fractions=(0.01, 1.0)
+        )
+        for values in percentages.values():
+            assert values[0] <= values[-1] + 1e-9  # monotone-ish growth
+
+    def test_selection(self, context):
+        report = selection_15.run(context, max_features=3)
+        assert "forward selection" in report
+        assert "families selected" in report
+
+    def test_error_analysis(self, context):
+        from repro.experiments import error_analysis
+
+        report = error_analysis.run(context)
+        assert "Error breakdown" in report
+        assert "hardest bucket" in report

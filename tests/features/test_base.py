@@ -1,0 +1,106 @@
+"""Tests for sparse-vector helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.features.base import (
+    add_vectors,
+    cosine_similarity,
+    counts,
+    dot,
+    l1_normalize,
+    l2_norm,
+    scale_vector,
+)
+
+# Values are either exactly zero or comfortably normal floats; denormals
+# (e.g. 5e-324) would underflow to 0.0 during normalisation and test
+# floating-point arcana rather than our logic.
+VECTORS = st.dictionaries(
+    st.text(alphabet="abcxyz", min_size=1, max_size=5),
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-6, max_value=100.0, allow_nan=False),
+    ),
+    max_size=8,
+)
+
+
+class TestL1Normalize:
+    def test_basic(self):
+        assert l1_normalize({"a": 1.0, "b": 3.0}) == {"a": 0.25, "b": 0.75}
+
+    def test_empty(self):
+        assert l1_normalize({}) == {}
+
+    def test_zero_vector(self):
+        assert l1_normalize({"a": 0.0}) == {}
+
+    def test_drops_zero_entries(self):
+        assert l1_normalize({"a": 2.0, "b": 0.0}) == {"a": 1.0}
+
+    @given(VECTORS)
+    def test_sums_to_one_or_empty(self, vector):
+        normalized = l1_normalize(vector)
+        if normalized:
+            assert math.isclose(sum(normalized.values()), 1.0, rel_tol=1e-9)
+        else:
+            assert sum(vector.values()) == 0.0
+
+    @given(VECTORS)
+    def test_preserves_ratios(self, vector):
+        normalized = l1_normalize(vector)
+        positive = {k: v for k, v in vector.items() if v > 0}
+        if len(positive) >= 2:
+            (k1, v1), (k2, v2) = list(positive.items())[:2]
+            if v2 > 0:
+                assert math.isclose(
+                    normalized[k1] / normalized[k2], v1 / v2, rel_tol=1e-9
+                )
+
+
+class TestVectorOps:
+    def test_dot(self):
+        assert dot({"a": 2.0, "b": 1.0}, {"a": 3.0, "c": 5.0}) == 6.0
+
+    def test_dot_empty(self):
+        assert dot({}, {"a": 1.0}) == 0.0
+
+    @given(VECTORS, VECTORS)
+    def test_dot_commutative(self, left, right):
+        assert math.isclose(dot(left, right), dot(right, left), abs_tol=1e-9)
+
+    def test_add_vectors(self):
+        assert add_vectors({"a": 1.0}, {"a": 2.0, "b": 1.0}) == {"a": 3.0, "b": 1.0}
+
+    def test_scale_vector(self):
+        assert scale_vector({"a": 2.0}, 0.5) == {"a": 1.0}
+
+    def test_l2_norm(self):
+        assert l2_norm({"a": 3.0, "b": 4.0}) == pytest.approx(5.0)
+
+    def test_cosine_identical(self):
+        vector = {"a": 1.0, "b": 2.0}
+        assert cosine_similarity(vector, vector) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_cosine_zero_vector(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+    @given(VECTORS, VECTORS)
+    def test_cosine_bounded(self, left, right):
+        value = cosine_similarity(left, right)
+        assert -1.0000001 <= value <= 1.0000001
+
+
+class TestCounts:
+    def test_counts(self):
+        assert counts(["a", "b", "a"]) == {"a": 2.0, "b": 1.0}
+
+    def test_counts_empty(self):
+        assert counts([]) == {}

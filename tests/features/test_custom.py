@@ -1,0 +1,139 @@
+"""Tests for the 74 custom-made features and the 15-feature subset."""
+
+import pytest
+
+from repro.features.custom import (
+    ALL_FEATURE_NAMES,
+    SELECTED_FEATURE_NAMES,
+    CustomFeatureExtractor,
+    describe_feature,
+)
+from repro.languages import Language
+
+
+class TestFeatureInventory:
+    def test_exactly_74_features(self):
+        assert len(ALL_FEATURE_NAMES) == 74
+        assert len(set(ALL_FEATURE_NAMES)) == 74
+
+    def test_exactly_15_selected(self):
+        assert len(SELECTED_FEATURE_NAMES) == 15
+
+    def test_selected_families(self):
+        # Per Section 3.1: ccTLD-before-slash, OpenOffice count, trained
+        # count — each for all five languages.
+        families = {name.split(":")[0] for name in SELECTED_FEATURE_NAMES}
+        assert families == {"cc_host", "oo", "tr"}
+
+    def test_selected_subset_of_all(self):
+        assert set(SELECTED_FEATURE_NAMES) <= set(ALL_FEATURE_NAMES)
+
+
+class TestSelectedExtraction:
+    def test_cc_host_strict_tld(self):
+        extractor = CustomFeatureExtractor()
+        vector = extractor.extract("http://www.zeitung.de/artikel")
+        assert vector.get("cc_host:de") == 1.0
+        assert "cc_host:fr" not in vector
+
+    def test_cc_host_subdomain(self):
+        # Figure 1: "the TLD decision also considers URLs such as
+        # http://de.wikipedia.org with an de before the first slash".
+        vector = CustomFeatureExtractor().extract("http://de.wikipedia.org/wiki/X")
+        assert vector.get("cc_host:de") == 1.0
+
+    def test_cc_host_not_in_path(self):
+        vector = CustomFeatureExtractor().extract("http://example.com/de/page")
+        assert "cc_host:de" not in vector
+
+    def test_openoffice_counts(self):
+        vector = CustomFeatureExtractor().extract(
+            "http://www.blumen.com/garten/haus"
+        )
+        assert vector.get("oo:de", 0) >= 3.0
+
+    def test_trained_counts_require_fit(self):
+        extractor = CustomFeatureExtractor()
+        vector = extractor.extract("http://home.arcor.de/willi")
+        assert "tr:de" not in vector  # dictionary empty before fit
+
+    def test_trained_counts_after_fit(self):
+        extractor = CustomFeatureExtractor()
+        urls = [f"http://home.arcor.de/user{i}" for i in range(20)]
+        urls += [f"http://galeon{i}.com/x" for i in range(5)]
+        labels = [Language.GERMAN] * 20 + [Language.SPANISH] * 5
+        extractor.fit(urls, labels)
+        vector = extractor.extract("http://home.arcor.de/neu")
+        assert vector.get("tr:de", 0) >= 1.0
+
+    def test_only_selected_features_emitted(self):
+        vector = CustomFeatureExtractor().extract(
+            "http://www.blumen-haus.de/nummer-1/strasse.html"
+        )
+        assert set(vector) <= set(SELECTED_FEATURE_NAMES)
+
+
+class TestFullExtraction:
+    def _extract(self, url):
+        return CustomFeatureExtractor(selected_only=False).extract(url)
+
+    def test_strict_tld_vs_cc_host(self):
+        vector = self._extract("http://de.wikipedia.org/wiki")
+        assert "tld:de" not in vector  # strict TLD is org
+        assert vector.get("cc_host:de") == 1.0
+        assert vector.get("gtld:org") == 1.0
+
+    def test_cc_in_path(self):
+        vector = self._extract("http://example.com/fr/page")
+        assert vector.get("cc_path:fr") == 1.0
+
+    def test_generic_tlds(self):
+        assert self._extract("http://a-b.com/")["gtld:com"] == 1.0
+        assert self._extract("http://a-b.net/")["gtld:net"] == 1.0
+
+    def test_hyphen_counters(self):
+        vector = self._extract("http://blumen-haus.de/ein-zwei-drei")
+        assert vector["hyphens"] == 3.0
+        assert vector["hyphens_host"] == 1.0
+
+    def test_shape_features(self):
+        vector = self._extract("http://abc.de/xyz123")
+        assert vector["n_tokens"] == 3.0
+        assert vector["n_digits"] == 3.0
+        assert vector["url_len"] == len("http://abc.de/xyz123")
+        assert vector["avg_token_len"] == pytest.approx(8 / 3)  # abc, de, xyz
+
+    def test_dictionary_variants_host_vs_path(self):
+        vector = self._extract("http://blumen.de/recherche")
+        assert vector.get("oo_host:de", 0) >= 1.0
+        assert vector.get("oo_path:fr", 0) >= 1.0
+
+    def test_city_counts(self):
+        vector = self._extract("http://hotel-berlin.de/")
+        assert vector.get("city:de", 0) >= 1.0
+
+    def test_stopword_counts(self):
+        vector = self._extract("http://example.com/der-und-die")
+        assert vector.get("stop:de", 0) >= 3.0
+
+    def test_all_values_within_inventory(self):
+        vector = self._extract("http://www.blumen-haus.de/nummer/strasse.html")
+        assert set(vector) <= set(ALL_FEATURE_NAMES)
+
+    def test_zero_values_omitted(self):
+        vector = self._extract("http://qqq.zz/")
+        assert all(value != 0 for value in vector.values())
+
+
+class TestDescribeFeature:
+    def test_language_features(self):
+        assert "German" in describe_feature("cc_host:de")
+        assert "French" in describe_feature("oo:fr")
+        assert "trained" in describe_feature("tr:it")
+
+    def test_scalar_features(self):
+        assert "hyphen" in describe_feature("hyphens").lower()
+        assert describe_feature("gtld:com") == ".com top-level domain"
+
+    def test_unknown_feature_passthrough(self):
+        assert describe_feature("mystery") == "mystery"

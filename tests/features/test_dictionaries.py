@@ -1,0 +1,119 @@
+"""Tests for dictionary resources, especially the trained dictionary rule."""
+
+import pytest
+
+from repro.features.dictionaries import (
+    LanguageDictionary,
+    TrainedDictionary,
+    city_dictionary,
+    merged_dictionary,
+    openoffice_dictionary,
+)
+from repro.languages import Language
+
+
+class TestStaticDictionaries:
+    def test_openoffice_membership(self):
+        german = openoffice_dictionary("de")
+        assert "strasse" in german
+        assert "recherche" not in german
+
+    def test_city_membership(self):
+        assert "berlin" in city_dictionary("de")
+        assert "berlin" not in city_dictionary("fr")
+
+    def test_count_tokens_with_multiplicity(self):
+        french = openoffice_dictionary("fr")
+        assert french.count_tokens(["recherche", "recherche", "zzz"]) == 2
+
+    def test_len(self):
+        assert len(openoffice_dictionary("en")) > 100
+
+    def test_merged(self):
+        merged = merged_dictionary(
+            "de", openoffice_dictionary("de"), city_dictionary("de")
+        )
+        assert "strasse" in merged and "berlin" in merged
+        assert merged.source == "merged"
+
+
+def _urls_with_token(token: str, count: int, suffix: str = "com") -> list[str]:
+    return [f"http://{token}{i}x.{suffix}/{token}" for i in range(count)]
+
+
+class TestTrainedDictionary:
+    def _fit(self, urls_labels, **kwargs):
+        urls = [u for u, _ in urls_labels]
+        labels = [Language.coerce(l) for _, l in urls_labels]
+        return TrainedDictionary(**kwargs).fit(urls, labels)
+
+    def test_learns_frequent_pure_token(self):
+        # "arcor" appears in many German URLs and only German URLs.
+        pairs = [(f"http://home.arcor.de/user{i}", "de") for i in range(20)]
+        pairs += [(f"http://galeon.com/p{i}", "es") for i in range(20)]
+        trained = self._fit(pairs, min_document_count=3)
+        assert "arcor" in trained.dictionary("de")
+        assert "galeon" in trained.dictionary("es")
+        assert "arcor" not in trained.dictionary("es")
+
+    def test_purity_filter(self):
+        # token "mixed" appears half in German, half in French -> purity .5
+        pairs = [(f"http://mixed.de/a{i}", "de") for i in range(10)]
+        pairs += [(f"http://mixed.fr/b{i}", "fr") for i in range(10)]
+        trained = self._fit(pairs, min_document_count=3)
+        assert "mixed" not in trained.dictionary("de")
+        assert "mixed" not in trained.dictionary("fr")
+
+    def test_eighty_percent_purity_boundary(self):
+        # 16 German + 4 French occurrences = exactly 80% purity -> included.
+        pairs = [(f"http://edge.de/a{i}", "de") for i in range(16)]
+        pairs += [(f"http://edge.fr/b{i}", "fr") for i in range(4)]
+        trained = self._fit(pairs, min_document_count=3)
+        assert "edge" in trained.dictionary("de")
+
+    def test_min_token_length(self):
+        pairs = [(f"http://ab.de/page{i}", "de") for i in range(20)]
+        trained = self._fit(pairs, min_document_count=3)
+        assert "ab" not in trained.dictionary("de")  # length 2 < 3
+
+    def test_document_count_floor(self):
+        pairs = [(f"http://seldom.de/x", "de")] * 2
+        pairs += [(f"http://haus{i}.de/y", "de") for i in range(30)]
+        trained = self._fit(pairs, min_document_count=5)
+        assert "seldom" not in trained.dictionary("de")
+
+    def test_presence_not_multiplicity(self):
+        # One URL repeating a token 10 times counts as ONE document.
+        pairs = [("http://spam.de/spam/spam/spam/spam", "de")]
+        pairs += [(f"http://other{i}.de/", "de") for i in range(30)]
+        trained = self._fit(pairs, min_document_count=2)
+        assert "spam" not in trained.dictionary("de")
+
+    def test_relative_threshold_dominates_at_scale(self):
+        trained = TrainedDictionary(
+            min_url_fraction=0.1, min_document_count=1
+        )
+        urls = [f"http://unique{i}.de/" for i in range(10)]
+        urls += ["http://popular.de/"] * 10
+        labels = [Language.GERMAN] * 20
+        trained.fit(urls, labels)
+        # popular: 10/20 = 50% >= 10%; unique tokens: 1/20 = 5% < 10%
+        assert "popular" in trained.dictionary("de")
+        assert "unique0x" not in trained.dictionary("de")
+
+    def test_count_tokens(self):
+        pairs = [(f"http://home.arcor.de/user{i}", "de") for i in range(20)]
+        trained = self._fit(pairs, min_document_count=3)
+        assert trained.count_tokens("de", ["arcor", "arcor", "zzz"]) == 2
+
+    def test_unfitted_is_empty(self):
+        trained = TrainedDictionary()
+        assert len(trained.dictionary("de")) == 0
+        assert trained.count_tokens("de", ["haus"]) == 0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            TrainedDictionary().fit(["http://a.de"], [])
+
+    def test_dictionary_source_tag(self):
+        assert TrainedDictionary().dictionary("fr").source == "trained"

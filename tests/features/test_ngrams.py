@@ -1,0 +1,52 @@
+"""Tests for the trigram feature extractor."""
+
+import pytest
+
+from repro.features.ngrams import TrigramFeatureExtractor, trigram_vectors
+
+
+class TestTrigramFeatureExtractor:
+    def test_token_mode_counts(self):
+        vector = TrigramFeatureExtractor().extract("http://thethe.com")
+        # "thethe" -> " th", "the", "het", "eth", "thе"... count "the" twice
+        assert vector["t:the"] == 2.0
+        assert vector["t: th"] == 1.0
+
+    def test_no_cross_token_trigrams(self):
+        vector = TrigramFeatureExtractor().extract("http://www.hi-fly.de")
+        assert "t:hi-" not in vector
+        assert "t: hi" in vector
+
+    def test_raw_mode_crosses_tokens(self):
+        vector = TrigramFeatureExtractor(mode="raw").extract("http://www.hi-fly.de")
+        assert "t:hi-" in vector
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            TrigramFeatureExtractor(mode="bigram")
+
+    def test_prefix(self):
+        vector = TrigramFeatureExtractor(prefix="g~").extract("http://abc.de")
+        assert all(name.startswith("g~") for name in vector)
+
+    def test_empty_url(self):
+        assert TrigramFeatureExtractor().extract("") == {}
+
+    def test_extract_with_content(self):
+        extractor = TrigramFeatureExtractor()
+        url_only = extractor.extract("http://blumen.de")
+        combined = extractor.extract_with_content("http://blumen.de", "garten")
+        assert combined["t: ga"] == 1.0
+        assert combined["t: bl"] == url_only["t: bl"]
+
+    def test_trigram_vectors_helper(self):
+        vectors = trigram_vectors(["http://abc.com"], mode="token")
+        assert "t:abc" in vectors[0]
+
+    def test_token_and_raw_differ(self):
+        url = "http://www.priceminister.com/navigation/default"
+        token_mode = TrigramFeatureExtractor(mode="token").extract(url)
+        raw_mode = TrigramFeatureExtractor(mode="raw").extract(url)
+        assert token_mode != raw_mode
+        # raw mode sees dots and slashes
+        assert any("." in name or "/" in name for name in raw_mode)

@@ -1,0 +1,84 @@
+"""Tests for vocabulary and dense-matrix assembly."""
+
+import numpy as np
+import pytest
+
+from repro.features.vectorizer import CountVectorizer, Vocabulary
+
+
+class TestVocabulary:
+    def test_add_and_lookup(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+        assert vocab.add("a") == 0  # idempotent
+        assert vocab.index_of("b") == 1
+        assert vocab.name_of(0) == "a"
+
+    def test_contains_and_len(self):
+        vocab = Vocabulary(["x", "y"])
+        assert "x" in vocab and "z" not in vocab
+        assert len(vocab) == 2
+
+    def test_iteration_order(self):
+        vocab = Vocabulary(["b", "a", "c"])
+        assert list(vocab) == ["b", "a", "c"]
+        assert vocab.names == ("b", "a", "c")
+
+    def test_freeze(self):
+        vocab = Vocabulary(["a"]).freeze()
+        with pytest.raises(ValueError, match="frozen"):
+            vocab.add("b")
+        assert vocab.add("a") == 0  # existing names still resolvable
+
+    def test_index_of_unknown(self):
+        assert Vocabulary().index_of("missing") is None
+
+
+class TestCountVectorizer:
+    def test_fit_transform_shape(self):
+        vectors = [{"a": 1.0, "b": 2.0}, {"b": 1.0}]
+        matrix = CountVectorizer().fit_transform(vectors)
+        assert matrix.shape == (2, 2)
+        names = CountVectorizer().fit(vectors).vocabulary.names
+        assert set(names) == {"a", "b"}
+
+    def test_transform_values(self):
+        vectorizer = CountVectorizer().fit([{"a": 1.0, "b": 2.0}])
+        matrix = vectorizer.transform([{"a": 3.0}])
+        column = vectorizer.vocabulary.index_of("a")
+        assert matrix[0, column] == 3.0
+        assert matrix.sum() == 3.0
+
+    def test_unseen_features_dropped(self):
+        vectorizer = CountVectorizer().fit([{"a": 1.0}])
+        matrix = vectorizer.transform([{"zz": 9.0}])
+        assert np.all(matrix == 0.0)
+
+    def test_min_count_filters(self):
+        vectors = [{"rare": 1.0, "common": 3.0}, {"common": 2.0}]
+        vectorizer = CountVectorizer(min_count=3).fit(vectors)
+        assert "common" in vectorizer.vocabulary
+        assert "rare" not in vectorizer.vocabulary
+
+    def test_min_count_validation(self):
+        with pytest.raises(ValueError):
+            CountVectorizer(min_count=0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CountVectorizer().transform([{"a": 1.0}])
+
+    def test_restrict(self):
+        vectorizer = CountVectorizer().fit([{"a": 1.0}])
+        assert vectorizer.restrict({"a": 2.0, "b": 5.0}) == {"a": 2.0}
+
+    def test_restrict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CountVectorizer().restrict({"a": 1.0})
+
+    def test_deterministic_vocabulary_order(self):
+        vectors = [{"b": 1.0}, {"a": 1.0}, {"c": 1.0}]
+        first = CountVectorizer().fit(vectors).vocabulary.names
+        second = CountVectorizer().fit(vectors).vocabulary.names
+        assert first == second == ("a", "b", "c")  # sorted

@@ -1,0 +1,52 @@
+"""Tests for the words-as-features extractor."""
+
+from repro.features.words import TokenSetExtractor, WordFeatureExtractor, word_vectors
+
+
+class TestWordFeatureExtractor:
+    def test_counts_tokens(self):
+        extractor = WordFeatureExtractor()
+        vector = extractor.extract("http://www.weather.com/weather/today")
+        assert vector["w:weather"] == 2.0
+        assert vector["w:com"] == 1.0
+        assert vector["w:today"] == 1.0
+
+    def test_prefix_namespacing(self):
+        extractor = WordFeatureExtractor(prefix="x$")
+        assert set(extractor.extract("http://ab.com")) == {"x$ab", "x$com"}
+
+    def test_special_words_absent(self):
+        vector = WordFeatureExtractor().extract("http://www.example.com/index.html")
+        assert "w:www" not in vector and "w:index" not in vector
+
+    def test_empty_url(self):
+        assert WordFeatureExtractor().extract("") == {}
+
+    def test_extract_many(self):
+        vectors = WordFeatureExtractor().extract_many(["http://ab.com", "http://cd.de"])
+        assert len(vectors) == 2
+        assert "w:cd" in vectors[1]
+
+    def test_extract_with_content_merges(self):
+        extractor = WordFeatureExtractor()
+        vector = extractor.extract_with_content(
+            "http://blumen.de", "blumen und garten"
+        )
+        assert vector["w:blumen"] == 2.0  # URL + content occurrence
+        assert vector["w:garten"] == 1.0
+        assert vector["w:und"] == 1.0
+
+    def test_word_vectors_helper(self):
+        assert word_vectors(["http://ab.com"])[0] == {"w:ab": 1.0, "w:com": 1.0}
+
+
+class TestTokenSetExtractor:
+    def test_binary_values(self):
+        vector = TokenSetExtractor().extract("http://ab.com/ab/ab")
+        assert vector["w:ab"] == 1.0
+
+    def test_same_support_as_words(self):
+        url = "http://www.recherche.fr/produits/liste"
+        words = WordFeatureExtractor().extract(url)
+        binary = TokenSetExtractor().extract(url)
+        assert set(words) == set(binary)

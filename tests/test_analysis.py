@@ -1,0 +1,106 @@
+"""Tests for the error-analysis module."""
+
+import pytest
+
+from repro.analysis import (
+    ErrorBreakdown,
+    archetype_bucket,
+    error_breakdown,
+    hardest_bucket,
+)
+from repro.core.pipeline import LanguageIdentifier
+from repro.corpus.records import Corpus, LabeledUrl
+from repro.languages import LANGUAGES, Language
+
+
+class _FixedIdentifier:
+    """Test double: answers a fixed language for every URL."""
+
+    def __init__(self, language: Language) -> None:
+        self.language = language
+
+    def decisions(self, urls):
+        return {
+            lang: [lang is self.language] * len(urls) for lang in LANGUAGES
+        }
+
+
+class TestErrorBreakdown:
+    def _corpus(self):
+        return Corpus(
+            records=[
+                LabeledUrl("http://a.de/", Language.GERMAN, archetype="cctld"),
+                LabeledUrl("http://b.com/", Language.GERMAN,
+                           archetype="english_looking"),
+                LabeledUrl("http://c.com/", Language.ENGLISH, archetype="generic"),
+            ]
+        )
+
+    def test_counts_fn_and_fp(self):
+        # An always-English identifier: FN for both German URLs, FP
+        # (English) on the same two, correct on the English one.
+        breakdown = error_breakdown(
+            _FixedIdentifier(Language.ENGLISH), self._corpus()
+        )
+        assert breakdown.fn_count("cctld") == 1
+        assert breakdown.fp_count("cctld") == 1
+        assert breakdown.fn_count("english_looking") == 1
+        assert breakdown.fp_count("generic") == 0
+
+    def test_totals(self):
+        breakdown = error_breakdown(
+            _FixedIdentifier(Language.ENGLISH), self._corpus()
+        )
+        assert breakdown.totals == {
+            "cctld": 1, "english_looking": 1, "generic": 1,
+        }
+
+    def test_error_rate(self):
+        breakdown = error_breakdown(
+            _FixedIdentifier(Language.ENGLISH), self._corpus()
+        )
+        assert breakdown.error_rate("cctld") == 2.0  # 1 FN + 1 FP on 1 URL
+        assert breakdown.error_rate("generic") == 0.0
+        assert breakdown.error_rate("missing") == 0.0
+
+    def test_custom_bucket(self):
+        breakdown = error_breakdown(
+            _FixedIdentifier(Language.ENGLISH),
+            self._corpus(),
+            bucket=lambda record: record.domain,
+        )
+        assert "a.de" in breakdown.buckets()
+
+    def test_format(self):
+        breakdown = error_breakdown(
+            _FixedIdentifier(Language.ENGLISH), self._corpus()
+        )
+        text = breakdown.format("T")
+        assert text.startswith("T")
+        assert "cctld" in text
+
+    def test_hardest_bucket_empty_raises(self):
+        with pytest.raises(ValueError):
+            hardest_bucket(ErrorBreakdown())
+
+    def test_archetype_bucket_fallback(self):
+        record = LabeledUrl("http://a.de/", Language.GERMAN)
+        assert archetype_bucket(record) == "unknown"
+
+
+class TestOnRealIdentifier:
+    def test_english_looking_is_hard(self, small_train, small_bundle):
+        """The paper's core difficulty — English-looking URLs — must
+        show up as a high-error bucket for a real classifier."""
+        identifier = LanguageIdentifier("trigrams", "NB", seed=0).fit(small_train)
+        breakdown = error_breakdown(identifier, small_bundle.odp_test)
+        assert "english_looking" in breakdown.buckets()
+        # english-looking URLs are harder than ccTLD-anchored ones
+        assert breakdown.error_rate("english_looking") > breakdown.error_rate(
+            "cctld"
+        )
+
+    def test_hardest_bucket_runs(self, small_train, small_bundle):
+        identifier = LanguageIdentifier("words", "NB", seed=0).fit(small_train)
+        breakdown = error_breakdown(identifier, small_bundle.wc_test)
+        assert hardest_bucket(breakdown) in breakdown.buckets()

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["generate"]).command == "generate"
+        assert parser.parse_args(["train", "--out", "m.pkl"]).command == "train"
+        assert parser.parse_args(
+            ["classify", "--model", "m.pkl", "http://a.de"]
+        ).command == "classify"
+        assert parser.parse_args(
+            ["evaluate", "--model", "m.pkl"]
+        ).command == "evaluate"
+        assert parser.parse_args(["experiment", "table8"]).command == "experiment"
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_registry_complete(self):
+        # 10 tables + 3 figures + selection + error-analysis drivers
+        assert len(EXPERIMENTS) == 15
+
+
+class TestCommands:
+    def test_generate(self):
+        out = io.StringIO()
+        code = main(
+            ["generate", "--profile", "ser", "--per-language", "3"], out=out
+        )
+        assert code == 0
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 15  # 3 per language x 5
+        for line in lines:
+            code_col, url = line.split("\t")
+            assert code_col in ("en", "de", "fr", "es", "it")
+            assert url.startswith("http://")
+
+    def test_generate_deterministic(self):
+        first, second = io.StringIO(), io.StringIO()
+        main(["generate", "--per-language", "5", "--seed", "3"], out=first)
+        main(["generate", "--per-language", "5", "--seed", "3"], out=second)
+        assert first.getvalue() == second.getvalue()
+
+    def test_train_classify_evaluate_roundtrip(self, tmp_path):
+        model_path = tmp_path / "model.pkl"
+        out = io.StringIO()
+        code = main(
+            ["train", "--out", str(model_path), "--scale", "0.08"], out=out
+        )
+        assert code == 0
+        assert model_path.exists()
+        assert "trained NB/words" in out.getvalue()
+
+        out = io.StringIO()
+        code = main(
+            [
+                "classify",
+                "--model",
+                str(model_path),
+                "http://www.blumen.de/garten/strasse.html",
+                "http://www.recherche.fr/produits",
+            ],
+            out=out,
+        )
+        assert code == 0
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].split("\t")[0] == "de"
+        assert lines[1].split("\t")[0] == "fr"
+
+        out = io.StringIO()
+        code = main(
+            [
+                "evaluate",
+                "--model",
+                str(model_path),
+                "--test",
+                "wc",
+                "--scale",
+                "0.08",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "average F:" in out.getvalue()
+
+    def test_experiment_command(self):
+        out = io.StringIO()
+        code = main(["experiment", "table1", "--scale", "0.08"], out=out)
+        assert code == 0
+        assert "Table 1" in out.getvalue()

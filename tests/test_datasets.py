@@ -1,0 +1,80 @@
+"""Tests for the dataset builders (Table 1)."""
+
+from repro.corpus.generator import UrlCorpusGenerator
+from repro.datasets import (
+    build_datasets,
+    build_odp,
+    build_ser,
+    build_webcrawl,
+)
+from repro.languages import LANGUAGES, Language
+
+
+class TestBuildDatasets:
+    def test_bundle_sizes(self, small_bundle):
+        data = small_bundle
+        assert len(data.odp_train) == 5 * round(1500 * 0.15)
+        assert len(data.ser_train) == 5 * round(1000 * 0.15)
+        assert len(data.wc_test) > 0
+
+    def test_balanced_train_sets(self, small_bundle):
+        counts = small_bundle.odp_train.counts()
+        values = list(counts.values())
+        assert max(values) == min(values)
+
+    def test_wc_skew(self, small_bundle):
+        counts = small_bundle.wc_test.counts()
+        english = counts[Language.ENGLISH]
+        others = sum(counts[lang] for lang in LANGUAGES[1:])
+        assert english > others
+
+    def test_combined_train(self, small_bundle):
+        combined = small_bundle.combined_train
+        assert len(combined) == len(small_bundle.odp_train) + len(
+            small_bundle.ser_train
+        )
+
+    def test_test_sets_keys(self, small_bundle):
+        assert set(small_bundle.test_sets) == {"ODP", "SER", "WC"}
+
+    def test_deterministic(self):
+        first = build_datasets(seed=42, scale=0.05)
+        second = build_datasets(seed=42, scale=0.05)
+        assert first.odp_train.urls == second.odp_train.urls
+        assert first.wc_test.urls == second.wc_test.urls
+
+    def test_train_test_domain_overlap(self, small_bundle):
+        """Domains must overlap between train and crawl test (Figure 3)."""
+        train_domains = small_bundle.combined_train.domains()
+        seen = sum(
+            1 for r in small_bundle.wc_test.records if r.domain in train_domains
+        )
+        assert seen / len(small_bundle.wc_test) > 0.2
+
+    def test_explicit_sizes_override_scale(self):
+        data = build_datasets(seed=0, scale=1.0, odp_train=50, ser_train=40,
+                              odp_test=20, ser_test=10, wc_scale=0.1)
+        assert len(data.odp_train) == 250
+        assert len(data.ser_train) == 200
+
+
+class TestIndividualBuilders:
+    def test_build_odp(self):
+        generator = UrlCorpusGenerator(seed=1)
+        train, test = build_odp(generator, 20, 10)
+        assert len(train) == 100 and len(test) == 50
+        assert set(train.urls).isdisjoint(test.urls)
+
+    def test_build_ser(self):
+        generator = UrlCorpusGenerator(seed=1)
+        train, test = build_ser(generator, 15, 5)
+        assert len(train) == 75 and len(test) == 25
+
+    def test_build_webcrawl_scale(self):
+        generator = UrlCorpusGenerator(seed=1)
+        full = build_webcrawl(generator, scale=1.0)
+        assert len(full) == 1260
+        half = build_webcrawl(generator, scale=0.5)
+        counts = half.counts()
+        assert counts[Language.ENGLISH] == 541
+        assert counts[Language.SPANISH] >= 1  # rounding floor keeps minorities

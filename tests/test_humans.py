@@ -1,0 +1,81 @@
+"""Tests for the simulated human evaluators."""
+
+from repro.humans.evaluator import (
+    EVALUATOR_A,
+    EVALUATOR_B,
+    HumanEvaluator,
+    HumanProfile,
+    ambiguous_words,
+    default_evaluators,
+)
+from repro.languages import LANGUAGES, Language
+
+
+class TestHumanEvaluator:
+    def test_deterministic_per_url(self):
+        human = HumanEvaluator(EVALUATOR_A, seed=0)
+        url = "http://www.blumen-haus.de/garten.html"
+        assert human.label(url) == human.label(url)
+
+    def test_defaults_to_english_without_clues(self):
+        human = HumanEvaluator(EVALUATOR_B, seed=0)
+        assert human.label("http://qxqx.com/12345") is Language.ENGLISH
+
+    def test_cctld_recognised(self):
+        perfect = HumanProfile(
+            name="p", recognition=1.0, cctld_attention=1.0,
+            english_default_bias=0.0, slip_rate=0.0, path_attention=1.0,
+        )
+        human = HumanEvaluator(perfect, seed=0)
+        assert human.label("http://qxqx.it/123") is Language.ITALIAN
+
+    def test_dictionary_words_recognised(self):
+        perfect = HumanProfile(
+            name="p", recognition=1.0, cctld_attention=1.0,
+            english_default_bias=0.0, slip_rate=0.0, path_attention=1.0,
+        )
+        human = HumanEvaluator(perfect, seed=0)
+        url = "http://example.com/recherche/produits"
+        assert human.label(url) is Language.FRENCH
+
+    def test_paper_deutsch_example(self):
+        """http://viveka.math.hr/LDP/linuxfocus/Deutsch/July2000/ — a
+        human can tell from the single token Deutsch it is German."""
+        perfect = HumanProfile(
+            name="p", recognition=1.0, cctld_attention=1.0,
+            english_default_bias=0.0, slip_rate=0.0, path_attention=1.0,
+        )
+        human = HumanEvaluator(perfect, seed=0)
+        url = "http://viveka.math.hr/LDP/linuxfocus/Deutsch/July2000/index.html"
+        assert human.label(url) is Language.GERMAN
+
+    def test_decisions_one_hot(self, small_bundle):
+        human = HumanEvaluator(EVALUATOR_A, seed=0)
+        urls = small_bundle.wc_test.urls[:50]
+        decisions = human.decisions(urls)
+        for position in range(len(urls)):
+            votes = sum(decisions[lang][position] for lang in LANGUAGES)
+            assert votes == 1
+
+    def test_label_many_matches_label(self):
+        human = HumanEvaluator(EVALUATOR_B, seed=1)
+        urls = ["http://a.de/", "http://b.fr/"]
+        assert human.label_many(urls) == [human.label(u) for u in urls]
+
+    def test_two_evaluators_differ_somewhere(self, small_bundle):
+        a, b = default_evaluators(seed=0)
+        urls = small_bundle.wc_test.urls[:200]
+        assert a.label_many(urls) != b.label_many(urls)
+
+
+class TestAmbiguousWords:
+    def test_cross_language_words_ambiguous(self):
+        # "hotel" is in several of the embedded lexicons.
+        assert "hotel" in ambiguous_words()
+
+    def test_distinctive_words_not_ambiguous(self):
+        assert "recherche" not in ambiguous_words()
+        assert "oeffnungszeiten" not in ambiguous_words()
+
+    def test_cached(self):
+        assert ambiguous_words() is ambiguous_words()

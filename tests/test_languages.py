@@ -1,0 +1,89 @@
+"""Tests for the language registry and ccTLD maps."""
+
+import pytest
+
+from repro.languages import (
+    CCTLD_PLUS_EXTRA,
+    CCTLDS,
+    LANGUAGES,
+    Language,
+    all_known_cctlds,
+    cctlds_for,
+    language_for_cctld,
+)
+
+
+class TestLanguage:
+    def test_five_languages(self):
+        assert len(LANGUAGES) == 5
+        assert LANGUAGES[0] is Language.ENGLISH
+
+    def test_coerce_from_code(self):
+        assert Language.coerce("de") is Language.GERMAN
+        assert Language.coerce("it") is Language.ITALIAN
+
+    def test_coerce_from_name(self):
+        assert Language.coerce("German") is Language.GERMAN
+        assert Language.coerce("spanish") is Language.SPANISH
+
+    def test_coerce_identity(self):
+        assert Language.coerce(Language.FRENCH) is Language.FRENCH
+
+    def test_coerce_strips_whitespace(self):
+        assert Language.coerce(" fr ") is Language.FRENCH
+
+    def test_coerce_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown language"):
+            Language.coerce("klingon")
+
+    def test_display_names(self):
+        assert Language.ENGLISH.display_name == "English"
+        assert Language.SPANISH.display_name == "Spanish"
+
+
+class TestCctldMap:
+    """The Section 3.2 ccTLD lists, verbatim."""
+
+    def test_french_cctlds(self):
+        assert cctlds_for(Language.FRENCH) == ("fr", "tn", "dz", "mg")
+
+    def test_german_cctlds(self):
+        assert cctlds_for("de") == ("de", "at")
+
+    def test_italian_single_cctld(self):
+        assert cctlds_for(Language.ITALIAN) == ("it",)
+
+    def test_spanish_cctlds(self):
+        assert set(cctlds_for("es")) == {"es", "cl", "mx", "ar", "co", "pe", "ve"}
+
+    def test_english_cctlds(self):
+        assert set(cctlds_for("en")) == {"au", "ie", "nz", "us", "gov", "mil", "gb", "uk"}
+
+    def test_language_for_cctld(self):
+        assert language_for_cctld("de") is Language.GERMAN
+        assert language_for_cctld("tn") is Language.FRENCH
+        assert language_for_cctld("mx") is Language.SPANISH
+        assert language_for_cctld("gov") is Language.ENGLISH
+
+    def test_language_for_unknown_tld(self):
+        assert language_for_cctld("ch") is None
+        assert language_for_cctld("com") is None
+        assert language_for_cctld("net") is None
+
+    def test_language_for_cctld_normalises(self):
+        assert language_for_cctld(".DE") is Language.GERMAN
+
+    def test_cctld_plus_extra(self):
+        assert CCTLD_PLUS_EXTRA == ("com", "org")
+
+    def test_no_cctld_maps_to_two_languages(self):
+        seen = {}
+        for language, tlds in CCTLDS.items():
+            for tld in tlds:
+                assert tld not in seen, f"{tld} mapped twice"
+                seen[tld] = language
+
+    def test_all_known_cctlds_complete(self):
+        known = all_known_cctlds()
+        assert sum(len(tlds) for tlds in CCTLDS.values()) == len(known)
+        assert "fr" in known and "uk" in known

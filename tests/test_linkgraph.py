@@ -1,0 +1,94 @@
+"""Tests for the hyperlink-structure extension (Section 8 future work)."""
+
+import pytest
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.corpus.records import Corpus, LabeledUrl
+from repro.evaluation.metrics import average_f
+from repro.languages import Language
+from repro.linkgraph import (
+    LinkSmoothedIdentifier,
+    build_link_graph,
+    language_assortativity,
+)
+
+
+@pytest.fixture(scope="module")
+def wc_graph(small_bundle):
+    return build_link_graph(small_bundle.wc_test, seed=1)
+
+
+class TestBuildLinkGraph:
+    def test_nodes_are_corpus_urls(self, small_bundle, wc_graph):
+        assert set(wc_graph.nodes) == set(small_bundle.wc_test.urls)
+
+    def test_node_language_attributes(self, small_bundle, wc_graph):
+        for record in small_bundle.wc_test.records[:50]:
+            assert wc_graph.nodes[record.url]["language"] is record.language
+
+    def test_deterministic(self, small_bundle):
+        first = build_link_graph(small_bundle.wc_test, seed=3)
+        second = build_link_graph(small_bundle.wc_test, seed=3)
+        assert set(first.edges) == set(second.edges)
+
+    def test_homophily_controls_assortativity(self, small_bundle):
+        segregated = build_link_graph(
+            small_bundle.wc_test, seed=2, homophily=0.95
+        )
+        mixed = build_link_graph(small_bundle.wc_test, seed=2, homophily=0.2)
+        assert language_assortativity(segregated) > language_assortativity(mixed)
+
+    def test_no_self_loops(self, wc_graph):
+        assert all(source != target for source, target in wc_graph.edges)
+
+    def test_homophily_validation(self, small_bundle):
+        with pytest.raises(ValueError):
+            build_link_graph(small_bundle.wc_test, homophily=1.5)
+
+    def test_tiny_corpus(self):
+        corpus = Corpus(records=[LabeledUrl("http://a.de/", Language.GERMAN)])
+        graph = build_link_graph(corpus)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+    def test_assortativity_empty_graph(self):
+        corpus = Corpus(records=[LabeledUrl("http://a.de/", Language.GERMAN)])
+        assert language_assortativity(build_link_graph(corpus)) == 0.0
+
+
+class TestLinkSmoothedIdentifier:
+    @pytest.fixture(scope="class")
+    def base(self, small_train):
+        return LanguageIdentifier("words", "NB", seed=0).fit(small_train)
+
+    def test_alpha_one_equals_base(self, base, small_bundle, wc_graph):
+        smoothed = LinkSmoothedIdentifier(base, wc_graph, alpha=1.0)
+        urls = small_bundle.wc_test.urls[:40]
+        assert smoothed.decisions(urls) == base.decisions(urls)
+
+    def test_alpha_validation(self, base, wc_graph):
+        with pytest.raises(ValueError):
+            LinkSmoothedIdentifier(base, wc_graph, alpha=0.0)
+
+    def test_smoothing_improves_crawl_f(self, base, small_bundle, wc_graph):
+        """The paper's future-work hypothesis, verified."""
+        test = small_bundle.wc_test
+        base_f = average_f(list(base.evaluate(test).values()))
+        smoothed = LinkSmoothedIdentifier(base, wc_graph, alpha=0.5)
+        smoothed_f = average_f(list(smoothed.evaluate(test).values()))
+        assert smoothed_f > base_f
+
+    def test_unknown_url_falls_back_to_base(self, base, wc_graph):
+        smoothed = LinkSmoothedIdentifier(base, wc_graph, alpha=0.5)
+        url = "http://never-in-graph.example.com/x"
+        assert smoothed.scores(url) == base.scores(url)
+
+    def test_predict_languages_consistent_with_scores(
+        self, base, small_bundle, wc_graph
+    ):
+        smoothed = LinkSmoothedIdentifier(base, wc_graph, alpha=0.5)
+        url = small_bundle.wc_test.urls[0]
+        scores = smoothed.scores(url)
+        predicted = smoothed.predict_languages(url)
+        for language, score in scores.items():
+            assert (score > 0) == (language in predicted)

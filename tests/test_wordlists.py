@@ -1,0 +1,108 @@
+"""Tests for the embedded lexicon substrate."""
+
+import re
+
+from repro.data.wordlists import all_lexicons, get_lexicon
+from repro.data.wordlists.web import (
+    FILE_EXTENSIONS,
+    GENERIC_SEGMENTS,
+    SECOND_LEVEL,
+    SHARED_HOSTS,
+    TECH_WORDS,
+)
+from repro.languages import LANGUAGES, Language
+
+URL_SAFE = re.compile(r"[a-z][a-z-]*")
+
+
+class TestLexicons:
+    def test_all_five_available(self):
+        lexicons = all_lexicons()
+        assert set(lexicons) == set(LANGUAGES)
+
+    def test_substantial_vocabulary(self):
+        for language in LANGUAGES:
+            lexicon = get_lexicon(language)
+            assert len(lexicon.common_words) >= 200, language
+            assert len(lexicon.cities) >= 80, language
+
+    def test_exactly_ten_stopwords(self):
+        # The SER query mode compiles "lists of 10 stop words specific to
+        # each language" (Section 4.1).
+        for language in LANGUAGES:
+            assert len(get_lexicon(language).stopwords) == 10
+
+    def test_stopwords_in_vocabulary(self):
+        for language in LANGUAGES:
+            lexicon = get_lexicon(language)
+            for stopword in lexicon.stopwords:
+                assert stopword in lexicon.common_words, (language, stopword)
+
+    def test_url_safe_tokens(self):
+        # Every word must survive the URL tokenizer unchanged.
+        for language in LANGUAGES:
+            lexicon = get_lexicon(language)
+            for word in list(lexicon.common_words) + list(lexicon.cities):
+                assert URL_SAFE.fullmatch(word), (language, word)
+                assert len(word) >= 2, (language, word)
+
+    def test_membership_protocol(self):
+        german = get_lexicon("de")
+        assert "strasse" in german  # common word
+        assert "berlin" in german  # city
+        assert "weather" not in german
+
+    def test_sampling_tuples_match_sets(self):
+        for language in LANGUAGES:
+            lexicon = get_lexicon(language)
+            assert set(lexicon.word_tuple) == lexicon.common_words
+            assert set(lexicon.city_tuple) == lexicon.cities
+
+    def test_distinctive_words_unique(self):
+        """Signature words must belong to exactly one lexicon; without
+        them neither the human model nor the dictionaries could work."""
+        signatures = {
+            Language.GERMAN: "oeffnungszeiten",
+            Language.FRENCH: "recherche",
+            Language.SPANISH: "ayuntamiento",
+            Language.ITALIAN: "benvenuti",
+            Language.ENGLISH: "weather",
+        }
+        for owner, word in signatures.items():
+            holders = [
+                language
+                for language in LANGUAGES
+                if word in get_lexicon(language).common_words
+            ]
+            assert holders == [owner], (word, holders)
+
+    def test_paper_provider_examples(self):
+        # arcor (German), galeon (Spanish) and splinder (Italian) are the
+        # paper's own examples of language-revealing hosts.
+        assert "arcor" in get_lexicon("de").providers
+        assert "galeon" in get_lexicon("es").providers
+        assert "splinder" in get_lexicon("it").providers
+
+
+class TestWebVocabulary:
+    def test_tech_words_nonempty_and_safe(self):
+        assert len(TECH_WORDS) > 50
+        for word in TECH_WORDS:
+            assert URL_SAFE.fullmatch(word)
+
+    def test_shared_hosts(self):
+        assert "wordpress" in SHARED_HOSTS  # the paper's Section 6 example
+
+    def test_extensions_lowercase(self):
+        assert all(ext.isalnum() for ext in FILE_EXTENSIONS)
+        assert "html" in FILE_EXTENSIONS
+
+    def test_second_level_targets_known_cctlds(self):
+        from repro.languages import all_known_cctlds
+
+        for tld in SECOND_LEVEL:
+            assert tld in all_known_cctlds()
+
+    def test_generic_segments_safe(self):
+        for segment in GENERIC_SEGMENTS:
+            assert re.fullmatch(r"[a-z0-9-]+", segment)

@@ -1,0 +1,93 @@
+"""Tests for structural URL parsing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.urls.parsing import parse_url, registered_domain, tld_of
+
+
+class TestParseUrl:
+    def test_basic(self):
+        parsed = parse_url("http://www.example.com/path/page.html")
+        assert parsed.scheme == "http"
+        assert parsed.host == "www.example.com"
+        assert parsed.path == "/path/page.html"
+        assert parsed.tld == "com"
+
+    def test_paper_example_epfl(self):
+        # The paper's own example: domain of ltaa.epfl.ch is epfl.ch.
+        parsed = parse_url("http://ltaa.epfl.ch/algorithms.html")
+        assert parsed.domain == "epfl.ch"
+
+    def test_paper_example_cam(self):
+        # ... and the domain of chu.cam.ac.uk is cam.ac.uk.
+        parsed = parse_url("http://chu.cam.ac.uk/")
+        assert parsed.domain == "cam.ac.uk"
+
+    def test_no_scheme(self):
+        parsed = parse_url("www.heise.de/newsticker")
+        assert parsed.host == "www.heise.de"
+        assert parsed.tld == "de"
+
+    def test_https(self):
+        assert parse_url("https://secure.example.org/").scheme == "https"
+
+    def test_port_stripped(self):
+        assert parse_url("http://example.com:8080/x").host == "example.com"
+
+    def test_userinfo_stripped(self):
+        assert parse_url("http://user:pw@example.com/").host == "example.com"
+
+    def test_host_case_folded(self):
+        assert parse_url("http://WWW.Example.COM/Page").host == "www.example.com"
+
+    def test_path_case_preserved(self):
+        assert parse_url("http://a.com/CamelCase").path == "/CamelCase"
+
+    def test_empty_string(self):
+        parsed = parse_url("")
+        assert parsed.host == ""
+        assert parsed.tld == ""
+        assert parsed.domain == ""
+
+    def test_bare_host(self):
+        parsed = parse_url("http://splinder.com")
+        assert parsed.path == ""
+        assert parsed.domain == "splinder.com"
+
+    def test_host_labels(self):
+        parsed = parse_url("http://fr.search.yahoo.com/web")
+        assert parsed.host_labels == ("fr", "search", "yahoo", "com")
+
+    def test_before_after_slash(self):
+        parsed = parse_url("http://www.a.de/b/c.html")
+        assert parsed.before_slash == "www.a.de"
+        assert parsed.after_slash == "/b/c.html"
+
+    def test_trailing_dot_host(self):
+        assert parse_url("http://example.com./x").tld == "com"
+
+    def test_second_level_registrations(self):
+        assert registered_domain("http://shop.foo.co.uk/") == "foo.co.uk"
+        assert registered_domain("http://x.y.com.ar/") == "y.com.ar"
+        assert registered_domain("http://plain.example.de/") == "example.de"
+
+    def test_tld_of(self):
+        assert tld_of("http://www.wasserbett-test.com") == "com"
+        assert tld_of("http://viveka.math.hr/LDP/") == "hr"
+
+    @given(st.text(max_size=80))
+    def test_never_raises(self, text):
+        parsed = parse_url(text)
+        assert parsed.raw == text
+
+    @given(
+        st.lists(
+            st.text(alphabet="abcdefghij", min_size=1, max_size=8),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_tld_is_last_label(self, labels):
+        url = "http://" + ".".join(labels) + "/x"
+        assert parse_url(url).tld == labels[-1]

@@ -1,0 +1,24 @@
+"""Cache behaviour and immutability of parsed URLs."""
+
+import pytest
+
+from repro.urls.parsing import parse_url
+
+
+class TestParseCache:
+    def test_repeated_parse_identical(self):
+        url = "http://www.example.de/path/page.html"
+        first = parse_url(url)
+        second = parse_url(url)
+        # lru_cache: same object back for the same string
+        assert first is second
+
+    def test_parsed_url_frozen(self):
+        parsed = parse_url("http://a.com/")
+        with pytest.raises(AttributeError):
+            parsed.host = "b.com"
+
+    def test_distinct_urls_distinct_results(self):
+        a = parse_url("http://a.com/")
+        b = parse_url("http://b.com/")
+        assert a.host != b.host

@@ -1,0 +1,84 @@
+"""Tests for URL tokenisation (Section 3.1 rules)."""
+
+import re
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.urls.tokenizer import (
+    MIN_TOKEN_LENGTH,
+    SPECIAL_WORDS,
+    iter_tokens,
+    tokenize,
+    tokenize_text,
+)
+
+
+class TestTokenize:
+    def test_paper_example(self):
+        # Section 3.1's worked example.
+        url = "http://www.internetwordstats.com/africa2.htm"
+        assert tokenize(url) == ["internetwordstats", "com", "africa"]
+
+    def test_splits_at_non_letters(self):
+        assert tokenize("http://hp2010.nhlbihin.net/oei_ss/clin5_10.htm") == [
+            "hp", "nhlbihin", "net", "oei", "ss", "clin",
+        ]
+
+    def test_special_words_removed(self):
+        for word in SPECIAL_WORDS:
+            assert word not in tokenize(f"http://www.{word}.com/{word}/index.html")
+
+    def test_short_tokens_removed(self):
+        # single letters are dropped (length < 2)
+        assert tokenize("http://a.b.com/c/d") == ["com"]
+
+    def test_two_letter_tokens_kept(self):
+        assert "de" in tokenize("http://de.wikipedia.org/wiki")
+
+    def test_case_folding(self):
+        assert tokenize("http://www.NewYork.COM/Page") == ["newyork", "com", "page"]
+
+    def test_hyphenated_host_splits(self):
+        assert tokenize("http://www.wasserbett-test.com") == [
+            "wasserbett", "test", "com",
+        ]
+
+    def test_keep_special_flag(self):
+        tokens = tokenize("http://www.example.com/index.html", keep_special=True)
+        assert "www" in tokens and "index" in tokens and "html" in tokens
+
+    def test_empty_url(self):
+        assert tokenize("") == []
+
+    def test_numbers_only(self):
+        assert tokenize("http://123.456/789") == []
+
+    def test_iter_tokens_matches_tokenize(self):
+        url = "http://forum.mamboserver.com/archive/index.php/t-7062.html"
+        assert list(iter_tokens(url)) == tokenize(url)
+
+    def test_tokenize_text(self):
+        assert tokenize_text("Der schnelle Fuchs, 42 mal!") == [
+            "der", "schnelle", "fuchs", "mal",
+        ]
+
+
+class TestTokenizeProperties:
+    @given(st.text(max_size=120))
+    def test_tokens_are_lowercase_letter_runs(self, text):
+        for token in tokenize(text):
+            assert re.fullmatch(r"[a-z]+", token)
+            assert len(token) >= MIN_TOKEN_LENGTH
+            assert token not in SPECIAL_WORDS
+
+    @given(st.text(max_size=120))
+    def test_tokens_appear_in_lowered_input(self, text):
+        lowered = text.lower()
+        for token in tokenize(text):
+            assert token in lowered
+
+    @given(st.text(max_size=120))
+    def test_idempotent_on_joined_tokens(self, text):
+        tokens = tokenize(text)
+        assert tokenize("/".join(tokens)) == tokens

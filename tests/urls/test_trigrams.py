@@ -1,0 +1,80 @@
+"""Tests for trigram extraction (Section 3.1 rules)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.urls.trigrams import (
+    raw_trigrams,
+    token_trigrams,
+    trigrams_of_tokens,
+    url_trigrams,
+)
+
+LETTERS = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=2, max_size=15)
+
+
+class TestTokenTrigrams:
+    def test_paper_weather_example(self):
+        # "the token weather gives rise to the trigrams ' we', 'wea',
+        # 'eat', 'ath', 'the', 'her' and 'er '"
+        assert token_trigrams("weather") == [
+            " we", "wea", "eat", "ath", "the", "her", "er ",
+        ]
+
+    def test_two_letter_token(self):
+        assert token_trigrams("de") == [" de", "de "]
+
+    def test_single_letter_token_empty(self):
+        assert token_trigrams("a") == []
+
+    def test_empty_token(self):
+        assert token_trigrams("") == []
+
+    @given(LETTERS)
+    def test_count_equals_token_length(self, token):
+        # padding with one space each side: len(token) + 2 - 2 trigrams
+        assert len(token_trigrams(token)) == len(token)
+
+    @given(LETTERS)
+    def test_boundary_trigrams_present(self, token):
+        grams = token_trigrams(token)
+        assert grams[0] == " " + token[:2]
+        assert grams[-1] == token[-2:] + " "
+
+    @given(LETTERS)
+    def test_all_length_three(self, token):
+        assert all(len(gram) == 3 for gram in token_trigrams(token))
+
+
+class TestUrlTrigrams:
+    def test_within_token_boundaries(self):
+        # Tokens are separated; no trigram spans the '-' of hi-fly
+        # (each side is a 2-letter token producing its own padded grams).
+        grams = url_trigrams("http://www.hi-fly.de")
+        assert "hi-" not in grams
+        assert " hi" in grams and " fl" in grams
+
+    def test_raw_mode_spans_tokens(self):
+        # The rejected "second approach" does produce "hi-".
+        assert "hi-" in raw_trigrams("http://www.hi-fly.de")
+
+    def test_raw_mode_drops_scheme(self):
+        grams = raw_trigrams("http://abc.de")
+        assert "htt" not in grams
+        assert grams[0] == "abc"
+
+    def test_raw_mode_short_input(self):
+        assert raw_trigrams("ab") == []
+
+    def test_trigrams_of_tokens(self):
+        assert trigrams_of_tokens(["de"]) == [" de", "de "]
+        assert trigrams_of_tokens([]) == []
+
+    def test_url_trigrams_match_tokens(self):
+        from repro.urls.tokenizer import tokenize
+
+        url = "http://www.jazzpages.com/NewYork/"
+        expected = []
+        for token in tokenize(url):
+            expected.extend(token_trigrams(token))
+        assert url_trigrams(url) == expected
