@@ -2,13 +2,28 @@
 prediction.
 
 Not a paper table — engineering numbers a crawler operator cares about:
-how many URLs per second can the classifier triage?
+how many URLs per second can the classifier triage?  The prediction
+benches time both inference backends on the same trained model —
+``sparse`` is the seed's dict-walking reference path, ``compiled`` the
+vectorized CSR×matmul backend — and assert their ``decisions()`` output
+is byte-identical before timing anything.
+
+A machine-readable summary (per-bench best seconds, URLs/sec, and the
+compiled-vs-sparse speedup) is written to ``BENCH_core_throughput.json``
+next to this file so the perf trajectory can be tracked across PRs.
 """
+
+import json
+import pathlib
 
 import pytest
 
-from repro.urls.tokenizer import tokenize
+from repro.urls.tokenizer import clear_token_cache, tokenize
 from repro.urls.trigrams import url_trigrams
+
+JSON_PATH = pathlib.Path(__file__).with_name("BENCH_core_throughput.json")
+
+_results: dict[str, dict] = {}
 
 
 @pytest.fixture(scope="module")
@@ -18,31 +33,116 @@ def urls(request):
     return context.data.odp_test.urls[:1000]
 
 
-def test_tokenizer_throughput(benchmark, urls):
+@pytest.fixture()
+def record():
+    """Record one bench's stats for the JSON summary."""
+
+    def emit(benchmark, name: str, n_urls: int = 0) -> None:
+        stats = getattr(benchmark, "stats", None)
+        best = float(stats.stats.min) if stats is not None else None
+        _results[name] = {
+            "best_seconds": best,
+            "urls_per_second": (n_urls / best) if best and n_urls else None,
+        }
+
+    return emit
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_json_summary():
+    yield
+    timed = {
+        name: stats
+        for name, stats in _results.items()
+        if stats.get("best_seconds") is not None
+    }
+    if not timed:
+        return  # --benchmark-disable run: never clobber real numbers
+    summary: dict = {}
+    if JSON_PATH.exists():  # merge, so partial runs keep older entries
+        try:
+            summary = json.loads(JSON_PATH.read_text())
+        except json.JSONDecodeError:
+            summary = {}
+    summary.update(timed)
+    sparse = summary.get("nb_words_prediction_sparse", {}).get("best_seconds")
+    compiled = summary.get("nb_words_prediction_compiled", {}).get("best_seconds")
+    if sparse and compiled:
+        summary["compiled_speedup_nb_words"] = sparse / compiled
+    JSON_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
+def test_tokenizer_throughput(benchmark, urls, record):
     result = benchmark(lambda: [tokenize(url) for url in urls])
     assert len(result) == len(urls)
+    record(benchmark, "tokenize", len(urls))
 
 
-def test_trigram_throughput(benchmark, urls):
+def test_trigram_throughput(benchmark, urls, record):
     result = benchmark(lambda: [url_trigrams(url) for url in urls])
     assert len(result) == len(urls)
+    record(benchmark, "trigrams", len(urls))
 
 
-def test_word_extraction_throughput(benchmark, context, urls):
+def test_word_extraction_throughput(benchmark, context, urls, record):
     extractor = context.pool.get("NB", "words").extractor
     result = benchmark(lambda: extractor.extract_many(urls))
     assert len(result) == len(urls)
+    record(benchmark, "word_extraction", len(urls))
 
 
-def test_nb_prediction_throughput(benchmark, context, urls):
+def test_nb_prediction_throughput_sparse(benchmark, context, urls, record):
+    """The seed dict path: five string-keyed dict walks per URL."""
     identifier = context.pool.get("NB", "words")
+    clear_token_cache()
+    decisions = benchmark(lambda: identifier._sparse_decisions(urls))
+    assert len(decisions) == 5
+    record(benchmark, "nb_words_prediction_sparse", len(urls))
+
+
+def test_nb_prediction_throughput_compiled(benchmark, context, urls, record):
+    """The compiled backend: one CSR×dense matmul for the whole batch.
+
+    Byte-identical output to the sparse path is asserted up front — the
+    speedup only counts if the answers are exactly the paper's.
+    """
+    identifier = context.pool.get("NB", "words")
+    assert identifier.compiled is not None, "NB/words should auto-compile"
+    assert identifier.decisions(urls) == identifier._sparse_decisions(urls)
     decisions = benchmark(lambda: identifier.decisions(urls))
     assert len(decisions) == 5
+    record(benchmark, "nb_words_prediction_compiled", len(urls))
 
 
-def test_cctld_prediction_throughput(benchmark, context, urls):
+def test_nb_prediction_throughput_compiled_cold(benchmark, context, urls, record):
+    """The compiled backend with its per-URL row memo cleared every
+    round: times the full extract → intern → matmul pipeline, so a
+    regression there can't hide behind the memo."""
+    identifier = context.pool.get("NB", "words")
+    assert identifier.compiled is not None
+
+    def run():
+        identifier.compiled._row_cache.clear()
+        return identifier.decisions(urls)
+
+    decisions = benchmark(run)
+    assert len(decisions) == 5
+    record(benchmark, "nb_words_prediction_compiled_cold", len(urls))
+
+
+def test_re_prediction_throughput_compiled(benchmark, context, urls, record):
+    identifier = context.pool.get("RE", "words")
+    assert identifier.compiled is not None
+    assert identifier.decisions(urls) == identifier._sparse_decisions(urls)
+    decisions = benchmark(lambda: identifier.decisions(urls))
+    assert len(decisions) == 5
+    record(benchmark, "re_words_prediction_compiled", len(urls))
+
+
+def test_cctld_prediction_throughput(benchmark, record, urls):
     from repro.core.pipeline import LanguageIdentifier
 
     identifier = LanguageIdentifier(algorithm="ccTLD")
     decisions = benchmark(lambda: identifier.decisions(urls))
     assert len(decisions) == 5
+    record(benchmark, "cctld_prediction", len(urls))

@@ -11,6 +11,12 @@ from repro.algorithms.base import (
     check_fit_inputs,
 )
 from repro.algorithms.cctld import CcTldBinaryClassifier, CcTldLabeler
+from repro.algorithms.compiled import (
+    CompiledLinear,
+    CompiledNormalizedLinear,
+    CompiledRankOrder,
+    CompiledScorer,
+)
 from repro.algorithms.decision_tree import DecisionTreeClassifier
 from repro.algorithms.knn import KNearestNeighborsClassifier
 from repro.algorithms.markov import MarkovChainClassifier
@@ -50,6 +56,10 @@ __all__ = [
     "BinaryClassifier",
     "CcTldBinaryClassifier",
     "CcTldLabeler",
+    "CompiledLinear",
+    "CompiledNormalizedLinear",
+    "CompiledRankOrder",
+    "CompiledScorer",
     "ConstantClassifier",
     "DecisionTreeClassifier",
     "KNearestNeighborsClassifier",

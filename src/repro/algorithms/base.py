@@ -10,8 +10,13 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.features.base import FeatureVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.compiled import CompiledScorer
+    from repro.features.indexer import FeatureIndexer
 
 
 class BinaryClassifier(abc.ABC):
@@ -39,6 +44,17 @@ class BinaryClassifier(abc.ABC):
     def predict_many(self, vectors: Sequence[Mapping[str, float]]) -> list[bool]:
         """Binary decisions for a batch."""
         return [self.predict(vector) for vector in vectors]
+
+    def compile(self, indexer: "FeatureIndexer") -> "CompiledScorer | None":
+        """Lower this fitted classifier onto an interned feature space.
+
+        Score-linear algorithms (NB, RE, RO, MM) override this to return
+        a :class:`~repro.algorithms.compiled.CompiledScorer` whose batch
+        scores reproduce :meth:`decision_score`.  The default ``None``
+        signals "no vectorized lowering" and keeps the caller on the
+        sparse reference path (DT, kNN, MaxEnt, baselines).
+        """
+        return None
 
 
 def check_fit_inputs(

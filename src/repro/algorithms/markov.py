@@ -23,7 +23,10 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.algorithms.base import BinaryClassifier, check_fit_inputs
+from repro.algorithms.compiled import CompiledLinear
 
 #: Alphabet size used for smoothing: lowercase letters + boundary space.
 _ALPHABET_SIZE = 27
@@ -114,4 +117,30 @@ class MarkovChainClassifier(BinaryClassifier):
     def decision_score(self, vector: Mapping[str, float]) -> float:
         return self.log_likelihood(vector, True) - self.log_likelihood(
             vector, False
+        )
+
+    def feature_weight(self, name: str) -> float:
+        """Per-occurrence log-likelihood-ratio of one trigram feature.
+
+        0.0 for non-trigram names.  Defined for *any* trigram — smoothing
+        gives unseen grams a weight too (non-zero whenever their prefix
+        was seen in exactly one class), which is why the compiled scorer
+        routes out-of-vocabulary residuals through this method.
+        """
+        if not self._fitted:
+            raise RuntimeError("MarkovChainClassifier used before fit")
+        gram = _gram_of(name)
+        if gram is None:
+            return 0.0
+        return self._log_transition(gram, True) - self._log_transition(gram, False)
+
+    def compile(self, indexer):
+        """Dense lowering: one log-likelihood-ratio weight per feature."""
+        if not self._fitted:
+            raise RuntimeError("MarkovChainClassifier.compile before fit")
+        weights = np.zeros(len(indexer), dtype=np.float64)
+        for feature_id, name in enumerate(indexer.names):
+            weights[feature_id] = self.feature_weight(name)
+        return CompiledLinear(
+            weights=weights, bias=0.0, oov_weight=self.feature_weight
         )

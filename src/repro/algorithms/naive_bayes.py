@@ -15,7 +15,10 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.algorithms.base import BinaryClassifier, check_fit_inputs
+from repro.algorithms.compiled import CompiledLinear
 
 
 class NaiveBayesClassifier(BinaryClassifier):
@@ -87,20 +90,52 @@ class NaiveBayesClassifier(BinaryClassifier):
         if not self._fitted:
             raise RuntimeError("NaiveBayesClassifier used before fit")
         score = self._log_prior[True] - self._log_prior[False]
-        pos = self._log_likelihood[True]
-        neg = self._log_likelihood[False]
+        pos_get = self._log_likelihood[True].get
+        neg_get = self._log_likelihood[False].get
         pos_unseen = self._log_unseen[True]
         neg_unseen = self._log_unseen[False]
+        # The vocabulary is the union of the two likelihood dicts, so the
+        # two .get probes below double as the out-of-vocabulary test: a
+        # feature absent from both dicts is skipped, never smoothed.
         for name, value in vector.items():
-            if value <= 0 or name not in self._vocabulary:
+            if value <= 0:
+                continue
+            pos = pos_get(name)
+            neg = neg_get(name)
+            if pos is None and neg is None:
                 continue
             score += value * (
-                pos.get(name, pos_unseen) - neg.get(name, neg_unseen)
+                (pos if pos is not None else pos_unseen)
+                - (neg if neg is not None else neg_unseen)
             )
         return score
 
     def decision_score(self, vector: Mapping[str, float]) -> float:
         return self.log_posterior_ratio(vector)
+
+    def compile(self, indexer):
+        """Dense lowering: one weight per interned feature plus the prior.
+
+        Features interned by the indexer but unseen by this classifier
+        keep weight 0, and out-of-vocabulary residuals are ignored —
+        both mirror :meth:`log_posterior_ratio` skipping features absent
+        from the vocabulary.
+        """
+        if not self._fitted:
+            raise RuntimeError("NaiveBayesClassifier.compile before fit")
+        pos = self._log_likelihood[True]
+        neg = self._log_likelihood[False]
+        pos_unseen = self._log_unseen[True]
+        neg_unseen = self._log_unseen[False]
+        weights = np.zeros(len(indexer), dtype=np.float64)
+        for name in self._vocabulary:
+            feature_id = indexer.id_of(name)
+            if feature_id is not None:
+                weights[feature_id] = pos.get(name, pos_unseen) - neg.get(
+                    name, neg_unseen
+                )
+        bias = self._log_prior[True] - self._log_prior[False]
+        return CompiledLinear(weights=weights, bias=bias)
 
     def feature_log_odds(self, name: str) -> float:
         """Interpretability hook: the per-occurrence log-odds a feature

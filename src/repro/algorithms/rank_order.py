@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.algorithms.base import BinaryClassifier, check_fit_inputs
+from repro.algorithms.compiled import CompiledRankOrder
 
 
 def _ranked(counts: Mapping[str, float], size: int) -> dict[str, int]:
@@ -92,3 +95,22 @@ class RankOrderClassifier(BinaryClassifier):
     def decision_score(self, vector: Mapping[str, float]) -> float:
         """Positive when the vector is closer to the positive profile."""
         return self.out_of_place(vector, False) - self.out_of_place(vector, True)
+
+    def compile(self, indexer):
+        """Dense lowering: the two profiles become id-indexed rank arrays."""
+        if not self._fitted:
+            raise RuntimeError("RankOrderClassifier.compile before fit")
+        ranks = {
+            cls: np.full(len(indexer), -1, dtype=np.int64) for cls in (True, False)
+        }
+        for cls, profile in self._profiles.items():
+            for name, rank in profile.items():
+                feature_id = indexer.id_of(name)
+                if feature_id is not None:
+                    ranks[cls][feature_id] = rank
+        return CompiledRankOrder(
+            rank_positive=ranks[True],
+            rank_negative=ranks[False],
+            profile_size=self.profile_size,
+            names_array=indexer.names_array,
+        )

@@ -18,7 +18,10 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.algorithms.base import BinaryClassifier, check_fit_inputs
+from repro.algorithms.compiled import CompiledNormalizedLinear
 from repro.features.base import l1_normalize
 
 
@@ -106,3 +109,27 @@ class RelativeEntropyClassifier(BinaryClassifier):
     def decision_score(self, vector: Mapping[str, float]) -> float:
         """Positive when the vector is closer (in KL) to the positive class."""
         return self.divergence(vector, False) - self.divergence(vector, True)
+
+    def compile(self, indexer):
+        """Dense lowering of the divergence difference.
+
+        The ``p·log p`` entropy terms of the two divergences cancel, so
+        the decision score is the vocabulary-restricted count vector
+        dotted with per-feature log-ratios, divided by its L1 mass —
+        exactly the :class:`CompiledNormalizedLinear` form.
+        """
+        if not self._fitted:
+            raise RuntimeError("RelativeEntropyClassifier.compile before fit")
+        pos, pos_floor = self._class_dist[True], self._class_floor[True]
+        neg, neg_floor = self._class_dist[False], self._class_floor[False]
+        weights = np.zeros(len(indexer), dtype=np.float64)
+        mask = np.zeros(len(indexer), dtype=np.float64)
+        for name in self._vocabulary:
+            feature_id = indexer.id_of(name)
+            if feature_id is None:
+                continue
+            weights[feature_id] = math.log(pos.get(name, pos_floor)) - math.log(
+                neg.get(name, neg_floor)
+            )
+            mask[feature_id] = 1.0
+        return CompiledNormalizedLinear(weights=weights, mask=mask)

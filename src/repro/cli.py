@@ -68,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("NB", "RE", "ME", "DT", "kNN"))
     train.add_argument("--scale", type=float, default=0.4)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "compiled", "sparse"),
+        help="inference backend: auto compiles vectorized batch "
+        "prediction when the algorithm supports it",
+    )
 
     classify = commands.add_parser("classify", help="classify URLs")
     classify.add_argument("--model", required=True, help="pickled identifier")
@@ -101,7 +108,10 @@ def _cmd_generate(args: argparse.Namespace, out) -> int:
 def _cmd_train(args: argparse.Namespace, out) -> int:
     data = build_datasets(seed=args.seed, scale=args.scale)
     identifier = LanguageIdentifier(
-        feature_set=args.features, algorithm=args.algorithm, seed=args.seed
+        feature_set=args.features,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        backend=args.backend,
     )
     identifier.fit(data.combined_train)
     with open(args.out, "wb") as handle:
@@ -121,9 +131,18 @@ def _load_model(path: str) -> LanguageIdentifier:
 def _cmd_classify(args: argparse.Namespace, out) -> int:
     identifier = _load_model(args.model)
     urls = args.urls or [line.strip() for line in sys.stdin if line.strip()]
-    for url in urls:
-        best = identifier.classify(url)
-        languages = sorted(l.value for l in identifier.predict_languages(url))
+    if not urls:
+        return 0
+    # One batch triage pass (a single matrix product on the compiled
+    # backend); both the best label and the per-language yes/no answers
+    # derive from the same score matrix.
+    scores = identifier.scores_many(urls)
+    best_per_url = identifier.classify_many(urls, scores=scores)
+    for row, url in enumerate(urls):
+        best = best_per_url[row]
+        languages = sorted(
+            language.value for language in scores if scores[language][row] > 0.0
+        )
         label = best.value if best else "-"
         out.write(f"{label}\t{','.join(languages) or '-'}\t{url}\n")
     return 0

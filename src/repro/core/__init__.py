@@ -11,8 +11,10 @@ from repro.core.combination import (
     search_best_combination,
 )
 from repro.core.pipeline import (
+    BACKENDS,
     BASELINE_ALGORITHMS,
     FEATURE_SETS,
+    CompiledIdentifier,
     LanguageIdentifier,
     make_extractor,
 )
@@ -29,10 +31,12 @@ from repro.core.training import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BASELINE_ALGORITHMS",
     "BEST_COMBINATIONS",
     "CombinationSpec",
     "CombinedIdentifier",
+    "CompiledIdentifier",
     "EvaluationRun",
     "FEATURE_SETS",
     "LanguageIdentifier",

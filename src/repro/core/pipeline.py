@@ -11,6 +11,32 @@ follows the paper's setup exactly:
   training corpus (the trained dictionary of the custom features needs
   all five languages).
 
+Inference backends
+------------------
+Two backends answer predictions:
+
+* the **sparse reference path** walks string-keyed feature dicts once
+  per URL per language — slow but fully inspectable (and the ground
+  truth for equivalence tests);
+* the **compiled path** (:class:`CompiledIdentifier`): after ``fit``,
+  every score-linear classifier (NB, RE, RO, MM) lowers its dict
+  weights onto a :class:`~repro.features.indexer.FeatureIndexer` space,
+  the five weight vectors are stacked into one ``(V, k)`` matrix, and a
+  whole batch of URLs is scored with a single CSR×dense matrix product.
+
+``backend="auto"`` (the default) compiles when every per-language
+classifier supports it and falls back transparently to the sparse path
+otherwise (DT, kNN, MaxEnt, the TLD baselines); ``"sparse"`` never
+compiles; ``"compiled"`` raises at fit time if lowering is impossible.
+Batch entry points — :meth:`LanguageIdentifier.decisions`,
+:meth:`~LanguageIdentifier.evaluate`, :meth:`~LanguageIdentifier.confusion`,
+:meth:`~LanguageIdentifier.scores_many`,
+:meth:`~LanguageIdentifier.classify_many` — ride the compiled path;
+single-URL introspection (:meth:`~LanguageIdentifier.scores`,
+``feature_log_odds``-style probes) always uses the sparse reference.
+Compare backends with
+``PYTHONPATH=src python -m pytest benchmarks/bench_core_throughput.py -q``.
+
 Example
 -------
 >>> from repro import LanguageIdentifier, build_datasets
@@ -23,10 +49,13 @@ Example
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+
+import numpy as np
 
 from repro.algorithms import BinaryClassifier, make_classifier
 from repro.algorithms.cctld import CcTldLabeler
+from repro.algorithms.compiled import CompiledScorer
 from repro.corpus.records import Corpus, balanced_binary_indices
 from repro.evaluation.confusion import ConfusionMatrix, confusion_matrix
 from repro.evaluation.metrics import BinaryMetrics, evaluate_binary
@@ -36,7 +65,11 @@ from repro.features import (
     TrigramFeatureExtractor,
     WordFeatureExtractor,
 )
+from repro.features.indexer import CsrBatch, FeatureIndexer
 from repro.languages import LANGUAGES, Language
+
+#: Valid values for ``LanguageIdentifier(backend=...)``.
+BACKENDS = ("auto", "compiled", "sparse")
 
 #: Feature-set registry keyed by the paper's names.
 FEATURE_SETS = {
@@ -58,6 +91,152 @@ def make_extractor(name: str, **kwargs) -> FeatureExtractor:
             f"unknown feature set {name!r}; choose from {sorted(FEATURE_SETS)}"
         ) from None
     return factory(**kwargs)
+
+
+#: Interned rows memoized per URL by :meth:`CompiledIdentifier.batch`.
+ROW_CACHE_SIZE = 1 << 16
+
+
+class CompiledIdentifier:
+    """Vectorized batch-inference backend for a fitted identifier.
+
+    Holds the shared :class:`FeatureIndexer` and one compiled scorer per
+    language.  All scorers' weight columns are stacked into a single
+    ``(V, k)`` matrix at build time, so scoring a batch of URLs is: one
+    shared feature extraction, one CSR assembly, one CSR×dense matrix
+    product, then per-scorer finalisation (bias/normalisation/residuals).
+
+    Interned rows are memoized per URL (bounded FIFO of
+    :data:`ROW_CACHE_SIZE` entries), so re-scored URLs — crawler frontier
+    revisits, repeated triage batches — skip extraction and interning
+    entirely and go straight to the matrix product.
+    """
+
+    def __init__(
+        self,
+        extractor: FeatureExtractor,
+        indexer: FeatureIndexer,
+        scorers: dict[Language, CompiledScorer],
+    ) -> None:
+        self.extractor = extractor
+        self.indexer = indexer
+        self.scorers = scorers
+        self._row_cache: dict[
+            str, tuple[np.ndarray, np.ndarray, tuple[tuple[str, float], ...]]
+        ] = {}
+        self._column_slices: dict[Language, slice] = {}
+        offset = 0
+        column_blocks = []
+        for language, scorer in scorers.items():
+            self._column_slices[language] = slice(offset, offset + scorer.n_columns)
+            if scorer.n_columns:
+                column_blocks.append(scorer.columns())
+            offset += scorer.n_columns
+        self._columns = np.hstack(column_blocks) if column_blocks else None
+
+    @classmethod
+    def build(
+        cls,
+        extractor: FeatureExtractor,
+        classifiers: Mapping[Language, BinaryClassifier],
+        train_vectors: Sequence[Mapping[str, float]],
+    ) -> "CompiledIdentifier | None":
+        """Compile every per-language classifier, or ``None`` if any
+        classifier has no vectorized lowering."""
+        indexer = FeatureIndexer().fit(train_vectors)
+        scorers: dict[Language, CompiledScorer] = {}
+        for language, classifier in classifiers.items():
+            scorer = classifier.compile(indexer)
+            if scorer is None:
+                return None
+            scorers[language] = scorer
+        return cls(extractor=extractor, indexer=indexer, scorers=scorers)
+
+    def batch(self, urls: Sequence[str]) -> CsrBatch:
+        """Extract and intern a batch of URLs into CSR form.
+
+        URLs seen before are served from the interned-row memo; only the
+        cache misses pay extraction + interning (in one sub-batch).
+        """
+        cache = self._row_cache
+        missing = list(dict.fromkeys(url for url in urls if url not in cache))
+        if missing:
+            fresh = self.indexer.transform(self.extractor.extract_many(missing))
+            fresh_residuals: dict[int, list[tuple[str, float]]] = {}
+            for row, name, value in fresh.residuals:
+                fresh_residuals.setdefault(row, []).append((name, value))
+            for row, url in enumerate(missing):
+                ids, values = fresh.row_slice(row)
+                # Copies, not views: a view would pin the whole sub-batch
+                # allocation for as long as any one row stays cached.
+                cache[url] = (
+                    ids.copy(),
+                    values.copy(),
+                    tuple(fresh_residuals.get(row, ())),
+                )
+
+        indptr = np.empty(len(urls) + 1, dtype=np.int64)
+        indptr[0] = 0
+        id_blocks: list[np.ndarray] = []
+        value_blocks: list[np.ndarray] = []
+        residuals: list[tuple[int, str, float]] = []
+        total = 0
+        for row, url in enumerate(urls):
+            ids, values, row_residuals = cache[url]
+            id_blocks.append(ids)
+            value_blocks.append(values)
+            total += len(ids)
+            indptr[row + 1] = total
+            for name, value in row_residuals:
+                residuals.append((row, name, value))
+        if id_blocks:
+            indices = np.concatenate(id_blocks)
+            data = np.concatenate(value_blocks)
+        else:
+            indices = np.empty(0, dtype=np.int64)
+            data = np.empty(0, dtype=np.float64)
+        while len(cache) > ROW_CACHE_SIZE:
+            del cache[next(iter(cache))]
+        return CsrBatch(
+            indptr=indptr,
+            indices=indices,
+            data=data,
+            n_features=len(self.indexer),
+            residuals=residuals,
+        )
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_row_cache"] = {}  # memo is transient; keep pickles small
+        return state
+
+    def scores_matrix(self, urls: Sequence[str]) -> np.ndarray:
+        """``(n_urls, n_languages)`` decision scores in one pass."""
+        batch = self.batch(urls)
+        if self._columns is not None:
+            sums = batch.matmul(self._columns)
+        else:
+            sums = np.zeros((batch.n_rows, 0), dtype=np.float64)
+        out = np.empty((batch.n_rows, len(self.scorers)), dtype=np.float64)
+        for column, (language, scorer) in enumerate(self.scorers.items()):
+            out[:, column] = scorer.finalize(
+                sums[:, self._column_slices[language]], batch
+            )
+        return out
+
+    def scores_many(self, urls: Sequence[str]) -> dict[Language, list[float]]:
+        matrix = self.scores_matrix(urls)
+        return {
+            language: matrix[:, column].tolist()
+            for column, language in enumerate(self.scorers)
+        }
+
+    def decisions(self, urls: Sequence[str]) -> dict[Language, list[bool]]:
+        matrix = self.scores_matrix(urls)
+        return {
+            language: (matrix[:, column] > 0.0).tolist()
+            for column, language in enumerate(self.scorers)
+        }
 
 
 class LanguageIdentifier:
@@ -87,9 +266,19 @@ class LanguageIdentifier:
         leaning); negative values like ``-2`` repeat every *negative*
         twice (precision-leaning); ``1`` is the paper's symmetric
         default.
+    backend:
+        ``"auto"`` (default) compiles the vectorized inference backend
+        at fit time when the algorithm supports it, falling back to the
+        sparse reference path otherwise; ``"sparse"`` never compiles;
+        ``"compiled"`` requires compilation and raises otherwise.
     algorithm_kwargs / extractor_kwargs:
         Forwarded to the underlying factories.
     """
+
+    # Class-level defaults so models pickled before these attributes
+    # existed still predict after unpickling.
+    backend = "auto"
+    _compiled: CompiledIdentifier | None = None
 
     def __init__(
         self,
@@ -98,6 +287,7 @@ class LanguageIdentifier:
         seed: int = 0,
         negative_sampling: str = "balanced",
         positive_weight: int = 1,
+        backend: str = "auto",
         algorithm_kwargs: dict | None = None,
         extractor_kwargs: dict | None = None,
     ) -> None:
@@ -105,6 +295,10 @@ class LanguageIdentifier:
             raise ValueError(
                 "negative_sampling must be 'balanced' or 'all', got "
                 f"{negative_sampling!r}"
+            )
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
             )
         if positive_weight in (0, -1) or not isinstance(positive_weight, int):
             raise ValueError(
@@ -117,10 +311,12 @@ class LanguageIdentifier:
         self.seed = seed
         self.negative_sampling = negative_sampling
         self.positive_weight = positive_weight
+        self.backend = backend
         self.algorithm_kwargs = dict(algorithm_kwargs or {})
         self.extractor_kwargs = dict(extractor_kwargs or {})
         self.extractor: FeatureExtractor | None = None
         self.classifiers: dict[Language, BinaryClassifier] = {}
+        self._compiled: CompiledIdentifier | None = None
         self._labeler: CcTldLabeler | None = None
         if algorithm in BASELINE_ALGORITHMS:
             self._labeler = CcTldLabeler(plus=algorithm.endswith("+"))
@@ -174,8 +370,23 @@ class LanguageIdentifier:
             classifier = make_classifier(self.algorithm, **self.algorithm_kwargs)
             classifier.fit(vectors, labels)
             self.classifiers[language] = classifier
+        self._compiled = None
+        if self.backend != "sparse":
+            self._compiled = CompiledIdentifier.build(
+                extractor, self.classifiers, train_vectors
+            )
+            if self._compiled is None and self.backend == "compiled":
+                raise ValueError(
+                    f"algorithm {self.algorithm!r} has no compiled lowering; "
+                    "use backend='auto' or 'sparse'"
+                )
         self._fitted = True
         return self
+
+    @property
+    def compiled(self) -> CompiledIdentifier | None:
+        """The vectorized backend, or ``None`` when on the sparse path."""
+        return self._compiled
 
     def _apply_weight(
         self, indices: list[int], labels: list[bool]
@@ -222,8 +433,10 @@ class LanguageIdentifier:
     def decisions(self, urls: Sequence[str]) -> dict[Language, list[bool]]:
         """Per-language binary decisions for a batch of URLs.
 
-        Feature extraction happens once per URL and is shared by all five
-        binary classifiers.
+        On the compiled backend the whole batch is scored with one
+        CSR×dense matrix product; on the sparse path feature extraction
+        still happens once per URL and is shared by all five binary
+        classifiers.
         """
         self._require_fitted()
         if self._labeler is not None:
@@ -232,12 +445,70 @@ class LanguageIdentifier:
                 language: [label == language for label in labels]
                 for language in LANGUAGES
             }
+        if self._compiled is not None:
+            return self._compiled.decisions(urls)
+        return self._sparse_decisions(urls)
+
+    def _sparse_decisions(self, urls: Sequence[str]) -> dict[Language, list[bool]]:
+        """The string-keyed reference path (equivalence oracle for the
+        compiled backend; also what non-linear algorithms use)."""
         assert self.extractor is not None
         vectors = self.extractor.extract_many(urls)
         return {
             language: self.classifiers[language].predict_many(vectors)
             for language in LANGUAGES
         }
+
+    def scores_many(self, urls: Sequence[str]) -> dict[Language, list[float]]:
+        """Per-language decision scores for a batch of URLs.
+
+        The batch counterpart of :meth:`scores`; compiled-backend
+        identifiers answer it with a single matrix product, which is the
+        triage entry point for the crawler and the CLI.
+        """
+        self._require_fitted()
+        if self._labeler is not None:
+            labels = self._labeler.label_many(urls)
+            return {
+                language: [
+                    1.0 if label == language else -1.0 for label in labels
+                ]
+                for language in LANGUAGES
+            }
+        if self._compiled is not None:
+            return self._compiled.scores_many(urls)
+        assert self.extractor is not None
+        vectors = self.extractor.extract_many(urls)
+        return {
+            language: [
+                self.classifiers[language].decision_score(vector)
+                for vector in vectors
+            ]
+            for language in LANGUAGES
+        }
+
+    def classify_many(
+        self,
+        urls: Sequence[str],
+        scores: Mapping[Language, Sequence[float]] | None = None,
+    ) -> list[Language | None]:
+        """Batch variant of :meth:`classify` (single best language or
+        ``None`` per URL), served by the compiled backend when present.
+
+        Callers that already hold this batch's :meth:`scores_many`
+        result (the CLI prints labels *and* per-language answers) pass
+        it via ``scores`` to avoid a second scoring pass.
+        """
+        if scores is None:
+            scores = self.scores_many(urls)
+        out: list[Language | None] = []
+        for row in range(len(urls)):
+            best_language, best_score = max(
+                ((language, scores[language][row]) for language in scores),
+                key=lambda item: item[1],
+            )
+            out.append(best_language if best_score > 0.0 else None)
+        return out
 
     def predict_languages(self, url: str) -> set[Language]:
         """All languages whose binary classifier answers yes for ``url``."""

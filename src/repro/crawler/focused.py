@@ -109,22 +109,24 @@ def focused_crawl(
     downloaded: set[str] = set()
     score_cache: dict[str, float] = {}
 
-    def url_score(url: str) -> float:
-        cached = score_cache.get(url)
-        if cached is None:
-            cached = identifier.scores(url)[target]
-            score_cache[url] = cached
-        return cached
+    def prefetch_scores(urls: Sequence[str]) -> None:
+        """Triage a frontier expansion in one batch — a single matrix
+        product on compiled-backend identifiers."""
+        missing = [url for url in urls if url not in score_cache]
+        if missing:
+            scores = identifier.scores_many(missing)[target]
+            score_cache.update(zip(missing, scores))
 
     def push(url: str, bonus: float) -> None:
         nonlocal counter
-        priority = url_score(url) + bonus
+        priority = score_cache[url] + bonus
         if best_priority.get(url, float("-inf")) >= priority:
             return
         best_priority[url] = priority
         counter += 1
         heapq.heappush(frontier, (-priority, counter, url))
 
+    prefetch_scores(seeds)
     for seed in seeds:
         push(seed, bonus=0.0)
 
@@ -139,9 +141,14 @@ def focused_crawl(
         if is_target:
             report.target_downloads += 1
         bonus = link_bonus if is_target else 0.0
-        for successor in graph.successors(url):
-            if successor not in downloaded:
-                push(successor, bonus=bonus)
+        successors = [
+            successor
+            for successor in graph.successors(url)
+            if successor not in downloaded
+        ]
+        prefetch_scores(successors)
+        for successor in successors:
+            push(successor, bonus=bonus)
     return report
 
 

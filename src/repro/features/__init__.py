@@ -24,6 +24,7 @@ from repro.features.dictionaries import (
     merged_dictionary,
     openoffice_dictionary,
 )
+from repro.features.indexer import CsrBatch, FeatureIndexer
 from repro.features.ngrams import TrigramFeatureExtractor, trigram_vectors
 from repro.features.vectorizer import CountVectorizer, Vocabulary
 from repro.features.words import TokenSetExtractor, WordFeatureExtractor, word_vectors
@@ -31,8 +32,10 @@ from repro.features.words import TokenSetExtractor, WordFeatureExtractor, word_v
 __all__ = [
     "ALL_FEATURE_NAMES",
     "CountVectorizer",
+    "CsrBatch",
     "CustomFeatureExtractor",
     "FeatureExtractor",
+    "FeatureIndexer",
     "FeatureVector",
     "LanguageDictionary",
     "SELECTED_FEATURE_NAMES",

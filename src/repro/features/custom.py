@@ -29,7 +29,7 @@ from repro.features.dictionaries import (
 )
 from repro.languages import GENERIC_TLDS, LANGUAGES, Language, cctlds_for
 from repro.urls.parsing import parse_url
-from repro.urls.tokenizer import tokenize
+from repro.urls.tokenizer import tokenize, tokenize_cached
 
 
 def _per_language(prefix: str) -> list[str]:
@@ -132,7 +132,7 @@ class CustomFeatureExtractor(FeatureExtractor):
 
     def _extract_selected(self, url: str) -> FeatureVector:
         parsed = parse_url(url)
-        tokens = tokenize(url)
+        tokens = tokenize_cached(url)
         host_labels = set(parsed.host_labels)
         vector: FeatureVector = {}
         for lang in LANGUAGES:
@@ -151,7 +151,7 @@ class CustomFeatureExtractor(FeatureExtractor):
 
     def _extract_all(self, url: str) -> FeatureVector:
         parsed = parse_url(url)
-        tokens = tokenize(url)
+        tokens = tokenize_cached(url)
         host_tokens = tokenize(parsed.host)
         path_tokens = tokenize(parsed.path)
         host_labels = set(parsed.host_labels)

@@ -1,0 +1,183 @@
+"""Integer feature interning and CSR batch assembly.
+
+The string-keyed sparse vectors of :mod:`repro.features.base` keep every
+model inspectable, but walking ``dict[str, float]`` once per URL per
+language is the crawler-scale bottleneck.  A :class:`FeatureIndexer`
+interns every feature name seen at fit time to a dense integer id, and
+:meth:`FeatureIndexer.transform` turns a batch of sparse vectors into a
+:class:`CsrBatch` — ``indptr``/``indices``/``data`` numpy arrays in the
+classic compressed-sparse-row layout — that the compiled scorers in
+:mod:`repro.algorithms.compiled` consume with a single matrix product.
+
+Features unseen at fit time carry no interned id; they are preserved as
+per-row *residuals* (``(row, name, value)`` triples) so that scorers
+whose reference semantics give out-of-vocabulary features a non-zero
+contribution (the Markov chain's smoothed transitions) stay bit-for-bit
+faithful to the sparse path.
+
+Only strictly positive values are interned: every classifier in
+:mod:`repro.algorithms` skips non-positive counts, and all feature
+extractors emit positive counts only.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.features.vectorizer import Vocabulary
+
+
+class CsrBatch:
+    """A batch of sparse count vectors in CSR form over an interned space.
+
+    Row ``i`` holds ``data[indptr[i]:indptr[i+1]]`` at feature ids
+    ``indices[indptr[i]:indptr[i+1]]``.  ``residuals`` lists the
+    out-of-vocabulary ``(row, name, value)`` entries that could not be
+    interned.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        n_features: int,
+        residuals: list[tuple[int, str, float]] | None = None,
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.n_features = n_features
+        self.residuals = residuals or []
+        self._row_ids: np.ndarray | None = None
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Row id of every stored entry (``len == nnz``), memoized."""
+        if self._row_ids is None:
+            self._row_ids = np.repeat(
+                np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._row_ids
+
+    def row_slice(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(feature_ids, values)`` of one row (views, do not mutate)."""
+        start, stop = self.indptr[row], self.indptr[row + 1]
+        return self.indices[start:stop], self.data[start:stop]
+
+    def row_sums(self, per_entry: np.ndarray) -> np.ndarray:
+        """Sum ``per_entry`` (one value per stored entry) within each row."""
+        return np.bincount(self.row_ids, weights=per_entry, minlength=self.n_rows)
+
+    def matmul(self, dense: np.ndarray) -> np.ndarray:
+        """CSR × dense product: ``(n_rows, k)`` for ``dense`` of ``(V, k)``.
+
+        This is the one pass the compiled inference backend performs for
+        a whole batch: the five binary classifiers stack their weight
+        vectors into the columns of ``dense``.
+        """
+        if dense.ndim == 1:
+            return self.row_sums(self.data * dense[self.indices])
+        contributions = self.data[:, np.newaxis] * dense[self.indices]
+        out = np.empty((self.n_rows, dense.shape[1]), dtype=np.float64)
+        for column in range(dense.shape[1]):
+            out[:, column] = self.row_sums(contributions[:, column])
+        return out
+
+
+class FeatureIndexer:
+    """Interns feature-name strings to dense integer ids at fit time.
+
+    A thin layer over :class:`~repro.features.vectorizer.Vocabulary`
+    (the repo's one name<->index map) that adds CSR assembly, residual
+    handling and the vectorised ``names_array``.
+    """
+
+    def __init__(self) -> None:
+        self._vocabulary = Vocabulary()
+        self._names_array: np.ndarray | None = None
+        self._fitted = False
+
+    def fit(self, vectors: Sequence[Mapping[str, float]]) -> "FeatureIndexer":
+        """Intern every feature name occurring in the training vectors."""
+        add = self._vocabulary.add
+        for vector in vectors:
+            for name in vector:
+                add(name)
+        self._vocabulary.freeze()
+        self._names_array = None
+        self._fitted = True
+        return self
+
+    def __len__(self) -> int:
+        return len(self._vocabulary)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vocabulary
+
+    def id_of(self, name: str) -> int | None:
+        """Interned id of ``name`` or ``None`` if unseen at fit time."""
+        return self._vocabulary.index_of(name)
+
+    def name_of(self, feature_id: int) -> str:
+        return self._vocabulary.name_of(feature_id)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._vocabulary.names
+
+    @property
+    def names_array(self) -> np.ndarray:
+        """Feature names as a numpy unicode array (id-indexed), memoized.
+
+        Lets per-row scorers (rank order) break value ties alphabetically
+        with vectorised string comparisons instead of Python sorts.
+        """
+        if self._names_array is None:
+            self._names_array = np.array(self._vocabulary.names, dtype=np.str_)
+        return self._names_array
+
+    def transform(self, vectors: Sequence[Mapping[str, float]]) -> CsrBatch:
+        """CSR batch of ``vectors`` over the interned feature space.
+
+        Entries with non-positive values are dropped (they contribute
+        nothing under every classifier's count semantics); positive
+        entries whose name was never interned become residuals.
+        """
+        if not self._fitted:
+            raise RuntimeError("FeatureIndexer.transform called before fit")
+        get = self._vocabulary.index_map.get
+        indptr = np.empty(len(vectors) + 1, dtype=np.int64)
+        indptr[0] = 0
+        indices: list[int] = []
+        data: list[float] = []
+        residuals: list[tuple[int, str, float]] = []
+        for row, vector in enumerate(vectors):
+            for name, value in vector.items():
+                if value <= 0:
+                    continue
+                feature_id = get(name)
+                if feature_id is None:
+                    residuals.append((row, name, value))
+                else:
+                    indices.append(feature_id)
+                    data.append(value)
+            indptr[row + 1] = len(indices)
+        return CsrBatch(
+            indptr=indptr,
+            indices=np.asarray(indices, dtype=np.int64),
+            data=np.asarray(data, dtype=np.float64),
+            n_features=len(self._vocabulary),
+            residuals=residuals,
+        )
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_names_array"] = None  # rebuilt lazily after unpickling
+        return state

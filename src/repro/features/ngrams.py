@@ -12,7 +12,7 @@ from collections.abc import Sequence
 
 from repro.features.base import FeatureExtractor, FeatureVector, counts
 from repro.languages import Language
-from repro.urls.tokenizer import tokenize, tokenize_text
+from repro.urls.tokenizer import tokenize_cached, tokenize_text
 from repro.urls.trigrams import raw_trigrams, trigrams_of_tokens
 
 
@@ -38,14 +38,14 @@ class TrigramFeatureExtractor(FeatureExtractor):
 
     def extract(self, url: str) -> FeatureVector:
         if self.mode == "token":
-            grams = trigrams_of_tokens(tokenize(url))
+            grams = trigrams_of_tokens(list(tokenize_cached(url)))
         else:
             grams = raw_trigrams(url)
         return {self.prefix + gram: count for gram, count in counts(grams).items()}
 
     def extract_with_content(self, url: str, content: str) -> FeatureVector:
         """Trigram features of URL plus page content (Section 7)."""
-        grams = trigrams_of_tokens(tokenize(url))
+        grams = trigrams_of_tokens(list(tokenize_cached(url)))
         grams.extend(trigrams_of_tokens(tokenize_text(content)))
         return {self.prefix + gram: count for gram, count in counts(grams).items()}
 

@@ -56,6 +56,15 @@ class Vocabulary:
         """Index of ``name`` or ``None`` if unseen."""
         return self._index.get(name)
 
+    @property
+    def index_map(self) -> dict[str, int]:
+        """The name -> index dict itself (treat as read-only).
+
+        Hot loops hoist ``vocabulary.index_map.get`` once instead of
+        paying a method call per feature via :meth:`index_of`.
+        """
+        return self._index
+
     def name_of(self, index: int) -> str:
         return self._names[index]
 
@@ -101,9 +110,10 @@ class CountVectorizer:
         if not self._fitted:
             raise RuntimeError("CountVectorizer.transform called before fit")
         matrix = np.zeros((len(vectors), len(self.vocabulary)), dtype=np.float64)
+        index_of = self.vocabulary.index_map.get
         for row, vector in enumerate(vectors):
             for name, value in vector.items():
-                index = self.vocabulary.index_of(name)
+                index = index_of(name)
                 if index is not None:
                     matrix[row, index] = value
         return matrix

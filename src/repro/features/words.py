@@ -14,7 +14,7 @@ from collections.abc import Sequence
 
 from repro.features.base import FeatureExtractor, FeatureVector, counts
 from repro.languages import Language
-from repro.urls.tokenizer import tokenize, tokenize_text
+from repro.urls.tokenizer import tokenize, tokenize_cached, tokenize_text
 
 
 class WordFeatureExtractor(FeatureExtractor):
@@ -35,7 +35,7 @@ class WordFeatureExtractor(FeatureExtractor):
     def extract(self, url: str) -> FeatureVector:
         return {
             self.prefix + token: count
-            for token, count in counts(tokenize(url)).items()
+            for token, count in counts(tokenize_cached(url)).items()
         }
 
     def extract_with_content(self, url: str, content: str) -> FeatureVector:
@@ -64,7 +64,7 @@ class TokenSetExtractor(FeatureExtractor):
         self.prefix = prefix
 
     def extract(self, url: str) -> FeatureVector:
-        return {self.prefix + token: 1.0 for token in set(tokenize(url))}
+        return {self.prefix + token: 1.0 for token in set(tokenize_cached(url))}
 
 
 def word_vectors(

@@ -4,8 +4,11 @@ from repro.urls.parsing import ParsedUrl, parse_url, registered_domain, tld_of
 from repro.urls.tokenizer import (
     MIN_TOKEN_LENGTH,
     SPECIAL_WORDS,
+    TOKEN_CACHE_SIZE,
+    clear_token_cache,
     iter_tokens,
     tokenize,
+    tokenize_cached,
     tokenize_text,
 )
 from repro.urls.trigrams import (
@@ -19,6 +22,8 @@ __all__ = [
     "MIN_TOKEN_LENGTH",
     "ParsedUrl",
     "SPECIAL_WORDS",
+    "TOKEN_CACHE_SIZE",
+    "clear_token_cache",
     "iter_tokens",
     "parse_url",
     "raw_trigrams",
@@ -26,6 +31,7 @@ __all__ = [
     "tld_of",
     "token_trigrams",
     "tokenize",
+    "tokenize_cached",
     "tokenize_text",
     "trigrams_of_tokens",
     "url_trigrams",

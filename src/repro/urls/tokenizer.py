@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import re
 from collections.abc import Iterator
+from functools import lru_cache
 
 #: Words removed from every token stream (Section 3.1).
 SPECIAL_WORDS: frozenset[str] = frozenset(
@@ -47,6 +48,27 @@ def tokenize(url: str, *, keep_special: bool = False) -> list[str]:
             continue
         tokens.append(token)
     return tokens
+
+
+#: Entries kept by the memoized tokenizer.  Crawler frontiers and the
+#: benchmark harness re-tokenise the same URLs many times; the web-scale
+#: triage path (see :mod:`repro.features.indexer`) goes through the cache.
+TOKEN_CACHE_SIZE = 1 << 16
+
+
+@lru_cache(maxsize=TOKEN_CACHE_SIZE)
+def tokenize_cached(url: str) -> tuple[str, ...]:
+    """Memoized :func:`tokenize` (default options) returning a tuple.
+
+    The tuple is shared between callers — treat it as immutable.  Use
+    :func:`clear_token_cache` to drop the memo (tests, memory pressure).
+    """
+    return tuple(tokenize(url))
+
+
+def clear_token_cache() -> None:
+    """Drop all memoized token streams."""
+    tokenize_cached.cache_clear()
 
 
 def iter_tokens(url: str) -> Iterator[str]:

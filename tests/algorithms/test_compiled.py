@@ -1,0 +1,173 @@
+"""Compiled-vs-reference equivalence for the vectorized scorers.
+
+The compiled backend is an optimisation, never a semantic fork: for
+every score-linear algorithm (NB, RE, RO, MM) the lowered scorer must
+reproduce the sparse path's ``decision_score`` within 1e-9 and its
+``decisions`` exactly — including on vectors with out-of-vocabulary
+features, empty vectors, and adversarial count patterns from hypothesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    MarkovChainClassifier,
+    NaiveBayesClassifier,
+    RankOrderClassifier,
+    RelativeEntropyClassifier,
+)
+from repro.features.indexer import FeatureIndexer
+
+TOLERANCE = 1e-9
+
+#: Word-style feature space used by the toy training sets.
+WORD_NAMES = [f"w:tok{i}" for i in range(8)]
+#: Trigram-style feature space (what the Markov chain requires).
+GRAM_NAMES = ["t:" + a + b + c for a in "ab" for b in "ab" for c in "abc"]
+
+LINEAR_FACTORIES = {
+    "NB": lambda: NaiveBayesClassifier(alpha=0.7),
+    "RE": lambda: RelativeEntropyClassifier(smoothing=0.4),
+    "RO": lambda: RankOrderClassifier(profile_size=6),
+    "MM": lambda: MarkovChainClassifier(alpha=0.3),
+}
+
+
+def _training_set(names: list[str]) -> tuple[list[dict], list[bool]]:
+    """Separable but overlapping vectors over ``names`` (deterministic)."""
+    rng = np.random.default_rng(13)
+    half = len(names) // 2
+    vectors, labels = [], []
+    for _ in range(40):
+        for positive in (True, False):
+            favored = names[:half] if positive else names[half:]
+            other = names[half:] if positive else names[:half]
+            vector = {name: float(rng.integers(1, 5)) for name in favored}
+            for name in other:
+                if rng.random() < 0.3:
+                    vector[name] = float(rng.integers(1, 3))
+            vectors.append(vector)
+            labels.append(positive)
+    return vectors, labels
+
+
+def _fit_and_compile(algorithm: str, names: list[str]):
+    vectors, labels = _training_set(names)
+    classifier = LINEAR_FACTORIES[algorithm]()
+    classifier.fit(vectors, labels)
+    indexer = FeatureIndexer().fit(vectors)
+    scorer = classifier.compile(indexer)
+    assert scorer is not None
+    return classifier, indexer, scorer
+
+
+def _names_for(algorithm: str) -> list[str]:
+    return GRAM_NAMES if algorithm == "MM" else WORD_NAMES
+
+
+def _assert_equivalent(classifier, indexer, scorer, test_vectors) -> None:
+    batch = indexer.transform(test_vectors)
+    compiled_scores = scorer.batch_scores(batch)
+    compiled_decisions = scorer.batch_decisions(batch)
+    for row, vector in enumerate(test_vectors):
+        reference = classifier.decision_score(vector)
+        assert compiled_scores[row] == pytest.approx(reference, abs=TOLERANCE)
+        assert bool(compiled_decisions[row]) == classifier.predict(vector)
+
+
+@pytest.mark.parametrize("algorithm", sorted(LINEAR_FACTORIES))
+class TestCompiledEquivalence:
+    def test_training_vectors_roundtrip(self, algorithm):
+        names = _names_for(algorithm)
+        classifier, indexer, scorer = _fit_and_compile(algorithm, names)
+        vectors, _ = _training_set(names)
+        _assert_equivalent(classifier, indexer, scorer, vectors[:40])
+
+    def test_out_of_vocabulary_features(self, algorithm):
+        """OOV features must contribute exactly what the sparse path gives
+        them (zero for NB/RE/RO, smoothed transitions for MM)."""
+        names = _names_for(algorithm)
+        classifier, indexer, scorer = _fit_and_compile(algorithm, names)
+        oov = (
+            ["t:abz", "t:zzz", "t:bca", "x:other"]
+            if algorithm == "MM"
+            else ["w:never", "w:unseen", "zz:weird"]
+        )
+        test_vectors = [
+            {names[0]: 2.0, oov[0]: 3.0, oov[1]: 1.0},
+            {name: 1.0 for name in oov},
+            {names[1]: 1.0, names[2]: 4.0, oov[2]: 2.0},
+        ]
+        _assert_equivalent(classifier, indexer, scorer, test_vectors)
+
+    def test_empty_and_degenerate_vectors(self, algorithm):
+        names = _names_for(algorithm)
+        classifier, indexer, scorer = _fit_and_compile(algorithm, names)
+        test_vectors = [{}, {names[0]: 1.0}, {"w:only-oov": 1.0}]
+        _assert_equivalent(classifier, indexer, scorer, test_vectors)
+
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(data=st.data())
+    def test_property_random_count_vectors(self, algorithm, data):
+        names = _names_for(algorithm)
+        classifier, indexer, scorer = _fit_and_compile(algorithm, names)
+        pool = names + (
+            ["t:zzz", "t:aaz"] if algorithm == "MM" else ["w:oov1", "w:oov2"]
+        )
+        vectors = data.draw(
+            st.lists(
+                st.dictionaries(
+                    st.sampled_from(pool),
+                    st.integers(min_value=1, max_value=9).map(float),
+                    max_size=len(pool),
+                ),
+                min_size=1,
+                max_size=6,
+            )
+        )
+        _assert_equivalent(classifier, indexer, scorer, vectors)
+
+
+class TestCompiledStructure:
+    def test_rank_order_is_bit_identical(self):
+        """RO's compiled scorer works in exact integer arithmetic, so it
+        must agree exactly, not just within tolerance."""
+        classifier, indexer, scorer = _fit_and_compile("RO", WORD_NAMES)
+        vectors, _ = _training_set(WORD_NAMES)
+        batch = indexer.transform(vectors[:30])
+        scores = scorer.batch_scores(batch)
+        for row, vector in enumerate(vectors[:30]):
+            assert scores[row] == classifier.decision_score(vector)
+
+    def test_nonlinear_algorithms_do_not_compile(self):
+        from repro.algorithms import DecisionTreeClassifier, MaxEntClassifier
+
+        vectors, labels = _training_set(WORD_NAMES)
+        indexer = FeatureIndexer().fit(vectors)
+        for factory in (DecisionTreeClassifier, MaxEntClassifier):
+            classifier = factory().fit(vectors, labels)
+            assert classifier.compile(indexer) is None
+
+    def test_compile_before_fit_raises(self):
+        indexer = FeatureIndexer().fit([{"w:a": 1.0}])
+        for algorithm in sorted(LINEAR_FACTORIES):
+            with pytest.raises(RuntimeError):
+                LINEAR_FACTORIES[algorithm]().compile(indexer)
+
+    def test_stacked_columns_match_standalone(self):
+        """Stacking scorers' columns (the one-matmul path) must give the
+        same scores as each scorer's standalone matmul."""
+        classifier, indexer, scorer = _fit_and_compile("RE", WORD_NAMES)
+        vectors, _ = _training_set(WORD_NAMES)
+        batch = indexer.transform(vectors[:20])
+        stacked = np.hstack([scorer.columns(), scorer.columns()])
+        sums = batch.matmul(stacked)
+        left = scorer.finalize(sums[:, 0:2], batch)
+        right = scorer.finalize(sums[:, 2:4], batch)
+        standalone = scorer.batch_scores(batch)
+        assert np.array_equal(left, standalone)
+        assert np.array_equal(right, standalone)

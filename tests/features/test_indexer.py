@@ -1,0 +1,96 @@
+"""FeatureIndexer interning and CSR batch assembly."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.features.indexer import FeatureIndexer
+
+VECTORS = [
+    {"w:alpha": 2.0, "w:beta": 1.0},
+    {"w:beta": 3.0, "w:gamma": 1.0},
+    {},
+    {"w:alpha": 1.0},
+]
+
+
+@pytest.fixture()
+def indexer():
+    return FeatureIndexer().fit(VECTORS)
+
+
+class TestInterning:
+    def test_ids_are_dense_and_stable(self, indexer):
+        assert len(indexer) == 3
+        assert sorted(indexer.id_of(n) for n in ("w:alpha", "w:beta", "w:gamma")) == [0, 1, 2]
+        assert indexer.name_of(indexer.id_of("w:beta")) == "w:beta"
+        assert "w:alpha" in indexer
+        assert "w:never" not in indexer
+        assert indexer.id_of("w:never") is None
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FeatureIndexer().transform(VECTORS)
+
+    def test_names_array_matches_names(self, indexer):
+        assert tuple(indexer.names_array.tolist()) == indexer.names
+
+    def test_pickle_roundtrip(self, indexer):
+        clone = pickle.loads(pickle.dumps(indexer))
+        assert clone.names == indexer.names
+        batch = clone.transform(VECTORS)
+        assert batch.n_rows == len(VECTORS)
+
+
+class TestCsrAssembly:
+    def test_layout_roundtrips_vectors(self, indexer):
+        batch = indexer.transform(VECTORS)
+        assert batch.n_rows == 4
+        assert batch.n_features == 3
+        assert batch.indptr.tolist()[0] == 0
+        assert batch.indptr.tolist()[-1] == len(batch.data)
+        for row, vector in enumerate(VECTORS):
+            ids, values = batch.row_slice(row)
+            rebuilt = {indexer.name_of(i): v for i, v in zip(ids, values)}
+            assert rebuilt == vector
+
+    def test_empty_row_has_empty_slice(self, indexer):
+        batch = indexer.transform(VECTORS)
+        ids, values = batch.row_slice(2)
+        assert len(ids) == 0 and len(values) == 0
+
+    def test_oov_features_become_residuals(self, indexer):
+        batch = indexer.transform([{"w:alpha": 1.0, "w:oov": 2.0}])
+        assert batch.residuals == [(0, "w:oov", 2.0)]
+        ids, _ = batch.row_slice(0)
+        assert ids.tolist() == [indexer.id_of("w:alpha")]
+
+    def test_nonpositive_values_are_dropped(self, indexer):
+        batch = indexer.transform([{"w:alpha": 0.0, "w:beta": -1.0, "w:gamma": 2.0}])
+        ids, values = batch.row_slice(0)
+        assert ids.tolist() == [indexer.id_of("w:gamma")]
+        assert values.tolist() == [2.0]
+        assert batch.residuals == []
+
+    def test_matmul_matches_dense_product(self, indexer):
+        batch = indexer.transform(VECTORS)
+        dense = np.array([[1.0, -2.0], [0.5, 1.0], [3.0, 0.0]])
+        expected = np.zeros((4, 2))
+        for row, vector in enumerate(VECTORS):
+            for name, value in vector.items():
+                expected[row] += value * dense[indexer.id_of(name)]
+        assert np.allclose(batch.matmul(dense), expected)
+        assert np.allclose(batch.matmul(dense[:, 0]), expected[:, 0])
+
+    def test_row_sums_segments_correctly(self, indexer):
+        batch = indexer.transform(VECTORS)
+        totals = batch.row_sums(batch.data)
+        assert totals.tolist() == [3.0, 4.0, 0.0, 1.0]
+
+    def test_empty_batch(self, indexer):
+        batch = indexer.transform([])
+        assert batch.n_rows == 0
+        assert batch.matmul(np.ones((3, 2))).shape == (0, 2)

@@ -82,3 +82,41 @@ class TestTokenizeProperties:
     def test_idempotent_on_joined_tokens(self, text):
         tokens = tokenize(text)
         assert tokenize("/".join(tokens)) == tokens
+
+
+class TestTokenizeCached:
+    def test_matches_uncached(self):
+        from repro.urls.tokenizer import tokenize_cached
+
+        urls = [
+            "http://www.internetwordstats.com/africa2.htm",
+            "http://www.NewYork.COM/Page",
+            "http://a.b.com/c/d",
+            "",
+        ]
+        for url in urls:
+            assert list(tokenize_cached(url)) == tokenize(url)
+
+    def test_returns_shared_tuple(self):
+        from repro.urls.tokenizer import tokenize_cached
+
+        url = "http://www.recherche.fr/produits.html"
+        first = tokenize_cached(url)
+        assert isinstance(first, tuple)
+        assert tokenize_cached(url) is first  # memo hit, same object
+
+    def test_clear_token_cache(self):
+        from repro.urls.tokenizer import clear_token_cache, tokenize_cached
+
+        url = "http://www.giornale.it/pagina.html"
+        before = tokenize_cached(url)
+        clear_token_cache()
+        after = tokenize_cached(url)
+        assert after == before
+        assert tokenize_cached.cache_info().currsize >= 1
+
+    @given(st.text(max_size=80))
+    def test_property_cached_equals_plain(self, url):
+        from repro.urls.tokenizer import tokenize_cached
+
+        assert list(tokenize_cached(url)) == tokenize(url)
