@@ -8,13 +8,20 @@ benches time both inference backends on the same trained model —
 vectorized CSR×matmul backend — and assert their ``decisions()`` output
 is byte-identical before timing anything.
 
-A machine-readable summary (per-bench best seconds, URLs/sec, and the
-compiled-vs-sparse speedup) is written to ``BENCH_core_throughput.json``
-next to this file so the perf trajectory can be tracked across PRs.
+The model-load benches time the two serialisation paths of the same
+trained model — the deprecated whole-object pickle versus the
+memory-mapped artifact of :mod:`repro.store` (which only parses the
+header and vocabulary; the weight matrix is mapped, not read).
+
+A machine-readable summary (per-bench best seconds, URLs/sec, the
+compiled-vs-sparse speedup, and the artifact-vs-pickle load speedup) is
+written to ``BENCH_core_throughput.json`` next to this file so the perf
+trajectory can be tracked across PRs.
 """
 
 import json
 import pathlib
+import pickle
 
 import pytest
 
@@ -69,6 +76,10 @@ def _write_json_summary():
     compiled = summary.get("nb_words_prediction_compiled", {}).get("best_seconds")
     if sparse and compiled:
         summary["compiled_speedup_nb_words"] = sparse / compiled
+    pickle_load = summary.get("model_load_pickle", {}).get("best_seconds")
+    artifact_load = summary.get("model_load_artifact", {}).get("best_seconds")
+    if pickle_load and artifact_load:
+        summary["artifact_load_speedup_vs_pickle"] = pickle_load / artifact_load
     JSON_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
 
 
@@ -146,3 +157,51 @@ def test_cctld_prediction_throughput(benchmark, record, urls):
     decisions = benchmark(lambda: identifier.decisions(urls))
     assert len(decisions) == 5
     record(benchmark, "cctld_prediction", len(urls))
+
+
+@pytest.fixture(scope="module")
+def model_files(tmp_path_factory, context):
+    """The same trained NB/words model saved both ways."""
+    from repro.store import save_identifier
+
+    identifier = context.pool.get("NB", "words")
+    base = tmp_path_factory.mktemp("models")
+    pickle_path = base / "model.pkl"
+    artifact_path = base / "model.urlmodel"
+    with open(pickle_path, "wb") as handle:
+        pickle.dump(identifier, handle)
+    save_identifier(identifier, artifact_path)
+    return pickle_path, artifact_path
+
+
+def test_model_load_pickle(benchmark, model_files, record):
+    """The deprecated path: unpickle the whole identifier (five
+    classifiers' weight dicts, extractor state, compiled backend)."""
+    pickle_path, _ = model_files
+
+    def load():
+        with open(pickle_path, "rb") as handle:
+            return pickle.load(handle)
+
+    identifier = benchmark(load)
+    assert identifier.compiled is not None
+    record(benchmark, "model_load_pickle")
+
+
+def test_model_load_artifact(benchmark, model_files, urls, record):
+    """The artifact path: parse header + vocabulary, mmap the weights.
+
+    Equivalence is asserted before timing — the loaded model must answer
+    exactly like the pickled original.
+    """
+    from repro.store import load_identifier
+
+    pickle_path, artifact_path = model_files
+    with open(pickle_path, "rb") as handle:
+        reference = pickle.load(handle)
+    loaded = load_identifier(artifact_path)
+    assert loaded.decisions(urls[:200]) == reference.decisions(urls[:200])
+
+    loaded = benchmark(lambda: load_identifier(artifact_path))
+    assert loaded.compiled is not None
+    record(benchmark, "model_load_artifact")

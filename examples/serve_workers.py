@@ -1,0 +1,66 @@
+"""Multi-process URL triage from one memory-mapped model artifact.
+
+Runs in well under a minute:
+
+    python examples/serve_workers.py
+
+Trains NB/words once, saves it as a model artifact, then scores the
+same URL stream with 1 and then 4 worker processes — every worker
+``mmap``s the *same* file, so the weight matrix exists once in physical
+memory no matter how many workers serve from it.  Results are asserted
+identical across worker counts before any throughput is reported.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import LanguageIdentifier, build_datasets, save_identifier
+from repro.store import score_urls
+
+
+def main() -> None:
+    # 1. Train the paper's best configuration and persist it.
+    data = build_datasets(seed=0, scale=0.4)
+    identifier = LanguageIdentifier(feature_set="words", algorithm="NB")
+    identifier.fit(data.combined_train)
+    model_path = Path(tempfile.mkdtemp()) / "nb-words.urlmodel"
+    save_identifier(identifier, model_path)
+    print(f"artifact: {model_path.name} ({model_path.stat().st_size} bytes)")
+
+    # 2. A URL stream to triage (repeat the test sets to get volume).
+    urls = []
+    for _ in range(20):
+        for test in data.test_sets.values():
+            urls.extend(test.urls)
+    print(f"scoring {len(urls)} URLs...")
+
+    # 3. Same stream, increasing worker counts, one shared artifact.
+    reference = None
+    for workers in (1, 2, 4):
+        start = time.perf_counter()
+        results = score_urls(model_path, urls, workers=workers, batch_size=2048)
+        elapsed = time.perf_counter() - start
+        if reference is None:
+            reference = results
+        assert results == reference, "workers must agree exactly"
+        labelled = sum(1 for result in results if result.best is not None)
+        print(
+            f"  workers={workers}: {elapsed:6.2f}s "
+            f"({len(urls) / elapsed:9.0f} URLs/s, {labelled} labelled)"
+        )
+    print(
+        "\n(on this tiny synthetic stream the single process wins — scoring"
+        "\n is one matmul, so fork + result IPC dominate.  The point of the"
+        "\n artifact is what mmap sharing buys a real fleet: N workers, one"
+        "\n physical copy of the weight matrix, and O(header) startup each.)"
+    )
+
+    # 4. A few example rows, CLI-style.
+    print("\nsample rows (best, binary-yes, url):")
+    for result in reference[:5]:
+        print("  " + result.tsv())
+
+
+if __name__ == "__main__":
+    main()

@@ -55,6 +55,12 @@ from repro.features import (
 )
 from repro.humans import HumanEvaluator, default_evaluators
 from repro.languages import LANGUAGES, Language
+from repro.store import (
+    ModelStore,
+    ServingIdentifier,
+    load_identifier,
+    save_identifier,
+)
 from repro.urls import parse_url, tokenize, url_trigrams
 
 __version__ = "1.0.0"
@@ -78,8 +84,10 @@ __all__ = [
     "Language",
     "LanguageIdentifier",
     "MaxEntClassifier",
+    "ModelStore",
     "NaiveBayesClassifier",
     "RelativeEntropyClassifier",
+    "ServingIdentifier",
     "TrainedPool",
     "TrigramFeatureExtractor",
     "UrlCorpusGenerator",
@@ -90,8 +98,10 @@ __all__ = [
     "default_evaluators",
     "evaluate_binary",
     "forward_select",
+    "load_identifier",
     "make_classifier",
     "make_extractor",
+    "save_identifier",
     "parse_url",
     "tokenize",
     "train_test_split",

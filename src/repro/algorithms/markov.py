@@ -42,6 +42,73 @@ def _gram_of(name: str) -> str | None:
     return tail if len(tail) == 3 else None
 
 
+class MarkovResidualWeight:
+    """Standalone out-of-vocabulary weight function for trigram features.
+
+    Computes :meth:`MarkovChainClassifier.feature_weight` from a snapshot
+    of the chain's counts: the per-class *prefix* totals (small — at most
+    the squared alphabet size) plus the per-class counts of any trigram
+    the surrounding indexer could not intern (empty in the normal
+    pipeline, where the indexer vocabulary is a superset of every
+    classifier's).  Being a plain-data object rather than a bound method,
+    it pickles without dragging the classifier along and serialises into
+    a model artifact header (:mod:`repro.store`).
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        prefix_positive: Mapping[str, float],
+        prefix_negative: Mapping[str, float],
+        trigram_positive: Mapping[str, float] | None = None,
+        trigram_negative: Mapping[str, float] | None = None,
+    ) -> None:
+        self.alpha = float(alpha)
+        self.prefix_positive = dict(prefix_positive)
+        self.prefix_negative = dict(prefix_negative)
+        self.trigram_positive = dict(trigram_positive or {})
+        self.trigram_negative = dict(trigram_negative or {})
+
+    def _log_transition(self, gram: str, positive: bool) -> float:
+        # Mirrors MarkovChainClassifier._log_transition exactly (same
+        # expression, same evaluation order) so scores stay bit-faithful.
+        trigrams = self.trigram_positive if positive else self.trigram_negative
+        prefixes = self.prefix_positive if positive else self.prefix_negative
+        trigram_count = trigrams.get(gram, 0.0)
+        prefix_count = prefixes.get(gram[:2], 0.0)
+        return math.log(
+            (trigram_count + self.alpha)
+            / (prefix_count + self.alpha * _ALPHABET_SIZE)
+        )
+
+    def __call__(self, name: str) -> float:
+        gram = _gram_of(name)
+        if gram is None:
+            return 0.0
+        return self._log_transition(gram, True) - self._log_transition(gram, False)
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable state (inverse of :meth:`from_state_dict`)."""
+        return {
+            "alpha": self.alpha,
+            "prefix_positive": self.prefix_positive,
+            "prefix_negative": self.prefix_negative,
+            "trigram_positive": self.trigram_positive,
+            "trigram_negative": self.trigram_negative,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Mapping) -> "MarkovResidualWeight":
+        """Rebuild from :meth:`state_dict` output (artifact loading)."""
+        return cls(
+            alpha=state["alpha"],
+            prefix_positive=state["prefix_positive"],
+            prefix_negative=state["prefix_negative"],
+            trigram_positive=state.get("trigram_positive"),
+            trigram_negative=state.get("trigram_negative"),
+        )
+
+
 class MarkovChainClassifier(BinaryClassifier):
     """Binary order-2 character Markov model over trigram features.
 
@@ -135,12 +202,38 @@ class MarkovChainClassifier(BinaryClassifier):
         return self._log_transition(gram, True) - self._log_transition(gram, False)
 
     def compile(self, indexer):
-        """Dense lowering: one log-likelihood-ratio weight per feature."""
+        """Dense lowering: one log-likelihood-ratio weight per feature.
+
+        Out-of-vocabulary residuals are routed through a standalone
+        :class:`MarkovResidualWeight` built from the chain's prefix
+        totals (plus the counts of any trigram the indexer missed), so
+        the compiled scorer is self-contained: it pickles small and
+        serialises losslessly into model artifacts.
+        """
         if not self._fitted:
             raise RuntimeError("MarkovChainClassifier.compile before fit")
         weights = np.zeros(len(indexer), dtype=np.float64)
+        covered: set[str] = set()
         for feature_id, name in enumerate(indexer.names):
             weights[feature_id] = self.feature_weight(name)
-        return CompiledLinear(
-            weights=weights, bias=0.0, oov_weight=self.feature_weight
+            gram = _gram_of(name)
+            if gram is not None:
+                covered.add(gram)
+        oov_weight = MarkovResidualWeight(
+            alpha=self.alpha,
+            prefix_positive=self._prefix_counts[True],
+            prefix_negative=self._prefix_counts[False],
+            # Trigrams the indexer cannot intern (none in the standard
+            # pipeline) keep their exact counts for bit-faithful scores.
+            trigram_positive={
+                gram: count
+                for gram, count in self._trigram_counts[True].items()
+                if gram not in covered
+            },
+            trigram_negative={
+                gram: count
+                for gram, count in self._trigram_counts[False].items()
+                if gram not in covered
+            },
         )
+        return CompiledLinear(weights=weights, bias=0.0, oov_weight=oov_weight)

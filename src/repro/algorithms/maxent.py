@@ -237,6 +237,32 @@ class MaxEntClassifier(BinaryClassifier):
 
     # -- prediction -----------------------------------------------------------
 
+    def compile(self, indexer):
+        """Dense lowering of the fitted log-linear model.
+
+        Once trained, the L-BFGS and gradient-ascent models score as a
+        plain linear form ``bias + x · w`` that ignores features without
+        a learnt weight, which is exactly
+        :class:`~repro.algorithms.compiled.CompiledLinear`.  The IIS
+        trainer scores over L1-*normalised* inputs whose mass includes
+        out-of-vocabulary features, so it has no static lowering and
+        stays on the sparse reference path (``None``).
+        """
+        if not self._fitted:
+            raise RuntimeError("MaxEntClassifier.compile before fit")
+        if self._normalize_input:
+            return None
+        import numpy as np
+
+        from repro.algorithms.compiled import CompiledLinear
+
+        weights = np.zeros(len(indexer), dtype=np.float64)
+        for name, weight in self.weights.items():
+            feature_id = indexer.id_of(name)
+            if feature_id is not None:
+                weights[feature_id] = weight
+        return CompiledLinear(weights=weights, bias=self.bias)
+
     def decision_score(self, vector: Mapping[str, float]) -> float:
         if not self._fitted:
             raise RuntimeError("MaxEntClassifier used before fit")

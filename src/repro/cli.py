@@ -1,15 +1,19 @@
 """Command-line interface.
 
     python -m repro.cli generate --profile odp --per-language 100
-    python -m repro.cli train --out model.pkl --scale 0.4
-    python -m repro.cli classify --model model.pkl http://www.blumen.de/garten
-    python -m repro.cli evaluate --model model.pkl --test odp
+    python -m repro.cli train --out model.urlmodel --scale 0.4
+    python -m repro.cli classify --model model.urlmodel http://www.blumen.de/garten
+    python -m repro.cli evaluate --model model.urlmodel --test odp
+    python -m repro.cli serve --model model.urlmodel --workers 4 < urls.txt
     python -m repro.cli experiment table8
 
 ``generate`` emits a TSV of labelled synthetic URLs; ``train`` fits a
-:class:`~repro.core.pipeline.LanguageIdentifier` and pickles it;
-``classify`` labels URLs from arguments or stdin; ``evaluate`` prints
-the paper's metric table; ``experiment`` runs a table/figure driver.
+:class:`~repro.core.pipeline.LanguageIdentifier` and saves it as a
+memory-mappable model artifact (:mod:`repro.store`; ``--format pickle``
+keeps the deprecated pickle path); ``classify`` labels URLs from
+arguments or stdin; ``serve`` does the same with N worker processes
+sharing one mapped artifact; ``evaluate`` prints the paper's metric
+table; ``experiment`` runs a table/figure driver.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ import argparse
 import pickle
 import sys
 
-from repro.core.pipeline import LanguageIdentifier
+from repro.core.pipeline import IdentifierBase, LanguageIdentifier
 from repro.corpus.generator import UrlCorpusGenerator
 from repro.datasets import build_datasets
 from repro.evaluation.metrics import average_f
@@ -60,8 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--per-language", type=int, default=100)
     generate.add_argument("--seed", type=int, default=0)
 
-    train = commands.add_parser("train", help="train and pickle an identifier")
-    train.add_argument("--out", required=True, help="output pickle path")
+    train = commands.add_parser(
+        "train", help="train an identifier and save a model artifact"
+    )
+    train.add_argument("--out", required=True, help="output model path")
     train.add_argument("--features", default="words",
                        choices=("words", "trigrams", "custom"))
     train.add_argument("--algorithm", default="NB",
@@ -75,9 +81,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="inference backend: auto compiles vectorized batch "
         "prediction when the algorithm supports it",
     )
+    train.add_argument(
+        "--format",
+        default="auto",
+        choices=("auto", "artifact", "pickle"),
+        help="model serialisation: 'artifact' is the mmap-able binary "
+        "format (requires a compiled backend), 'pickle' the deprecated "
+        "fallback, 'auto' picks artifact when possible",
+    )
 
     classify = commands.add_parser("classify", help="classify URLs")
-    classify.add_argument("--model", required=True, help="pickled identifier")
+    classify.add_argument(
+        "--model", required=True, help="model artifact (or legacy pickle)"
+    )
     classify.add_argument("urls", nargs="*", help="URLs (default: stdin)")
 
     evaluate = commands.add_parser("evaluate", help="evaluate on a test set")
@@ -85,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--test", choices=("odp", "ser", "wc"), default="odp")
     evaluate.add_argument("--scale", type=float, default=0.4)
     evaluate.add_argument("--seed", type=int, default=0)
+
+    serve = commands.add_parser(
+        "serve",
+        help="classify URLs with N worker processes sharing one "
+        "memory-mapped model artifact",
+    )
+    serve.add_argument("--model", required=True, help="model artifact path")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--batch-size", type=int, default=512)
+    serve.add_argument("urls", nargs="*", help="URLs (default: stdin)")
 
     experiment = commands.add_parser(
         "experiment", help="run a table/figure reproduction driver"
@@ -106,6 +132,8 @@ def _cmd_generate(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_train(args: argparse.Namespace, out) -> int:
+    from repro.store import save_identifier
+
     data = build_datasets(seed=args.seed, scale=args.scale)
     identifier = LanguageIdentifier(
         feature_set=args.features,
@@ -114,21 +142,40 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
         backend=args.backend,
     )
     identifier.fit(data.combined_train)
-    with open(args.out, "wb") as handle:
-        pickle.dump(identifier, handle)
+    model_format = args.format
+    if model_format == "auto":
+        model_format = "artifact" if identifier.compiled is not None else "pickle"
+    if model_format == "artifact":
+        save_identifier(identifier, args.out)  # raises if not compilable
+    else:
+        with open(args.out, "wb") as handle:
+            pickle.dump(identifier, handle)
+    note = "" if model_format == "artifact" else " (deprecated pickle format)"
     out.write(
         f"trained {identifier.name} on {len(data.combined_train)} URLs "
-        f"-> {args.out}\n"
+        f"-> {args.out}{note}\n"
     )
     return 0
 
 
-def _load_model(path: str) -> LanguageIdentifier:
+def _load_model(path: str) -> IdentifierBase:
+    """Load a model saved by ``train``.
+
+    Model files are sniffed by magic bytes: artifacts load through
+    :mod:`repro.store` (memory-mapped, zero-copy); anything else is
+    treated as a legacy pickle of the whole identifier.
+    """
+    from repro.store import is_artifact, load_identifier
+
+    if is_artifact(path):
+        return load_identifier(path)
     with open(path, "rb") as handle:
         return pickle.load(handle)
 
 
 def _cmd_classify(args: argparse.Namespace, out) -> int:
+    from repro.store import ServedUrl
+
     identifier = _load_model(args.model)
     urls = args.urls or [line.strip() for line in sys.stdin if line.strip()]
     if not urls:
@@ -140,11 +187,37 @@ def _cmd_classify(args: argparse.Namespace, out) -> int:
     best_per_url = identifier.classify_many(urls, scores=scores)
     for row, url in enumerate(urls):
         best = best_per_url[row]
-        languages = sorted(
-            language.value for language in scores if scores[language][row] > 0.0
+        result = ServedUrl(
+            url=url,
+            best=best.value if best else None,
+            positives=tuple(
+                sorted(
+                    language.value
+                    for language in scores
+                    if scores[language][row] > 0.0
+                )
+            ),
         )
-        label = best.value if best else "-"
-        out.write(f"{label}\t{','.join(languages) or '-'}\t{url}\n")
+        out.write(result.tsv() + "\n")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    from repro.store import is_artifact, score_urls
+
+    if not is_artifact(args.model):
+        raise SystemExit(
+            f"serve requires a model artifact (got {args.model!r}); "
+            "retrain with 'train --format artifact'"
+        )
+    urls = args.urls or [line.strip() for line in sys.stdin if line.strip()]
+    if not urls:
+        return 0
+    results = score_urls(
+        args.model, urls, workers=args.workers, batch_size=args.batch_size
+    )
+    for result in results:
+        out.write(result.tsv() + "\n")
     return 0
 
 
@@ -185,6 +258,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "generate": _cmd_generate,
         "train": _cmd_train,
         "classify": _cmd_classify,
+        "serve": _cmd_serve,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
     }[args.command]

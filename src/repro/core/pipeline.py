@@ -19,15 +19,22 @@ Two backends answer predictions:
   per URL per language — slow but fully inspectable (and the ground
   truth for equivalence tests);
 * the **compiled path** (:class:`CompiledIdentifier`): after ``fit``,
-  every score-linear classifier (NB, RE, RO, MM) lowers its dict
-  weights onto a :class:`~repro.features.indexer.FeatureIndexer` space,
+  every score-linear classifier (NB, RE, RO, MM, and the default
+  L-BFGS/gradient MaxEnt) lowers its dict weights onto a
+  :class:`~repro.features.indexer.FeatureIndexer` space,
   the five weight vectors are stacked into one ``(V, k)`` matrix, and a
   whole batch of URLs is scored with a single CSR×dense matrix product.
 
 ``backend="auto"`` (the default) compiles when every per-language
 classifier supports it and falls back transparently to the sparse path
-otherwise (DT, kNN, MaxEnt, the TLD baselines); ``"sparse"`` never
-compiles; ``"compiled"`` raises at fit time if lowering is impossible.
+otherwise (DT, kNN, iterative-scaling MaxEnt, the TLD baselines);
+``"sparse"`` never compiles; ``"compiled"`` raises at fit time if
+lowering is impossible.
+
+Fitted compiled models persist to a versioned, memory-mappable artifact
+via :mod:`repro.store` (``ModelStore`` / ``save_identifier``), which N
+serving processes load zero-copy — one shared read-only weight matrix
+instead of N pickled clones.
 Batch entry points — :meth:`LanguageIdentifier.decisions`,
 :meth:`~LanguageIdentifier.evaluate`, :meth:`~LanguageIdentifier.confusion`,
 :meth:`~LanguageIdentifier.scores_many`,
@@ -49,6 +56,7 @@ Example
 
 from __future__ import annotations
 
+import abc
 from collections.abc import Mapping, Sequence
 
 import numpy as np
@@ -117,7 +125,14 @@ class CompiledIdentifier:
         extractor: FeatureExtractor,
         indexer: FeatureIndexer,
         scorers: dict[Language, CompiledScorer],
+        columns: np.ndarray | None = None,
     ) -> None:
+        """``columns``, when given, is the prestacked ``(V, total)``
+        weight matrix whose column blocks follow ``scorers`` order; the
+        per-scorer hstack is then skipped.  A memory-mapped artifact
+        (:mod:`repro.store`) passes its mapped matrix here so every
+        serving process shares one read-only copy instead of
+        re-assembling a private one."""
         self.extractor = extractor
         self.indexer = indexer
         self.scorers = scorers
@@ -129,10 +144,30 @@ class CompiledIdentifier:
         column_blocks = []
         for language, scorer in scorers.items():
             self._column_slices[language] = slice(offset, offset + scorer.n_columns)
-            if scorer.n_columns:
+            if columns is None and scorer.n_columns:
                 column_blocks.append(scorer.columns())
             offset += scorer.n_columns
-        self._columns = np.hstack(column_blocks) if column_blocks else None
+        if columns is not None:
+            if columns.shape[1] != offset:
+                raise ValueError(
+                    f"prestacked columns have {columns.shape[1]} columns; "
+                    f"scorers expect {offset}"
+                )
+            self._columns = columns if offset else None
+        else:
+            self._columns = np.hstack(column_blocks) if column_blocks else None
+
+    @property
+    def stacked_columns(self) -> np.ndarray | None:
+        """The ``(V, total)`` stacked weight matrix (``None`` when no
+        scorer contributes matmul columns).  This is the array a model
+        artifact persists and serving processes memory-map."""
+        return self._columns
+
+    @property
+    def column_slices(self) -> dict[Language, slice]:
+        """Per-language column block of :attr:`stacked_columns`."""
+        return dict(self._column_slices)
 
     @classmethod
     def build(
@@ -225,6 +260,7 @@ class CompiledIdentifier:
         return out
 
     def scores_many(self, urls: Sequence[str]) -> dict[Language, list[float]]:
+        """Per-language decision scores (one matmul for the batch)."""
         matrix = self.scores_matrix(urls)
         return {
             language: matrix[:, column].tolist()
@@ -232,6 +268,7 @@ class CompiledIdentifier:
         }
 
     def decisions(self, urls: Sequence[str]) -> dict[Language, list[bool]]:
+        """Per-language ``score > 0`` decisions for the batch."""
         matrix = self.scores_matrix(urls)
         return {
             language: (matrix[:, column] > 0.0).tolist()
@@ -239,7 +276,99 @@ class CompiledIdentifier:
         }
 
 
-class LanguageIdentifier:
+class IdentifierBase(abc.ABC):
+    """The prediction/evaluation surface shared by every identifier.
+
+    Two concrete identifiers exist: the trainable
+    :class:`LanguageIdentifier` below, and the artifact-backed
+    :class:`~repro.store.ServingIdentifier` that serving workers
+    reconstruct from a memory-mapped model file.  Both answer the same
+    questions; everything here is derived from the two batch primitives
+    :meth:`decisions` and :meth:`scores_many`, so subclasses only supply
+    those (plus, optionally, a higher-fidelity single-URL
+    :meth:`scores`).
+    """
+
+    #: Report label, e.g. ``"NB/words"``; subclasses override.
+    name: str = "identifier"
+
+    @abc.abstractmethod
+    def decisions(self, urls: Sequence[str]) -> dict[Language, list[bool]]:
+        """Per-language binary decisions for a batch of URLs."""
+
+    @abc.abstractmethod
+    def scores_many(self, urls: Sequence[str]) -> dict[Language, list[float]]:
+        """Per-language decision scores for a batch of URLs."""
+
+    def scores(self, url: str) -> dict[Language, float]:
+        """Per-language decision scores (larger = more confident yes).
+
+        The default goes through :meth:`scores_many` with a batch of
+        one; :class:`LanguageIdentifier` overrides it with the sparse
+        reference path for exact single-URL introspection.
+        """
+        batch = self.scores_many([url])
+        return {language: values[0] for language, values in batch.items()}
+
+    def classify_many(
+        self,
+        urls: Sequence[str],
+        scores: Mapping[Language, Sequence[float]] | None = None,
+    ) -> list[Language | None]:
+        """Batch variant of :meth:`classify` (single best language or
+        ``None`` per URL), served by the compiled backend when present.
+
+        Callers that already hold this batch's :meth:`scores_many`
+        result (the CLI prints labels *and* per-language answers) pass
+        it via ``scores`` to avoid a second scoring pass.
+        """
+        if scores is None:
+            scores = self.scores_many(urls)
+        out: list[Language | None] = []
+        for row in range(len(urls)):
+            best_language, best_score = max(
+                ((language, scores[language][row]) for language in scores),
+                key=lambda item: item[1],
+            )
+            out.append(best_language if best_score > 0.0 else None)
+        return out
+
+    def predict_languages(self, url: str) -> set[Language]:
+        """All languages whose binary classifier answers yes for ``url``."""
+        decisions = self.decisions([url])
+        return {language for language, answer in decisions.items() if answer[0]}
+
+    def classify(self, url: str) -> Language | None:
+        """Single best language, or ``None`` when every classifier says no.
+
+        Not part of the paper's evaluation protocol (which is strictly
+        binary) but what downstream applications such as the quota
+        crawler want.
+        """
+        scores = self.scores(url)
+        best_language, best_score = max(scores.items(), key=lambda item: item[1])
+        return best_language if best_score > 0.0 else None
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def evaluate(self, test: Corpus) -> dict[Language, BinaryMetrics]:
+        """Section 4.2 metrics of all five classifiers on ``test``."""
+        decisions = self.decisions(test.urls)
+        truths = test.labels
+        return {
+            language: evaluate_binary(
+                decisions[language],
+                [truth == language for truth in truths],
+            )
+            for language in LANGUAGES
+        }
+
+    def confusion(self, test: Corpus) -> ConfusionMatrix:
+        """The paper-style confusion matrix on ``test``."""
+        return confusion_matrix(test.labels, self.decisions(test.urls))
+
+
+class LanguageIdentifier(IdentifierBase):
     """Five one-vs-rest URL language classifiers behind one interface.
 
     Parameters
@@ -331,6 +460,7 @@ class LanguageIdentifier:
 
     @property
     def is_baseline(self) -> bool:
+        """True for the training-free ccTLD / ccTLD+ identifiers."""
         return self._labeler is not None
 
     # -- training ----------------------------------------------------------------
@@ -487,36 +617,11 @@ class LanguageIdentifier:
             for language in LANGUAGES
         }
 
-    def classify_many(
-        self,
-        urls: Sequence[str],
-        scores: Mapping[Language, Sequence[float]] | None = None,
-    ) -> list[Language | None]:
-        """Batch variant of :meth:`classify` (single best language or
-        ``None`` per URL), served by the compiled backend when present.
-
-        Callers that already hold this batch's :meth:`scores_many`
-        result (the CLI prints labels *and* per-language answers) pass
-        it via ``scores`` to avoid a second scoring pass.
-        """
-        if scores is None:
-            scores = self.scores_many(urls)
-        out: list[Language | None] = []
-        for row in range(len(urls)):
-            best_language, best_score = max(
-                ((language, scores[language][row]) for language in scores),
-                key=lambda item: item[1],
-            )
-            out.append(best_language if best_score > 0.0 else None)
-        return out
-
-    def predict_languages(self, url: str) -> set[Language]:
-        """All languages whose binary classifier answers yes for ``url``."""
-        decisions = self.decisions([url])
-        return {language for language, answer in decisions.items() if answer[0]}
-
     def scores(self, url: str) -> dict[Language, float]:
-        """Per-language decision scores (larger = more confident yes)."""
+        """Per-language decision scores via the sparse reference path
+        (larger = more confident yes) — the single-URL introspection
+        entry point and the oracle the compiled backend is tested
+        against."""
         self._require_fitted()
         if self._labeler is not None:
             label = self._labeler.label(url)
@@ -530,32 +635,3 @@ class LanguageIdentifier:
             language: self.classifiers[language].decision_score(vector)
             for language in LANGUAGES
         }
-
-    def classify(self, url: str) -> Language | None:
-        """Single best language, or ``None`` when every classifier says no.
-
-        Not part of the paper's evaluation protocol (which is strictly
-        binary) but what downstream applications such as the quota
-        crawler want.
-        """
-        scores = self.scores(url)
-        best_language, best_score = max(scores.items(), key=lambda item: item[1])
-        return best_language if best_score > 0.0 else None
-
-    # -- evaluation -----------------------------------------------------------------
-
-    def evaluate(self, test: Corpus) -> dict[Language, BinaryMetrics]:
-        """Section 4.2 metrics of all five classifiers on ``test``."""
-        decisions = self.decisions(test.urls)
-        truths = test.labels
-        return {
-            language: evaluate_binary(
-                decisions[language],
-                [truth == language for truth in truths],
-            )
-            for language in LANGUAGES
-        }
-
-    def confusion(self, test: Corpus) -> ConfusionMatrix:
-        """The paper-style confusion matrix on ``test``."""
-        return confusion_matrix(test.labels, self.decisions(test.urls))

@@ -5,6 +5,7 @@ from repro.crawler.focused import (
     bfs_crawl,
     compare_crawlers,
     focused_crawl,
+    resolve_identifier,
 )
 from repro.crawler.frontier import Frontier
 from repro.crawler.quota import (
@@ -27,4 +28,5 @@ __all__ = [
     "compare_policies",
     "crawl_with_quota",
     "download_everything_policy",
+    "resolve_identifier",
 ]

@@ -20,13 +20,37 @@ pages that are in the target language.
 from __future__ import annotations
 
 import heapq
+import os
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import networkx as nx
 
-from repro.core.pipeline import LanguageIdentifier
+from repro.core.pipeline import IdentifierBase
 from repro.languages import Language
+
+
+def resolve_identifier(identifier) -> IdentifierBase:
+    """Materialise whatever the caller handed us into an identifier.
+
+    Fitted identifiers (anything with ``scores_many``) pass through;
+    :class:`~repro.store.ModelHandle` objects are ``load()``-ed; strings
+    and paths are opened as model artifacts via :mod:`repro.store`.
+    This is how a crawler fleet consumes one shared, memory-mapped
+    model instead of each process pickling its own copy.
+    """
+    if hasattr(identifier, "scores_many"):
+        return identifier
+    if hasattr(identifier, "load"):  # ModelHandle
+        return identifier.load()
+    if isinstance(identifier, (str, os.PathLike)):
+        from repro.store import load_identifier
+
+        return load_identifier(identifier)
+    raise TypeError(
+        "expected a fitted identifier, a ModelHandle, or a model-artifact "
+        f"path; got {type(identifier).__name__}"
+    )
 
 
 @dataclass
@@ -87,7 +111,7 @@ def focused_crawl(
     seeds: Sequence[str],
     target: Language | str,
     budget: int,
-    identifier: LanguageIdentifier,
+    identifier,
     link_bonus: float = 1.0,
 ) -> FocusedCrawlReport:
     """Classifier-guided crawler.
@@ -96,7 +120,12 @@ def focused_crawl(
     language, plus ``link_bonus`` for every already-downloaded
     target-language page linking to it (the same-language-neighbourhood
     heuristic).  Highest priority is crawled first.
+
+    ``identifier`` may be a fitted identifier, a store
+    :class:`~repro.store.ModelHandle`, or a model-artifact path (see
+    :func:`resolve_identifier`).
     """
+    identifier = resolve_identifier(identifier)
     target = Language.coerce(target)
     if budget < 1:
         raise ValueError("budget must be >= 1")
@@ -157,9 +186,15 @@ def compare_crawlers(
     seeds: Sequence[str],
     target: Language | str,
     budget: int,
-    identifier: LanguageIdentifier,
+    identifier,
 ) -> tuple[FocusedCrawlReport, FocusedCrawlReport]:
-    """(bfs, focused) reports over identical seeds and budget."""
+    """(bfs, focused) reports over identical seeds and budget.
+
+    ``identifier`` accepts the same forms as :func:`focused_crawl`
+    (fitted identifier, store handle, or artifact path) and is resolved
+    once for both runs.
+    """
+    identifier = resolve_identifier(identifier)
     bfs = bfs_crawl(graph, seeds, target, budget)
     focused = focused_crawl(graph, seeds, target, budget, identifier)
     return bfs, focused

@@ -22,7 +22,7 @@ extractors emit positive counts only.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -55,6 +55,7 @@ class CsrBatch:
 
     @property
     def n_rows(self) -> int:
+        """Number of vectors in the batch."""
         return len(self.indptr) - 1
 
     @property
@@ -115,10 +116,29 @@ class FeatureIndexer:
         self._fitted = True
         return self
 
+    @classmethod
+    def from_names(cls, names: Iterable[str]) -> "FeatureIndexer":
+        """Rebuild a fitted indexer from an ordered name list.
+
+        The inverse of :attr:`names`: ``FeatureIndexer.from_names(ix.names)``
+        interns the same ids as ``ix``.  This is how a persisted model
+        artifact (:mod:`repro.store`) restores its interned vocabulary
+        without refitting.
+        """
+        indexer = cls()
+        add = indexer._vocabulary.add
+        for name in names:
+            add(name)
+        indexer._vocabulary.freeze()
+        indexer._fitted = True
+        return indexer
+
     def __len__(self) -> int:
+        """Size ``V`` of the interned feature space."""
         return len(self._vocabulary)
 
     def __contains__(self, name: str) -> bool:
+        """Whether ``name`` was interned at fit time."""
         return name in self._vocabulary
 
     def id_of(self, name: str) -> int | None:
@@ -126,10 +146,14 @@ class FeatureIndexer:
         return self._vocabulary.index_of(name)
 
     def name_of(self, feature_id: int) -> str:
+        """Feature name interned at ``feature_id`` (inverse of
+        :meth:`id_of`)."""
         return self._vocabulary.name_of(feature_id)
 
     @property
     def names(self) -> tuple[str, ...]:
+        """All interned feature names, id order (what artifacts persist
+        and :meth:`from_names` consumes)."""
         return self._vocabulary.names
 
     @property

@@ -1,0 +1,61 @@
+"""Portable model artifacts and zero-copy multi-process serving.
+
+This package persists fitted identifiers as a versioned binary format —
+a JSON header plus raw little-endian numpy buffers — that serving
+workers open with ``mmap``, so N processes share one read-only weight
+matrix instead of N pickled clones.
+
+Layers, bottom to top:
+
+* :mod:`repro.store.format` — the container: magic, format version,
+  64-byte-aligned buffers, payload checksums, the
+  :class:`ArtifactError` hierarchy.
+* :mod:`repro.store.artifact` — model (de)lowering:
+  :func:`save_identifier` / :func:`load_identifier` and the
+  deployment-side :class:`ServingIdentifier`.
+* :mod:`repro.store.registry` — the :class:`ModelStore` directory of
+  named artifacts (save/load/list/verify).
+* :mod:`repro.store.serve` — multi-process batch scoring from one
+  mapped artifact (:func:`score_urls`).
+
+See ``docs/architecture.md`` for the on-disk layout and header fields.
+"""
+
+from repro.store.artifact import (
+    MODEL_KIND,
+    ServingIdentifier,
+    load_identifier,
+    save_identifier,
+)
+from repro.store.format import (
+    FORMAT_VERSION,
+    ArtifactChecksumError,
+    ArtifactError,
+    ArtifactFile,
+    ArtifactFormatError,
+    ArtifactVersionError,
+    is_artifact,
+    write_artifact,
+)
+from repro.store.registry import ARTIFACT_SUFFIX, ModelHandle, ModelStore
+from repro.store.serve import ServedUrl, score_urls
+
+__all__ = [
+    "ARTIFACT_SUFFIX",
+    "ArtifactChecksumError",
+    "ArtifactError",
+    "ArtifactFile",
+    "ArtifactFormatError",
+    "ArtifactVersionError",
+    "FORMAT_VERSION",
+    "MODEL_KIND",
+    "ModelHandle",
+    "ModelStore",
+    "ServedUrl",
+    "ServingIdentifier",
+    "is_artifact",
+    "load_identifier",
+    "save_identifier",
+    "score_urls",
+    "write_artifact",
+]

@@ -1,0 +1,342 @@
+"""Saving and loading fitted identifiers as portable model artifacts.
+
+:func:`save_identifier` lowers a fitted, compiled
+:class:`~repro.core.pipeline.LanguageIdentifier` into the container of
+:mod:`repro.store.format`:
+
+* the interned vocabulary of its
+  :class:`~repro.features.indexer.FeatureIndexer` (one newline-joined
+  UTF-8 buffer),
+* the stacked ``(V, k)`` weight matrix of its
+  :class:`~repro.core.pipeline.CompiledIdentifier` (one float64 buffer —
+  *the* artifact payload that serving workers memory-map),
+* per-language scorer finalisation state (bias constants, rank-profile
+  arrays, Markov residual weights) and the extractor's configuration
+  and trained state in the JSON header.
+
+:func:`load_identifier` is the inverse: it rebuilds the compiled
+backend directly over the mapped buffers — no refit, no pickle — and
+wraps it in a :class:`ServingIdentifier`, which answers the full
+:class:`~repro.core.pipeline.IdentifierBase` surface.
+
+Only algorithms with a compiled lowering round-trip (NB, RE, RO, MM and
+the default MaxEnt trainers); the decision tree, kNN and the TLD
+baselines keep the deprecated pickle path.  Round-trips are lossless by
+construction — weights are persisted as raw little-endian float64, so a
+loaded model's ``decisions()`` are byte-identical to the fitted
+original's.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.algorithms.compiled import (
+    CompiledLinear,
+    CompiledNormalizedLinear,
+    CompiledRankOrder,
+    CompiledScorer,
+)
+from repro.algorithms.markov import MarkovResidualWeight
+from repro.core.pipeline import CompiledIdentifier, IdentifierBase
+from repro.features import (
+    CustomFeatureExtractor,
+    FeatureExtractor,
+    TrigramFeatureExtractor,
+    WordFeatureExtractor,
+)
+from repro.features.dictionaries import TrainedDictionary
+from repro.features.indexer import FeatureIndexer
+from repro.languages import Language
+from repro.store.format import ArtifactError, ArtifactFile, write_artifact
+
+#: ``model.kind`` value identifying artifacts written by this module.
+MODEL_KIND = "repro/url-language-identifier"
+
+
+# -- extractor (de)serialisation -------------------------------------------------
+
+
+def _serialize_extractor(extractor: FeatureExtractor) -> dict:
+    """JSON spec (config + trained state) of a fitted extractor."""
+    if isinstance(extractor, WordFeatureExtractor):
+        return {"name": "words", "config": {"prefix": extractor.prefix}}
+    if isinstance(extractor, TrigramFeatureExtractor):
+        return {
+            "name": "trigrams",
+            "config": {"mode": extractor.mode, "prefix": extractor.prefix},
+        }
+    if isinstance(extractor, CustomFeatureExtractor):
+        trained = extractor.trained
+        return {
+            "name": "custom",
+            "config": {"selected_only": extractor.selected_only},
+            "state": {
+                "trained_dictionary": {
+                    "min_url_fraction": trained.min_url_fraction,
+                    "min_purity": trained.min_purity,
+                    "min_token_length": trained.min_token_length,
+                    "min_document_count": trained.min_document_count,
+                    "words": {
+                        language.value: sorted(words)
+                        for language, words in trained.words.items()
+                    },
+                }
+            },
+        }
+    raise ArtifactError(
+        f"feature extractor {type(extractor).__name__} has no artifact "
+        "serialisation; use the pickle fallback"
+    )
+
+
+def _build_extractor(spec: dict) -> FeatureExtractor:
+    """Rebuild an extractor from :func:`_serialize_extractor` output."""
+    name = spec.get("name")
+    config = spec.get("config", {})
+    if name == "words":
+        return WordFeatureExtractor(prefix=config["prefix"])
+    if name == "trigrams":
+        return TrigramFeatureExtractor(mode=config["mode"], prefix=config["prefix"])
+    if name == "custom":
+        state = spec.get("state", {}).get("trained_dictionary", {})
+        trained = TrainedDictionary(
+            min_url_fraction=state.get("min_url_fraction", 0.0001),
+            min_purity=state.get("min_purity", 0.80),
+            min_token_length=state.get("min_token_length", 3),
+            min_document_count=state.get("min_document_count", 6),
+            words={
+                Language.coerce(code): frozenset(words)
+                for code, words in state.get("words", {}).items()
+            },
+        )
+        return CustomFeatureExtractor(
+            selected_only=config["selected_only"], trained_dictionary=trained
+        )
+    raise ArtifactError(f"artifact references unknown feature set {name!r}")
+
+
+# -- scorer (de)serialisation ----------------------------------------------------
+
+
+def _serialize_scorer(
+    language: Language,
+    scorer: CompiledScorer,
+    column_slice: slice,
+    buffers: dict[str, np.ndarray],
+) -> dict:
+    """Header spec for one per-language scorer.
+
+    Weight columns live in the shared stacked matrix (referenced by
+    ``columns``); anything that is not a matmul column — the rank-order
+    profile arrays — becomes a dedicated buffer.
+    """
+    spec: dict = {"columns": [column_slice.start, column_slice.stop]}
+    if isinstance(scorer, CompiledNormalizedLinear):
+        spec["type"] = "normalized-linear"
+        return spec
+    if isinstance(scorer, CompiledRankOrder):
+        spec["type"] = "rank-order"
+        spec["profile_size"] = scorer.profile_size
+        buffers[f"rank_positive:{language.value}"] = scorer.rank_positive
+        buffers[f"rank_negative:{language.value}"] = scorer.rank_negative
+        return spec
+    if isinstance(scorer, CompiledLinear):
+        spec["type"] = "linear"
+        spec["bias"] = scorer.bias
+        if scorer.oov_weight is not None:
+            if not isinstance(scorer.oov_weight, MarkovResidualWeight):
+                raise ArtifactError(
+                    "compiled scorer carries a non-serialisable OOV handler "
+                    f"({type(scorer.oov_weight).__name__}); use the pickle "
+                    "fallback"
+                )
+            spec["oov"] = {
+                "kind": "markov-residual",
+                "state": scorer.oov_weight.state_dict(),
+            }
+        return spec
+    raise ArtifactError(
+        f"compiled scorer {type(scorer).__name__} has no artifact "
+        "serialisation; use the pickle fallback"
+    )
+
+
+def _build_scorer(
+    spec: dict,
+    language: Language,
+    columns: np.ndarray | None,
+    artifact: ArtifactFile,
+    indexer: FeatureIndexer,
+) -> CompiledScorer:
+    """Rebuild one scorer over views of the mapped buffers (zero-copy)."""
+    kind = spec.get("type")
+    start, stop = spec["columns"]
+    if kind == "linear":
+        oov = spec.get("oov")
+        oov_weight = None
+        if oov is not None:
+            if oov.get("kind") != "markov-residual":
+                raise ArtifactError(
+                    f"artifact references unknown OOV handler {oov.get('kind')!r}"
+                )
+            oov_weight = MarkovResidualWeight.from_state_dict(oov["state"])
+        assert columns is not None, "linear scorer requires the stacked matrix"
+        return CompiledLinear(
+            weights=columns[:, start], bias=spec["bias"], oov_weight=oov_weight
+        )
+    if kind == "normalized-linear":
+        assert columns is not None, "normalized scorer requires the stacked matrix"
+        return CompiledNormalizedLinear(
+            weights=columns[:, start], mask=columns[:, start + 1]
+        )
+    if kind == "rank-order":
+        return CompiledRankOrder(
+            rank_positive=artifact.buffer(f"rank_positive:{language.value}"),
+            rank_negative=artifact.buffer(f"rank_negative:{language.value}"),
+            profile_size=spec["profile_size"],
+            names_array=indexer.names_array,
+        )
+    raise ArtifactError(f"artifact references unknown scorer type {kind!r}")
+
+
+# -- save / load -----------------------------------------------------------------
+
+
+def save_identifier(identifier, path: str | os.PathLike) -> str:
+    """Persist a fitted, compiled identifier as a model artifact.
+
+    Accepts anything exposing a ``compiled``
+    :class:`~repro.core.pipeline.CompiledIdentifier` plus the usual
+    config attributes — a trained
+    :class:`~repro.core.pipeline.LanguageIdentifier` or an already
+    loaded :class:`ServingIdentifier`.  Returns the artifact's content
+    checksum.  Raises :class:`ArtifactError` when the identifier has no
+    compiled backend (DT/kNN/IIS-MaxEnt/baselines — keep those on the
+    deprecated pickle path).
+    """
+    compiled: CompiledIdentifier | None = getattr(identifier, "compiled", None)
+    if compiled is None:
+        raise ArtifactError(
+            f"identifier {getattr(identifier, 'name', identifier)!r} has no "
+            "compiled backend, so it cannot be stored as an artifact; "
+            "train with backend='auto'/'compiled' or fall back to pickle"
+        )
+
+    names = compiled.indexer.names
+    if any("\n" in name for name in names):
+        raise ArtifactError("feature names with newlines are not storable")
+    buffers: dict[str, np.ndarray] = {
+        "vocabulary": np.frombuffer(
+            "\n".join(names).encode("utf-8"), dtype=np.uint8
+        ),
+    }
+    stacked = compiled.stacked_columns
+    if stacked is not None:
+        buffers["columns"] = stacked
+
+    column_slices = compiled.column_slices
+    scorer_specs = {
+        language.value: _serialize_scorer(
+            language, scorer, column_slices[language], buffers
+        )
+        for language, scorer in compiled.scorers.items()
+    }
+
+    model = {
+        "kind": MODEL_KIND,
+        "name": getattr(identifier, "name", "identifier"),
+        "feature_set": getattr(identifier, "feature_set", "words"),
+        "algorithm": getattr(identifier, "algorithm", "NB"),
+        "seed": getattr(identifier, "seed", 0),
+        "negative_sampling": getattr(identifier, "negative_sampling", "balanced"),
+        "positive_weight": getattr(identifier, "positive_weight", 1),
+        "n_features": len(names),
+        "languages": [language.value for language in compiled.scorers],
+        "extractor": _serialize_extractor(compiled.extractor),
+        "scorers": scorer_specs,
+    }
+    return write_artifact(path, model, buffers)
+
+
+class ServingIdentifier(IdentifierBase):
+    """A read-only identifier reconstructed from a model artifact.
+
+    Serves the full :class:`~repro.core.pipeline.IdentifierBase`
+    surface (``decisions`` / ``scores_many`` / ``classify_many`` /
+    ``evaluate`` / ``confusion`` / single-URL helpers) straight off the
+    mapped weight matrix.  There is no sparse reference path and no
+    training state — this is the deployment-side object; keep the
+    trainable :class:`~repro.core.pipeline.LanguageIdentifier` for
+    experimentation and introspection.
+    """
+
+    def __init__(self, compiled: CompiledIdentifier, model: dict) -> None:
+        self._compiled = compiled
+        self.model = dict(model)
+        self.feature_set = model.get("feature_set", "words")
+        self.algorithm = model.get("algorithm", "NB")
+        self.seed = model.get("seed", 0)
+        self.negative_sampling = model.get("negative_sampling", "balanced")
+        self.positive_weight = model.get("positive_weight", 1)
+        self.backend = "compiled"
+
+    @property
+    def name(self) -> str:
+        """Report label, e.g. ``"NB/words"`` (as the trained original)."""
+        return self.model.get("name", f"{self.algorithm}/{self.feature_set}")
+
+    @property
+    def compiled(self) -> CompiledIdentifier:
+        """The vectorized backend reconstructed from the artifact."""
+        return self._compiled
+
+    def decisions(self, urls):
+        """Per-language binary decisions — one matmul for the batch."""
+        return self._compiled.decisions(urls)
+
+    def scores_many(self, urls):
+        """Per-language decision scores — one matmul for the batch."""
+        return self._compiled.scores_many(urls)
+
+
+def load_identifier(path: str | os.PathLike) -> ServingIdentifier:
+    """Load a model artifact into a :class:`ServingIdentifier`.
+
+    O(header + vocabulary): the weight matrix is memory-mapped, not
+    read, so concurrent serving processes share one read-only copy via
+    the OS page cache.  Raises the :mod:`repro.store.format` error
+    hierarchy on malformed files.
+    """
+    artifact = ArtifactFile(path)
+    model = artifact.model
+    if model.get("kind") != MODEL_KIND:
+        raise ArtifactError(
+            f"{artifact.path} is a valid artifact container but not a "
+            f"language-identifier model (kind={model.get('kind')!r})"
+        )
+
+    blob = artifact.buffer("vocabulary").tobytes().decode("utf-8")
+    names = blob.split("\n") if blob else []
+    if len(names) != model.get("n_features", len(names)):
+        raise ArtifactError(
+            f"{artifact.path}: vocabulary has {len(names)} names, header "
+            f"records {model.get('n_features')}"
+        )
+    indexer = FeatureIndexer.from_names(names)
+    extractor = _build_extractor(model.get("extractor", {}))
+
+    columns = artifact.buffer("columns") if "columns" in artifact.buffer_names else None
+    scorers = {}
+    for code in model.get("languages", []):
+        language = Language.coerce(code)
+        scorers[language] = _build_scorer(
+            model["scorers"][code], language, columns, artifact, indexer
+        )
+
+    compiled = CompiledIdentifier(
+        extractor=extractor, indexer=indexer, scorers=scorers, columns=columns
+    )
+    return ServingIdentifier(compiled=compiled, model=model)

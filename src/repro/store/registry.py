@@ -1,0 +1,149 @@
+"""The :class:`ModelStore` — a directory of named model artifacts.
+
+A store is just a directory of ``*.urlmodel`` files plus conventions:
+names are flat (no path separators), content checksums come from the
+artifact header, and every read goes through the versioned format
+reader, so a store survives process restarts, rsyncs and NFS mounts
+without any sidecar database.
+
+Typical lifecycle::
+
+    store = ModelStore("models/")
+    handle = store.save(identifier)          # name defaults to "nb-words"
+    ...
+    identifier = store.load("nb-words")      # mmap-backed, zero-copy
+    store.verify("nb-words")                 # explicit integrity pass
+
+The :class:`ModelHandle` returned by :meth:`ModelStore.save` /
+:meth:`ModelStore.list` is a cheap description (no weights loaded);
+call :meth:`ModelHandle.load` — or pass the handle straight to
+consumers like :func:`repro.crawler.focused.focused_crawl` — to
+materialise a serving identifier.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.store.artifact import ServingIdentifier, load_identifier, save_identifier
+from repro.store.format import ArtifactError, ArtifactFile
+
+#: Filename suffix of store-managed artifacts.
+ARTIFACT_SUFFIX = ".urlmodel"
+
+
+@dataclass(frozen=True)
+class ModelHandle:
+    """A lightweight description of one stored model (weights unloaded)."""
+
+    name: str
+    path: Path
+    checksum: str
+    algorithm: str
+    feature_set: str
+    n_features: int
+    nbytes: int
+
+    @property
+    def label(self) -> str:
+        """Report label, e.g. ``"NB/words"``."""
+        return f"{self.algorithm}/{self.feature_set}"
+
+    def load(self) -> ServingIdentifier:
+        """Materialise the artifact into a serving identifier."""
+        return load_identifier(self.path)
+
+
+class ModelStore:
+    """Save / load / list / verify model artifacts under one directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def default_name(identifier) -> str:
+        """Store name derived from an identifier's report label
+        (``"NB/words"`` -> ``"nb-words"``)."""
+        label = getattr(identifier, "name", "model")
+        return label.lower().replace("/", "-").replace("+", "plus")
+
+    def path(self, name: str) -> Path:
+        """Filesystem path of the (existing or future) artifact ``name``."""
+        if not name or os.sep in name or (os.altsep and os.altsep in name):
+            raise ValueError(f"model names must be flat, got {name!r}")
+        return self.root / f"{name}{ARTIFACT_SUFFIX}"
+
+    def __contains__(self, name: str) -> bool:
+        return self.path(name).exists()
+
+    def save(self, identifier, name: str | None = None) -> ModelHandle:
+        """Persist ``identifier`` under ``name`` (overwriting atomically).
+
+        Raises :class:`~repro.store.format.ArtifactError` for
+        identifiers without a compiled backend — keep those on the
+        deprecated pickle path.
+        """
+        name = name or self.default_name(identifier)
+        save_identifier(identifier, self.path(name))
+        return self.describe(name)
+
+    def load(self, name: str) -> ServingIdentifier:
+        """Load the named artifact (mmap-backed, zero-copy weights)."""
+        path = self.path(name)
+        if not path.exists():
+            raise ArtifactError(
+                f"model {name!r} is not in the store at {self.root} "
+                f"(have: {[handle.name for handle in self.list()]})"
+            )
+        return load_identifier(path)
+
+    def describe(self, name: str) -> ModelHandle:
+        """Header-only description of one stored model."""
+        path = self.path(name)
+        with ArtifactFile(path) as artifact:
+            model = artifact.model
+            return ModelHandle(
+                name=name,
+                path=path,
+                checksum=artifact.checksum,
+                algorithm=model.get("algorithm", "?"),
+                feature_set=model.get("feature_set", "?"),
+                n_features=model.get("n_features", 0),
+                nbytes=artifact.nbytes,
+            )
+
+    def list(self) -> list[ModelHandle]:
+        """All stored models, sorted by name.  Files that fail to parse
+        are skipped (a store survives a stray foreign file)."""
+        handles = []
+        for path in sorted(self.root.glob(f"*{ARTIFACT_SUFFIX}")):
+            name = path.name[: -len(ARTIFACT_SUFFIX)]
+            if not name:
+                continue  # a stray file named exactly ".urlmodel"
+            try:
+                handles.append(self.describe(name))
+            except ArtifactError:
+                continue
+        return handles
+
+    def verify(self, name: str) -> str:
+        """Full integrity pass over one artifact's payload.
+
+        Returns the checksum on success; raises
+        :class:`~repro.store.format.ArtifactChecksumError` on corruption.
+        """
+        path = self.path(name)
+        if not path.exists():
+            raise ArtifactError(f"model {name!r} is not in the store at {self.root}")
+        with ArtifactFile(path) as artifact:
+            return artifact.verify()
+
+    def delete(self, name: str) -> None:
+        """Remove one stored model (missing names are a no-op)."""
+        try:
+            self.path(name).unlink()
+        except FileNotFoundError:
+            pass

@@ -1,8 +1,8 @@
 """Compiled-vs-reference equivalence for the vectorized scorers.
 
 The compiled backend is an optimisation, never a semantic fork: for
-every score-linear algorithm (NB, RE, RO, MM) the lowered scorer must
-reproduce the sparse path's ``decision_score`` within 1e-9 and its
+every score-linear algorithm (NB, RE, RO, MM, ME) the lowered scorer
+must reproduce the sparse path's ``decision_score`` within 1e-9 and its
 ``decisions`` exactly — including on vectors with out-of-vocabulary
 features, empty vectors, and adversarial count patterns from hypothesis.
 """
@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro.algorithms import (
     MarkovChainClassifier,
+    MaxEntClassifier,
     NaiveBayesClassifier,
     RankOrderClassifier,
     RelativeEntropyClassifier,
@@ -34,6 +35,7 @@ LINEAR_FACTORIES = {
     "RE": lambda: RelativeEntropyClassifier(smoothing=0.4),
     "RO": lambda: RankOrderClassifier(profile_size=6),
     "MM": lambda: MarkovChainClassifier(alpha=0.3),
+    "ME": lambda: MaxEntClassifier(iterations=25),
 }
 
 
@@ -144,13 +146,31 @@ class TestCompiledStructure:
             assert scores[row] == classifier.decision_score(vector)
 
     def test_nonlinear_algorithms_do_not_compile(self):
-        from repro.algorithms import DecisionTreeClassifier, MaxEntClassifier
+        from repro.algorithms import DecisionTreeClassifier
 
         vectors, labels = _training_set(WORD_NAMES)
         indexer = FeatureIndexer().fit(vectors)
-        for factory in (DecisionTreeClassifier, MaxEntClassifier):
+        for factory in (
+            DecisionTreeClassifier,
+            # IIS MaxEnt scores over L1-normalised inputs whose mass
+            # includes OOV features — no static lowering exists.
+            lambda: MaxEntClassifier(method="iis", iterations=5),
+        ):
             classifier = factory().fit(vectors, labels)
             assert classifier.compile(indexer) is None
+
+    def test_markov_residual_weight_is_serialisable(self):
+        """The compiled Markov scorer's OOV handler must round-trip
+        through its JSON state dict with identical weights."""
+        from repro.algorithms.markov import MarkovResidualWeight
+
+        classifier, indexer, scorer = _fit_and_compile("MM", GRAM_NAMES)
+        handler = scorer.oov_weight
+        assert isinstance(handler, MarkovResidualWeight)
+        clone = MarkovResidualWeight.from_state_dict(handler.state_dict())
+        # Only out-of-vocabulary names reach the handler in practice.
+        for name in ("t:abz", "t:zzz", "t:qqq", "w:not-a-gram"):
+            assert clone(name) == handler(name) == classifier.feature_weight(name)
 
     def test_compile_before_fit_raises(self):
         indexer = FeatureIndexer().fit([{"w:a": 1.0}])

@@ -27,6 +27,9 @@ COMPILABLE = [
     ("RO", "trigrams"),
     ("RO", "custom"),
     ("MM", "trigrams"),
+    ("ME", "words"),
+    ("ME", "trigrams"),
+    ("ME", "custom"),
 ]
 
 
@@ -100,10 +103,24 @@ class TestBackendSelection:
         with pytest.raises(ValueError, match="backend"):
             LanguageIdentifier(backend="turbo")
 
-    @pytest.mark.parametrize("algorithm", ["DT", "kNN", "ME"])
+    @pytest.mark.parametrize("algorithm", ["DT", "kNN"])
     def test_nonlinear_algorithms_fall_back(self, algorithm, small_train):
         identifier = _fitted(algorithm, "custom", small_train)
         assert identifier.compiled is None  # transparent sparse fallback
+        urls = ["http://www.recherche.fr/produits1.html"]
+        assert set(identifier.decisions(urls)) == set(LANGUAGES)
+
+    def test_iis_maxent_falls_back(self, small_train):
+        """Only the default (L-BFGS / gradient) MaxEnt trainers lower;
+        the IIS variant scores over L1-normalised inputs and stays on
+        the sparse reference path."""
+        identifier = LanguageIdentifier(
+            feature_set="words",
+            algorithm="ME",
+            seed=0,
+            algorithm_kwargs={"method": "iis", "iterations": 3},
+        ).fit(small_train.subsample(0.3, seed=5))
+        assert identifier.compiled is None
         urls = ["http://www.recherche.fr/produits1.html"]
         assert set(identifier.decisions(urls)) == set(LANGUAGES)
 

@@ -1,0 +1,164 @@
+"""Save -> load equivalence against the sparse oracle.
+
+The acceptance contract of the artifact store: for every algorithm with
+a compiled lowering (NB, RE, RO, MM, ME) and every feature set it
+supports, a saved-then-loaded model must reproduce the sparse reference
+path *exactly* for decisions and within 1e-9 for scores.  Weights are
+persisted as raw little-endian float64, so the loaded compiled backend
+is bit-identical to the fitted one — equivalence to the oracle is then
+inherited from the compiled-backend tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.languages import LANGUAGES
+from repro.store import (
+    ArtifactError,
+    ServingIdentifier,
+    load_identifier,
+    save_identifier,
+)
+
+#: Every (algorithm, feature set) pair that round-trips through the
+#: artifact store (the Markov chain is trigram-only by construction).
+LOWERABLE = [
+    ("NB", "words"),
+    ("NB", "trigrams"),
+    ("NB", "custom"),
+    ("RE", "words"),
+    ("RE", "trigrams"),
+    ("RE", "custom"),
+    ("RO", "words"),
+    ("RO", "trigrams"),
+    ("RO", "custom"),
+    ("MM", "trigrams"),
+    ("ME", "words"),
+    ("ME", "trigrams"),
+    ("ME", "custom"),
+]
+
+
+@pytest.fixture(scope="module")
+def fitted_cache():
+    cache: dict = {}
+    return cache
+
+
+def _fitted(algorithm, feature_set, small_train, cache):
+    key = (algorithm, feature_set)
+    if key not in cache:
+        identifier = LanguageIdentifier(
+            feature_set=feature_set, algorithm=algorithm, seed=0
+        )
+        cache[key] = identifier.fit(small_train.subsample(0.6, seed=3))
+    return cache[key]
+
+
+@pytest.mark.parametrize("algorithm,feature_set", LOWERABLE)
+class TestRoundTrip:
+    def test_decisions_byte_identical_to_sparse_oracle(
+        self, algorithm, feature_set, small_train, small_bundle, tmp_path, fitted_cache
+    ):
+        identifier = _fitted(algorithm, feature_set, small_train, fitted_cache)
+        path = tmp_path / "model.urlmodel"
+        save_identifier(identifier, path)
+        loaded = load_identifier(path)
+        urls = small_bundle.odp_test.urls[:120]
+        assert loaded.decisions(urls) == identifier._sparse_decisions(urls)
+
+    def test_scores_within_tolerance_of_sparse_oracle(
+        self, algorithm, feature_set, small_train, small_bundle, tmp_path, fitted_cache
+    ):
+        identifier = _fitted(algorithm, feature_set, small_train, fitted_cache)
+        path = tmp_path / "model.urlmodel"
+        save_identifier(identifier, path)
+        loaded = load_identifier(path)
+        urls = small_bundle.odp_test.urls[:60]
+        batch_scores = loaded.scores_many(urls)
+        for row, url in enumerate(urls):
+            reference = identifier.scores(url)  # sparse reference path
+            for language in LANGUAGES:
+                assert batch_scores[language][row] == pytest.approx(
+                    reference[language], abs=1e-9
+                )
+
+    def test_metadata_round_trips(
+        self, algorithm, feature_set, small_train, tmp_path, fitted_cache
+    ):
+        identifier = _fitted(algorithm, feature_set, small_train, fitted_cache)
+        path = tmp_path / "model.urlmodel"
+        save_identifier(identifier, path)
+        loaded = load_identifier(path)
+        assert isinstance(loaded, ServingIdentifier)
+        assert loaded.name == identifier.name
+        assert loaded.feature_set == identifier.feature_set
+        assert loaded.algorithm == identifier.algorithm
+        assert loaded.seed == identifier.seed
+
+
+class TestServingSurface:
+    def test_evaluate_matches_fitted_identifier(
+        self, small_train, small_bundle, tmp_path
+    ):
+        identifier = LanguageIdentifier("words", "NB", seed=0).fit(
+            small_train.subsample(0.5, seed=1)
+        )
+        path = tmp_path / "nb.urlmodel"
+        save_identifier(identifier, path)
+        loaded = load_identifier(path)
+        test = small_bundle.odp_test
+        fitted_metrics = identifier.evaluate(test)
+        loaded_metrics = loaded.evaluate(test)
+        for language in LANGUAGES:
+            assert (
+                loaded_metrics[language].f_measure
+                == fitted_metrics[language].f_measure
+            )
+        assert loaded.confusion(test).cells == identifier.confusion(test).cells
+
+    def test_single_url_helpers(self, small_train, tmp_path):
+        identifier = LanguageIdentifier("words", "NB", seed=0).fit(
+            small_train.subsample(0.5, seed=1)
+        )
+        path = tmp_path / "nb.urlmodel"
+        save_identifier(identifier, path)
+        loaded = load_identifier(path)
+        url = "http://www.recherche.fr/produits1.html"
+        assert loaded.classify(url) == identifier.classify(url)
+        assert loaded.predict_languages(url) == identifier.predict_languages(url)
+
+    def test_loaded_identifier_resaves_identically(self, small_train, tmp_path):
+        """A ServingIdentifier exposes enough state to be saved again
+        (store replication) with identical content checksum."""
+        identifier = LanguageIdentifier("trigrams", "MM", seed=0).fit(
+            small_train.subsample(0.4, seed=2)
+        )
+        first = tmp_path / "first.urlmodel"
+        second = tmp_path / "second.urlmodel"
+        checksum_first = save_identifier(identifier, first)
+        checksum_second = save_identifier(load_identifier(first), second)
+        assert checksum_first == checksum_second
+
+
+class TestUnlowerable:
+    def test_sparse_only_identifier_is_rejected(self, small_train, tmp_path):
+        identifier = LanguageIdentifier(
+            "words", "NB", seed=0, backend="sparse"
+        ).fit(small_train.subsample(0.3, seed=4))
+        with pytest.raises(ArtifactError, match="no compiled backend"):
+            save_identifier(identifier, tmp_path / "nope.urlmodel")
+
+    def test_decision_tree_is_rejected(self, small_train, tmp_path):
+        identifier = LanguageIdentifier("custom", "DT", seed=0).fit(
+            small_train.subsample(0.3, seed=4)
+        )
+        with pytest.raises(ArtifactError, match="no compiled backend"):
+            save_identifier(identifier, tmp_path / "nope.urlmodel")
+
+    def test_baseline_is_rejected(self, tmp_path):
+        identifier = LanguageIdentifier(algorithm="ccTLD+")
+        with pytest.raises(ArtifactError, match="no compiled backend"):
+            save_identifier(identifier, tmp_path / "nope.urlmodel")

@@ -1,0 +1,100 @@
+"""The ModelStore directory registry: save/load/list/verify."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.store import (
+    ArtifactChecksumError,
+    ArtifactError,
+    ModelHandle,
+    ModelStore,
+)
+
+
+@pytest.fixture(scope="module")
+def nb_words(small_train):
+    return LanguageIdentifier("words", "NB", seed=0).fit(
+        small_train.subsample(0.4, seed=2)
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ModelStore(tmp_path / "models")
+
+
+class TestSaveLoad:
+    def test_save_returns_descriptive_handle(self, store, nb_words):
+        handle = store.save(nb_words)
+        assert isinstance(handle, ModelHandle)
+        assert handle.name == "nb-words"
+        assert handle.label == "NB/words"
+        assert handle.algorithm == "NB"
+        assert handle.feature_set == "words"
+        assert handle.n_features > 0
+        assert handle.nbytes > 0
+        assert len(handle.checksum) == 64  # sha256 hex
+
+    def test_load_round_trips(self, store, nb_words, small_bundle):
+        store.save(nb_words, name="triage")
+        loaded = store.load("triage")
+        urls = small_bundle.odp_test.urls[:50]
+        assert loaded.decisions(urls) == nb_words.decisions(urls)
+
+    def test_handle_load_equals_store_load(self, store, nb_words):
+        handle = store.save(nb_words)
+        url = "http://www.recherche.fr/produits.html"
+        assert handle.load().classify(url) == store.load(handle.name).classify(url)
+
+    def test_list_and_contains(self, store, nb_words):
+        assert store.list() == []
+        store.save(nb_words, name="one")
+        store.save(nb_words, name="two")
+        assert [handle.name for handle in store.list()] == ["one", "two"]
+        assert "one" in store
+        assert "missing" not in store
+
+    def test_list_skips_foreign_files(self, store, nb_words):
+        store.save(nb_words, name="good")
+        (store.root / "stray.urlmodel").write_bytes(b"not an artifact at all")
+        # A file named exactly ".urlmodel" would yield an empty model
+        # name; list() must skip it rather than crash.
+        (store.root / ".urlmodel").write_bytes(b"nameless stray")
+        assert [handle.name for handle in store.list()] == ["good"]
+
+    def test_overwrite_is_atomic_update(self, store, nb_words):
+        first = store.save(nb_words, name="model")
+        second = store.save(nb_words, name="model")
+        assert first.checksum == second.checksum
+        assert len(store.list()) == 1
+
+    def test_delete(self, store, nb_words):
+        store.save(nb_words, name="doomed")
+        store.delete("doomed")
+        assert "doomed" not in store
+        store.delete("doomed")  # second delete is a no-op
+
+
+class TestErrors:
+    def test_load_missing_name(self, store):
+        with pytest.raises(ArtifactError, match="not in the store"):
+            store.load("ghost")
+
+    def test_flat_names_enforced(self, store):
+        with pytest.raises(ValueError, match="flat"):
+            store.path("../escape")
+
+    def test_verify_detects_corruption(self, store, nb_words):
+        handle = store.save(nb_words, name="model")
+        assert store.verify("model") == handle.checksum
+        data = bytearray(handle.path.read_bytes())
+        data[-3] ^= 0x01
+        handle.path.write_bytes(bytes(data))
+        with pytest.raises(ArtifactChecksumError):
+            store.verify("model")
+
+    def test_verify_missing_name(self, store):
+        with pytest.raises(ArtifactError, match="not in the store"):
+            store.verify("ghost")

@@ -50,7 +50,7 @@ class TestCommands:
         assert first.getvalue() == second.getvalue()
 
     def test_train_classify_evaluate_roundtrip(self, tmp_path):
-        model_path = tmp_path / "model.pkl"
+        model_path = tmp_path / "model.urlmodel"
         out = io.StringIO()
         code = main(
             ["train", "--out", str(model_path), "--scale", "0.08"], out=out
@@ -58,6 +58,11 @@ class TestCommands:
         assert code == 0
         assert model_path.exists()
         assert "trained NB/words" in out.getvalue()
+
+        # The default format is the mmap-able artifact, not a pickle.
+        from repro.store import is_artifact
+
+        assert is_artifact(model_path)
 
         out = io.StringIO()
         code = main(
@@ -97,3 +102,65 @@ class TestCommands:
         code = main(["experiment", "table1", "--scale", "0.08"], out=out)
         assert code == 0
         assert "Table 1" in out.getvalue()
+
+
+class TestModelFormats:
+    def _train(self, tmp_path, *extra):
+        model_path = tmp_path / "model.bin"
+        out = io.StringIO()
+        code = main(
+            ["train", "--out", str(model_path), "--scale", "0.08", *extra],
+            out=out,
+        )
+        assert code == 0
+        return model_path, out.getvalue()
+
+    def test_pickle_format_is_deprecated_fallback(self, tmp_path):
+        from repro.store import is_artifact
+
+        model_path, message = self._train(tmp_path, "--format", "pickle")
+        assert not is_artifact(model_path)
+        assert "deprecated pickle format" in message
+
+        out = io.StringIO()
+        code = main(
+            ["classify", "--model", str(model_path), "http://www.blumen.de/haus"],
+            out=out,
+        )
+        assert code == 0
+        assert out.getvalue().split("\t")[0] == "de"
+
+    def test_auto_format_falls_back_for_sparse_models(self, tmp_path):
+        from repro.store import is_artifact
+
+        model_path, message = self._train(tmp_path, "--backend", "sparse")
+        assert not is_artifact(model_path)  # nothing to compile -> pickle
+        assert "deprecated pickle format" in message
+
+    def test_artifact_format_requires_compiled_backend(self, tmp_path):
+        from repro.store import ArtifactError
+
+        with pytest.raises(ArtifactError, match="no compiled backend"):
+            self._train(tmp_path, "--backend", "sparse", "--format", "artifact")
+
+    def test_serve_command_matches_classify(self, tmp_path):
+        model_path, _ = self._train(tmp_path)
+        urls = [
+            "http://www.blumen.de/garten/strasse.html",
+            "http://www.recherche.fr/produits",
+        ]
+        classify_out, serve_out = io.StringIO(), io.StringIO()
+        assert main(["classify", "--model", str(model_path), *urls],
+                    out=classify_out) == 0
+        assert main(
+            ["serve", "--model", str(model_path), "--workers", "2",
+             "--batch-size", "1", *urls],
+            out=serve_out,
+        ) == 0
+        assert serve_out.getvalue() == classify_out.getvalue()
+
+    def test_serve_rejects_pickles(self, tmp_path):
+        model_path, _ = self._train(tmp_path, "--format", "pickle")
+        with pytest.raises(SystemExit, match="artifact"):
+            main(["serve", "--model", str(model_path), "http://a.de"],
+                 out=io.StringIO())

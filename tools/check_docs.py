@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Smoke-check that documentation code blocks stay runnable.
+
+Extracts fenced ``bash`` and ``python`` blocks from README.md and
+docs/architecture.md and executes each one, in order, in a single
+scratch directory with ``PYTHONPATH`` pointing at this checkout — so
+the quickstart really does run *as written* (later blocks may rely on
+files earlier blocks created, e.g. ``model.urlmodel``).
+
+Blocks that invoke pytest are skipped: CI runs the test suites as their
+own job, and duplicating them here would only slow the docs job down.
+
+Exit status 0 when every executed block succeeds; 1 otherwise, with the
+failing block's output echoed.  Run it locally with::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = ("README.md", "docs/architecture.md")
+FENCE_OPEN = re.compile(r"^```(\w+)\s*$")
+FENCE_CLOSE = "```"
+TIMEOUT_SECONDS = 600
+
+
+def iter_blocks(path: Path):
+    """Yield ``(line_number, language, code)`` for each fenced block."""
+    language = None
+    start = 0
+    lines: list[str] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        opened = FENCE_OPEN.match(line)
+        if language is None and opened:
+            language, start, lines = opened.group(1), number, []
+        elif language is not None and line.strip() == FENCE_CLOSE:
+            yield start, language, "\n".join(lines)
+            language = None
+        elif language is not None:
+            lines.append(line)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+
+    workdir = Path(tempfile.mkdtemp(prefix="docs-check-"))
+    ran = failed = 0
+    for doc in DOCS:
+        for line, language, code in iter_blocks(REPO / doc):
+            if language not in ("bash", "python"):
+                continue
+            if "pytest" in code:
+                print(f"[skip] {doc}:{line} (pytest runs as its own CI job)")
+                continue
+            ran += 1
+            if language == "bash":
+                command = ["bash", "-e", "-c", code]
+            else:
+                command = [sys.executable, "-c", code]
+            result = subprocess.run(
+                command,
+                cwd=workdir,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=TIMEOUT_SECONDS,
+            )
+            if result.returncode == 0:
+                print(f"[ ok ] {doc}:{line} ({language})")
+            else:
+                failed += 1
+                print(f"[FAIL] {doc}:{line} ({language}), exit {result.returncode}")
+                print("------ block ------")
+                print(code)
+                print("------ output -----")
+                print(result.stdout + result.stderr)
+                print("-------------------")
+    print(f"{ran - failed}/{ran} documentation blocks ran clean")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
