@@ -51,6 +51,37 @@ def make_classifier(name: str, **kwargs) -> BinaryClassifier:
     return factory(**kwargs)
 
 
+def compile_support() -> dict[str, bool]:
+    """Which algorithms have a vectorized (compiled) lowering, measured.
+
+    Fits every registered algorithm — plus the ``ME:iis`` trainer
+    variant, which shares the ``ME`` registry entry but scores over
+    L1-normalised inputs — on a tiny separable problem and reports
+    whether :meth:`~repro.algorithms.base.BinaryClassifier.compile`
+    produced a scorer.  This is the *runtime truth* behind the backend
+    matrix in ``README.md``; ``tools/check_docs.py`` asserts the
+    documented matrix against it so the docs cannot drift from the
+    code.
+    """
+    from repro.features.indexer import FeatureIndexer
+
+    # Trigram-shaped feature names ("t:" + 3 chars) so the Markov
+    # chain — which parses the gram out of the name — fits too.
+    vectors = [
+        {"t:aaa": 2.0, "t:aab": 1.0, "t:sha": 1.0},
+        {"t:bba": 2.0, "t:bbb": 1.0, "t:sha": 1.0},
+    ] * 4
+    labels = [True, False] * 4
+    indexer = FeatureIndexer().fit(vectors)
+    support: dict[str, bool] = {}
+    for name in ALGORITHMS:
+        classifier = make_classifier(name).fit(vectors, labels)
+        support[name] = classifier.compile(indexer) is not None
+    iis = MaxEntClassifier(method="iis").fit(vectors, labels)
+    support["ME:iis"] = iis.compile(indexer) is not None
+    return support
+
+
 __all__ = [
     "ALGORITHMS",
     "BinaryClassifier",

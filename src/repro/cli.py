@@ -4,16 +4,21 @@
     python -m repro.cli train --out model.urlmodel --scale 0.4
     python -m repro.cli classify --model model.urlmodel http://www.blumen.de/garten
     python -m repro.cli evaluate --model model.urlmodel --test odp
-    python -m repro.cli serve --model model.urlmodel --workers 4 < urls.txt
+    python -m repro.cli serve start --model model.urlmodel --socket repro.sock
+    python -m repro.cli classify --model repro://repro.sock < urls.txt
+    python -m repro.cli serve stop --socket repro.sock
     python -m repro.cli experiment table8
 
 ``generate`` emits a TSV of labelled synthetic URLs; ``train`` fits a
 :class:`~repro.core.pipeline.LanguageIdentifier` and saves it as a
 memory-mappable model artifact (:mod:`repro.store`; ``--format pickle``
 keeps the deprecated pickle path); ``classify`` labels URLs from
-arguments or stdin; ``serve`` does the same with N worker processes
-sharing one mapped artifact; ``evaluate`` prints the paper's metric
-table; ``experiment`` runs a table/figure driver.
+arguments or stdin — ``--model`` accepts an artifact path, a legacy
+pickle, or a ``repro://<socket>`` handle of a running serving daemon;
+``serve`` manages the long-lived daemon (``start``/``stop``/``status``/
+``reload``, plus ``batch`` for one-shot pool scoring); ``evaluate``
+prints the paper's metric table; ``experiment`` runs a table/figure
+driver.  ``docs/cli.md`` is the full reference with runnable examples.
 """
 
 from __future__ import annotations
@@ -71,7 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--features", default="words",
                        choices=("words", "trigrams", "custom"))
     train.add_argument("--algorithm", default="NB",
-                       choices=("NB", "RE", "ME", "DT", "kNN"))
+                       choices=("NB", "RE", "ME", "DT", "kNN", "RO", "MM"))
     train.add_argument("--scale", type=float, default=0.4)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument(
@@ -92,25 +97,65 @@ def build_parser() -> argparse.ArgumentParser:
 
     classify = commands.add_parser("classify", help="classify URLs")
     classify.add_argument(
-        "--model", required=True, help="model artifact (or legacy pickle)"
+        "--model",
+        required=True,
+        help="model artifact, legacy pickle, or repro://<socket> handle "
+        "of a running serve daemon",
     )
     classify.add_argument("urls", nargs="*", help="URLs (default: stdin)")
 
     evaluate = commands.add_parser("evaluate", help="evaluate on a test set")
-    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument(
+        "--model", required=True,
+        help="model artifact, legacy pickle, or repro://<socket> handle",
+    )
     evaluate.add_argument("--test", choices=("odp", "ser", "wc"), default="odp")
     evaluate.add_argument("--scale", type=float, default=0.4)
     evaluate.add_argument("--seed", type=int, default=0)
 
     serve = commands.add_parser(
         "serve",
-        help="classify URLs with N worker processes sharing one "
-        "memory-mapped model artifact",
+        help="the long-lived serving daemon (and one-shot pool scoring)",
     )
-    serve.add_argument("--model", required=True, help="model artifact path")
-    serve.add_argument("--workers", type=int, default=2)
-    serve.add_argument("--batch-size", type=int, default=512)
-    serve.add_argument("urls", nargs="*", help="URLs (default: stdin)")
+    serve_commands = serve.add_subparsers(dest="serve_command", required=True)
+
+    start = serve_commands.add_parser(
+        "start",
+        help="start a daemon: N pre-forked workers sharing one "
+        "memory-mapped artifact behind a Unix socket",
+    )
+    start.add_argument("--model", required=True, help="model artifact path")
+    start.add_argument(
+        "--socket", default="repro-serve.sock",
+        help="Unix socket path (pidfile and log go next to it)",
+    )
+    start.add_argument("--workers", type=int, default=2)
+    start.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="also serve HTTP on 127.0.0.1:PORT (0 picks a free port)",
+    )
+    start.add_argument(
+        "--foreground", action="store_true",
+        help="stay attached, log to stderr (no detach, no log file)",
+    )
+
+    for name, text in (
+        ("stop", "gracefully stop the daemon on --socket"),
+        ("status", "print the daemon's status block as JSON"),
+        ("reload", "ask the daemon to hot-reload its artifact (SIGHUP)"),
+    ):
+        sub = serve_commands.add_parser(name, help=text)
+        sub.add_argument("--socket", default="repro-serve.sock")
+
+    batch = serve_commands.add_parser(
+        "batch",
+        help="one-shot scoring with a worker pool sharing one mapped "
+        "artifact (no daemon; use start for streams of requests)",
+    )
+    batch.add_argument("--model", required=True, help="model artifact path")
+    batch.add_argument("--workers", type=int, default=2)
+    batch.add_argument("--batch-size", type=int, default=512)
+    batch.add_argument("urls", nargs="*", help="URLs (default: stdin)")
 
     experiment = commands.add_parser(
         "experiment", help="run a table/figure reproduction driver"
@@ -159,14 +204,20 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
 
 
 def _load_model(path: str) -> IdentifierBase:
-    """Load a model saved by ``train``.
+    """Load a model saved by ``train`` — or dial a running daemon.
 
-    Model files are sniffed by magic bytes: artifacts load through
-    :mod:`repro.store` (memory-mapped, zero-copy); anything else is
-    treated as a legacy pickle of the whole identifier.
+    ``repro://<socket>`` handles resolve to a
+    :class:`~repro.store.client.RemoteIdentifier` answering from the
+    daemon's shared weight matrix.  Model files are sniffed by magic
+    bytes: artifacts load through :mod:`repro.store` (memory-mapped,
+    zero-copy); anything else is treated as a legacy pickle of the
+    whole identifier.
     """
-    from repro.store import is_artifact, load_identifier
+    from repro.store import is_artifact, load_identifier, resolve_serving_handle
+    from repro.store.client import is_handle
 
+    if is_handle(path):
+        return resolve_serving_handle(path)
     if is_artifact(path):
         return load_identifier(path)
     with open(path, "rb") as handle:
@@ -174,42 +225,78 @@ def _load_model(path: str) -> IdentifierBase:
 
 
 def _cmd_classify(args: argparse.Namespace, out) -> int:
-    from repro.store import ServedUrl
+    from repro.store import score_batch
 
     identifier = _load_model(args.model)
     urls = args.urls or [line.strip() for line in sys.stdin if line.strip()]
-    if not urls:
-        return 0
     # One batch triage pass (a single matrix product on the compiled
-    # backend); both the best label and the per-language yes/no answers
-    # derive from the same score matrix.
-    scores = identifier.scores_many(urls)
-    best_per_url = identifier.classify_many(urls, scores=scores)
-    for row, url in enumerate(urls):
-        best = best_per_url[row]
-        result = ServedUrl(
-            url=url,
-            best=best.value if best else None,
-            positives=tuple(
-                sorted(
-                    language.value
-                    for language in scores
-                    if scores[language][row] > 0.0
-                )
-            ),
-        )
+    # backend, one request on a daemon handle); both the best label and
+    # the per-language yes/no answers derive from the same score matrix.
+    for result in score_batch(identifier, urls) if urls else ():
         out.write(result.tsv() + "\n")
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace, out) -> int:
-    from repro.store import is_artifact, score_urls
+def _require_artifact(path: str) -> None:
+    """Exit with the serve commands' shared message for non-artifacts."""
+    from repro.store import is_artifact
 
-    if not is_artifact(args.model):
+    if not is_artifact(path):
         raise SystemExit(
-            f"serve requires a model artifact (got {args.model!r}); "
+            f"serve requires a model artifact (got {path!r}); "
             "retrain with 'train --format artifact'"
         )
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.store import DaemonClient, DaemonError, score_urls
+    from repro.store.daemon import ServingDaemon, start_daemon, stop_daemon
+
+    command = args.serve_command
+    try:
+        if command == "start":
+            _require_artifact(args.model)
+            if args.foreground:
+                return ServingDaemon(
+                    args.model, args.socket,
+                    workers=args.workers, http_port=args.http,
+                ).run()
+            try:
+                pid = start_daemon(
+                    args.model, args.socket,
+                    workers=args.workers, http_port=args.http,
+                )
+            except RuntimeError as error:
+                raise SystemExit(str(error)) from None
+            out.write(f"daemon {pid} serving {args.model} on {args.socket}\n")
+            return 0
+        if command == "stop":
+            try:
+                pid = stop_daemon(args.socket)
+            except RuntimeError as error:
+                raise SystemExit(str(error)) from None
+            out.write(f"daemon {pid} stopped\n")
+            return 0
+        if command == "status":
+            with DaemonClient(args.socket) as client:
+                out.write(json.dumps(client.status(), indent=2, sort_keys=True))
+                out.write("\n")
+            return 0
+        if command == "reload":
+            with DaemonClient(args.socket) as client:
+                response = client.reload()
+            out.write(
+                f"daemon {response.get('pid')} signalled to reload; "
+                "poll 'serve status' for the new checksum\n"
+            )
+            return 0
+    except DaemonError as error:
+        raise SystemExit(str(error)) from None
+
+    # serve batch: the one-shot pool.
+    _require_artifact(args.model)
     urls = args.urls or [line.strip() for line in sys.stdin if line.strip()]
     if not urls:
         return 0

@@ -158,6 +158,13 @@ class CompiledIdentifier:
             self._columns = np.hstack(column_blocks) if column_blocks else None
 
     @property
+    def cache_info(self) -> dict:
+        """Occupancy of the interned-row memo (``rows`` cached of
+        ``capacity``).  Long-lived serving processes surface this in
+        their status output so operators can see the memo warm up."""
+        return {"rows": len(self._row_cache), "capacity": ROW_CACHE_SIZE}
+
+    @property
     def stacked_columns(self) -> np.ndarray | None:
         """The ``(V, total)`` stacked weight matrix (``None`` when no
         scorer contributes matmul columns).  This is the array a model
@@ -408,6 +415,7 @@ class LanguageIdentifier(IdentifierBase):
     # existed still predict after unpickling.
     backend = "auto"
     _compiled: CompiledIdentifier | None = None
+    train_fingerprint: str | None = None
 
     def __init__(
         self,
@@ -484,6 +492,10 @@ class LanguageIdentifier(IdentifierBase):
         extractor = make_extractor(self.feature_set, **self.extractor_kwargs)
         extractor.fit(corpus.urls, corpus.labels)
         self.extractor = extractor
+        # Rollout identity: which corpus trained this model.  Stamped
+        # into artifact headers so a serving fleet can trace deployed
+        # weights back to their training data (docs/serving.md).
+        self.train_fingerprint = corpus.fingerprint()
 
         train_vectors = self._training_vectors(corpus, contents)
         self.classifiers = {}

@@ -78,6 +78,26 @@ class Corpus:
         """Set of registered domains occurring in the corpus."""
         return {record.domain for record in self.records}
 
+    def fingerprint(self) -> str:
+        """Content fingerprint: sha256 over the ordered url/label pairs.
+
+        Two corpora fingerprint identically iff they hold the same
+        labelled URLs in the same order (archetype metadata is excluded
+        — it never reaches a classifier).  This is the train-corpus
+        identity that :func:`repro.store.artifact.save_identifier`
+        stamps into an artifact's rollout metadata, letting operators
+        tell *what a model was trained on* without keeping the corpus.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for record in self.records:
+            digest.update(record.url.encode("utf-8"))
+            digest.update(b"\t")
+            digest.update(record.language.value.encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
     def filter(self, predicate: Callable[[LabeledUrl], bool]) -> "Corpus":
         return Corpus(
             records=[r for r in self.records if predicate(r)], name=self.name

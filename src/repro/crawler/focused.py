@@ -34,22 +34,28 @@ def resolve_identifier(identifier) -> IdentifierBase:
     """Materialise whatever the caller handed us into an identifier.
 
     Fitted identifiers (anything with ``scores_many``) pass through;
-    :class:`~repro.store.ModelHandle` objects are ``load()``-ed; strings
-    and paths are opened as model artifacts via :mod:`repro.store`.
-    This is how a crawler fleet consumes one shared, memory-mapped
-    model instead of each process pickling its own copy.
+    :class:`~repro.store.ModelHandle` objects are ``load()``-ed;
+    ``repro://<socket>`` strings dial a running serving daemon
+    (:class:`~repro.store.client.RemoteIdentifier` — no weights in this
+    process at all); other strings and paths are opened as model
+    artifacts via :mod:`repro.store`.  This is how a crawler fleet
+    consumes one shared model — memory-mapped, or served over a socket
+    by one daemon — instead of each process pickling its own copy.
     """
     if hasattr(identifier, "scores_many"):
         return identifier
     if hasattr(identifier, "load"):  # ModelHandle
         return identifier.load()
     if isinstance(identifier, (str, os.PathLike)):
-        from repro.store import load_identifier
+        from repro.store import load_identifier, resolve_serving_handle
+        from repro.store.client import is_handle
 
+        if is_handle(identifier):
+            return resolve_serving_handle(identifier)
         return load_identifier(identifier)
     raise TypeError(
-        "expected a fitted identifier, a ModelHandle, or a model-artifact "
-        f"path; got {type(identifier).__name__}"
+        "expected a fitted identifier, a ModelHandle, a repro:// serving "
+        f"handle, or a model-artifact path; got {type(identifier).__name__}"
     )
 
 

@@ -1,9 +1,12 @@
-"""Portable model artifacts and zero-copy multi-process serving.
+"""Portable model artifacts, zero-copy multi-process serving, and the
+long-lived serving daemon.
 
 This package persists fitted identifiers as a versioned binary format —
 a JSON header plus raw little-endian numpy buffers — that serving
 workers open with ``mmap``, so N processes share one read-only weight
-matrix instead of N pickled clones.
+matrix instead of N pickled clones, and serves them three ways: an
+in-process :class:`ServingIdentifier`, a one-shot scoring pool, and a
+socket/HTTP daemon.
 
 Layers, bottom to top:
 
@@ -11,14 +14,22 @@ Layers, bottom to top:
   64-byte-aligned buffers, payload checksums, the
   :class:`ArtifactError` hierarchy.
 * :mod:`repro.store.artifact` — model (de)lowering:
-  :func:`save_identifier` / :func:`load_identifier` and the
-  deployment-side :class:`ServingIdentifier`.
+  :func:`save_identifier` / :func:`load_identifier`, rollout metadata
+  stamping, and the deployment-side :class:`ServingIdentifier`.
 * :mod:`repro.store.registry` — the :class:`ModelStore` directory of
-  named artifacts (save/load/list/verify).
-* :mod:`repro.store.serve` — multi-process batch scoring from one
-  mapped artifact (:func:`score_urls`).
+  named artifacts (save/load/list/verify), surfacing rollout metadata
+  per :class:`ModelHandle`.
+* :mod:`repro.store.serve` — one-shot multi-process batch scoring from
+  one mapped artifact (:func:`score_urls`).
+* :mod:`repro.store.wire` — the length-prefixed JSON protocol spoken
+  between daemon and clients.
+* :mod:`repro.store.daemon` — the long-lived pre-forked serving daemon
+  (Unix socket + optional HTTP front-end, SIGHUP hot reload).
+* :mod:`repro.store.client` — :class:`DaemonClient`,
+  :class:`RemoteIdentifier`, and ``repro://`` handle resolution.
 
-See ``docs/architecture.md`` for the on-disk layout and header fields.
+See ``docs/architecture.md`` for the on-disk layout and header fields,
+and ``docs/serving.md`` for the daemon lifecycle and wire protocol.
 """
 
 from repro.store.artifact import (
@@ -27,6 +38,15 @@ from repro.store.artifact import (
     load_identifier,
     save_identifier,
 )
+from repro.store.client import (
+    DaemonClient,
+    DaemonError,
+    DaemonRequestError,
+    DaemonUnavailableError,
+    RemoteIdentifier,
+    resolve_serving_handle,
+)
+from repro.store.daemon import ServingDaemon, start_daemon, stop_daemon
 from repro.store.format import (
     FORMAT_VERSION,
     ArtifactChecksumError,
@@ -38,7 +58,7 @@ from repro.store.format import (
     write_artifact,
 )
 from repro.store.registry import ARTIFACT_SUFFIX, ModelHandle, ModelStore
-from repro.store.serve import ServedUrl, score_urls
+from repro.store.serve import ServedUrl, score_batch, score_urls
 
 __all__ = [
     "ARTIFACT_SUFFIX",
@@ -47,15 +67,25 @@ __all__ = [
     "ArtifactFile",
     "ArtifactFormatError",
     "ArtifactVersionError",
+    "DaemonClient",
+    "DaemonError",
+    "DaemonRequestError",
+    "DaemonUnavailableError",
     "FORMAT_VERSION",
     "MODEL_KIND",
     "ModelHandle",
     "ModelStore",
+    "RemoteIdentifier",
     "ServedUrl",
+    "ServingDaemon",
     "ServingIdentifier",
     "is_artifact",
     "load_identifier",
+    "resolve_serving_handle",
     "save_identifier",
+    "score_batch",
     "score_urls",
+    "start_daemon",
+    "stop_daemon",
     "write_artifact",
 ]

@@ -202,6 +202,37 @@ def _build_scorer(
     raise ArtifactError(f"artifact references unknown scorer type {kind!r}")
 
 
+# -- rollout metadata -------------------------------------------------------------
+
+
+def _rollout_stamp(identifier) -> dict:
+    """The ``model.rollout`` header block: deployment provenance.
+
+    ``created_at`` is the artifact's save time (ISO-8601 UTC with
+    microseconds — sortable as a plain string), and ``train_corpus`` is
+    the sha256 fingerprint :meth:`repro.corpus.records.Corpus.fingerprint`
+    of the corpus the identifier was fitted on (``None`` for models
+    trained before fingerprinting existed).  The serving daemon's
+    hot-reload gate (:meth:`repro.store.daemon.ServingDaemon._reload_gate`)
+    requires this block on any replacement artifact and refuses
+    rollbacks by ``created_at`` ordering; :meth:`ModelStore.list
+    <repro.store.registry.ModelStore.list>` surfaces both fields so
+    operators can audit what is deployable.
+
+    Re-saving a loaded :class:`ServingIdentifier` refreshes
+    ``created_at`` but preserves the original ``train_corpus`` — the
+    weights' provenance does not change by being copied.
+    """
+    from datetime import datetime, timezone
+
+    return {
+        "created_at": datetime.now(timezone.utc).isoformat(
+            timespec="microseconds"
+        ),
+        "train_corpus": getattr(identifier, "train_fingerprint", None),
+    }
+
+
 # -- save / load -----------------------------------------------------------------
 
 
@@ -247,6 +278,7 @@ def save_identifier(identifier, path: str | os.PathLike) -> str:
 
     model = {
         "kind": MODEL_KIND,
+        "rollout": _rollout_stamp(identifier),
         "name": getattr(identifier, "name", "identifier"),
         "feature_set": getattr(identifier, "feature_set", "words"),
         "algorithm": getattr(identifier, "algorithm", "NB"),
@@ -282,6 +314,15 @@ class ServingIdentifier(IdentifierBase):
         self.negative_sampling = model.get("negative_sampling", "balanced")
         self.positive_weight = model.get("positive_weight", 1)
         self.backend = "compiled"
+        #: Train-corpus fingerprint carried over from the artifact's
+        #: rollout metadata, so re-saving preserves provenance.
+        self.train_fingerprint = (model.get("rollout") or {}).get("train_corpus")
+
+    @property
+    def rollout(self) -> dict:
+        """Rollout metadata stamped at save time (``created_at``,
+        ``train_corpus``); empty for pre-rollout artifacts."""
+        return dict(self.model.get("rollout") or {})
 
     @property
     def name(self) -> str:

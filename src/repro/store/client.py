@@ -1,0 +1,299 @@
+"""Client side of the serving daemon: sockets in, identifiers out.
+
+Three layers, thinnest first:
+
+* :class:`DaemonClient` — one persistent connection to a running
+  :mod:`repro.store.daemon`, speaking the length-prefixed JSON protocol
+  of :mod:`repro.store.wire`.  Survives daemon hot reloads by
+  transparently reconnecting once per request.
+* :class:`RemoteIdentifier` — adapts a :class:`DaemonClient` to the
+  :class:`~repro.core.pipeline.IdentifierBase` surface, so anything that
+  consumes an identifier (the focused crawler, ``evaluate``, the CLI)
+  can point at a daemon instead of loading weights into its own
+  process.
+* :func:`resolve_serving_handle` — parses the ``repro://<socket-path>``
+  handle strings that :func:`repro.crawler.focused.resolve_identifier`
+  and ``repro.cli classify --model`` accept.
+
+Error taxonomy: :class:`DaemonUnavailableError` means nothing answered
+(daemon not started, crashed, or wrong socket path) — callers may retry
+or fall back to loading the artifact themselves.
+:class:`DaemonRequestError` means a live daemon *refused* the request
+and carries the protocol error ``code``; retrying the same request will
+fail the same way.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+
+from repro.core.pipeline import IdentifierBase
+from repro.languages import Language
+from repro.store.serve import ServedUrl
+from repro.store.wire import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    WireError,
+    recv_message,
+    send_message,
+)
+
+#: Scheme prefix of daemon handle strings (``repro://<socket-path>``).
+HANDLE_SCHEME = "repro://"
+
+
+class DaemonError(Exception):
+    """Base class for every daemon-client failure."""
+
+
+class DaemonUnavailableError(DaemonError):
+    """No daemon answered on the socket (not started, crashed, or a
+    stale path).  Start one with ``repro serve start`` or fall back to
+    :func:`repro.store.load_identifier`."""
+
+
+class DaemonRequestError(DaemonError):
+    """A live daemon refused the request.
+
+    ``code`` is one of :data:`repro.store.wire.ERROR_CODES`; retrying
+    the identical request will fail identically, so callers should fix
+    the request (or the deployment) instead of looping.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+def parse_handle(handle: str) -> str:
+    """Socket path of a ``repro://`` handle string.
+
+    Everything after the scheme is the filesystem path of the daemon's
+    Unix socket, absolute or relative (``repro:///run/repro.sock``,
+    ``repro://model.sock``).  Raises :class:`ValueError` for strings
+    that do not carry the scheme — use :func:`is_handle` to probe first.
+    """
+    if not is_handle(handle):
+        raise ValueError(f"not a repro:// serving handle: {handle!r}")
+    path = handle[len(HANDLE_SCHEME):]
+    if not path:
+        raise ValueError(f"serving handle has an empty socket path: {handle!r}")
+    return path
+
+
+def is_handle(value) -> bool:
+    """True for ``repro://`` daemon handle strings."""
+    return isinstance(value, str) and value.startswith(HANDLE_SCHEME)
+
+
+class DaemonClient:
+    """One connection to a serving daemon, reconnecting across reloads.
+
+    The connection is opened lazily on the first request and kept for
+    the client's lifetime (a daemon worker serves any number of
+    requests per connection).  When the daemon swaps its worker
+    generation during a hot reload, persistent connections are closed
+    at frame boundaries; the client transparently retries on a fresh
+    connection (a few times, briefly — requests are pure reads, so
+    replaying one is always safe) before surfacing
+    :class:`DaemonUnavailableError`.  A daemon that was never there
+    fails fast: connection *refusal* is not retried.
+
+    Use as a context manager or call :meth:`close` when done::
+
+        with DaemonClient("repro.sock") as client:
+            rows = client.classify(["http://www.blumen.de/garten"])
+    """
+
+    #: Attempts per request across dying connections (hot-reload handover).
+    MAX_ATTEMPTS = 5
+
+    def __init__(
+        self,
+        socket_path: str | os.PathLike,
+        timeout: float = 30.0,
+        protocol_version: int = PROTOCOL_VERSION,
+    ) -> None:
+        """``protocol_version`` exists so tests can provoke the daemon's
+        version gate; production callers never pass it."""
+        self.socket_path = os.fspath(socket_path)
+        self.timeout = timeout
+        self.protocol_version = protocol_version
+        self._sock: socket.socket | None = None
+
+    # -- connection management ----------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as error:
+            sock.close()
+            raise DaemonUnavailableError(
+                f"no serving daemon on {self.socket_path!r} ({error}); "
+                "start one with 'repro serve start'"
+            ) from None
+        return sock
+
+    def close(self) -> None:
+        """Drop the connection (the next request reconnects)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing ---------------------------------------------------------
+
+    def _roundtrip(self, message: dict) -> dict:
+        if self._sock is None:
+            self._sock = self._connect()
+        send_message(self._sock, message)
+        return recv_message(self._sock)
+
+    def request(self, op: str, **fields) -> dict:
+        """Issue one ``op`` request and return the success response.
+
+        Raises :class:`DaemonRequestError` on a protocol-level refusal
+        and :class:`DaemonUnavailableError` when no daemon answers even
+        after one reconnect.
+        """
+        message = {"v": self.protocol_version, "op": op, **fields}
+        last_error: Exception | None = None
+        for attempt in range(self.MAX_ATTEMPTS):
+            try:
+                response = self._roundtrip(message)
+                break
+            except (WireError, ConnectionClosed, OSError) as error:
+                # The worker that held our connection may have retired
+                # in a hot reload; a fresh connection reaches its
+                # replacement (possibly after a couple of tries while
+                # the generation handover settles).
+                self.close()
+                last_error = error
+                if attempt + 1 < self.MAX_ATTEMPTS:
+                    time.sleep(0.05 * (attempt + 1))
+        else:
+            raise DaemonUnavailableError(
+                f"serving daemon on {self.socket_path!r} stopped "
+                f"answering ({last_error})"
+            ) from None
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise DaemonRequestError(
+                code=error.get("code", "internal"),
+                message=error.get("message", "daemon returned an error"),
+            )
+        return response
+
+    # -- the served operations ----------------------------------------------------
+
+    def ping(self) -> bool:
+        """True when a daemon answers on the socket."""
+        return bool(self.request("ping").get("ok"))
+
+    def status(self) -> dict:
+        """The answering worker's status block: pid, generation, model
+        name/checksum/rollout metadata, cache occupancy."""
+        return self.request("status")
+
+    def classify(self, urls) -> list[ServedUrl]:
+        """Batch triage: one :class:`~repro.store.serve.ServedUrl` per
+        input URL, in input order (same rows ``repro classify`` prints)."""
+        response = self.request("classify", urls=list(urls))
+        return [
+            ServedUrl(url=row["url"], best=row["best"],
+                      positives=tuple(row["positives"]))
+            for row in response["results"]
+        ]
+
+    def score(self, urls) -> dict[str, list[float]]:
+        """Per-language decision scores, keyed by language code.
+
+        JSON transports floats via ``repr`` round-tripping, so scores
+        arrive bit-identical to what the daemon's matmul produced.
+        """
+        response = self.request("score", urls=list(urls))
+        return {code: list(values) for code, values in response["scores"].items()}
+
+    def decisions(self, urls) -> dict[str, list[bool]]:
+        """Per-language binary decisions, keyed by language code."""
+        response = self.request("decisions", urls=list(urls))
+        return {code: list(values) for code, values in response["decisions"].items()}
+
+    def reload(self) -> dict:
+        """Ask the daemon to re-examine its artifact path (same effect
+        as ``SIGHUP``).  Returns immediately; the swap is asynchronous
+        and gated by rollout metadata — poll :meth:`status` for the new
+        checksum."""
+        return self.request("reload")
+
+    def stop(self) -> dict:
+        """Ask the daemon to shut down gracefully (same as ``SIGTERM``)."""
+        return self.request("stop")
+
+
+class RemoteIdentifier(IdentifierBase):
+    """An :class:`~repro.core.pipeline.IdentifierBase` served by a daemon.
+
+    Holds no weights: every batch call becomes one request over the
+    client's persistent connection, answered straight off the daemon's
+    shared weight matrix.  Scores round-trip bit-identically through
+    JSON, so a ``RemoteIdentifier`` honours the same equivalence-oracle
+    contract as the in-process compiled backend.
+
+    This is what ``repro://`` handles resolve to — a crawler fleet can
+    point dozens of processes at one daemon and none of them pays a
+    model load.
+    """
+
+    def __init__(self, client: DaemonClient) -> None:
+        self.client = client
+        self._name: str | None = None
+
+    @classmethod
+    def connect(cls, socket_path: str | os.PathLike,
+                timeout: float = 30.0) -> "RemoteIdentifier":
+        """A remote identifier over a fresh :class:`DaemonClient`."""
+        return cls(DaemonClient(socket_path, timeout=timeout))
+
+    @property
+    def name(self) -> str:
+        """Report label of the model the daemon serves (fetched once)."""
+        if self._name is None:
+            self._name = self.client.status().get("model", {}).get(
+                "name", "remote"
+            )
+        return self._name
+
+    def decisions(self, urls):
+        remote = self.client.decisions(urls)
+        return {
+            Language.coerce(code): values for code, values in remote.items()
+        }
+
+    def scores_many(self, urls):
+        remote = self.client.score(urls)
+        return {
+            Language.coerce(code): values for code, values in remote.items()
+        }
+
+
+def resolve_serving_handle(handle: str, timeout: float = 30.0) -> RemoteIdentifier:
+    """Resolve a ``repro://<socket-path>`` string to a remote identifier.
+
+    Resolution is lazy — no connection is attempted until the first
+    request, so resolving a handle for a daemon that is still booting is
+    fine.  A dead socket surfaces as :class:`DaemonUnavailableError` on
+    first use.
+    """
+    return RemoteIdentifier.connect(parse_handle(handle), timeout=timeout)

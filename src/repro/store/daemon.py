@@ -1,0 +1,854 @@
+"""The long-lived serving daemon: pre-forked workers over one mmap.
+
+``repro.store.serve.score_urls`` answers a one-shot batch by spinning a
+``multiprocessing.Pool`` up and down around it — fine for a script,
+wrong for a crawler fleet that wants an answer per frontier expansion.
+:class:`ServingDaemon` is the long-lived alternative:
+
+* the parent process loads one model artifact (header parsed, weight
+  matrix **memory-mapped**) and then pre-forks N workers — every worker
+  inherits the same mapping, so the OS backs all of them with one
+  physical copy of the ``(V, k)`` weight matrix;
+* workers accept connections on a shared Unix socket and answer batch
+  ``classify`` / ``score`` / ``decisions`` requests with the
+  length-prefixed JSON protocol of :mod:`repro.store.wire`; each worker
+  keeps its :class:`~repro.store.artifact.ServingIdentifier` alive
+  across requests, so the memoized tokenizer and the interned-row cache
+  warm up once and stay warm;
+* ``--http`` additionally serves the same operations over plain HTTP
+  (stdlib :mod:`http.server` only) for curl-friendly probing and
+  load-balancer health checks;
+* ``SIGHUP`` (or the ``reload`` operation) hot-reloads the artifact
+  path **gated by rollout metadata**: the replacement must be a valid
+  identifier artifact carrying a ``model.rollout`` stamp at least as
+  new as the serving one (see :meth:`ServingDaemon._reload_gate`), and
+  the swap is a worker-generation handover — new workers fork over the
+  new mapping, old workers finish their connections and exit, the
+  socket never stops accepting;
+* ``SIGTERM`` / ``SIGINT`` (or the ``stop`` operation) shut down
+  gracefully: workers drain in-flight connections, the socket and pid
+  files are removed.
+
+Process-management helpers (:func:`start_daemon`, :func:`stop_daemon`,
+:func:`signal_daemon`) implement the ``repro serve start|stop|reload``
+CLI: a double-fork detach with a pidfile next to the socket, readiness
+probed through the client's ``ping``.
+
+``docs/serving.md`` is the operator's guide: lifecycle, the wire
+protocol spec, hot-reload semantics, and capacity planning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import signal
+import socket
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.store.artifact import MODEL_KIND, ServingIdentifier, load_identifier
+from repro.store.format import ArtifactError, ArtifactFile
+from repro.store.serve import score_batch
+from repro.store.wire import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameTooLargeError,
+    WireError,
+    error_response,
+    ok_response,
+    recv_message,
+    send_message,
+)
+
+#: Default worker count for ``serve start``.
+DEFAULT_WORKERS = 2
+
+#: Seconds between the supervision loop's housekeeping passes.
+SUPERVISE_INTERVAL = 0.2
+
+#: Seconds a worker allows one frame's bytes to trickle in or out once
+#: transfer has started.  Idle waiting *between* frames is separate
+#: (select at :data:`SUPERVISE_INTERVAL`), so this only cuts off peers
+#: that stall mid-frame.
+FRAME_IO_TIMEOUT = 30.0
+
+#: Seconds a graceful shutdown waits for workers before SIGKILL.
+DRAIN_TIMEOUT = 10.0
+
+
+def _utc_now() -> str:
+    """ISO-8601 UTC timestamp with microseconds (sortable as a string)."""
+    from datetime import datetime, timezone
+
+    return datetime.now(timezone.utc).isoformat(timespec="microseconds")
+
+
+@dataclass
+class _ModelState:
+    """Everything one worker generation serves from."""
+
+    identifier: ServingIdentifier
+    checksum: str
+    rollout: dict
+    generation: int
+    loaded_at: float
+
+
+class ServingDaemon:
+    """One daemon instance: config in, blocking :meth:`run` out.
+
+    Construct then :meth:`run` in a dedicated process (foreground), or
+    let :func:`start_daemon` do the fork-and-detach dance.  All
+    filesystem artifacts the daemon creates (socket, pidfile) live next
+    to ``socket_path`` and are removed on graceful shutdown.
+    """
+
+    def __init__(
+        self,
+        model_path: str | os.PathLike,
+        socket_path: str | os.PathLike,
+        workers: int = DEFAULT_WORKERS,
+        http_port: int | None = None,
+        pid_path: str | os.PathLike | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.model_path = Path(model_path)
+        self.socket_path = Path(socket_path)
+        self.workers = workers
+        self.http_port = http_port
+        self.pid_path = Path(pid_path) if pid_path else pidfile_for(socket_path)
+        self._state: _ModelState | None = None
+        self._listener: socket.socket | None = None
+        self._children: dict[int, int] = {}  # pid -> generation
+        self._stop_requested = False
+        self._hup_requested = False
+        self._worker_stop = False  # set in children only
+        self._supervisor_pid: int | None = None  # set in children at fork
+        self._started_at = 0.0
+        self._http_server: ThreadingHTTPServer | None = None
+        # Serializes os.fork() against the HTTP threads: a fork while a
+        # thread holds an I/O or logging lock would hand the child a
+        # lock nobody in it will ever release.  Also serializes HTTP
+        # batch dispatch, whose shared CompiledIdentifier row cache is
+        # not thread-safe (socket workers are single-threaded processes
+        # and need neither).
+        self._fork_lock = threading.Lock()
+
+    # -- logging ------------------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        """One timestamped line to stderr (the log file when detached)."""
+        print(f"[{_utc_now()}] repro-serve[{os.getpid()}] {message}",
+              file=sys.stderr, flush=True)
+
+    # -- model loading and the reload gate ----------------------------------------
+
+    def _load_state(self, generation: int) -> _ModelState:
+        """Map the artifact at ``model_path`` into a serving state."""
+        identifier = load_identifier(self.model_path)
+        with ArtifactFile(self.model_path) as artifact:
+            checksum = artifact.checksum
+        return _ModelState(
+            identifier=identifier,
+            checksum=checksum,
+            rollout=dict(identifier.model.get("rollout", {})),
+            generation=generation,
+            loaded_at=time.time(),
+        )
+
+    def _reload_gate(self, current: _ModelState) -> str | None:
+        """Why the artifact at ``model_path`` must NOT replace ``current``.
+
+        Returns ``None`` when the reload may proceed, else a
+        human-readable refusal.  The gate exists so a fat-fingered
+        ``cp`` cannot take down serving: the replacement must
+
+        * parse as an artifact of the identifier ``model.kind``,
+        * carry ``model.rollout`` metadata (created-at stamp, and the
+          train-corpus fingerprint when the trainer recorded one), and
+        * not be a rollback: its ``rollout.created_at`` must be >= the
+          serving artifact's (ISO-8601 UTC strings compare correctly).
+
+        An identical payload checksum is reported as a no-op refusal so
+        operators see that their new file never actually changed.
+        """
+        try:
+            with ArtifactFile(self.model_path) as artifact:
+                model = artifact.model
+                checksum = artifact.checksum
+        except ArtifactError as error:
+            return f"replacement does not parse: {error}"
+        if model.get("kind") != MODEL_KIND:
+            return (
+                "replacement is not a language-identifier artifact "
+                f"(kind={model.get('kind')!r})"
+            )
+        rollout = model.get("rollout") or {}
+        if not rollout.get("created_at"):
+            return (
+                "replacement carries no rollout metadata "
+                "(model.rollout.created_at); re-save it with a current "
+                "repro train / ModelStore.save"
+            )
+        if checksum == current.checksum:
+            return f"replacement is byte-identical to the serving artifact ({checksum[:12]}…)"
+        serving_created = current.rollout.get("created_at")
+        if serving_created and rollout["created_at"] < serving_created:
+            return (
+                f"replacement is older than the serving artifact "
+                f"({rollout['created_at']} < {serving_created}); refusing "
+                "the rollback — delete the daemon and start fresh to force it"
+            )
+        return None
+
+    # -- request dispatch (shared by socket workers and the HTTP thread) -----------
+
+    def _dispatch(self, message: dict) -> dict:
+        """Answer one request against the current model state."""
+        if not isinstance(message.get("op"), str):
+            return error_response("bad-request", "request carries no 'op'")
+        if message.get("v") != PROTOCOL_VERSION:
+            return error_response(
+                "protocol-version",
+                f"daemon speaks protocol {PROTOCOL_VERSION}, "
+                f"request carries v={message.get('v')!r}",
+            )
+        if self._stop_requested:
+            return error_response("shutting-down", "daemon is shutting down")
+        op = message["op"]
+        if op == "ping":
+            return ok_response(pid=os.getpid())
+        if op == "status":
+            return ok_response(**self._status_block())
+        if op in ("reload", "stop"):
+            # Workers forward the ask to the supervising parent, which
+            # owns the generation handover / shutdown.  The supervisor
+            # pid was captured at fork time: getppid() would name the
+            # *reaper* (pid 1) if the parent died and we were orphaned,
+            # and signalling that would be catastrophic.
+            target = self._parent_pid()
+            signum = signal.SIGHUP if op == "reload" else signal.SIGTERM
+            if self._is_worker and os.getppid() != target:
+                return error_response(
+                    "internal",
+                    "supervisor process is gone; this worker is orphaned "
+                    "and will exit",
+                )
+            try:
+                os.kill(target, signum)
+            except (ProcessLookupError, PermissionError) as error:
+                return error_response(
+                    "internal", f"cannot signal supervisor {target}: {error}"
+                )
+            return ok_response(signalled=signal.Signals(signum).name,
+                               pid=target)
+        if op in ("classify", "score", "decisions"):
+            urls = message.get("urls")
+            if not isinstance(urls, list) or any(
+                not isinstance(url, str) for url in urls
+            ):
+                return error_response(
+                    "bad-request", f"op {op!r} requires 'urls': list[str]"
+                )
+            return self._dispatch_batch(op, urls)
+        return error_response("unknown-op", f"unsupported op {op!r}")
+
+    def _dispatch_batch(self, op: str, urls: list[str]) -> dict:
+        assert self._state is not None
+        identifier = self._state.identifier
+        try:
+            if op == "classify":
+                rows = score_batch(identifier, urls)
+                return ok_response(results=[
+                    {"url": row.url, "best": row.best,
+                     "positives": list(row.positives)}
+                    for row in rows
+                ])
+            if op == "score":
+                scores = identifier.scores_many(urls)
+                return ok_response(scores={
+                    language.value: values
+                    for language, values in scores.items()
+                })
+            decisions = identifier.decisions(urls)
+            return ok_response(decisions={
+                language.value: values
+                for language, values in decisions.items()
+            })
+        except Exception as error:  # noqa: BLE001 - keep the worker alive
+            self._log(f"internal error answering {op!r}: {error!r}")
+            return error_response("internal", f"{type(error).__name__}: {error}")
+
+    _is_worker = False
+
+    def _parent_pid(self) -> int:
+        """The supervising pid — captured at fork in workers, self in
+        the parent."""
+        if self._is_worker:
+            assert self._supervisor_pid is not None
+            return self._supervisor_pid
+        return os.getpid()
+
+    def _status_block(self) -> dict:
+        """The status payload: who is answering, from which model."""
+        assert self._state is not None
+        state = self._state
+        identifier = state.identifier
+        compiled = identifier.compiled
+        from repro.urls.tokenizer import tokenize_cached
+
+        cache_info = tokenize_cached.cache_info()
+        return {
+            "pid": os.getpid(),
+            "role": "worker" if self._is_worker else "parent",
+            "generation": state.generation,
+            "workers": self.workers,
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "http_port": self.http_port,
+            "model": {
+                "name": identifier.name,
+                "algorithm": identifier.algorithm,
+                "feature_set": identifier.feature_set,
+                "path": str(self.model_path),
+                "checksum": state.checksum,
+                "n_features": identifier.model.get("n_features"),
+                "rollout": state.rollout,
+            },
+            "caches": {
+                "interned_rows": compiled.cache_info,
+                "tokenizer": {
+                    "hits": cache_info.hits,
+                    "misses": cache_info.misses,
+                    "entries": cache_info.currsize,
+                },
+            },
+        }
+
+    # -- worker processes ----------------------------------------------------------
+
+    def _spawn_worker(self, generation: int) -> int:
+        """Fork one worker of ``generation`` over the current mapping.
+
+        The fork is serialized against the HTTP threads via
+        ``_fork_lock`` so the child never inherits a mid-critical-
+        section lock; the child releases its inherited copy on exiting
+        the ``with`` block.
+        """
+        with self._fork_lock:
+            pid = os.fork()
+            if pid:
+                self._children[pid] = generation
+                return pid
+        # Child: serve the listener until told to drain.
+        self._is_worker = True
+        self._supervisor_pid = os.getppid()
+        self._children = {}
+        if self._http_server is not None:
+            self._http_server.socket.close()  # inherited fd; never served here
+            self._http_server = None
+        signal.signal(signal.SIGTERM, self._worker_sigterm)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGHUP, signal.SIG_IGN)
+        code = 0
+        try:
+            self._worker_loop()
+        except Exception as error:  # noqa: BLE001
+            self._log(f"worker crashed: {error!r}")
+            code = 1
+        os._exit(code)
+
+    def _worker_sigterm(self, signum, frame) -> None:
+        self._worker_stop = True
+
+    def _worker_loop(self) -> None:
+        assert self._listener is not None
+        listener = self._listener
+        listener.settimeout(SUPERVISE_INTERVAL)
+        while not self._worker_stop:
+            if os.getppid() != self._supervisor_pid:
+                self._log("supervisor is gone; worker exiting")
+                break  # orphaned: nobody will ever reload or stop us
+            try:
+                connection, _ = listener.accept()
+            except (socket.timeout, InterruptedError):
+                continue
+            except OSError:
+                break  # listener closed under us during shutdown
+            with connection:
+                self._serve_connection(connection)
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        """Answer frames on one connection until the peer closes — or
+        until this worker is told to drain.
+
+        Drain semantics (the hot-reload handover): a retiring worker
+        finishes the request it is answering, then closes persistent
+        connections at the next frame boundary.  Clients reconnect
+        transparently (:meth:`repro.store.client.DaemonClient.request`
+        retries briefly) and land on the replacement generation.
+
+        The drain flag is polled only while *idle between frames*
+        (``select`` below), never by timing out a frame mid-transfer —
+        a short read would desync the length-prefixed stream.  Once a
+        frame starts, it gets :data:`FRAME_IO_TIMEOUT` to complete;
+        a peer stalling longer than that loses the connection.
+        """
+        connection.settimeout(FRAME_IO_TIMEOUT)
+        while not self._worker_stop:
+            readable, _, _ = select.select(
+                [connection], [], [], SUPERVISE_INTERVAL
+            )
+            if not readable:
+                continue  # idle at a frame boundary; re-check drain flag
+            try:
+                message = recv_message(connection)
+            except TimeoutError:
+                return  # peer stalled mid-frame; drop the connection
+            except ConnectionClosed:
+                return
+            except FrameTooLargeError as error:
+                self._send_best_effort(
+                    connection, error_response("frame-too-large", str(error))
+                )
+                return
+            except (WireError, OSError) as error:
+                self._send_best_effort(
+                    connection, error_response("bad-request", str(error))
+                )
+                return
+            if not self._send_best_effort(connection, self._dispatch(message)):
+                return
+
+    def _send_best_effort(self, connection: socket.socket, message: dict) -> bool:
+        try:
+            send_message(connection, message)
+            return True
+        except FrameTooLargeError as error:
+            # The *response* outgrew the frame cap (a batch near the
+            # request limit can — results carry more bytes per URL than
+            # the bare URLs did).  Tell the caller to split the batch
+            # instead of crashing the worker.
+            return self._send_best_effort(
+                connection,
+                error_response(
+                    "frame-too-large",
+                    f"response exceeds the frame cap; send smaller "
+                    f"batches ({error})",
+                ),
+            )
+        except OSError:
+            return False  # peer went away mid-answer; drop the connection
+
+    # -- HTTP front-end ------------------------------------------------------------
+
+    def _bind_http(self) -> None:
+        """Bind the HTTP listener and resolve ``http_port`` (no threads
+        yet — workers fork after this, so their status blocks report
+        the real port; the serving thread starts post-fork via
+        :meth:`_start_http_thread`)."""
+        daemon = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, format, *args):  # noqa: A002
+                daemon._log(f"http {self.address_string()} {format % args}")
+
+            def _reply(self, status: int, payload: dict | str) -> None:
+                body = (
+                    payload.encode("utf-8")
+                    if isinstance(payload, str)
+                    else (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+                )
+                self.send_response(status)
+                self.send_header(
+                    "Content-Type",
+                    "text/plain" if isinstance(payload, str) else "application/json",
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):  # noqa: N802 - http.server API
+                with daemon._fork_lock:
+                    if self.path == "/healthz":
+                        self._reply(200, "ok\n")
+                    elif self.path == "/v1/status":
+                        self._reply(200, ok_response(**daemon._status_block()))
+                    else:
+                        self._reply(
+                            404, error_response("unknown-op", self.path)
+                        )
+
+            def do_POST(self):  # noqa: N802 - http.server API
+                with daemon._fork_lock:
+                    self._do_post_locked()
+
+            def _do_post_locked(self) -> None:
+                op = self.path.rsplit("/", 1)[-1]
+                if self.path != f"/v1/{op}" or op not in (
+                    "classify", "score", "decisions",
+                ):
+                    self._reply(404, error_response("unknown-op", self.path))
+                    return
+                length = int(self.headers.get("Content-Length") or 0)
+                from repro.store.wire import MAX_FRAME_BYTES
+
+                if length > MAX_FRAME_BYTES:
+                    self._reply(413, error_response(
+                        "frame-too-large",
+                        f"body announces {length} bytes; "
+                        f"limit {MAX_FRAME_BYTES}",
+                    ))
+                    return
+                try:
+                    body = json.loads(self.rfile.read(length) or b"{}")
+                    if not isinstance(body, dict):
+                        raise ValueError("body must be a JSON object")
+                except (ValueError, json.JSONDecodeError) as error:
+                    self._reply(400, error_response("bad-request", str(error)))
+                    return
+                # The path, not the body, decides the op — a body "op"
+                # must never widen a batch endpoint into stop/reload.
+                response = daemon._dispatch(
+                    {**body, "v": PROTOCOL_VERSION, "op": op}
+                )
+                self._reply(200 if response.get("ok") else 400, response)
+
+        server = ThreadingHTTPServer(("127.0.0.1", self.http_port), Handler)
+        server.daemon_threads = True
+        self.http_port = server.server_address[1]  # resolve port 0
+        self._http_server = server
+
+    def _start_http_thread(self) -> None:
+        """Serve the bound HTTP listener from a parent daemon thread.
+
+        Batch endpoints answer from the parent's mapping (swapped
+        atomically on reload), and ``/healthz`` gives load balancers a
+        poll target that does not consume a socket worker.
+        """
+        assert self._http_server is not None
+        thread = threading.Thread(
+            target=self._http_server.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        thread.start()
+        self._log(f"http front-end on 127.0.0.1:{self.http_port}")
+
+    # -- the supervising parent ----------------------------------------------------
+
+    def _bind(self) -> socket.socket:
+        """Bind the Unix listener, evicting a stale socket file."""
+        path = str(self.socket_path)
+        if self.socket_path.exists():
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.connect(path)
+            except OSError:
+                self._log(f"removing stale socket {path}")
+                self.socket_path.unlink()
+            else:
+                raise RuntimeError(
+                    f"another daemon is already serving on {path}"
+                )
+            finally:
+                probe.close()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(path)
+        listener.listen(128)
+        return listener
+
+    def run(self) -> int:
+        """Serve until told to stop; returns the process exit code.
+
+        Blocking — the caller dedicates this process to the daemon (the
+        CLI's ``--foreground``); :func:`start_daemon` wraps it in a
+        detached grandchild.
+        """
+        self._started_at = time.time()
+        self._state = self._load_state(generation=1)
+        self._listener = self._bind()
+        self.pid_path.write_text(f"{os.getpid()}\n")
+        signal.signal(signal.SIGTERM, self._parent_signal)
+        signal.signal(signal.SIGINT, self._parent_signal)
+        signal.signal(signal.SIGHUP, self._parent_signal)
+        if self.http_port is not None:
+            self._bind_http()  # resolves the port workers will report
+        self._log(
+            f"serving {self._state.identifier.name} "
+            f"(checksum {self._state.checksum[:12]}…) from {self.model_path} "
+            f"on {self.socket_path} with {self.workers} workers"
+        )
+        for _ in range(self.workers):
+            self._spawn_worker(self._state.generation)
+        if self._http_server is not None:
+            # Thread starts only after the initial forks; later forks
+            # (reload, respawn) are serialized against the HTTP threads
+            # via _fork_lock.
+            self._start_http_thread()
+        try:
+            while not self._stop_requested:
+                if self._hup_requested:
+                    self._hup_requested = False
+                    self._reload()
+                self._reap(respawn=True)
+                time.sleep(SUPERVISE_INTERVAL)
+        finally:
+            self._shutdown()
+        return 0
+
+    def _parent_signal(self, signum, frame) -> None:
+        if signum == signal.SIGHUP:
+            self._hup_requested = True
+        else:
+            self._stop_requested = True
+
+    def _reap(self, respawn: bool) -> None:
+        """Collect exited workers; replace unexpected current-gen deaths."""
+        assert self._state is not None
+        while True:
+            try:
+                pid, _ = os.waitpid(-1, os.WNOHANG)
+            except ChildProcessError:
+                return
+            if pid == 0:
+                return
+            generation = self._children.pop(pid, None)
+            if (
+                respawn
+                and not self._stop_requested
+                and generation == self._state.generation
+            ):
+                self._log(f"worker {pid} died; respawning")
+                self._spawn_worker(self._state.generation)
+
+    def _reload(self) -> None:
+        """The SIGHUP path: gate, remap, hand the socket to new workers."""
+        assert self._state is not None
+        refusal = self._reload_gate(self._state)
+        if refusal:
+            self._log(f"reload refused: {refusal}")
+            return
+        try:
+            state = self._load_state(self._state.generation + 1)
+        except ArtifactError as error:
+            self._log(f"reload refused: replacement failed to load: {error}")
+            return
+        old_children = [
+            pid
+            for pid, generation in self._children.items()
+            if generation == self._state.generation
+        ]
+        self._state = state  # new forks and the HTTP thread see it now
+        for _ in range(self.workers):
+            self._spawn_worker(state.generation)
+        for pid in old_children:
+            self._terminate(pid, signal.SIGTERM)
+        self._log(
+            f"reloaded generation {state.generation}: "
+            f"{state.identifier.name} (checksum {state.checksum[:12]}…, "
+            f"rollout {state.rollout.get('created_at')})"
+        )
+
+    def _terminate(self, pid: int, signum: int) -> None:
+        try:
+            os.kill(pid, signum)
+        except ProcessLookupError:
+            pass
+
+    def _shutdown(self) -> None:
+        """Drain workers, then remove every file the daemon created."""
+        self._log("shutting down")
+        if self._http_server is not None:
+            self._http_server.shutdown()
+        for pid in list(self._children):
+            self._terminate(pid, signal.SIGTERM)
+        deadline = time.time() + DRAIN_TIMEOUT
+        while self._children and time.time() < deadline:
+            self._reap(respawn=False)
+            time.sleep(0.05)
+        for pid in list(self._children):
+            self._log(f"worker {pid} did not drain; killing")
+            self._terminate(pid, signal.SIGKILL)
+        self._reap(respawn=False)
+        if self._listener is not None:
+            self._listener.close()
+        for path in (self.socket_path, self.pid_path):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        self._log("stopped")
+
+
+# -- process management (the CLI's serve start/stop/status/reload) ----------------
+
+
+def pidfile_for(socket_path: str | os.PathLike) -> Path:
+    """Conventional pidfile location: next to the socket, ``.pid`` added."""
+    socket_path = Path(socket_path)
+    return socket_path.with_name(socket_path.name + ".pid")
+
+
+def read_pid(socket_path: str | os.PathLike) -> int | None:
+    """Supervisor pid recorded for the daemon on ``socket_path``, if any."""
+    try:
+        return int(pidfile_for(socket_path).read_text().strip())
+    except (OSError, ValueError):
+        return None
+
+
+def start_daemon(
+    model_path: str | os.PathLike,
+    socket_path: str | os.PathLike,
+    workers: int = DEFAULT_WORKERS,
+    http_port: int | None = None,
+    log_path: str | os.PathLike | None = None,
+    ready_timeout: float = 60.0,
+) -> int:
+    """Start a detached daemon and wait until it answers ``ping``.
+
+    Double-forks (so the daemon is reparented to init and never
+    zombies), points stdout/stderr at ``log_path`` (default: the socket
+    path + ``.log``), and blocks until the daemon is ready or
+    ``ready_timeout`` elapses.  Returns the daemon's supervisor pid.
+
+    Raises :class:`RuntimeError` — with the tail of the log file, which
+    is where load failures such as a corrupt or version-mismatched
+    artifact land — when the daemon dies or misses the deadline.
+    """
+    from repro.store.client import DaemonClient, DaemonError
+
+    socket_path = Path(socket_path)
+    log_path = Path(log_path) if log_path else socket_path.with_name(
+        socket_path.name + ".log"
+    )
+    # A daemon already answering on this socket would also answer our
+    # readiness ping, masking the new daemon's bind failure — refuse
+    # up front so "start" can never falsely report the old daemon as
+    # serving the new model.
+    try:
+        with DaemonClient(socket_path, timeout=2.0) as probe:
+            probe.ping()
+    except DaemonError:
+        pass  # nothing live on the socket; proceed
+    else:
+        raise RuntimeError(
+            f"another daemon is already serving on {socket_path}; "
+            "stop it first (repro serve stop) or pick another socket"
+        )
+    # Only log lines written after this point belong to this start.
+    log_offset = log_path.stat().st_size if log_path.exists() else 0
+    first = os.fork()
+    if first == 0:
+        os.setsid()
+        second = os.fork()
+        if second:
+            os._exit(0)  # middle process: exit so the daemon reparents
+        try:
+            log = open(log_path, "ab", buffering=0)
+            devnull = open(os.devnull, "rb")
+            os.dup2(devnull.fileno(), 0)
+            os.dup2(log.fileno(), 1)
+            os.dup2(log.fileno(), 2)
+            # Rebind the high-level streams over the redirected fds:
+            # the inherited sys.stderr may wrap a captured/duplicated
+            # fd (pytest, supervisors) instead of fd 2.
+            sys.stdout = open(1, "w", buffering=1, closefd=False)
+            sys.stderr = open(2, "w", buffering=1, closefd=False)
+            code = ServingDaemon(
+                model_path, socket_path, workers=workers, http_port=http_port
+            ).run()
+        except BaseException as error:  # noqa: BLE001 - report then die
+            print(f"daemon failed: {error!r}", file=sys.stderr, flush=True)
+            code = 1
+        os._exit(code)
+    os.waitpid(first, 0)  # reap the middle process immediately
+
+    def log_tail() -> str:
+        """This start's log lines only (the file is append-mode and may
+        carry a previous failed start's last words)."""
+        try:
+            with open(log_path) as handle:
+                handle.seek(log_offset)
+                return handle.read()[-2000:]
+        except OSError:
+            return ""
+
+    deadline = time.time() + ready_timeout
+    while time.time() < deadline:
+        try:
+            with DaemonClient(socket_path, timeout=5.0) as client:
+                if client.ping():
+                    pid = read_pid(socket_path)
+                    assert pid is not None, "daemon is up but left no pidfile"
+                    return pid
+        except DaemonError:
+            # Died at boot (corrupt / version-mismatched artifact, bad
+            # socket path)?  The grandchild's last words are in the log.
+            if "daemon failed:" in log_tail():
+                raise RuntimeError(
+                    f"daemon on {socket_path} died during startup; "
+                    f"log tail:\n{log_tail()}"
+                ) from None
+            time.sleep(0.1)
+    raise RuntimeError(
+        f"daemon on {socket_path} did not become ready within "
+        f"{ready_timeout:.0f}s; log tail:\n{log_tail()}"
+    )
+
+
+def signal_daemon(socket_path: str | os.PathLike, signum: int) -> int:
+    """Send ``signum`` to the daemon's supervisor; returns its pid.
+
+    Raises :class:`RuntimeError` when no pidfile exists or the recorded
+    process is gone (stale pidfile).
+    """
+    pid = read_pid(socket_path)
+    if pid is None:
+        raise RuntimeError(
+            f"no daemon pidfile for socket {socket_path} "
+            f"(expected {pidfile_for(socket_path)})"
+        )
+    try:
+        os.kill(pid, signum)
+    except ProcessLookupError:
+        raise RuntimeError(
+            f"daemon pid {pid} recorded for {socket_path} is not running "
+            "(stale pidfile?)"
+        ) from None
+    return pid
+
+
+def stop_daemon(
+    socket_path: str | os.PathLike, timeout: float = 30.0
+) -> int:
+    """Gracefully stop the daemon on ``socket_path``; returns its pid.
+
+    Sends ``SIGTERM`` and waits until the pidfile disappears (the last
+    thing a clean shutdown removes).  Raises :class:`RuntimeError` when
+    nothing is running or the daemon ignores the deadline.
+    """
+    pid = signal_daemon(socket_path, signal.SIGTERM)
+    deadline = time.time() + timeout
+    pidfile = pidfile_for(socket_path)
+    while time.time() < deadline:
+        if not pidfile.exists():
+            return pid
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return pid  # died without cleanup; stale files, but stopped
+        time.sleep(0.05)
+    raise RuntimeError(
+        f"daemon pid {pid} did not stop within {timeout:.0f}s"
+    )

@@ -28,7 +28,9 @@ The header carries three top-level keys:
     fault in only when the weights are actually read).
 ``model``
     Free-form model-level metadata; this layer does not interpret it
-    (:mod:`repro.store.artifact` does).
+    (:mod:`repro.store.artifact` does — including the ``model.rollout``
+    provenance block the serving daemon's hot-reload gate requires;
+    see ``docs/serving.md``).
 
 Alignment is 64 bytes so every buffer start is cache-line- and
 SIMD-friendly no matter what precedes it.

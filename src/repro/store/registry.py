@@ -36,7 +36,15 @@ ARTIFACT_SUFFIX = ".urlmodel"
 
 @dataclass(frozen=True)
 class ModelHandle:
-    """A lightweight description of one stored model (weights unloaded)."""
+    """A lightweight description of one stored model (weights unloaded).
+
+    Besides the training configuration, a handle surfaces the
+    artifact's **rollout metadata** — ``created_at`` (save timestamp)
+    and ``train_corpus`` (the training corpus's sha256 fingerprint) —
+    which is what the serving daemon's hot-reload gate checks before
+    accepting a replacement artifact.  Both are ``None`` for artifacts
+    written before rollout stamping existed.
+    """
 
     name: str
     path: Path
@@ -45,6 +53,8 @@ class ModelHandle:
     feature_set: str
     n_features: int
     nbytes: int
+    created_at: str | None = None
+    train_corpus: str | None = None
 
     @property
     def label(self) -> str:
@@ -101,10 +111,12 @@ class ModelStore:
         return load_identifier(path)
 
     def describe(self, name: str) -> ModelHandle:
-        """Header-only description of one stored model."""
+        """Header-only description of one stored model (O(header) —
+        the weight matrix is never touched)."""
         path = self.path(name)
         with ArtifactFile(path) as artifact:
             model = artifact.model
+            rollout = model.get("rollout") or {}
             return ModelHandle(
                 name=name,
                 path=path,
@@ -113,6 +125,8 @@ class ModelStore:
                 feature_set=model.get("feature_set", "?"),
                 n_features=model.get("n_features", 0),
                 nbytes=artifact.nbytes,
+                created_at=rollout.get("created_at"),
+                train_corpus=rollout.get("train_corpus"),
             )
 
     def list(self) -> list[ModelHandle]:

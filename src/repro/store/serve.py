@@ -1,4 +1,4 @@
-"""Multi-process batch scoring from one memory-mapped artifact.
+"""One-shot multi-process batch scoring from one memory-mapped artifact.
 
 The zero-copy payoff of the artifact format: every worker process opens
 the *same* model file with ``mmap``, so the operating system backs all
@@ -6,12 +6,23 @@ of them with one set of physical pages.  N workers cost one weight
 matrix, not N pickled clones — the shared-read-path design the PVLDB
 systems lineage argues for, applied to URL triage.
 
-The entry point is :func:`score_urls`; the CLI wraps it as
-``python -m repro.cli serve`` and ``examples/serve_workers.py``
-demonstrates it end to end.  Workers are plain ``multiprocessing.Pool``
-members initialised once with :func:`_initialize_worker`; batches are
-scored with the compiled backend's single matmul and results come back
-in input order.
+Two serving shapes build on this module:
+
+* :func:`score_urls` — a **one-shot pool**: spin up a
+  ``multiprocessing.Pool``, score one URL list, tear the pool down.
+  Right for scripts and scheduled batch jobs; the CLI wraps it as
+  ``repro serve batch`` and ``examples/serve_workers.py`` demonstrates
+  it end to end.
+* the **long-lived daemon** (:mod:`repro.store.daemon`) — pre-forked
+  workers behind a Unix socket / HTTP front-end that keep their mapped
+  model, tokenizer memo, and interned-row cache warm across requests.
+  Right for crawler fleets and anything latency-sensitive; the
+  ``serve_pool`` vs ``serve_daemon`` entries of
+  ``benchmarks/BENCH_core_throughput.json`` quantify the difference.
+
+:func:`score_batch` is the shared per-batch kernel both shapes call:
+one ``scores_many`` matmul feeding both the best label and the
+per-language binary answers.
 """
 
 from __future__ import annotations
@@ -21,6 +32,7 @@ import os
 from collections.abc import Sequence
 from typing import NamedTuple
 
+from repro.core.pipeline import IdentifierBase
 from repro.store.artifact import ServingIdentifier, load_identifier
 
 #: Default number of URLs per scoring batch (one matmul each).
@@ -37,25 +49,21 @@ class ServedUrl(NamedTuple):
 
     def tsv(self) -> str:
         """The CLI's output row: ``best <TAB> binary-yes <TAB> url``,
-        with ``-`` placeholders.  ``classify`` and ``serve`` both emit
-        this format, so they stay diff-compatible."""
+        with ``-`` placeholders.  ``classify`` and the serve front-ends
+        all emit this format, so they stay diff-compatible."""
         return f"{self.best or '-'}\t{','.join(self.positives) or '-'}\t{self.url}"
 
 
-#: Per-process identifier, set once by the pool initializer.
-_worker_identifier: ServingIdentifier | None = None
+def score_batch(
+    identifier: IdentifierBase, urls: Sequence[str]
+) -> list[ServedUrl]:
+    """Score one batch with ``identifier`` (a single matmul when compiled).
 
-
-def _initialize_worker(model_path: str) -> None:
-    """Pool initializer: map the shared artifact into this process."""
-    global _worker_identifier
-    _worker_identifier = load_identifier(model_path)
-
-
-def _score_batch(urls: Sequence[str]) -> list[ServedUrl]:
-    """Score one batch with the worker's mapped model (one matmul)."""
-    identifier = _worker_identifier
-    assert identifier is not None, "worker used before initialisation"
+    The per-batch kernel shared by the pool workers here, the daemon's
+    ``classify`` operation, and the CLI's ``classify`` command: one
+    ``scores_many`` pass yields both the best label and the
+    per-language yes/no answers, in input order.
+    """
     scores = identifier.scores_many(urls)
     best = identifier.classify_many(urls, scores=scores)
     results = []
@@ -77,6 +85,23 @@ def _score_batch(urls: Sequence[str]) -> list[ServedUrl]:
     return results
 
 
+#: Per-process identifier, set once by the pool initializer.
+_worker_identifier: ServingIdentifier | None = None
+
+
+def _initialize_worker(model_path: str) -> None:
+    """Pool initializer: map the shared artifact into this process."""
+    global _worker_identifier
+    _worker_identifier = load_identifier(model_path)
+
+
+def _score_batch(urls: Sequence[str]) -> list[ServedUrl]:
+    """Score one batch with the worker's mapped model (one matmul)."""
+    identifier = _worker_identifier
+    assert identifier is not None, "worker used before initialisation"
+    return score_batch(identifier, urls)
+
+
 def batched(urls: Sequence[str], batch_size: int) -> list[list[str]]:
     """Split ``urls`` into batches of at most ``batch_size``."""
     if batch_size < 1:
@@ -90,11 +115,14 @@ def score_urls(
     workers: int = 2,
     batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> list[ServedUrl]:
-    """Score ``urls`` with ``workers`` processes sharing one artifact.
+    """Score ``urls`` with a one-shot pool of ``workers`` processes
+    sharing one artifact.
 
     Results preserve input order.  ``workers <= 1`` scores in-process
     (same code path, no pool) — handy for debugging and as the baseline
-    when measuring multi-process speedups.
+    when measuring multi-process speedups.  The pool (and every per-
+    worker cache) dies with the call; a stream of calls should talk to
+    a :mod:`repro.store.daemon` instead.
     """
     if workers < 0:
         raise ValueError("workers must be >= 0")

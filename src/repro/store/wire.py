@@ -1,0 +1,146 @@
+"""The serving wire protocol: length-prefixed JSON frames.
+
+Both sides of the serving daemon — :mod:`repro.store.daemon` on the
+listening end, :mod:`repro.store.client` on the calling end — speak one
+framing over a stream socket (Unix domain by default):
+
+.. code-block:: text
+
+    offset 0   frame length   uint32 big-endian   (4 bytes)
+    offset 4   body           UTF-8 JSON          (length bytes)
+
+A *request* body is an object with at least ``{"v": 1, "op": <name>}``;
+op-specific fields (``urls`` for the batch ops) ride alongside.  A
+*response* body is ``{"v": 1, "ok": true, ...}`` on success or
+``{"v": 1, "ok": false, "error": {"code", "message"}}`` on failure.
+One connection carries any number of request/response pairs, strictly
+in order; either side closes by half-closing the stream.
+
+Error codes are a closed set (:data:`ERROR_CODES`) so operators can
+alert on them; ``docs/serving.md`` is the authoritative prose spec and
+must list every code here.
+
+This module is dependency-free on purpose: the framing helpers are the
+*only* code shared between daemon and client, so a thin client can be
+vendored without pulling in the fork/signal machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+#: Version of the request/response schema (independent of the artifact
+#: :data:`~repro.store.format.FORMAT_VERSION`).  Bump on incompatible
+#: changes; both sides refuse frames from a version they do not speak.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's body, enforced by both sides before
+#: reading the body.  32 MiB comfortably fits ~200k URLs per batch while
+#: bounding what a misbehaving peer can make us buffer.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: The closed set of ``error.code`` values a daemon may return.
+ERROR_CODES = (
+    "bad-request",      # body is not a JSON object of the expected shape
+    "frame-too-large",  # a request or response body exceeds MAX_FRAME_BYTES
+    "protocol-version", # request "v" does not match PROTOCOL_VERSION
+    "unknown-op",       # "op" is not one of the served operations
+    "shutting-down",    # daemon received the request mid-shutdown
+    "internal",         # unexpected server-side failure (see daemon log)
+)
+
+
+class WireError(Exception):
+    """Base class for every wire-level failure (framing, protocol)."""
+
+
+class FrameTooLargeError(WireError):
+    """A frame announced a body longer than :data:`MAX_FRAME_BYTES`."""
+
+
+class ConnectionClosed(WireError):
+    """The peer closed the stream mid-frame (or before one started)."""
+
+    def __init__(self, message: str = "connection closed by peer",
+                 clean: bool = False) -> None:
+        super().__init__(message)
+        #: True when the close landed on a frame boundary — the normal
+        #: end of a conversation, not a truncation.
+        self.clean = clean
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`ConnectionClosed`.
+
+    The raised error's ``clean`` flag is True when the peer closed
+    before sending *any* of the ``n`` bytes — a boundary, not a
+    truncation.  Callers mid-frame must override it to False.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed with {remaining} of {n} bytes outstanding",
+                clean=(remaining == n),
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Frame ``message`` as length-prefixed JSON and send it whole."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"outgoing frame is {len(body)} bytes; limit {MAX_FRAME_BYTES}"
+        )
+    sock.sendall(len(body).to_bytes(4, "big") + body)
+
+
+def recv_message(sock: socket.socket) -> dict:
+    """Read one length-prefixed JSON frame.
+
+    Raises :class:`ConnectionClosed` (with ``clean=True`` when the close
+    landed exactly on a frame boundary), :class:`FrameTooLargeError` on
+    an oversized announcement, or :class:`WireError` on a body that is
+    not a JSON object.
+    """
+    prefix = _recv_exact(sock, 4)  # clean=True if closed on the boundary
+    length = int.from_bytes(prefix, "big")
+    if length > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"incoming frame announces {length} bytes; limit {MAX_FRAME_BYTES}"
+        )
+    try:
+        body = _recv_exact(sock, length)
+    except ConnectionClosed as error:
+        error.clean = False  # the frame had started; this is a truncation
+        raise
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"frame body is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise WireError(
+            f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def error_response(code: str, message: str) -> dict:
+    """A well-formed failure response (``code`` must be registered)."""
+    assert code in ERROR_CODES, f"unregistered error code {code!r}"
+    return {
+        "v": PROTOCOL_VERSION,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def ok_response(**fields) -> dict:
+    """A well-formed success response carrying ``fields``."""
+    return {"v": PROTOCOL_VERSION, "ok": True, **fields}

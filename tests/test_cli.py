@@ -20,9 +20,28 @@ class TestParser:
         ).command == "evaluate"
         assert parser.parse_args(["experiment", "table8"]).command == "experiment"
 
+    def test_serve_subcommands_parse(self):
+        parser = build_parser()
+        start = parser.parse_args(
+            ["serve", "start", "--model", "m.urlmodel", "--socket", "s.sock",
+             "--workers", "3", "--http", "0"]
+        )
+        assert (start.command, start.serve_command) == ("serve", "start")
+        assert start.http == 0 and not start.foreground
+        for name in ("stop", "status", "reload"):
+            args = parser.parse_args(["serve", name, "--socket", "s.sock"])
+            assert args.serve_command == name
+        batch = parser.parse_args(
+            ["serve", "batch", "--model", "m.urlmodel", "http://a.de"]
+        )
+        assert batch.serve_command == "batch"
+        assert batch.urls == ["http://a.de"]
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+        with pytest.raises(SystemExit):  # serve requires a subcommand
+            build_parser().parse_args(["serve"])
 
     def test_experiment_registry_complete(self):
         # 10 tables + 3 figures + selection + error-analysis drivers
@@ -143,7 +162,7 @@ class TestModelFormats:
         with pytest.raises(ArtifactError, match="no compiled backend"):
             self._train(tmp_path, "--backend", "sparse", "--format", "artifact")
 
-    def test_serve_command_matches_classify(self, tmp_path):
+    def test_serve_batch_matches_classify(self, tmp_path):
         model_path, _ = self._train(tmp_path)
         urls = [
             "http://www.blumen.de/garten/strasse.html",
@@ -153,7 +172,7 @@ class TestModelFormats:
         assert main(["classify", "--model", str(model_path), *urls],
                     out=classify_out) == 0
         assert main(
-            ["serve", "--model", str(model_path), "--workers", "2",
+            ["serve", "batch", "--model", str(model_path), "--workers", "2",
              "--batch-size", "1", *urls],
             out=serve_out,
         ) == 0
@@ -161,6 +180,59 @@ class TestModelFormats:
 
     def test_serve_rejects_pickles(self, tmp_path):
         model_path, _ = self._train(tmp_path, "--format", "pickle")
-        with pytest.raises(SystemExit, match="artifact"):
-            main(["serve", "--model", str(model_path), "http://a.de"],
-                 out=io.StringIO())
+        for command in (
+            ["serve", "batch", "--model", str(model_path), "http://a.de"],
+            ["serve", "start", "--model", str(model_path),
+             "--socket", str(tmp_path / "s.sock")],
+        ):
+            with pytest.raises(SystemExit, match="artifact"):
+                main(command, out=io.StringIO())
+
+    def test_serve_daemon_roundtrip(self, tmp_path):
+        """start → classify through the repro:// handle → status → stop.
+
+        The deep daemon behaviours (hot reload, oracle equivalence,
+        error paths) live in tests/store/test_daemon.py; this covers
+        the CLI wiring around them.
+        """
+        model_path, _ = self._train(tmp_path)
+        socket_path = tmp_path / "cli.sock"
+        out = io.StringIO()
+        assert main(
+            ["serve", "start", "--model", str(model_path),
+             "--socket", str(socket_path), "--workers", "1"],
+            out=out,
+        ) == 0
+        assert "serving" in out.getvalue()
+        try:
+            classify_out = io.StringIO()
+            assert main(
+                ["classify", "--model", f"repro://{socket_path}",
+                 "http://www.blumen.de/garten/strasse.html"],
+                out=classify_out,
+            ) == 0
+            assert classify_out.getvalue().split("\t")[0] == "de"
+
+            status_out = io.StringIO()
+            assert main(
+                ["serve", "status", "--socket", str(socket_path)],
+                out=status_out,
+            ) == 0
+            import json
+
+            status = json.loads(status_out.getvalue())
+            assert status["model"]["name"] == "NB/words"
+        finally:
+            stop_out = io.StringIO()
+            assert main(
+                ["serve", "stop", "--socket", str(socket_path)], out=stop_out
+            ) == 0
+            assert "stopped" in stop_out.getvalue()
+        assert not socket_path.exists()
+
+    def test_serve_status_without_daemon_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="serve start"):
+            main(
+                ["serve", "status", "--socket", str(tmp_path / "no.sock")],
+                out=io.StringIO(),
+            )

@@ -1,17 +1,28 @@
 #!/usr/bin/env python3
-"""Smoke-check that documentation code blocks stay runnable.
+"""Smoke-check that documentation stays true.
 
-Extracts fenced ``bash`` and ``python`` blocks from README.md and
-docs/architecture.md and executes each one, in order, in a single
-scratch directory with ``PYTHONPATH`` pointing at this checkout — so
-the quickstart really does run *as written* (later blocks may rely on
-files earlier blocks created, e.g. ``model.urlmodel``).
+Two kinds of check, both run by the CI ``docs`` job:
 
-Blocks that invoke pytest are skipped: CI runs the test suites as their
-own job, and duplicating them here would only slow the docs job down.
+1. **Code blocks execute.**  Extracts fenced ``bash`` and ``python``
+   blocks from every file in :data:`DOCS` and executes each one, in
+   order, in a single scratch directory with ``PYTHONPATH`` pointing at
+   this checkout — so the quickstarts really do run *as written* (later
+   blocks may rely on files earlier blocks created, e.g.
+   ``model.urlmodel``, or on daemons earlier blocks started).
 
-Exit status 0 when every executed block succeeds; 1 otherwise, with the
-failing block's output echoed.  Run it locally with::
+   Blocks that invoke pytest are skipped: CI runs the test suites as
+   their own job, and duplicating them here would only slow the docs
+   job down.
+
+2. **The README backend matrix matches the code.**  The "Compiles?"
+   column of README.md's algorithm table is asserted against
+   :func:`repro.algorithms.compile_support`, which *measures* which
+   algorithms lower to the vectorized backend at runtime.  Documented
+   support that the code does not deliver (or vice versa) fails the
+   job.
+
+Exit status 0 when every check succeeds; 1 otherwise, with the failing
+block's output echoed.  Run it locally with::
 
     python tools/check_docs.py
 """
@@ -26,10 +37,13 @@ import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-DOCS = ("README.md", "docs/architecture.md")
+DOCS = ("README.md", "docs/architecture.md", "docs/serving.md", "docs/cli.md")
 FENCE_OPEN = re.compile(r"^```(\w+)\s*$")
 FENCE_CLOSE = "```"
 TIMEOUT_SECONDS = 600
+
+#: Algorithm abbreviations that may appear in the README backend matrix.
+ALGORITHM_TOKEN = re.compile(r"\b(NB|DT|RE|ME|kNN|RO|MM)\b")
 
 
 def iter_blocks(path: Path):
@@ -46,6 +60,49 @@ def iter_blocks(path: Path):
             language = None
         elif language is not None:
             lines.append(line)
+
+
+def check_backend_matrix(readme: Path) -> list[str]:
+    """Differences between README's backend matrix and the runtime truth.
+
+    Parses every README table row whose second cell is ``yes``/``no``
+    and maps its first cell to :func:`repro.algorithms.compile_support`
+    keys: plain abbreviations (``NB``, ``DT, kNN``) map directly, a row
+    mentioning ``iis`` means the ``ME:iis`` trainer variant, and the
+    training-free ccTLD baselines are skipped (they are not registry
+    algorithms).  Returns one message per mismatch or uncovered
+    algorithm; empty means the matrix is truthful and complete.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.algorithms import compile_support
+
+    support = compile_support()
+    problems: list[str] = []
+    covered: set[str] = set()
+    for line in readme.read_text().splitlines():
+        cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+        if len(cells) < 2 or cells[1].lower() not in ("yes", "no"):
+            continue
+        label, documented = cells[0], cells[1].lower() == "yes"
+        if label.startswith("ccTLD"):
+            continue  # training-free baselines; nothing to compile
+        if "iis" in label:
+            keys = ["ME:iis"]
+        else:
+            keys = ALGORITHM_TOKEN.findall(label)
+        for key in keys:
+            covered.add(key)
+            if support.get(key) != documented:
+                problems.append(
+                    f"README documents {key} compiles={documented}, "
+                    f"but compile_support() measures {support.get(key)}"
+                )
+    for key in sorted(set(support) - covered):
+        problems.append(
+            f"algorithm {key} (compiles={support[key]}) is missing from "
+            "the README backend matrix"
+        )
+    return problems
 
 
 def main() -> int:
@@ -86,7 +143,18 @@ def main() -> int:
                 print("------ output -----")
                 print(result.stdout + result.stderr)
                 print("-------------------")
-    print(f"{ran - failed}/{ran} documentation blocks ran clean")
+
+    ran += 1
+    matrix_problems = check_backend_matrix(REPO / "README.md")
+    if matrix_problems:
+        failed += 1
+        print("[FAIL] README.md backend matrix drifted from the code:")
+        for problem in matrix_problems:
+            print(f"       - {problem}")
+    else:
+        print("[ ok ] README.md backend matrix matches compile_support()")
+
+    print(f"{ran - failed}/{ran} documentation checks ran clean")
     return 1 if failed else 0
 
 
