@@ -1,4 +1,4 @@
-"""Quickstart: train, save a model artifact, load it back, classify.
+"""Quickstart: train, save a model artifact, open it back, classify.
 
 Runs in a few seconds:
 
@@ -7,16 +7,19 @@ Runs in a few seconds:
 Trains the paper's best configuration (Naive Bayes over word features,
 one binary classifier per language, balanced negative sampling) on the
 synthetic ODP+SER corpus, persists it through the artifact store
-(:mod:`repro.store`), and evaluates the *loaded* model the way the
+(:mod:`repro.store`), and evaluates the *deployed* model the way the
 paper does — the exact train -> save -> serve flow of a crawler
-deployment.  See ``examples/serve_workers.py`` for the multi-process
-serving side.
+deployment.  Inference goes through the public facade:
+``repro.api.open_model("store://<name>")`` resolves the stored
+artifact (mmap-backed, zero-copy) to the same ``Predictor`` surface
+every other backend answers.  See ``examples/serve_workers.py`` for
+the multi-process serving side.
 """
 
 import tempfile
 from pathlib import Path
 
-from repro import LanguageIdentifier, ModelStore, build_datasets
+from repro import LanguageIdentifier, ModelStore, build_datasets, open_model
 from repro.evaluation import average_f, metrics_table
 from repro.languages import LANGUAGES
 
@@ -41,9 +44,17 @@ def main() -> None:
         f"\nsaved {handle.label} -> {handle.path.name} "
         f"({handle.nbytes} bytes, sha256 {handle.checksum[:12]}...)"
     )
-    served = store.load(handle.name)
+    # 4. Open the deployed model through the facade — the handle names
+    #    *where the model lives*, not how to load it, so swapping in a
+    #    daemon ("repro://...") or a plain path later changes nothing
+    #    downstream.
+    served = open_model(f"store://{handle.name}", store_root=store.root)
+    info = served.capabilities().model
+    print(f"opened store://{handle.name}: {info.name} "
+          f"({info.backend} backend, trained on corpus "
+          f"{(info.train_corpus or '?')[:12]}...)")
 
-    # 4. Classify some URLs with the loaded model.
+    # 5. Classify some URLs with the deployed model (one batch pass).
     urls = [
         "http://www.zeitung-aktuell.de/wirtschaft/artikel.html",
         "http://www.recherche-emploi.fr/offres/paris",
@@ -52,15 +63,15 @@ def main() -> None:
         "http://www.weather-forecast.com/new-york/today",
         "http://www.wasserbett-test.com/impressum/kontakt.html",  # paper's example
     ]
-    print("\nclassifications (from the loaded artifact):")
-    for url in urls:
-        languages = sorted(l.value for l in served.predict_languages(url))
-        best = served.classify(url)
-        print(f"  {url}")
+    print("\nclassifications (from the deployed artifact):")
+    for prediction in served.predict(urls):
+        languages = sorted(l.value for l in prediction.positives)
+        best = prediction.best
+        print(f"  {prediction.url}")
         print(f"    binary yes: {languages or ['-']}, best: "
               f"{best.display_name if best else 'none'}")
 
-    # 5. Evaluate with the paper's measures (P/R/p(-|-)/F) per language.
+    # 6. Evaluate with the paper's measures (P/R/p(-|-)/F) per language.
     for name, test in data.test_sets.items():
         metrics = served.evaluate(test)
         rows = [(lang.display_name, metrics[lang]) for lang in LANGUAGES]

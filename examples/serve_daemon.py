@@ -5,8 +5,9 @@ Runs in well under a minute:
     python examples/serve_daemon.py
 
 Trains two models, starts a daemon on the first, classifies through
-both the socket client and a ``repro://`` handle, hot-reloads to the
-second model under live traffic, and stops the daemon — the same arc
+both the socket client and a ``repro://`` handle resolved by the
+public facade (``repro.api.open_model``), hot-reloads to the second
+model under live traffic, and stops the daemon — the same arc
 ``docs/serving.md`` walks through with the CLI.
 """
 
@@ -14,8 +15,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import LanguageIdentifier, build_datasets, save_identifier
-from repro.crawler import resolve_identifier
+from repro import LanguageIdentifier, build_datasets, open_model, save_identifier
 from repro.store import start_daemon, stop_daemon
 from repro.store.client import DaemonClient
 
@@ -57,11 +57,15 @@ def main() -> None:
                     f"{elapsed * 1000:6.1f} ms"
                 )
 
-            # 4. The repro:// handle: a full identifier with no weights
-            # in this process (the crawler accepts it too).
-            remote = resolve_identifier(f"repro://{socket_path}")
-            assert remote.decisions(urls) == first.decisions(urls)
-            print(f"repro:// handle answers as {remote.name}, verified")
+            # 4. The repro:// handle through the facade: a full
+            # Predictor with no weights in this process (the crawler
+            # and the CLI accept the same handle).
+            with open_model(f"repro://{socket_path}") as remote:
+                capabilities = remote.capabilities()
+                assert capabilities.remote and not capabilities.compiled
+                assert remote.decisions(urls) == first.decisions(urls)
+                print(f"repro:// handle answers as {remote.name} "
+                      f"(backend {capabilities.model.backend}), verified")
 
             # 5. Hot reload: overwrite the artifact, SIGHUP, and wait
             # for the generation handover — the socket never closes.

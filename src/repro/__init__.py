@@ -13,8 +13,22 @@ Quickstart
 >>> data = build_datasets(scale=0.2)
 >>> identifier = LanguageIdentifier(feature_set="words", algorithm="NB")
 >>> _ = identifier.fit(data.combined_train)
+
+For inference against an already-trained model — wherever it lives —
+use the :mod:`repro.api` facade:
+
+>>> from repro import open_model
+>>> model = open_model("model.urlmodel")  # doctest: +SKIP
 """
 
+from repro.api import (
+    BatchResult,
+    Prediction,
+    Predictor,
+    ResolveError,
+    open_model,
+    register_scheme,
+)
 from repro.algorithms import (
     ALGORITHMS,
     BinaryClassifier,
@@ -68,6 +82,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ALGORITHMS",
     "BEST_COMBINATIONS",
+    "BatchResult",
     "BinaryClassifier",
     "BinaryMetrics",
     "CcTldLabeler",
@@ -86,7 +101,10 @@ __all__ = [
     "MaxEntClassifier",
     "ModelStore",
     "NaiveBayesClassifier",
+    "Prediction",
+    "Predictor",
     "RelativeEntropyClassifier",
+    "ResolveError",
     "ServingIdentifier",
     "TrainedPool",
     "TrigramFeatureExtractor",
@@ -101,6 +119,8 @@ __all__ = [
     "load_identifier",
     "make_classifier",
     "make_extractor",
+    "open_model",
+    "register_scheme",
     "save_identifier",
     "parse_url",
     "tokenize",

@@ -1,0 +1,76 @@
+"""The typed error hierarchy of model-handle resolution.
+
+Every failure mode of :func:`repro.api.open_model` raises a subclass of
+:class:`ResolveError`, so callers can catch one base class at the API
+boundary and still branch on the specific cause.  Messages are written
+for operators: each one names the handle that failed and the action
+that fixes it.
+
+Two subclasses double as their closest builtin so pre-facade callers
+keep working unchanged: :class:`ModelNotFoundError` is also a
+``FileNotFoundError`` (what opening a missing pickle used to raise) and
+:class:`InvalidHandleError` is also a ``ValueError`` (what the old
+``repro.store.client.parse_handle`` raised).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BackendUnavailableError",
+    "InvalidHandleError",
+    "ModelNotFoundError",
+    "ResolveError",
+    "UnknownSchemeError",
+    "UnreadableModelError",
+    "VersionMismatchError",
+]
+
+
+class ResolveError(Exception):
+    """Base class for every :func:`repro.api.open_model` failure.
+
+    ``handle`` is the handle string (or object repr) that failed to
+    resolve, for error reporting at the API boundary.
+    """
+
+    def __init__(self, message: str, *, handle: str = "") -> None:
+        super().__init__(message)
+        self.handle = handle
+
+
+class UnknownSchemeError(ResolveError):
+    """The handle carries a ``<scheme>://`` prefix no resolver claims.
+
+    The message lists the registered schemes; third parties add their
+    own via :func:`repro.api.register_scheme`.
+    """
+
+
+class InvalidHandleError(ResolveError, ValueError):
+    """The handle is syntactically malformed for its scheme (an empty
+    ``repro://`` socket path, a ``store://`` name with path separators).
+    Also a ``ValueError`` for callers of the old parse helpers."""
+
+
+class ModelNotFoundError(ResolveError, FileNotFoundError):
+    """The handle is well-formed but nothing is there: a nonexistent
+    model path, or a ``store://`` name absent from the model store.
+    Also a ``FileNotFoundError`` for pre-facade callers."""
+
+
+class UnreadableModelError(ResolveError):
+    """The file exists but is not a loadable model (corrupt artifact,
+    truncated container, a pickle of something that is not an
+    identifier, or a non-artifact where one is required)."""
+
+
+class VersionMismatchError(ResolveError):
+    """The model exists but is the wrong version: an artifact written
+    by an incompatible container format, or a ``store://name@version``
+    whose pinned checksum does not match the stored artifact."""
+
+
+class BackendUnavailableError(ResolveError):
+    """The handle points at a serving backend that is not answering
+    (dead daemon socket, daemon crashed).  Start the daemon with
+    ``repro serve start`` or resolve the artifact path directly."""

@@ -1,0 +1,480 @@
+"""URI-style model-handle resolution: one registry, every backend.
+
+:func:`open_model` is the public entry point for inference.  It maps a
+*handle* — whatever a config file, CLI flag, or another process can
+hand you — to a live :class:`~repro.api.protocol.Predictor`:
+
+===========================  ===================================================
+handle                       resolves to
+===========================  ===================================================
+``path/to/model.urlmodel``   memory-mapped artifact (``ServingIdentifier``)
+``path/to/model.pkl``        legacy pickle (works, emits ``DeprecationWarning``)
+``store://name``             named artifact in a :class:`~repro.store.ModelStore`
+``store://name@<checksum>``  same, pinned to a checksum prefix
+``repro://<socket>``         running serving daemon (``RemoteIdentifier``)
+fitted identifier            passes through unchanged
+``ModelHandle``              ``load()``-ed from its store
+===========================  ===================================================
+
+Resolution failures raise the typed :mod:`repro.api.errors` hierarchy
+with actionable messages.  New backends plug in via
+:func:`register_scheme` — callers keep calling ``open_model`` and never
+learn where the weights live, which is the whole point of the facade.
+
+This module holds the *only* copy of the handle-sniffing logic that
+used to be duplicated across ``cli.py``, ``crawler/focused.py`` and
+``store/client.py``; those now delegate here.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import warnings
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union, cast
+
+from repro.api.errors import (
+    BackendUnavailableError,
+    InvalidHandleError,
+    ModelNotFoundError,
+    ResolveError,
+    UnknownSchemeError,
+    UnreadableModelError,
+    VersionMismatchError,
+)
+from repro.api.protocol import Predictor
+
+__all__ = [
+    "DAEMON_SCHEME",
+    "DEFAULT_STORE_ROOT",
+    "STORE_ROOT_ENV",
+    "ModelHandleLike",
+    "ResolveContext",
+    "daemon_socket_path",
+    "is_daemon_handle",
+    "open_model",
+    "register_scheme",
+    "registered_schemes",
+    "resolve_artifact_path",
+    "sniff_model_format",
+]
+
+#: Scheme of serving-daemon handles (``repro://<socket-path>``).
+DAEMON_SCHEME = "repro"
+
+#: Scheme of model-store handles (``store://<name>[@<checksum-prefix>]``).
+STORE_SCHEME = "store"
+
+#: Environment variable naming the default ``store://`` root directory.
+STORE_ROOT_ENV = "REPRO_MODEL_STORE"
+
+#: ``store://`` root used when neither the caller nor the environment
+#: names one.
+DEFAULT_STORE_ROOT = "models"
+
+#: Anything :func:`open_model` accepts.
+ModelHandleLike = Union[str, os.PathLike, Predictor, Any]
+
+_SCHEME = re.compile(r"^(?P<scheme>[A-Za-z][A-Za-z0-9+.-]*)://(?P<rest>.*)$")
+
+
+@dataclass(frozen=True)
+class ResolveContext:
+    """Options threaded from :func:`open_model` into scheme resolvers."""
+
+    store_root: Optional[Union[str, os.PathLike]] = None
+    timeout: float = 30.0
+
+
+#: A scheme resolver: everything after ``<scheme>://`` plus the resolve
+#: options, returning a live predictor (raise :class:`ResolveError`
+#: subclasses on failure).
+SchemeResolver = Callable[[str, ResolveContext], Predictor]
+
+_SCHEMES: dict[str, SchemeResolver] = {}
+
+
+def register_scheme(
+    scheme: str, resolver: SchemeResolver, *, replace: bool = False
+) -> None:
+    """Register ``resolver`` for ``<scheme>://`` handles.
+
+    This is the facade's extension point: a quantised-weights backend,
+    a sharded store, or a TCP daemon registers its scheme once and
+    every ``open_model`` caller can reach it.  Re-registering an
+    existing scheme requires ``replace=True`` (guards against two
+    libraries silently fighting over one scheme).
+    """
+    if not re.fullmatch(r"[A-Za-z][A-Za-z0-9+.-]*", scheme):
+        raise ValueError(f"invalid scheme name {scheme!r}")
+    key = scheme.lower()
+    if key in _SCHEMES and not replace:
+        raise ValueError(
+            f"scheme {scheme!r} is already registered; pass replace=True "
+            "to override it"
+        )
+    _SCHEMES[key] = resolver
+
+
+def registered_schemes() -> tuple[str, ...]:
+    """The schemes :func:`open_model` currently understands, sorted."""
+    return tuple(sorted(_SCHEMES))
+
+
+def _split_scheme(handle: str) -> Optional[tuple[str, str]]:
+    """``(scheme, rest)`` of a URI-style handle, else ``None``.
+
+    Requires the literal ``://``, so Windows drive letters
+    (``C:\\models``) and plain relative paths never match.
+    """
+    match = _SCHEME.match(handle)
+    if match is None:
+        return None
+    return match.group("scheme").lower(), match.group("rest")
+
+
+# -- daemon handles ---------------------------------------------------------------
+
+
+def is_daemon_handle(value: object) -> bool:
+    """True for ``repro://`` daemon handle strings."""
+    if not isinstance(value, str):
+        return False
+    split = _split_scheme(value)
+    return split is not None and split[0] == DAEMON_SCHEME
+
+
+def daemon_socket_path(handle: str) -> str:
+    """Socket path of a ``repro://<socket-path>`` handle string.
+
+    Everything after the scheme is the filesystem path of the daemon's
+    Unix socket, absolute or relative (``repro:///run/repro.sock``,
+    ``repro://model.sock``).  Raises :class:`InvalidHandleError` (a
+    ``ValueError``) for strings that do not carry the scheme or carry
+    an empty path — use :func:`is_daemon_handle` to probe first.
+    """
+    split = _split_scheme(handle) if isinstance(handle, str) else None
+    if split is None or split[0] != DAEMON_SCHEME:
+        raise InvalidHandleError(
+            f"not a repro:// serving handle: {handle!r}", handle=str(handle)
+        )
+    path = split[1]
+    if not path:
+        raise InvalidHandleError(
+            f"serving handle has an empty socket path: {handle!r}; "
+            "expected repro://<socket-path>",
+            handle=handle,
+        )
+    return path
+
+
+def _resolve_daemon(rest: str, context: ResolveContext) -> Predictor:
+    """``repro://`` resolver: dial the daemon and verify it answers."""
+    from repro.store.client import DaemonError, RemoteIdentifier
+
+    if not rest:
+        raise InvalidHandleError(
+            f"serving handle has an empty socket path: "
+            f"{DAEMON_SCHEME}://{rest!r}; expected repro://<socket-path>",
+            handle=f"{DAEMON_SCHEME}://{rest}",
+        )
+    remote = RemoteIdentifier.connect(rest, timeout=context.timeout)
+    try:
+        remote.client.ping()
+    except DaemonError as error:
+        # Dead socket *or* a live daemon refusing the ping (e.g. a
+        # protocol-version gate): either way the backend is unusable —
+        # close the connection and surface one typed error.  The client
+        # error already names the socket and the fix.
+        remote.close()
+        raise BackendUnavailableError(
+            f"{error}; or open the model's artifact path directly",
+            handle=f"{DAEMON_SCHEME}://{rest}",
+        ) from error
+    return cast(Predictor, remote)
+
+
+# -- store handles ----------------------------------------------------------------
+
+
+def _store_root(context: ResolveContext) -> Union[str, os.PathLike]:
+    """The ``store://`` root directory for this resolution."""
+    if context.store_root is not None:
+        return context.store_root
+    return os.environ.get(STORE_ROOT_ENV) or DEFAULT_STORE_ROOT
+
+
+def _store_lookup(rest: str, context: ResolveContext) -> Any:
+    """The :class:`~repro.store.registry.ModelHandle` a ``store://``
+    handle names, after existence and version checks."""
+    from repro.store.format import ArtifactError
+    from repro.store.registry import ModelStore
+
+    name, _, version = rest.partition("@")
+    handle = f"{STORE_SCHEME}://{rest}"
+    if not name:
+        raise InvalidHandleError(
+            f"store handle names no model: {handle!r}; expected "
+            "store://<name>[@<checksum-prefix>]",
+            handle=handle,
+        )
+    root = _store_root(context)
+    # A lookup is a read: do not go through ModelStore(root), whose
+    # constructor mkdirs the root (a failed resolve must not litter the
+    # filesystem, and an unwritable directory must not raise untyped).
+    if not Path(root).is_dir():
+        raise ModelNotFoundError(
+            f"store root {os.fspath(root)!r} does not exist (handle "
+            f"{handle!r}); save a model there with ModelStore.save, or "
+            f"point store_root / ${STORE_ROOT_ENV} at the right directory",
+            handle=handle,
+        )
+    store = ModelStore(root)
+    try:
+        exists = name in store
+    except ValueError as error:
+        raise InvalidHandleError(
+            f"invalid store model name {name!r}: {error}", handle=handle
+        ) from error
+    if not exists:
+        available = [entry.name for entry in store.list()]
+        raise ModelNotFoundError(
+            f"model {name!r} is not in the store at {store.root} "
+            f"(have: {available}); train one with 'repro train' and "
+            "ModelStore.save, or point REPRO_MODEL_STORE elsewhere",
+            handle=handle,
+        )
+    try:
+        described = store.describe(name)
+    except ArtifactError as error:
+        raise UnreadableModelError(
+            f"stored model {name!r} at {store.path(name)} is unreadable: "
+            f"{error}",
+            handle=handle,
+        ) from error
+    if version and not described.checksum.startswith(version.lower()):
+        raise VersionMismatchError(
+            f"store model {name!r} has checksum "
+            f"{described.checksum[:16]}..., which does not match the "
+            f"pinned version {version!r}; drop the pin or re-deploy the "
+            "expected artifact",
+            handle=handle,
+        )
+    return described
+
+
+def _resolve_store(rest: str, context: ResolveContext) -> Predictor:
+    """``store://`` resolver: named artifact out of a model store."""
+    described = _store_lookup(rest, context)
+    return _load_artifact(
+        described.path, handle=f"{STORE_SCHEME}://{rest}"
+    )
+
+
+# -- filesystem paths -------------------------------------------------------------
+
+
+def sniff_model_format(path: Union[str, os.PathLike]) -> str:
+    """``"artifact"`` or ``"pickle"`` for an existing model file.
+
+    The single magic-byte probe behind every caller that used to sniff
+    on its own.  Raises :class:`ModelNotFoundError` when nothing is at
+    ``path``.
+    """
+    from repro.store.format import is_artifact
+
+    if not Path(path).exists():
+        raise ModelNotFoundError(
+            f"no model file at {os.fspath(path)!r}; train one with "
+            "'repro train --out <path>'",
+            handle=os.fspath(path),
+        )
+    return "artifact" if is_artifact(path) else "pickle"
+
+
+def _load_artifact(path: Union[str, os.PathLike], handle: str) -> Predictor:
+    """Load an artifact path, mapping store errors onto resolve errors."""
+    from repro.store.artifact import load_identifier
+    from repro.store.format import ArtifactError, ArtifactVersionError
+
+    try:
+        return cast(Predictor, load_identifier(path))
+    except ArtifactVersionError as error:
+        raise VersionMismatchError(
+            f"model artifact {os.fspath(path)!r} was written by an "
+            f"incompatible format version ({error}); re-save it with this "
+            "release's 'repro train'",
+            handle=handle,
+        ) from error
+    except ArtifactError as error:
+        raise UnreadableModelError(
+            f"model artifact {os.fspath(path)!r} is unreadable: {error}",
+            handle=handle,
+        ) from error
+
+
+def _load_pickle(path: Union[str, os.PathLike], handle: str) -> Predictor:
+    """Load a legacy pickle model, warning that the format is deprecated."""
+    warnings.warn(
+        f"{os.fspath(path)!r} is a legacy pickle model; pickle loading is "
+        "deprecated — retrain with 'repro train --format artifact' (or "
+        "repro.store.save_identifier) and open_model() the artifact",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+    try:
+        with open(path, "rb") as stream:
+            loaded = pickle.load(stream)
+    except ResolveError:
+        raise
+    except Exception as error:
+        raise UnreadableModelError(
+            f"{os.fspath(path)!r} is neither a model artifact nor a "
+            f"loadable pickle ({type(error).__name__}: {error})",
+            handle=handle,
+        ) from error
+    if not hasattr(loaded, "scores_many") or not hasattr(loaded, "decisions"):
+        raise UnreadableModelError(
+            f"{os.fspath(path)!r} unpickled to "
+            f"{type(loaded).__name__}, which is not a language "
+            "identifier",
+            handle=handle,
+        )
+    return cast(Predictor, loaded)
+
+
+def _load_handle_object(handle: Any) -> Predictor:
+    """``load()`` a :class:`~repro.store.registry.ModelHandle`-like
+    object, holding it to the same typed-error contract as every other
+    route (the artifact can vanish or rot between ``store.list()`` and
+    resolution)."""
+    from repro.store.format import ArtifactError, ArtifactVersionError
+
+    described = getattr(handle, "name", None) or repr(handle)
+    try:
+        return cast(Predictor, handle.load())
+    except ArtifactVersionError as error:
+        raise VersionMismatchError(
+            f"model handle {described!r} points at an artifact written by "
+            f"an incompatible format version ({error})",
+            handle=str(described),
+        ) from error
+    except FileNotFoundError as error:
+        raise ModelNotFoundError(
+            f"model handle {described!r} points at a file that no longer "
+            f"exists ({error}); re-list the store",
+            handle=str(described),
+        ) from error
+    except (ArtifactError, OSError) as error:
+        raise UnreadableModelError(
+            f"model handle {described!r} failed to load: {error}",
+            handle=str(described),
+        ) from error
+
+
+def _resolve_path(path: Union[str, os.PathLike]) -> Predictor:
+    """Resolve a filesystem path: artifact via mmap, else legacy pickle."""
+    handle = os.fspath(path)
+    if sniff_model_format(path) == "artifact":
+        return _load_artifact(path, handle=str(handle))
+    return _load_pickle(path, handle=str(handle))
+
+
+# -- the facade entry points ------------------------------------------------------
+
+
+def open_model(
+    handle: ModelHandleLike,
+    *,
+    store_root: Optional[Union[str, os.PathLike]] = None,
+    timeout: float = 30.0,
+) -> Predictor:
+    """Resolve any model handle to a live :class:`Predictor`.
+
+    See the module docstring for the handle grammar.  ``store_root``
+    overrides the ``store://`` root directory (default: the
+    ``REPRO_MODEL_STORE`` environment variable, then ``"models"``);
+    ``timeout`` applies to daemon-backed handles.  Objects that already
+    predict (anything with ``scores_many``/``decisions``) pass through
+    unchanged, so code can accept "an identifier or a handle" with one
+    call.  Failures raise the :class:`~repro.api.errors.ResolveError`
+    hierarchy; a resolved daemon handle has been verified to answer.
+    """
+    if hasattr(handle, "scores_many") and hasattr(handle, "decisions"):
+        return cast(Predictor, handle)
+    if hasattr(handle, "load") and not isinstance(handle, (str, os.PathLike)):
+        return _load_handle_object(handle)  # a ModelHandle
+    if not isinstance(handle, (str, os.PathLike)):
+        raise TypeError(
+            "expected a fitted identifier, a ModelHandle, a handle string "
+            "(path, store://name, repro://socket), or a model path; got "
+            f"{type(handle).__name__}"
+        )
+    context = ResolveContext(store_root=store_root, timeout=timeout)
+    if isinstance(handle, str):
+        split = _split_scheme(handle)
+        if split is not None:
+            scheme, rest = split
+            resolver = _SCHEMES.get(scheme)
+            if resolver is None:
+                raise UnknownSchemeError(
+                    f"no resolver registered for scheme {scheme!r} "
+                    f"(handle {handle!r}); registered schemes: "
+                    f"{', '.join(registered_schemes())}. Third-party "
+                    "backends add theirs via repro.api.register_scheme().",
+                    handle=handle,
+                )
+            return resolver(rest, context)
+    return _resolve_path(handle)
+
+
+def resolve_artifact_path(
+    handle: Union[str, os.PathLike],
+    *,
+    store_root: Optional[Union[str, os.PathLike]] = None,
+) -> str:
+    """The on-disk artifact path a handle names, for path-based serving.
+
+    Multi-process serving (``serve start`` / ``serve batch``) needs a
+    *file* every worker can ``mmap``, not an in-process predictor; this
+    resolves plain paths and ``store://`` names to that file and
+    rejects everything that has none.  Raises
+    :class:`UnreadableModelError` for pickles (serving requires the
+    artifact format) and :class:`InvalidHandleError` for ``repro://``
+    handles (a daemon is already serving that model).
+    """
+    if isinstance(handle, str):
+        split = _split_scheme(handle)
+        if split is not None:
+            scheme, rest = split
+            if scheme == STORE_SCHEME:
+                context = ResolveContext(store_root=store_root)
+                return str(_store_lookup(rest, context).path)
+            if scheme == DAEMON_SCHEME:
+                raise InvalidHandleError(
+                    f"{handle!r} points at a running daemon, not an "
+                    "artifact file; serve commands need a model path or "
+                    "store:// name",
+                    handle=handle,
+                )
+            raise UnknownSchemeError(
+                f"no resolver registered for scheme {scheme!r} "
+                f"(handle {handle!r}); registered schemes: "
+                f"{', '.join(registered_schemes())}",
+                handle=handle,
+            )
+    if sniff_model_format(handle) != "artifact":
+        raise UnreadableModelError(
+            f"serve requires a model artifact (got {os.fspath(handle)!r}, "
+            "a legacy pickle); retrain with 'train --format artifact'",
+            handle=os.fspath(handle),
+        )
+    return os.fspath(handle)
+
+
+register_scheme(DAEMON_SCHEME, _resolve_daemon)
+register_scheme(STORE_SCHEME, _resolve_store)

@@ -1,0 +1,137 @@
+"""Typed result and capability values of the prediction facade.
+
+These dataclasses are the facade's half of the contract: every
+:class:`~repro.api.Predictor` answers ``predict`` with a
+:class:`BatchResult` (per-URL :class:`Prediction` rows plus the
+:class:`ModelInfo` provenance of the model that produced them) and
+``capabilities`` with a :class:`Capabilities` block, no matter which
+backend — in-process, memory-mapped artifact, or remote daemon — did
+the scoring.
+
+Only :mod:`repro.languages` is imported here, so these types are safe
+to use from any layer without cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.languages import Language
+
+__all__ = ["BatchResult", "Capabilities", "ModelInfo", "Prediction"]
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Provenance of the model behind a predictor.
+
+    ``backend`` is where inference actually runs: ``"compiled"`` (the
+    vectorized matmul path, in-process or mapped from an artifact),
+    ``"sparse"`` (the dict-walking reference path), or ``"remote"`` (a
+    serving daemon; no weights in this process).  ``created_at`` and
+    ``train_corpus`` carry the artifact's rollout metadata — the save
+    timestamp and the sha256 fingerprint of the training corpus — and
+    are ``None`` where no rollout stamp exists (freshly fitted models,
+    pre-rollout artifacts).
+    """
+
+    name: str
+    backend: str
+    languages: tuple[Language, ...]
+    created_at: Optional[str] = None
+    train_corpus: Optional[str] = None
+    source: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a predictor can do, answerable without scoring anything.
+
+    ``batch`` and ``streaming`` are True for every conforming
+    predictor (``predict`` / ``predict_iter`` are part of the
+    protocol); they exist so future constrained backends can say no.
+    ``remote`` predictors hold no weights locally and survive daemon
+    hot reloads; ``compiled`` ones answer batches with one matrix
+    product.
+    """
+
+    model: ModelInfo
+    compiled: bool
+    remote: bool
+    batch: bool = True
+    streaming: bool = True
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One URL's answer: the paper's per-language binary decisions
+    plus the single best label downstream applications want.
+
+    ``positives`` are the languages whose binary classifier said yes,
+    sorted by language code; ``best`` is the top-scoring language or
+    ``None`` when every classifier said no; ``scores`` are the raw
+    decision scores (larger = more confident yes).
+    """
+
+    url: str
+    best: Optional[Language]
+    positives: tuple[Language, ...]
+    scores: Mapping[Language, float] = field(default_factory=dict)
+
+    def tsv(self) -> str:
+        """The CLI's output row: ``best <TAB> binary-yes <TAB> url``
+        with ``-`` placeholders — byte-identical to what the serving
+        layer's :meth:`repro.store.serve.ServedUrl.tsv` emits."""
+        best = self.best.value if self.best is not None else "-"
+        positives = ",".join(language.value for language in self.positives)
+        return f"{best}\t{positives or '-'}\t{self.url}"
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """One batch of predictions, column-major like the scoring kernel.
+
+    ``scores`` / ``decisions`` are keyed by language exactly as the
+    underlying identifier's ``scores_many`` / ``decisions`` return them
+    (the equivalence-oracle shape), ``best`` is row-aligned with
+    ``urls``, and ``model`` records which model answered.  Iterate (or
+    index) to get row-major :class:`Prediction` views.
+    """
+
+    urls: tuple[str, ...]
+    scores: Mapping[Language, list[float]]
+    decisions: Mapping[Language, list[bool]]
+    best: tuple[Optional[Language], ...]
+    model: ModelInfo
+
+    def __len__(self) -> int:
+        return len(self.urls)
+
+    def __getitem__(self, row: int) -> Prediction:
+        if row < 0:
+            row += len(self.urls)
+        if not 0 <= row < len(self.urls):
+            raise IndexError(f"batch of {len(self.urls)} has no row {row}")
+        return Prediction(
+            url=self.urls[row],
+            best=self.best[row],
+            positives=tuple(
+                sorted(
+                    (
+                        language
+                        for language in self.decisions
+                        if self.decisions[language][row]
+                    ),
+                    key=lambda language: language.value,
+                )
+            ),
+            scores={
+                language: values[row] for language, values in self.scores.items()
+            },
+        )
+
+    def __iter__(self) -> Iterator[Prediction]:
+        for row in range(len(self.urls)):
+            yield self[row]

@@ -13,12 +13,15 @@
 :class:`~repro.core.pipeline.LanguageIdentifier` and saves it as a
 memory-mappable model artifact (:mod:`repro.store`; ``--format pickle``
 keeps the deprecated pickle path); ``classify`` labels URLs from
-arguments or stdin — ``--model`` accepts an artifact path, a legacy
-pickle, or a ``repro://<socket>`` handle of a running serving daemon;
-``serve`` manages the long-lived daemon (``start``/``stop``/``status``/
+arguments or stdin — ``--model`` accepts any
+:func:`repro.api.open_model` handle: an artifact path, a legacy
+pickle, a ``store://<name>`` model-store entry, or a
+``repro://<socket>`` handle of a running serving daemon; ``serve``
+manages the long-lived daemon (``start``/``stop``/``status``/
 ``reload``, plus ``batch`` for one-shot pool scoring); ``evaluate``
 prints the paper's metric table; ``experiment`` runs a table/figure
-driver.  ``docs/cli.md`` is the full reference with runnable examples.
+driver.  ``docs/cli.md`` is the full reference with runnable examples,
+``docs/api.md`` the handle grammar.
 """
 
 from __future__ import annotations
@@ -27,7 +30,8 @@ import argparse
 import pickle
 import sys
 
-from repro.core.pipeline import IdentifierBase, LanguageIdentifier
+from repro.api import Predictor, ResolveError, open_model, resolve_artifact_path
+from repro.core.pipeline import LanguageIdentifier
 from repro.corpus.generator import UrlCorpusGenerator
 from repro.datasets import build_datasets
 from repro.evaluation.metrics import average_f
@@ -99,15 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument(
         "--model",
         required=True,
-        help="model artifact, legacy pickle, or repro://<socket> handle "
-        "of a running serve daemon",
+        help="any repro.api.open_model handle: model artifact, legacy "
+        "pickle, store://<name>, or repro://<socket> handle of a "
+        "running serve daemon",
     )
     classify.add_argument("urls", nargs="*", help="URLs (default: stdin)")
 
     evaluate = commands.add_parser("evaluate", help="evaluate on a test set")
     evaluate.add_argument(
         "--model", required=True,
-        help="model artifact, legacy pickle, or repro://<socket> handle",
+        help="model artifact, legacy pickle, store://<name>, or "
+        "repro://<socket> handle",
     )
     evaluate.add_argument("--test", choices=("odp", "ser", "wc"), default="odp")
     evaluate.add_argument("--scale", type=float, default=0.4)
@@ -124,7 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="start a daemon: N pre-forked workers sharing one "
         "memory-mapped artifact behind a Unix socket",
     )
-    start.add_argument("--model", required=True, help="model artifact path")
+    start.add_argument(
+        "--model", required=True,
+        help="model artifact path or store://<name> handle",
+    )
     start.add_argument(
         "--socket", default="repro-serve.sock",
         help="Unix socket path (pidfile and log go next to it)",
@@ -152,7 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="one-shot scoring with a worker pool sharing one mapped "
         "artifact (no daemon; use start for streams of requests)",
     )
-    batch.add_argument("--model", required=True, help="model artifact path")
+    batch.add_argument(
+        "--model", required=True,
+        help="model artifact path or store://<name> handle",
+    )
     batch.add_argument("--workers", type=int, default=2)
     batch.add_argument("--batch-size", type=int, default=512)
     batch.add_argument("urls", nargs="*", help="URLs (default: stdin)")
@@ -203,49 +215,44 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _load_model(path: str) -> IdentifierBase:
-    """Load a model saved by ``train`` — or dial a running daemon.
+def _load_model(handle: str) -> Predictor:
+    """Resolve ``--model`` through the one facade, exiting cleanly.
 
-    ``repro://<socket>`` handles resolve to a
-    :class:`~repro.store.client.RemoteIdentifier` answering from the
-    daemon's shared weight matrix.  Model files are sniffed by magic
-    bytes: artifacts load through :mod:`repro.store` (memory-mapped,
-    zero-copy); anything else is treated as a legacy pickle of the
-    whole identifier.
+    All handle sniffing lives in :func:`repro.api.open_model` — paths
+    (artifact or legacy pickle), ``store://<name>[@version]`` entries,
+    and ``repro://<socket>`` daemon handles all resolve here.  Typed
+    resolution failures become a clean ``SystemExit`` with the
+    actionable message.
     """
-    from repro.store import is_artifact, load_identifier, resolve_serving_handle
-    from repro.store.client import is_handle
-
-    if is_handle(path):
-        return resolve_serving_handle(path)
-    if is_artifact(path):
-        return load_identifier(path)
-    with open(path, "rb") as handle:
-        return pickle.load(handle)
+    try:
+        return open_model(handle)
+    except ResolveError as error:
+        raise SystemExit(str(error)) from None
 
 
 def _cmd_classify(args: argparse.Namespace, out) -> int:
-    from repro.store import score_batch
-
     identifier = _load_model(args.model)
-    urls = args.urls or [line.strip() for line in sys.stdin if line.strip()]
-    # One batch triage pass (a single matrix product on the compiled
-    # backend, one request on a daemon handle); both the best label and
-    # the per-language yes/no answers derive from the same score matrix.
-    for result in score_batch(identifier, urls) if urls else ():
-        out.write(result.tsv() + "\n")
+    # Stream: stdin is consumed lazily, chunked into batch passes (a
+    # single matrix product each on the compiled backend, one request
+    # on a daemon handle); both the best label and the per-language
+    # yes/no answers derive from the same score matrix.
+    urls = args.urls or (line.strip() for line in sys.stdin if line.strip())
+    for prediction in identifier.predict_iter(urls):
+        out.write(prediction.tsv() + "\n")
     return 0
 
 
-def _require_artifact(path: str) -> None:
-    """Exit with the serve commands' shared message for non-artifacts."""
-    from repro.store import is_artifact
+def _artifact_path(handle: str) -> str:
+    """Resolve serve's ``--model`` to an artifact file, exiting cleanly.
 
-    if not is_artifact(path):
-        raise SystemExit(
-            f"serve requires a model artifact (got {path!r}); "
-            "retrain with 'train --format artifact'"
-        )
+    The multi-process serve commands need a file every worker can
+    ``mmap``; :func:`repro.api.resolve_artifact_path` maps paths and
+    ``store://`` names to one and rejects pickles and daemon handles.
+    """
+    try:
+        return resolve_artifact_path(handle)
+    except ResolveError as error:
+        raise SystemExit(str(error)) from None
 
 
 def _cmd_serve(args: argparse.Namespace, out) -> int:
@@ -257,15 +264,15 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     command = args.serve_command
     try:
         if command == "start":
-            _require_artifact(args.model)
+            model_path = _artifact_path(args.model)
             if args.foreground:
                 return ServingDaemon(
-                    args.model, args.socket,
+                    model_path, args.socket,
                     workers=args.workers, http_port=args.http,
                 ).run()
             try:
                 pid = start_daemon(
-                    args.model, args.socket,
+                    model_path, args.socket,
                     workers=args.workers, http_port=args.http,
                 )
             except RuntimeError as error:
@@ -296,12 +303,12 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         raise SystemExit(str(error)) from None
 
     # serve batch: the one-shot pool.
-    _require_artifact(args.model)
+    model_path = _artifact_path(args.model)
     urls = args.urls or [line.strip() for line in sys.stdin if line.strip()]
     if not urls:
         return 0
     results = score_urls(
-        args.model, urls, workers=args.workers, batch_size=args.batch_size
+        model_path, urls, workers=args.workers, batch_size=args.batch_size
     )
     for result in results:
         out.write(result.tsv() + "\n")

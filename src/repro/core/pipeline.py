@@ -57,13 +57,15 @@ Example
 from __future__ import annotations
 
 import abc
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.algorithms import BinaryClassifier, make_classifier
 from repro.algorithms.cctld import CcTldLabeler
 from repro.algorithms.compiled import CompiledScorer
+from repro.api.protocol import DEFAULT_CHUNK_SIZE
+from repro.api.types import BatchResult, Capabilities, ModelInfo, Prediction
 from repro.corpus.records import Corpus, balanced_binary_indices
 from repro.evaluation.confusion import ConfusionMatrix, confusion_matrix
 from repro.evaluation.metrics import BinaryMetrics, evaluate_binary
@@ -286,18 +288,92 @@ class CompiledIdentifier:
 class IdentifierBase(abc.ABC):
     """The prediction/evaluation surface shared by every identifier.
 
-    Two concrete identifiers exist: the trainable
-    :class:`LanguageIdentifier` below, and the artifact-backed
+    Three concrete identifiers exist: the trainable
+    :class:`LanguageIdentifier` below, the artifact-backed
     :class:`~repro.store.ServingIdentifier` that serving workers
-    reconstruct from a memory-mapped model file.  Both answer the same
+    reconstruct from a memory-mapped model file, and the daemon-backed
+    :class:`~repro.store.client.RemoteIdentifier`.  All answer the same
     questions; everything here is derived from the two batch primitives
     :meth:`decisions` and :meth:`scores_many`, so subclasses only supply
     those (plus, optionally, a higher-fidelity single-URL
     :meth:`scores`).
+
+    Every subclass natively satisfies the public
+    :class:`repro.api.Predictor` protocol — :meth:`predict` /
+    :meth:`predict_iter` / :meth:`capabilities` / :meth:`close` and the
+    context-manager lifecycle are implemented here, so whatever
+    :func:`repro.api.open_model` resolves to answers the same typed
+    surface.
     """
 
     #: Report label, e.g. ``"NB/words"``; subclasses override.
     name: str = "identifier"
+
+    # -- the repro.api.Predictor surface ------------------------------------------
+
+    def predict(self, urls: Sequence[str]) -> BatchResult:
+        """Score one batch into a typed :class:`~repro.api.BatchResult`.
+
+        One :meth:`scores_many` pass (a single matmul on compiled
+        backends, one request on remote ones) yields the scores, the
+        per-language decisions (``score > 0`` — the same rule every
+        backend's ``decisions`` implements), and the best labels.
+        """
+        urls = list(urls)
+        scores = self.scores_many(urls)
+        decisions = {
+            language: [value > 0.0 for value in values]
+            for language, values in scores.items()
+        }
+        best = self.classify_many(urls, scores=scores)
+        return BatchResult(
+            urls=tuple(urls),
+            scores=scores,
+            decisions=decisions,
+            best=tuple(best),
+            model=self.capabilities().model,
+        )
+
+    def predict_iter(
+        self, urls: Iterable[str], chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[Prediction]:
+        """Stream :class:`~repro.api.Prediction` rows over an
+        arbitrarily large URL iterable, scoring ``chunk_size`` URLs per
+        batch pass so the input is never materialised in full."""
+        from repro.api.protocol import predict_iter
+
+        return predict_iter(self, urls, chunk_size=chunk_size)
+
+    def capabilities(self) -> Capabilities:
+        """Backend capabilities + model provenance, without scoring.
+
+        The default inspects the identifier: ``compiled`` when a
+        vectorized backend is attached, the training-corpus fingerprint
+        when one was stamped at fit time.  Remote and artifact-backed
+        subclasses override to surface their rollout metadata.
+        """
+        compiled = getattr(self, "compiled", None) is not None
+        return Capabilities(
+            model=ModelInfo(
+                name=self.name,
+                backend="compiled" if compiled else "sparse",
+                languages=tuple(LANGUAGES),
+                train_corpus=getattr(self, "train_fingerprint", None),
+            ),
+            compiled=compiled,
+            remote=False,
+        )
+
+    def close(self) -> None:
+        """Release backend resources (no-op for in-process backends)."""
+
+    def __enter__(self) -> "IdentifierBase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the batch primitives ------------------------------------------------------
 
     @abc.abstractmethod
     def decisions(self, urls: Sequence[str]) -> dict[Language, list[bool]]:

@@ -20,43 +20,32 @@ pages that are in the target language.
 from __future__ import annotations
 
 import heapq
-import os
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import networkx as nx
 
-from repro.core.pipeline import IdentifierBase
+from repro.api import Predictor, open_model
 from repro.languages import Language
 
 
-def resolve_identifier(identifier) -> IdentifierBase:
-    """Materialise whatever the caller handed us into an identifier.
+def resolve_identifier(identifier) -> Predictor:
+    """Deprecated: use :func:`repro.api.open_model` instead.
 
-    Fitted identifiers (anything with ``scores_many``) pass through;
-    :class:`~repro.store.ModelHandle` objects are ``load()``-ed;
-    ``repro://<socket>`` strings dial a running serving daemon
-    (:class:`~repro.store.client.RemoteIdentifier` — no weights in this
-    process at all); other strings and paths are opened as model
-    artifacts via :mod:`repro.store`.  This is how a crawler fleet
-    consumes one shared model — memory-mapped, or served over a socket
-    by one daemon — instead of each process pickling its own copy.
+    Thin shim over the facade, kept so pre-facade crawler code keeps
+    working: fitted identifiers pass through,
+    :class:`~repro.store.ModelHandle` objects are ``load()``-ed,
+    ``repro://`` / ``store://`` / path strings resolve to the matching
+    backend.  The crawl entry points below call the facade directly.
     """
-    if hasattr(identifier, "scores_many"):
-        return identifier
-    if hasattr(identifier, "load"):  # ModelHandle
-        return identifier.load()
-    if isinstance(identifier, (str, os.PathLike)):
-        from repro.store import load_identifier, resolve_serving_handle
-        from repro.store.client import is_handle
-
-        if is_handle(identifier):
-            return resolve_serving_handle(identifier)
-        return load_identifier(identifier)
-    raise TypeError(
-        "expected a fitted identifier, a ModelHandle, a repro:// serving "
-        f"handle, or a model-artifact path; got {type(identifier).__name__}"
+    warnings.warn(
+        "repro.crawler.resolve_identifier() is deprecated; use "
+        "repro.api.open_model(handle) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return open_model(identifier)
 
 
 @dataclass
@@ -127,11 +116,15 @@ def focused_crawl(
     target-language page linking to it (the same-language-neighbourhood
     heuristic).  Highest priority is crawled first.
 
-    ``identifier`` may be a fitted identifier, a store
-    :class:`~repro.store.ModelHandle`, or a model-artifact path (see
-    :func:`resolve_identifier`).
+    ``identifier`` may be a fitted identifier or any
+    :func:`repro.api.open_model` handle — a store
+    :class:`~repro.store.ModelHandle`, a model-artifact path, a
+    ``store://<name>`` entry, or a ``repro://<socket>`` daemon handle
+    (no weights in this process at all).  This is how a crawler fleet
+    consumes one shared model — memory-mapped, or served over a socket
+    by one daemon — instead of each process pickling its own copy.
     """
-    identifier = resolve_identifier(identifier)
+    identifier = open_model(identifier)
     target = Language.coerce(target)
     if budget < 1:
         raise ValueError("budget must be >= 1")
@@ -197,10 +190,10 @@ def compare_crawlers(
     """(bfs, focused) reports over identical seeds and budget.
 
     ``identifier`` accepts the same forms as :func:`focused_crawl`
-    (fitted identifier, store handle, or artifact path) and is resolved
-    once for both runs.
+    (fitted identifier or any :func:`repro.api.open_model` handle) and
+    is resolved once for both runs.
     """
-    identifier = resolve_identifier(identifier)
+    identifier = open_model(identifier)
     bfs = bfs_crawl(graph, seeds, target, budget)
     focused = focused_crawl(graph, seeds, target, budget, identifier)
     return bfs, focused

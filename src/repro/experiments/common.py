@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import cached_property
 
+from repro.api import Predictor, open_model
 from repro.core.training import TrainedPool
 from repro.corpus.records import Corpus
 from repro.datasets import DatasetBundle, build_datasets
@@ -23,6 +24,9 @@ class ExperimentContext:
     seed: int = 0
     scale: float = 1.0
     wc_scale: float = 1.0
+    #: Root directory for ``store://`` handles passed to :meth:`open_model`
+    #: (``None`` defers to ``$REPRO_MODEL_STORE`` / the facade default).
+    store_root: str | None = None
     _pool: TrainedPool | None = field(default=None, repr=False)
 
     @cached_property
@@ -42,6 +46,18 @@ class ExperimentContext:
     @property
     def test_sets(self) -> dict[str, Corpus]:
         return self.data.test_sets
+
+    def open_model(self, handle) -> Predictor:
+        """Resolve any :func:`repro.api.open_model` handle against this
+        context's :attr:`store_root`.
+
+        Lets an experiment driver score with a deployed model — an
+        artifact path, a ``store://`` entry rooted at the context's
+        store, a live ``repro://`` daemon — instead of (re)fitting one
+        via :attr:`pool`, through the same facade every serving caller
+        uses.  Fitted pool identifiers pass through unchanged.
+        """
+        return open_model(handle, store_root=self.store_root)
 
 
 _DEFAULT_CONTEXT: ExperimentContext | None = None

@@ -25,11 +25,13 @@ Layers, bottom to top:
   between daemon and clients.
 * :mod:`repro.store.daemon` — the long-lived pre-forked serving daemon
   (Unix socket + optional HTTP front-end, SIGHUP hot reload).
-* :mod:`repro.store.client` — :class:`DaemonClient`,
-  :class:`RemoteIdentifier`, and ``repro://`` handle resolution.
+* :mod:`repro.store.client` — :class:`DaemonClient` and
+  :class:`RemoteIdentifier` (handle strings resolve through
+  :func:`repro.api.open_model`, which fronts every backend here).
 
 See ``docs/architecture.md`` for the on-disk layout and header fields,
-and ``docs/serving.md`` for the daemon lifecycle and wire protocol.
+``docs/serving.md`` for the daemon lifecycle and wire protocol, and
+``docs/api.md`` for the public prediction facade.
 """
 
 from repro.store.artifact import (

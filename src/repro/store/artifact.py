@@ -334,6 +334,25 @@ class ServingIdentifier(IdentifierBase):
         """The vectorized backend reconstructed from the artifact."""
         return self._compiled
 
+    def capabilities(self):
+        """The :class:`repro.api.Predictor` capability block, with the
+        artifact's rollout metadata (save stamp, corpus fingerprint) as
+        the model provenance."""
+        from repro.api.types import Capabilities, ModelInfo
+
+        rollout = self.rollout
+        return Capabilities(
+            model=ModelInfo(
+                name=self.name,
+                backend="compiled",
+                languages=tuple(self._compiled.scorers),
+                created_at=rollout.get("created_at"),
+                train_corpus=rollout.get("train_corpus"),
+            ),
+            compiled=True,
+            remote=False,
+        )
+
     def decisions(self, urls):
         """Per-language binary decisions — one matmul for the batch."""
         return self._compiled.decisions(urls)

@@ -11,9 +11,10 @@ Three layers, thinnest first:
   consumes an identifier (the focused crawler, ``evaluate``, the CLI)
   can point at a daemon instead of loading weights into its own
   process.
-* :func:`resolve_serving_handle` — parses the ``repro://<socket-path>``
-  handle strings that :func:`repro.crawler.focused.resolve_identifier`
-  and ``repro.cli classify --model`` accept.
+* :func:`resolve_serving_handle` — deprecated shim over
+  :func:`repro.api.open_model`, which is how ``repro://<socket-path>``
+  handle strings resolve everywhere now (the CLI, the crawler, the
+  examples all go through the facade).
 
 Error taxonomy: :class:`DaemonUnavailableError` means nothing answered
 (daemon not started, crashed, or wrong socket path) — callers may retry
@@ -28,7 +29,9 @@ from __future__ import annotations
 import os
 import socket
 import time
+import warnings
 
+from repro.api.resolver import daemon_socket_path, is_daemon_handle
 from repro.core.pipeline import IdentifierBase
 from repro.languages import Language
 from repro.store.serve import ServedUrl
@@ -40,7 +43,8 @@ from repro.store.wire import (
     send_message,
 )
 
-#: Scheme prefix of daemon handle strings (``repro://<socket-path>``).
+#: Scheme prefix of daemon handle strings (``repro://<socket-path>``);
+#: canonical form lives in :data:`repro.api.DAEMON_SCHEME`.
 HANDLE_SCHEME = "repro://"
 
 
@@ -70,22 +74,19 @@ class DaemonRequestError(DaemonError):
 def parse_handle(handle: str) -> str:
     """Socket path of a ``repro://`` handle string.
 
-    Everything after the scheme is the filesystem path of the daemon's
-    Unix socket, absolute or relative (``repro:///run/repro.sock``,
-    ``repro://model.sock``).  Raises :class:`ValueError` for strings
-    that do not carry the scheme — use :func:`is_handle` to probe first.
+    Delegates to the one parser in :mod:`repro.api.resolver`
+    (:func:`~repro.api.daemon_socket_path`).  Raises
+    :class:`~repro.api.InvalidHandleError` (a ``ValueError``) for
+    strings that do not carry the scheme or carry an empty path — use
+    :func:`is_handle` to probe first.
     """
-    if not is_handle(handle):
-        raise ValueError(f"not a repro:// serving handle: {handle!r}")
-    path = handle[len(HANDLE_SCHEME):]
-    if not path:
-        raise ValueError(f"serving handle has an empty socket path: {handle!r}")
-    return path
+    return daemon_socket_path(handle)
 
 
 def is_handle(value) -> bool:
-    """True for ``repro://`` daemon handle strings."""
-    return isinstance(value, str) and value.startswith(HANDLE_SCHEME)
+    """True for ``repro://`` daemon handle strings (delegates to
+    :func:`repro.api.is_daemon_handle`)."""
+    return is_daemon_handle(value)
 
 
 class DaemonClient:
@@ -259,6 +260,7 @@ class RemoteIdentifier(IdentifierBase):
     def __init__(self, client: DaemonClient) -> None:
         self.client = client
         self._name: str | None = None
+        self._capabilities = None
 
     @classmethod
     def connect(cls, socket_path: str | os.PathLike,
@@ -275,6 +277,45 @@ class RemoteIdentifier(IdentifierBase):
             )
         return self._name
 
+    def capabilities(self):
+        """The :class:`repro.api.Predictor` capability block.
+
+        Backend is ``"remote"`` — no weights in this process — and the
+        provenance comes from the daemon's status block.  The block is
+        fetched once and cached, so the ``predict``/``predict_iter``
+        surface does not pay a status round-trip per batch; a stream
+        that spans a hot reload keeps reporting the provenance it
+        started with.  :meth:`close` drops the cache — call it (or ask
+        the daemon's status directly) for fresh provenance.
+        """
+        if self._capabilities is None:
+            from repro.api.types import Capabilities, ModelInfo
+            from repro.languages import LANGUAGES
+
+            model = self.client.status().get("model", {})
+            rollout = model.get("rollout") or {}
+            self._capabilities = Capabilities(
+                model=ModelInfo(
+                    name=model.get("name", "remote"),
+                    backend="remote",
+                    languages=tuple(LANGUAGES),
+                    created_at=rollout.get("created_at"),
+                    train_corpus=rollout.get("train_corpus"),
+                    source=f"repro://{self.client.socket_path}",
+                ),
+                compiled=False,
+                remote=True,
+            )
+        return self._capabilities
+
+    def close(self) -> None:
+        """Drop the daemon connection (a later call reconnects) and
+        the cached name/capability block (a later call refetches, so a
+        hot-reloaded daemon's new provenance becomes visible)."""
+        self._name = None
+        self._capabilities = None
+        self.client.close()
+
     def decisions(self, urls):
         remote = self.client.decisions(urls)
         return {
@@ -289,11 +330,17 @@ class RemoteIdentifier(IdentifierBase):
 
 
 def resolve_serving_handle(handle: str, timeout: float = 30.0) -> RemoteIdentifier:
-    """Resolve a ``repro://<socket-path>`` string to a remote identifier.
+    """Deprecated: use :func:`repro.api.open_model` instead.
 
-    Resolution is lazy — no connection is attempted until the first
-    request, so resolving a handle for a daemon that is still booting is
-    fine.  A dead socket surfaces as :class:`DaemonUnavailableError` on
-    first use.
+    Resolves a ``repro://<socket-path>`` string to a remote identifier.
+    Unlike the facade, resolution here is lazy — no connection is
+    attempted until the first request, and a dead socket surfaces as
+    :class:`DaemonUnavailableError` on first use.
     """
+    warnings.warn(
+        "resolve_serving_handle() is deprecated; use "
+        "repro.api.open_model(handle) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return RemoteIdentifier.connect(parse_handle(handle), timeout=timeout)

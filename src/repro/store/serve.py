@@ -118,14 +118,23 @@ def score_urls(
     """Score ``urls`` with a one-shot pool of ``workers`` processes
     sharing one artifact.
 
+    ``model_path`` is an artifact path or a ``store://<name>`` handle —
+    it resolves through :func:`repro.api.resolve_artifact_path`, the
+    same facade every other entry point uses (multi-process serving
+    needs a mappable *file*, so in-process and daemon handles are
+    rejected there with typed errors).
+
     Results preserve input order.  ``workers <= 1`` scores in-process
     (same code path, no pool) — handy for debugging and as the baseline
     when measuring multi-process speedups.  The pool (and every per-
     worker cache) dies with the call; a stream of calls should talk to
     a :mod:`repro.store.daemon` instead.
     """
+    from repro.api import resolve_artifact_path
+
     if workers < 0:
         raise ValueError("workers must be >= 0")
+    model_path = resolve_artifact_path(model_path)
     batches = batched(urls, batch_size)
     if workers <= 1:
         _initialize_worker(str(model_path))

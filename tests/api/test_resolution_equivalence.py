@@ -1,0 +1,180 @@
+"""Every resolution route answers exactly like the sparse oracle.
+
+The facade's core promise: whatever handle :func:`repro.api.open_model`
+resolves — a fitted identifier, an artifact path, a ``store://`` name
+(pinned or not), a ``ModelHandle``, a legacy pickle, a live
+``repro://`` daemon — the returned predictor's ``decisions()`` are
+**byte-identical** to the trained model's sparse reference path, and
+the typed ``predict`` surface agrees with the raw primitives.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.api import open_model
+from repro.core.pipeline import LanguageIdentifier
+from repro.store import ModelStore, save_identifier
+from repro.store.daemon import start_daemon, stop_daemon
+
+
+@pytest.fixture(scope="module")
+def oracle_identifier(small_train):
+    train = small_train.subsample(0.4, seed=5)
+    return LanguageIdentifier("words", "NB", seed=0).fit(train)
+
+
+@pytest.fixture(scope="module")
+def urls(small_bundle):
+    return small_bundle.odp_test.urls[:80]
+
+
+@pytest.fixture(scope="module")
+def oracle(oracle_identifier, urls):
+    """The sparse reference answers (string-keyed dict walks)."""
+    return oracle_identifier._sparse_decisions(urls)
+
+
+@pytest.fixture(scope="module")
+def artifact_path(tmp_path_factory, oracle_identifier):
+    path = tmp_path_factory.mktemp("api-models") / "model.urlmodel"
+    save_identifier(oracle_identifier, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def pickle_path(tmp_path_factory, oracle_identifier):
+    path = tmp_path_factory.mktemp("api-pickles") / "model.pkl"
+    with open(path, "wb") as handle:
+        pickle.dump(oracle_identifier, handle)
+    return path
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, oracle_identifier):
+    store = ModelStore(tmp_path_factory.mktemp("api-store") / "models")
+    store.save(oracle_identifier, "deployed")
+    return store
+
+
+def assert_oracle_equivalent(predictor, urls, oracle):
+    """Byte-identical decisions + a self-consistent predict() batch."""
+    assert predictor.decisions(urls) == oracle
+    result = predictor.predict(urls)
+    assert result.decisions == oracle
+    assert len(result) == len(urls)
+    # Row-major views agree with the column-major batch.
+    for row, prediction in enumerate(result):
+        assert prediction.url == urls[row]
+        assert prediction.best == result.best[row]
+        for language in oracle:
+            assert (language in prediction.positives) == oracle[language][row]
+
+
+class TestLocalRoutes:
+    def test_fitted_identifier_passes_through(
+        self, oracle_identifier, urls, oracle
+    ):
+        predictor = open_model(oracle_identifier)
+        assert predictor is oracle_identifier
+        assert_oracle_equivalent(predictor, urls, oracle)
+
+    def test_artifact_path(self, artifact_path, urls, oracle):
+        assert_oracle_equivalent(open_model(str(artifact_path)), urls, oracle)
+
+    def test_artifact_pathlike(self, artifact_path, urls, oracle):
+        assert_oracle_equivalent(open_model(artifact_path), urls, oracle)
+
+    def test_legacy_pickle_warns_but_matches(self, pickle_path, urls, oracle):
+        with pytest.warns(DeprecationWarning, match="open_model"):
+            predictor = open_model(str(pickle_path))
+        assert_oracle_equivalent(predictor, urls, oracle)
+
+
+class TestStoreRoutes:
+    def test_store_scheme_with_root(self, store, urls, oracle):
+        predictor = open_model("store://deployed", store_root=store.root)
+        assert_oracle_equivalent(predictor, urls, oracle)
+
+    def test_store_scheme_via_environment(
+        self, store, urls, oracle, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_MODEL_STORE", str(store.root))
+        assert_oracle_equivalent(open_model("store://deployed"), urls, oracle)
+
+    def test_store_scheme_pinned_checksum(self, store, urls, oracle):
+        checksum = store.describe("deployed").checksum
+        predictor = open_model(
+            f"store://deployed@{checksum[:12]}", store_root=store.root
+        )
+        assert_oracle_equivalent(predictor, urls, oracle)
+
+    def test_model_handle_object(self, store, urls, oracle):
+        handle = store.describe("deployed")
+        assert_oracle_equivalent(open_model(handle), urls, oracle)
+
+
+class TestDaemonRoute:
+    @pytest.fixture(scope="class")
+    def daemon_socket(self, artifact_path, tmp_path_factory):
+        socket_path = tmp_path_factory.mktemp("api-daemon") / "api.sock"
+        start_daemon(artifact_path, socket_path, workers=1)
+        yield socket_path
+        stop_daemon(socket_path)
+
+    def test_repro_scheme(self, daemon_socket, urls, oracle):
+        with open_model(f"repro://{daemon_socket}") as predictor:
+            assert_oracle_equivalent(predictor, urls, oracle)
+
+    def test_remote_capabilities_cached_across_batches(self, daemon_socket):
+        """Streamed chunks must not pay a status round-trip each: the
+        capability block is fetched once and reused."""
+        with open_model(f"repro://{daemon_socket}") as predictor:
+            first = predictor.capabilities()
+            assert first.remote and first.model.backend == "remote"
+            assert predictor.capabilities() is first
+        assert predictor.capabilities() is not first  # close() refetches
+
+    def test_all_routes_agree_with_each_other(
+        self, daemon_socket, artifact_path, store, urls, oracle
+    ):
+        """The acceptance sweep: one oracle, every scheme, one answer."""
+        handles = [
+            str(artifact_path),
+            f"store://deployed@{store.describe('deployed').checksum[:8]}",
+            f"repro://{daemon_socket}",
+        ]
+        for handle in handles:
+            predictor = open_model(handle, store_root=store.root)
+            try:
+                assert predictor.decisions(urls) == oracle, handle
+            finally:
+                predictor.close()
+
+
+class TestStreaming:
+    def test_predict_iter_matches_batch(self, artifact_path, urls, oracle):
+        predictor = open_model(artifact_path)
+        batch = predictor.predict(urls)
+        streamed = list(predictor.predict_iter(iter(urls), chunk_size=7))
+        assert [p.url for p in streamed] == list(urls)
+        assert streamed == [batch[row] for row in range(len(urls))]
+
+    def test_predict_iter_never_materialises(self, artifact_path, urls):
+        """Chunks are scored as they fill: after pulling one prediction
+        from a 3-URL chunk over an endless generator, only one chunk's
+        worth of input has been consumed."""
+        predictor = open_model(artifact_path)
+        pulled = 0
+
+        def endless():
+            nonlocal pulled
+            while True:
+                pulled += 1
+                yield urls[pulled % len(urls)]
+
+        stream = predictor.predict_iter(endless(), chunk_size=3)
+        next(stream)
+        assert pulled == 3

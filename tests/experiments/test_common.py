@@ -22,6 +22,22 @@ class TestExperimentContext:
         assert len(large.train) > len(small.train)
 
 
+class TestOpenModel:
+    def test_resolves_against_context_store_root(self, small_train, tmp_path):
+        from repro.core.pipeline import LanguageIdentifier
+        from repro.store import ModelStore
+
+        identifier = LanguageIdentifier("words", "NB", seed=0).fit(
+            small_train.subsample(0.2, seed=7)
+        )
+        ModelStore(tmp_path).save(identifier, "exp")
+        context = ExperimentContext(scale=0.05, store_root=str(tmp_path))
+        deployed = context.open_model("store://exp")
+        assert deployed.name == identifier.name
+        # Fitted pool identifiers pass through unchanged.
+        assert context.open_model(identifier) is identifier
+
+
 class TestPaperVsMeasured:
     def test_format(self):
         text = paper_vs_measured(

@@ -37,7 +37,13 @@ import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-DOCS = ("README.md", "docs/architecture.md", "docs/serving.md", "docs/cli.md")
+DOCS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/api.md",
+    "docs/serving.md",
+    "docs/cli.md",
+)
 FENCE_OPEN = re.compile(r"^```(\w+)\s*$")
 FENCE_CLOSE = "```"
 TIMEOUT_SECONDS = 600
