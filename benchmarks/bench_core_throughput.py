@@ -20,12 +20,19 @@ pre-forked workers keep the mapped model and caches warm
 (:mod:`repro.store.daemon`); equivalence of their answers is asserted
 before timing.
 
+The bulk bench times the offline engine (:mod:`repro.bulk`) over a
+sharded gzipped corpus at 1 and 4 workers; the recorded scaling ratio
+is a *hardware* property (a single-core container cannot show a
+multi-worker speedup), so the machine's usable core count is recorded
+next to it.
+
 A machine-readable summary (per-bench best seconds, URLs/sec, the
-compiled-vs-sparse speedup, the artifact-vs-pickle load speedup, and
-the daemon-vs-pool serving speedup) is written to
-``BENCH_core_throughput.json`` next to this file so the perf trajectory
-can be tracked across PRs — ``docs/serving.md``'s capacity-planning
-section is keyed off these numbers.
+compiled-vs-sparse speedup, the artifact-vs-pickle load speedup, the
+daemon-vs-pool serving speedup, and the bulk-engine throughput/scaling
+numbers) is written to ``BENCH_core_throughput.json`` next to this
+file so the perf trajectory can be tracked across PRs —
+``docs/serving.md``'s and ``docs/bulk.md``'s capacity-planning
+sections are keyed off these numbers.
 """
 
 import json
@@ -284,6 +291,94 @@ def test_api_dispatch_overhead(model_files, urls):
         f"facade dispatch costs {overhead:.1%} over the compiled kernel "
         f"(direct {direct * 1e3:.3f} ms, facade {facade * 1e3:.3f} ms)"
     )
+
+
+def test_bulk_scoring_scaling(benchmark, model_files, tmp_path_factory, context):
+    """The offline engine: sharded bulk scoring at 1 vs 4 workers.
+
+    Eight gzipped text shards are scored through ``repro.bulk.run``
+    twice — single-process baseline, then a 4-worker pool — after a
+    byte-parity assertion against the in-process ``predict_iter``
+    path.  Both throughputs land in the JSON summary
+    (``bulk_scoring_throughput`` for the 4-worker run,
+    ``bulk_workers_scaling`` for the ratio), together with the
+    measuring machine's usable core count: multi-worker scaling is a
+    *hardware* property, and a single-core container cannot show one.
+    """
+    import gzip
+    import os
+    import time
+
+    import repro.bulk as bulk
+
+    if not benchmark.enabled:
+        # The --benchmark-disable smoke run must neither pay for three
+        # full bulk runs nor overwrite the tracked JSON entries with
+        # unrepresentative timings (same contract as the fixture-based
+        # benches, whose stats are simply absent when disabled).
+        pytest.skip("timing disabled (--benchmark-disable)")
+
+    _, artifact_path = model_files
+    urls_pool = context.data.odp_test.urls
+    shards = 8
+    # Enough volume that per-run fixed costs (pool fork, model map)
+    # are noise next to scoring time.
+    per_shard = max(2000, len(urls_pool) // shards)
+    shard_dir = tmp_path_factory.mktemp("bulk-bench")
+    total = 0
+    for index in range(shards):
+        chunk = [
+            urls_pool[(index + shards * i) % len(urls_pool)]
+            for i in range(per_shard)
+        ]
+        total += len(chunk)
+        with gzip.open(shard_dir / f"s{index}.txt.gz", "wt") as out:
+            out.write("\n".join(chunk) + "\n")
+
+    def run_with(workers: int, tag: str) -> float:
+        # Cold tokenizer memo either way: the 1-worker baseline runs
+        # in-process and must not inherit warmth the 4 freshly forked
+        # workers never had.
+        clear_token_cache()
+        out_dir = tmp_path_factory.mktemp(f"bulk-bench-out-{tag}")
+        started = time.perf_counter()
+        report = bulk.run(
+            artifact_path, shard_dir, out_dir, workers=workers
+        )
+        elapsed = time.perf_counter() - started
+        assert report.rows_scored == total
+        return elapsed
+
+    # Parity before timing: the bulk path must answer exactly like the
+    # in-process facade.
+    from repro.api import open_model
+
+    probe_dir = tmp_path_factory.mktemp("bulk-bench-probe")
+    probe = bulk.run(artifact_path, shard_dir, probe_dir, workers=2)
+    with open(os.path.join(probe_dir, probe.outputs[0])) as stream:
+        first_rows = stream.read().splitlines()
+    with gzip.open(shard_dir / "s0.txt.gz", "rt") as stream:
+        first_urls = stream.read().split()
+    predictor = open_model(artifact_path)
+    expected = [p.tsv() for p in predictor.predict_iter(first_urls)]
+    assert first_rows == expected
+
+    single = run_with(1, "w1")
+    multi = run_with(4, "w4")
+    cpus = len(os.sched_getaffinity(0))
+    _results["bulk_scoring_throughput"] = {
+        "best_seconds": multi,
+        "urls_per_second": total / multi,
+        "workers": 4,
+        "urls": total,
+        "available_cpus": cpus,
+    }
+    _results["bulk_workers_scaling"] = {
+        "best_seconds": single,
+        "urls_per_second_1_worker": total / single,
+        "speedup_4_workers_vs_1": single / multi,
+        "available_cpus": cpus,
+    }
 
 
 def test_model_load_artifact(benchmark, model_files, urls, record):

@@ -56,6 +56,7 @@ from repro.api.resolver import (
     daemon_socket_path,
     is_daemon_handle,
     open_model,
+    portable_handle,
     register_scheme,
     registered_schemes,
     resolve_artifact_path,
@@ -84,6 +85,7 @@ __all__ = [
     "daemon_socket_path",
     "is_daemon_handle",
     "open_model",
+    "portable_handle",
     "predict_iter",
     "register_scheme",
     "registered_schemes",

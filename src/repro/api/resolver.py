@@ -16,6 +16,14 @@ fitted identifier            passes through unchanged
 ``ModelHandle``              ``load()``-ed from its store
 ===========================  ===================================================
 
+URI handles also accept **per-scheme options** as a query string, so a
+handle can carry everything a fresh process needs to resolve it — no
+environment-variable plumbing: ``store://name?root=/srv/models`` pins
+the store root, ``repro://sock?timeout=5`` the daemon dial timeout.
+:func:`portable_handle` produces exactly such a self-contained handle
+string for shipping to worker processes (the bulk engine and the
+serving pool both re-open models that way).
+
 Resolution failures raise the typed :mod:`repro.api.errors` hierarchy
 with actionable messages.  New backends plug in via
 :func:`register_scheme` — callers keep calling ``open_model`` and never
@@ -36,6 +44,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Union, cast
+from urllib.parse import parse_qsl, quote
 
 from repro.api.errors import (
     BackendUnavailableError,
@@ -57,6 +66,7 @@ __all__ = [
     "daemon_socket_path",
     "is_daemon_handle",
     "open_model",
+    "portable_handle",
     "register_scheme",
     "registered_schemes",
     "resolve_artifact_path",
@@ -137,6 +147,43 @@ def _split_scheme(handle: str) -> Optional[tuple[str, str]]:
     return match.group("scheme").lower(), match.group("rest")
 
 
+#: Query-string options each built-in scheme accepts.
+_STORE_OPTIONS = frozenset({"root"})
+_DAEMON_OPTIONS = frozenset({"timeout"})
+
+
+def _split_options(
+    rest: str, *, scheme: str, allowed: frozenset[str]
+) -> tuple[str, dict[str, str]]:
+    """``(body, options)`` of everything after ``<scheme>://``.
+
+    Options ride in a query string (``store://name?root=/srv/models``)
+    so a handle string alone can carry resolver configuration between
+    processes.  Unknown or repeated keys raise
+    :class:`InvalidHandleError` — a typo'd option silently ignored
+    would resolve the *wrong* model.
+    """
+    body, separator, query = rest.partition("?")
+    if not separator:
+        return rest, {}
+    handle = f"{scheme}://{rest}"
+    options: dict[str, str] = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        if key not in allowed:
+            raise InvalidHandleError(
+                f"unknown {scheme}:// option {key!r} in {handle!r}; "
+                f"supported: {', '.join(sorted(allowed))}",
+                handle=handle,
+            )
+        if key in options:
+            raise InvalidHandleError(
+                f"{scheme}:// option {key!r} given twice in {handle!r}",
+                handle=handle,
+            )
+        options[key] = value
+    return body, options
+
+
 # -- daemon handles ---------------------------------------------------------------
 
 
@@ -151,18 +198,21 @@ def is_daemon_handle(value: object) -> bool:
 def daemon_socket_path(handle: str) -> str:
     """Socket path of a ``repro://<socket-path>`` handle string.
 
-    Everything after the scheme is the filesystem path of the daemon's
-    Unix socket, absolute or relative (``repro:///run/repro.sock``,
-    ``repro://model.sock``).  Raises :class:`InvalidHandleError` (a
-    ``ValueError``) for strings that do not carry the scheme or carry
-    an empty path — use :func:`is_daemon_handle` to probe first.
+    Everything after the scheme (up to an optional ``?timeout=``
+    query) is the filesystem path of the daemon's Unix socket, absolute
+    or relative (``repro:///run/repro.sock``, ``repro://model.sock``).
+    Raises :class:`InvalidHandleError` (a ``ValueError``) for strings
+    that do not carry the scheme or carry an empty path — use
+    :func:`is_daemon_handle` to probe first.
     """
     split = _split_scheme(handle) if isinstance(handle, str) else None
     if split is None or split[0] != DAEMON_SCHEME:
         raise InvalidHandleError(
             f"not a repro:// serving handle: {handle!r}", handle=str(handle)
         )
-    path = split[1]
+    path, _ = _split_options(
+        split[1], scheme=DAEMON_SCHEME, allowed=_DAEMON_OPTIONS
+    )
     if not path:
         raise InvalidHandleError(
             f"serving handle has an empty socket path: {handle!r}; "
@@ -173,16 +223,40 @@ def daemon_socket_path(handle: str) -> str:
 
 
 def _resolve_daemon(rest: str, context: ResolveContext) -> Predictor:
-    """``repro://`` resolver: dial the daemon and verify it answers."""
+    """``repro://`` resolver: dial the daemon and verify it answers.
+
+    The handle may pin its own dial timeout (``repro://sock?timeout=5``)
+    — handle options beat the :class:`ResolveContext` default, so a
+    worker process re-opening the handle needs no extra arguments.
+    """
     from repro.store.client import DaemonError, RemoteIdentifier
 
-    if not rest:
+    socket_path, options = _split_options(
+        rest, scheme=DAEMON_SCHEME, allowed=_DAEMON_OPTIONS
+    )
+    timeout = context.timeout
+    if "timeout" in options:
+        try:
+            timeout = float(options["timeout"])
+        except ValueError:
+            timeout = float("nan")
+        # One typed error for every unusable value — NaN, negative,
+        # infinite — so CLI callers always get the clean exit path,
+        # never socket.settimeout's raw ValueError.
+        if not 0 < timeout < float("inf"):
+            raise InvalidHandleError(
+                f"repro:// option timeout={options['timeout']!r} is not "
+                f"a positive number of seconds (handle "
+                f"{DAEMON_SCHEME}://{rest!r})",
+                handle=f"{DAEMON_SCHEME}://{rest}",
+            ) from None
+    if not socket_path:
         raise InvalidHandleError(
             f"serving handle has an empty socket path: "
             f"{DAEMON_SCHEME}://{rest!r}; expected repro://<socket-path>",
             handle=f"{DAEMON_SCHEME}://{rest}",
         )
-    remote = RemoteIdentifier.connect(rest, timeout=context.timeout)
+    remote = RemoteIdentifier.connect(socket_path, timeout=timeout)
     try:
         remote.client.ping()
     except DaemonError as error:
@@ -201,8 +275,16 @@ def _resolve_daemon(rest: str, context: ResolveContext) -> Predictor:
 # -- store handles ----------------------------------------------------------------
 
 
-def _store_root(context: ResolveContext) -> Union[str, os.PathLike]:
-    """The ``store://`` root directory for this resolution."""
+def _store_root(
+    context: ResolveContext, options: Optional[dict[str, str]] = None
+) -> Union[str, os.PathLike]:
+    """The ``store://`` root directory for this resolution.
+
+    Priority: the handle's own ``?root=`` option, then the caller's
+    ``store_root``, then ``$REPRO_MODEL_STORE``, then the default.
+    """
+    if options and options.get("root"):
+        return options["root"]
     if context.store_root is not None:
         return context.store_root
     return os.environ.get(STORE_ROOT_ENV) or DEFAULT_STORE_ROOT
@@ -214,15 +296,18 @@ def _store_lookup(rest: str, context: ResolveContext) -> Any:
     from repro.store.format import ArtifactError
     from repro.store.registry import ModelStore
 
-    name, _, version = rest.partition("@")
+    body, options = _split_options(
+        rest, scheme=STORE_SCHEME, allowed=_STORE_OPTIONS
+    )
+    name, _, version = body.partition("@")
     handle = f"{STORE_SCHEME}://{rest}"
     if not name:
         raise InvalidHandleError(
             f"store handle names no model: {handle!r}; expected "
-            "store://<name>[@<checksum-prefix>]",
+            "store://<name>[@<checksum-prefix>][?root=<dir>]",
             handle=handle,
         )
-    root = _store_root(context)
+    root = _store_root(context, options)
     # A lookup is a read: do not go through ModelStore(root), whose
     # constructor mkdirs the root (a failed resolve must not litter the
     # filesystem, and an unwritable directory must not raise untyped).
@@ -474,6 +559,63 @@ def resolve_artifact_path(
             handle=os.fspath(handle),
         )
     return os.fspath(handle)
+
+
+def portable_handle(
+    handle: Union[str, os.PathLike],
+    *,
+    store_root: Optional[Union[str, os.PathLike]] = None,
+) -> str:
+    """A handle string that re-opens the same model in *any* process.
+
+    Worker fan-out (the bulk engine, the serving pool) ships model
+    handles to freshly spawned processes that share neither this
+    process's working directory nor its resolver arguments.  This
+    canonicalises a handle so a bare ``open_model(portable)`` elsewhere
+    resolves identically:
+
+    * filesystem paths become absolute;
+    * ``store://`` handles get the resolved root pinned as a
+      ``?root=`` option (handle option > ``store_root`` argument >
+      ``$REPRO_MODEL_STORE`` > default), made absolute;
+    * ``repro://`` handles get their socket path made absolute
+      (options preserved);
+    * third-party scheme handles pass through unchanged (only their
+      own resolver could know what to canonicalise).
+
+    Live predictor objects have no portable form — save them to an
+    artifact first; passing one raises ``TypeError``.
+    """
+    if isinstance(handle, os.PathLike):
+        handle = os.fspath(handle)
+    if not isinstance(handle, str):
+        raise TypeError(
+            "only handle strings and paths have a portable form; got "
+            f"{type(handle).__name__} — save the model with "
+            "repro.store.save_identifier and pass the artifact path"
+        )
+    split = _split_scheme(handle)
+    if split is None:
+        return str(Path(handle).resolve())
+    scheme, rest = split
+    if scheme == DAEMON_SCHEME:
+        socket_path = daemon_socket_path(handle)  # validates, strips options
+        _, options = _split_options(
+            rest, scheme=DAEMON_SCHEME, allowed=_DAEMON_OPTIONS
+        )
+        query = "&".join(
+            f"{key}={quote(value)}" for key, value in sorted(options.items())
+        )
+        absolute = str(Path(socket_path).resolve())
+        return f"{DAEMON_SCHEME}://{absolute}{'?' + query if query else ''}"
+    if scheme != STORE_SCHEME:
+        return handle
+    body, options = _split_options(
+        rest, scheme=STORE_SCHEME, allowed=_STORE_OPTIONS
+    )
+    context = ResolveContext(store_root=store_root)
+    root = Path(os.fspath(_store_root(context, options))).resolve()
+    return f"{STORE_SCHEME}://{body}?root={quote(str(root))}"
 
 
 register_scheme(DAEMON_SCHEME, _resolve_daemon)

@@ -1,0 +1,483 @@
+"""Planner + runner: map one model over an arbitrarily large URL corpus.
+
+This is the offline, analytical sibling of the serving path.  The
+daemon (:mod:`repro.store.daemon`) answers small latency-sensitive
+batches forever; :func:`run` answers one enormous batch exactly once —
+disk-resident input, disk-resident output, bounded memory, and a
+checkpoint manifest that makes the run **killable at any instant**.
+
+The execution model:
+
+1. **Plan.**  :func:`~repro.bulk.source.discover_shards` turns the
+   input spec into a deterministically ordered shard list; the model
+   handle is canonicalised with :func:`repro.api.portable_handle` and
+   fingerprinted (name + artifact checksum + rollout metadata); a
+   :class:`~repro.bulk.checkpoint.RunManifest` is written (or, on
+   resume, validated against all of the above).
+2. **Fan out.**  N worker processes each re-open the *same* handle via
+   :func:`repro.api.open_model` — artifact-backed models memory-map
+   one shared physical copy of the weight matrix, exactly like the
+   serving pool.  Shards are handed to workers largest-first (greedy
+   balancing); within a shard, URLs stream through
+   ``chunk_size``-sized :meth:`~repro.api.Predictor.predict` passes —
+   one matmul each on the compiled backend.
+3. **Commit.**  A worker writes its shard's rows to ``<output>.part``,
+   fsyncs, renames — then the parent records the output's sha256 in
+   the manifest and atomically replaces it.  Nothing is ever appended
+   to: a kill leaves either a committed shard or an ignorable
+   ``.part`` file, never a half-trusted output.
+
+Resume (``resume=True``) refuses a different model checksum or a
+changed shard list, re-verifies every committed output's sha256
+(missing or shortened files are re-scored), and then processes only
+what is still pending.  Resuming a finished run is a no-op — the
+engine is idempotent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.api.protocol import DEFAULT_CHUNK_SIZE, Predictor
+from repro.bulk.checkpoint import MANIFEST_NAME, RunManifest
+from repro.bulk.errors import BulkError, ManifestMismatchError
+from repro.bulk.sink import RowSink, SummaryAccumulator, make_sink
+from repro.bulk.source import Shard, discover_shards, read_urls
+from repro.store.metrics import LatencyHistogram
+
+__all__ = ["RunReport", "model_fingerprint", "run"]
+
+#: Default worker-process count for bulk runs.
+DEFAULT_WORKERS = 2
+
+
+def model_fingerprint(handle: str) -> dict:
+    """Identity of the model a handle names, without loading weights.
+
+    ``checksum`` is the resume gate: the payload sha256 for artifacts
+    (via path or ``store://``), the serving daemon's reported artifact
+    checksum for ``repro://`` handles, and the file sha256 for legacy
+    pickles.  ``name`` and ``rollout`` ride along for provenance.
+    """
+    from repro.api import (
+        UnreadableModelError,
+        is_daemon_handle,
+        open_model,
+        resolve_artifact_path,
+        sniff_model_format,
+    )
+
+    if is_daemon_handle(handle):
+        # Resolve through the facade so the handle's own options (a
+        # pinned ?timeout=) are honoured here exactly as they will be
+        # in every worker.
+        remote = open_model(handle)
+        try:
+            model = remote.client.status().get("model", {})
+        finally:
+            remote.close()
+        return {
+            "handle": handle,
+            "name": model.get("name", "remote"),
+            "checksum": model.get("checksum"),
+            "rollout": model.get("rollout") or {},
+        }
+    try:
+        path = resolve_artifact_path(handle)
+    except UnreadableModelError:
+        # A legacy pickle: open_model serves it (with its deprecation
+        # warning), so bulk does too; the file hash is its identity.
+        from repro.bulk.checkpoint import sha256_file
+
+        return {
+            "handle": handle,
+            "name": f"pickle:{Path(handle).name}",
+            "checksum": sha256_file(handle),
+            "rollout": {},
+        }
+    from repro.store.format import ArtifactFile
+
+    assert sniff_model_format(path) == "artifact"
+    with ArtifactFile(path) as artifact:
+        model = artifact.model
+        checksum = artifact.checksum
+    return {
+        "handle": handle,
+        "name": model.get("name", "identifier"),
+        "checksum": checksum,
+        "rollout": dict(model.get("rollout") or {}),
+    }
+
+
+@dataclass
+class RunReport:
+    """What one :func:`run` call did (this invocation, not the whole
+    manifest history — ``rows_total`` covers both)."""
+
+    output_dir: str
+    manifest_path: str | None
+    outputs: list[str]
+    shards_total: int
+    shards_scored: int
+    shards_skipped: int
+    shards_demoted: int
+    rows_scored: int
+    rows_total: int
+    wall_seconds: float
+    urls_per_second: float
+    summary: dict = field(default_factory=dict)
+    latency: dict | None = None
+
+    def describe(self) -> str:
+        """The CLI's closing summary line."""
+        best = ", ".join(
+            f"{label}={count}"
+            for label, count in self.summary.get("best", {}).items()
+        )
+        return (
+            f"scored {self.rows_scored} URLs in {self.shards_scored} "
+            f"shard(s) ({self.shards_skipped} already done) in "
+            f"{self.wall_seconds:.2f}s — {self.urls_per_second:.0f} "
+            f"URLs/s; totals: {best or 'none'}"
+        )
+
+
+# -- worker side ------------------------------------------------------------------
+
+#: Per-process scoring state, set once by the pool initializer.
+_worker_state: tuple[Predictor, RowSink, int, str, str] | None = None
+
+
+def _initialize_worker(
+    handle: str, sink_name: str, provenance: str | None,
+    chunk_size: int, url_field: str, output_dir: str,
+) -> None:
+    """Pool initializer: re-open the shared model in this process.
+
+    The handle arrives pre-canonicalised (:func:`portable_handle`), so
+    resolution needs no environment or working-directory agreement with
+    the parent; artifact-backed models are memory-mapped, so N workers
+    share one physical weight matrix.
+    """
+    from repro.api import open_model
+
+    global _worker_state
+    _worker_state = (
+        open_model(handle),
+        make_sink(sink_name, provenance=provenance),
+        chunk_size,
+        url_field,
+        output_dir,
+    )
+
+
+def _chunks(urls: Iterable[str], size: int) -> Iterator[list[str]]:
+    chunk: list[str] = []
+    for url in urls:
+        chunk.append(url)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _score_shard(task: dict) -> dict:
+    """Score one shard with the worker's model; commit atomically.
+
+    Rows stream: read a chunk, one ``predict`` pass (a single matmul
+    on compiled backends), format, hash, write.  The output file is
+    born as ``<name>.part`` and renamed only after an fsync, so a
+    SIGKILL can never leave a truncated file under the final name.
+    Returns the completion record the parent checkpoints.
+    """
+    assert _worker_state is not None, "worker used before initialisation"
+    predictor, sink, chunk_size, url_field, output_dir = _worker_state
+    shard = Shard(**task["shard"])
+    output_name = task["output"]
+    final_path = Path(output_dir) / output_name
+    # The pid suffix keeps the temp file private to this process: an
+    # orphaned worker of a killed run finishing late can then never
+    # interleave writes with a resume's worker on the same shard —
+    # whoever renames last wins atomically, with self-consistent bytes.
+    part_path = Path(output_dir) / f"{output_name}.part.{os.getpid()}"
+    digest = hashlib.sha256()
+    summary = SummaryAccumulator()
+    latency = LatencyHistogram()
+    rows = 0
+    started = time.perf_counter()
+    with open(part_path, "wb") as stream:
+        header = sink.header()
+        if header is not None:
+            data = (header + "\n").encode("utf-8")
+            digest.update(data)
+            stream.write(data)
+        for chunk in _chunks(read_urls(shard, url_field), chunk_size):
+            chunk_started = time.perf_counter()
+            batch = predictor.predict(chunk)
+            latency.observe(time.perf_counter() - chunk_started)
+            for prediction in batch:
+                data = (sink.format(prediction) + "\n").encode("utf-8")
+                digest.update(data)
+                stream.write(data)
+                summary.observe(prediction)
+                rows += 1
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(part_path, final_path)
+    return {
+        "shard_id": shard.shard_id,
+        "output": output_name,
+        "rows": rows,
+        "sha256": digest.hexdigest(),
+        "seconds": time.perf_counter() - started,
+        "summary": summary.snapshot(),
+        "latency": latency.snapshot(),
+    }
+
+
+# -- parent side ------------------------------------------------------------------
+
+
+def _output_names(manifest: RunManifest, sink: RowSink) -> dict[str, str]:
+    """Deterministic output file per shard: ``part-<ordinal><suffix>``.
+
+    The zero-padded ordinal follows manifest (= input) order, so a
+    lexicographic glob over the output directory concatenates shards in
+    exactly input order.  One dict for the whole plan — shard counts
+    can reach the tens of thousands, where per-shard ``list.index``
+    scans would turn planning quadratic.
+    """
+    return {
+        shard_id: f"part-{ordinal:05d}{sink.suffix}"
+        for ordinal, shard_id in enumerate(manifest.order)
+    }
+
+
+def _validate_resume(
+    manifest: RunManifest,
+    fingerprint: dict,
+    shards: list[Shard],
+    sink_name: str,
+    url_field: str,
+) -> None:
+    manifest.check_model(fingerprint)
+    manifest.check_shards(shards)
+    if manifest.sink != sink_name:
+        raise ManifestMismatchError(
+            f"run was checkpointed with sink {manifest.sink!r} but this "
+            f"resume asks for {sink_name!r}; output shards must share one "
+            "format — drop the flag or start a fresh run"
+        )
+    if manifest.url_field != url_field:
+        raise ManifestMismatchError(
+            f"run was checkpointed with url_field {manifest.url_field!r} "
+            f"but this resume asks for {url_field!r}; start a fresh run "
+            "to change how rows are read"
+        )
+
+
+def run(
+    model: str | os.PathLike,
+    input_spec: str | os.PathLike,
+    output_dir: str | os.PathLike,
+    *,
+    workers: int = DEFAULT_WORKERS,
+    sink: str = "tsv",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    url_field: str = "url",
+    resume: bool = False,
+    store_root: str | os.PathLike | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> RunReport:
+    """Bulk-score ``input_spec`` with ``model`` into ``output_dir``.
+
+    ``model`` is any :func:`repro.api.open_model` handle *string or
+    path* (live predictor objects have no portable form for worker
+    processes).  ``workers <= 1`` scores in-process — the baseline for
+    scaling measurements and the only mode stdin input supports.
+    ``progress`` (if given) receives one human-readable line per
+    completed shard.
+
+    Returns a :class:`RunReport`; raises the
+    :class:`~repro.bulk.errors.BulkError` hierarchy on planning and
+    checkpoint failures and :class:`repro.api.ResolveError` on handle
+    failures.  See the module docstring for the checkpoint contract.
+    """
+    from repro.api import portable_handle
+
+    if chunk_size < 1:
+        raise BulkError(f"chunk_size must be >= 1, got {chunk_size}")
+    if workers < 0:
+        raise BulkError(f"workers must be >= 0, got {workers}")
+    handle = portable_handle(model, store_root=store_root)
+    fingerprint = model_fingerprint(handle)
+    provenance = f"{fingerprint['name']}@{str(fingerprint['checksum'])[:12]}"
+    shards = discover_shards(input_spec)
+    row_sink = make_sink(sink, provenance=provenance)
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    stdin_run = any(shard.is_stdin for shard in shards)
+    if stdin_run and resume:
+        raise BulkError(
+            "stdin input cannot be checkpointed or resumed (the stream "
+            "cannot be re-read); pipe to files and use a shard directory"
+        )
+
+    manifest_path = output_dir / MANIFEST_NAME
+    if stdin_run and manifest_path.exists():
+        # A stdin run writes part-00000 too: letting it proceed would
+        # silently clobber a checkpointed run's committed shard.
+        raise BulkError(
+            f"{manifest_path} records a checkpointed run; a stdin run "
+            "would overwrite its output shards — use a fresh output "
+            "directory"
+        )
+    demoted: list[str] = []
+    if not stdin_run and manifest_path.exists():
+        if not resume:
+            raise BulkError(
+                f"{manifest_path} already records a run; pass resume=True "
+                "(--resume) to continue it, or choose a fresh output "
+                "directory"
+            )
+        manifest = RunManifest.load(manifest_path)
+        _validate_resume(manifest, fingerprint, shards, sink, url_field)
+        demoted = manifest.verify_outputs(output_dir)
+        manifest.chunk_size = chunk_size
+        if demoted and progress:
+            progress(
+                f"re-scoring {len(demoted)} shard(s) whose committed "
+                f"output is missing or altered: {', '.join(demoted)}"
+            )
+    else:
+        manifest = RunManifest.plan(
+            fingerprint, shards,
+            sink=sink, chunk_size=chunk_size, url_field=url_field,
+        )
+    if not stdin_run:
+        manifest.save(manifest_path)
+    for stale in output_dir.glob("*.part.*"):  # a killed run's leftovers
+        try:
+            stale.unlink()
+        except OSError:
+            pass
+
+    pending = manifest.pending_ids()
+    skipped = len(manifest.order) - len(pending)
+    # Largest shards first: greedy balancing so one straggler shard
+    # does not serialise the tail of the run.
+    pending.sort(
+        key=lambda shard_id: manifest.shards[shard_id].get("size_bytes", 0),
+        reverse=True,
+    )
+    by_id = {shard.shard_id: shard for shard in shards}
+    output_names = _output_names(manifest, row_sink)
+    tasks = [
+        {
+            "shard": {
+                "shard_id": shard_id,
+                "path": by_id[shard_id].path,
+                "format": by_id[shard_id].format,
+                "compressed": by_id[shard_id].compressed,
+                "size_bytes": by_id[shard_id].size_bytes,
+            },
+            "output": output_names[shard_id],
+        }
+        for shard_id in pending
+    ]
+
+    initargs = (
+        handle, sink, provenance, chunk_size, url_field, str(output_dir),
+    )
+    started = time.perf_counter()
+    scored = 0
+    rows_scored = 0
+    latency = LatencyHistogram()
+
+    def commit(result: dict) -> None:
+        nonlocal scored, rows_scored
+        manifest.mark_done(
+            result["shard_id"],
+            output=result["output"],
+            rows=result["rows"],
+            sha256=result["sha256"],
+            seconds=result["seconds"],
+        )
+        manifest.shards[result["shard_id"]]["summary"] = result["summary"]
+        if not stdin_run:
+            manifest.save(manifest_path)
+        latency.merge(LatencyHistogram.from_snapshot(result["latency"]))
+        scored += 1
+        rows_scored += result["rows"]
+        if progress:
+            rate = result["rows"] / result["seconds"] if result["seconds"] else 0
+            progress(
+                f"[{skipped + scored}/{len(manifest.order)}] "
+                f"{result['shard_id']} -> {result['output']}: "
+                f"{result['rows']} rows in {result['seconds']:.2f}s "
+                f"({rate:.0f}/s)"
+            )
+
+    if tasks:
+        if workers <= 1 or stdin_run or len(tasks) == 1:
+            _initialize_worker(*initargs)
+            try:
+                for task in tasks:
+                    commit(_score_shard(task))
+            finally:
+                state = _worker_state
+                if state is not None:
+                    state[0].close()
+        else:
+            with multiprocessing.Pool(
+                processes=min(workers, len(tasks)),
+                initializer=_initialize_worker,
+                initargs=initargs,
+            ) as pool:
+                for result in pool.imap_unordered(_score_shard, tasks):
+                    commit(result)
+
+    wall = time.perf_counter() - started
+    totals = SummaryAccumulator()
+    for shard_id in manifest.done_ids():
+        entry = manifest.shards[shard_id]
+        if entry.get("summary"):
+            totals.merge(SummaryAccumulator.from_snapshot(entry["summary"]))
+    summary = totals.snapshot()
+    summary["shard_seconds_total"] = round(
+        sum(
+            manifest.shards[shard_id].get("seconds", 0.0)
+            for shard_id in manifest.done_ids()
+        ),
+        6,
+    )
+    manifest.summary = summary
+    if not stdin_run:
+        manifest.save(manifest_path)
+
+    return RunReport(
+        output_dir=str(output_dir),
+        manifest_path=None if stdin_run else str(manifest_path),
+        outputs=[
+            manifest.shards[shard_id]["output"]
+            for shard_id in manifest.done_ids()
+        ],
+        shards_total=len(manifest.order),
+        shards_scored=scored,
+        shards_skipped=skipped,
+        shards_demoted=len(demoted),
+        rows_scored=rows_scored,
+        rows_total=summary["rows"],
+        wall_seconds=wall,
+        urls_per_second=(rows_scored / wall) if wall > 0 else 0.0,
+        summary=summary,
+        latency=latency.snapshot() if latency.count else None,
+    )

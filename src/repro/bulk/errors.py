@@ -1,0 +1,35 @@
+"""The typed failure hierarchy of the bulk engine.
+
+Mirrors the :mod:`repro.api.errors` idiom: every anticipated failure is
+a subclass of one base with an actionable message, so the CLI can turn
+any of them into a clean exit and library callers can catch precisely.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BulkError",
+    "CheckpointError",
+    "ManifestCorruptError",
+    "ManifestMismatchError",
+]
+
+
+class BulkError(Exception):
+    """Base class for every bulk-engine failure."""
+
+
+class CheckpointError(BulkError):
+    """The run manifest cannot be used to resume."""
+
+
+class ManifestCorruptError(CheckpointError):
+    """The manifest file does not parse (truncated, hand-edited, or
+    not a manifest at all).  Resuming from it would be guesswork —
+    start a fresh run in a clean output directory instead."""
+
+
+class ManifestMismatchError(CheckpointError):
+    """The manifest describes a *different* run — another model
+    checksum or another shard list.  Resuming would silently mix two
+    models' scores in one output; refused."""

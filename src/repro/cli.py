@@ -7,6 +7,7 @@
     python -m repro.cli serve start --model model.urlmodel --socket repro.sock
     python -m repro.cli classify --model repro://repro.sock < urls.txt
     python -m repro.cli serve stop --socket repro.sock
+    python -m repro.cli bulk --model model.urlmodel --input shards/ --output run/
     python -m repro.cli experiment table8
 
 ``generate`` emits a TSV of labelled synthetic URLs; ``train`` fits a
@@ -18,10 +19,12 @@ arguments or stdin — ``--model`` accepts any
 pickle, a ``store://<name>`` model-store entry, or a
 ``repro://<socket>`` handle of a running serving daemon; ``serve``
 manages the long-lived daemon (``start``/``stop``/``status``/
-``reload``, plus ``batch`` for one-shot pool scoring); ``evaluate``
-prints the paper's metric table; ``experiment`` runs a table/figure
-driver.  ``docs/cli.md`` is the full reference with runnable examples,
-``docs/api.md`` the handle grammar.
+``reload``, plus ``batch`` for one-shot pool scoring); ``bulk`` is the
+checkpointed offline engine for corpora that dwarf RAM (sharded
+gzipped input, N workers, killable and resumable — ``docs/bulk.md``);
+``evaluate`` prints the paper's metric table; ``experiment`` runs a
+table/figure driver.  ``docs/cli.md`` is the full reference with
+runnable examples, ``docs/api.md`` the handle grammar.
 """
 
 from __future__ import annotations
@@ -169,6 +172,47 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--batch-size", type=int, default=512)
     batch.add_argument("urls", nargs="*", help="URLs (default: stdin)")
 
+    bulk = commands.add_parser(
+        "bulk",
+        help="checkpointed, parallel bulk scoring of a sharded URL corpus",
+    )
+    bulk.add_argument(
+        "--model", required=True,
+        help="any repro.api.open_model handle string: artifact path, "
+        "store://<name>[?root=..], repro://<socket>, or legacy pickle",
+    )
+    bulk.add_argument(
+        "--input", required=True,
+        help="a URL file (.txt/.jsonl/.csv, optionally .gz), a directory "
+        "of such shards, or '-' for stdin (streaming only)",
+    )
+    bulk.add_argument(
+        "--output", required=True,
+        help="output directory: one part-NNNNN file per input shard, "
+        "plus the manifest.json checkpoint",
+    )
+    bulk.add_argument("--workers", type=int, default=2)
+    bulk.add_argument(
+        "--sink", default="tsv", choices=("tsv", "jsonl", "csv"),
+        help="row format: tsv is byte-identical to 'classify'; "
+        "jsonl/csv add per-language scores and model provenance",
+    )
+    bulk.add_argument("--chunk-size", type=int, default=512,
+                      help="URLs per scoring pass (one matmul each)")
+    bulk.add_argument(
+        "--url-field", default="url",
+        help="JSONL field / CSV column holding the URL",
+    )
+    bulk.add_argument(
+        "--resume", action="store_true",
+        help="continue the run checkpointed in --output (refused if "
+        "the model checksum or shard list changed)",
+    )
+    bulk.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-shard progress lines",
+    )
+
     experiment = commands.add_parser(
         "experiment", help="run a table/figure reproduction driver"
     )
@@ -315,6 +359,38 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bulk(args: argparse.Namespace, out) -> int:
+    """Checkpointed bulk scoring: ``repro.bulk.run`` behind flags.
+
+    Typed planning/checkpoint/resolution failures exit cleanly with
+    their actionable message; per-shard progress goes to ``out`` unless
+    ``--quiet``.
+    """
+    from repro.bulk import BulkError, run
+
+    progress = None if args.quiet else (
+        lambda line: out.write(line + "\n")
+    )
+    try:
+        report = run(
+            args.model,
+            args.input,
+            args.output,
+            workers=args.workers,
+            sink=args.sink,
+            chunk_size=args.chunk_size,
+            url_field=args.url_field,
+            resume=args.resume,
+            progress=progress,
+        )
+    except (BulkError, ResolveError) as error:
+        raise SystemExit(str(error)) from None
+    out.write(report.describe() + "\n")
+    if report.manifest_path:
+        out.write(f"manifest: {report.manifest_path}\n")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace, out) -> int:
     identifier = _load_model(args.model)
     data = build_datasets(seed=args.seed, scale=args.scale)
@@ -353,6 +429,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "train": _cmd_train,
         "classify": _cmd_classify,
         "serve": _cmd_serve,
+        "bulk": _cmd_bulk,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
     }[args.command]

@@ -21,6 +21,9 @@ Layers, bottom to top:
   per :class:`ModelHandle`.
 * :mod:`repro.store.serve` — one-shot multi-process batch scoring from
   one mapped artifact (:func:`score_urls`).
+* :mod:`repro.store.metrics` — request counts and latency histograms
+  shared by the daemon's status block and ``repro.bulk`` progress
+  reporting.
 * :mod:`repro.store.wire` — the length-prefixed JSON protocol spoken
   between daemon and clients.
 * :mod:`repro.store.daemon` — the long-lived pre-forked serving daemon

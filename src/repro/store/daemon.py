@@ -54,6 +54,7 @@ from pathlib import Path
 
 from repro.store.artifact import MODEL_KIND, ServingIdentifier, load_identifier
 from repro.store.format import ArtifactError, ArtifactFile
+from repro.store.metrics import RequestMetrics
 from repro.store.serve import score_batch
 from repro.store.wire import (
     PROTOCOL_VERSION,
@@ -132,6 +133,7 @@ class ServingDaemon:
         self._worker_stop = False  # set in children only
         self._supervisor_pid: int | None = None  # set in children at fork
         self._started_at = 0.0
+        self._metrics = RequestMetrics()
         self._http_server: ThreadingHTTPServer | None = None
         # Serializes os.fork() against the HTTP threads: a fork while a
         # thread holds an I/O or logging lock would hand the child a
@@ -209,6 +211,28 @@ class ServingDaemon:
         return None
 
     # -- request dispatch (shared by socket workers and the HTTP thread) -----------
+
+    def _timed_dispatch(self, message: dict) -> dict:
+        """:meth:`_dispatch` plus per-worker request accounting.
+
+        Every answered request lands in this process's
+        :class:`~repro.store.metrics.RequestMetrics` (op counts, error
+        count, latency histogram) — each worker owns its own instance
+        (reset at fork), so ``serve status`` reports the traffic of the
+        worker that answered it.  The metrics object itself is not
+        thread-safe; both callers are already serialized — socket
+        workers are single-threaded processes, and the parent's HTTP
+        handlers dispatch under ``_fork_lock``.
+        """
+        op = message.get("op")
+        started = time.perf_counter()
+        response = self._dispatch(message)
+        self._metrics.observe(
+            op if isinstance(op, str) else "invalid",
+            time.perf_counter() - started,
+            ok=bool(response.get("ok")),
+        )
+        return response
 
     def _dispatch(self, message: dict) -> dict:
         """Answer one request against the current model state."""
@@ -322,6 +346,7 @@ class ServingDaemon:
                 "n_features": identifier.model.get("n_features"),
                 "rollout": state.rollout,
             },
+            "requests": self._metrics.snapshot(),
             "caches": {
                 "interned_rows": compiled.cache_info,
                 "tokenizer": {
@@ -351,6 +376,7 @@ class ServingDaemon:
         self._is_worker = True
         self._supervisor_pid = os.getppid()
         self._children = {}
+        self._metrics = RequestMetrics()  # own the worker's request stats
         if self._http_server is not None:
             self._http_server.socket.close()  # inherited fd; never served here
             self._http_server = None
@@ -424,7 +450,9 @@ class ServingDaemon:
                     connection, error_response("bad-request", str(error))
                 )
                 return
-            if not self._send_best_effort(connection, self._dispatch(message)):
+            if not self._send_best_effort(
+                connection, self._timed_dispatch(message)
+            ):
                 return
 
     def _send_best_effort(self, connection: socket.socket, message: dict) -> bool:
@@ -518,7 +546,7 @@ class ServingDaemon:
                     return
                 # The path, not the body, decides the op — a body "op"
                 # must never widen a batch endpoint into stop/reload.
-                response = daemon._dispatch(
+                response = daemon._timed_dispatch(
                     {**body, "v": PROTOCOL_VERSION, "op": op}
                 )
                 self._reply(200 if response.get("ok") else 400, response)

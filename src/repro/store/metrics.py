@@ -1,0 +1,164 @@
+"""Request metrics shared by the serving daemon and the bulk engine.
+
+Two small, dependency-free accumulators:
+
+* :class:`LatencyHistogram` — fixed log-spaced buckets over
+  milliseconds.  Cheap to update on every request (one comparison walk
+  over ~14 bounds), cheap to ship (a list of counts), and **mergeable**
+  — per-worker histograms sum into a fleet view, per-shard histograms
+  sum into a run view.
+* :class:`RequestMetrics` — per-operation request counts, error count,
+  and one latency histogram, with a JSON-ready :meth:`snapshot`.
+
+The serving daemon keeps one :class:`RequestMetrics` per worker process
+(``serve status`` reports the answering worker's block), and the bulk
+engine reuses :class:`LatencyHistogram` to aggregate per-chunk scoring
+latency across its worker pool into the run summary — one histogram
+format everywhere, so dashboards read both the online and the offline
+path with the same code.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["BUCKET_BOUNDS_MS", "LatencyHistogram", "RequestMetrics"]
+
+#: Upper bucket bounds in milliseconds; one implicit overflow bucket
+#: follows the last bound.  Log-spaced 1-2-5 so the same histogram
+#: resolves a 200µs matmul and a 30s cold shard.
+BUCKET_BOUNDS_MS: tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+)
+
+
+class LatencyHistogram:
+    """Counts of observed latencies in fixed log-spaced buckets.
+
+    ``counts`` has ``len(BUCKET_BOUNDS_MS) + 1`` entries; the last is
+    the overflow bucket (> the final bound).  Totals are tracked so
+    the mean survives bucketing exactly.
+    """
+
+    def __init__(self, counts: list[int] | None = None,
+                 total_ms: float = 0.0) -> None:
+        size = len(BUCKET_BOUNDS_MS) + 1
+        if counts is None:
+            counts = [0] * size
+        if len(counts) != size:
+            raise ValueError(
+                f"expected {size} bucket counts, got {len(counts)}"
+            )
+        self.counts = list(counts)
+        self.total_ms = float(total_ms)
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation (wall seconds)."""
+        ms = seconds * 1000.0
+        self.total_ms += ms
+        for index, bound in enumerate(BUCKET_BOUNDS_MS):
+            if ms <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's observations into this one."""
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total_ms += other.total_ms
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def quantile(self, q: float) -> float | None:
+        """Upper bound (ms) of the bucket holding the ``q``-quantile
+        observation, or ``None`` when nothing was observed.  Bucketed —
+        an estimate suited for operator dashboards, not billing."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return None
+        rank = q * total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                if index < len(BUCKET_BOUNDS_MS):
+                    return BUCKET_BOUNDS_MS[index]
+                return float("inf")
+        return float("inf")
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: bounds, counts, totals, bucketed p50/p99.
+
+        Quantiles landing in the overflow bucket become ``None`` —
+        ``json.dumps`` would otherwise emit the spec-invalid token
+        ``Infinity`` and break strict JSON consumers of the status
+        endpoint (the exact mean and the raw counts still show the
+        overflow traffic).
+        """
+        count = self.count
+
+        def finite(value: float | None) -> float | None:
+            return None if value == float("inf") else value
+
+        return {
+            "bounds_ms": list(BUCKET_BOUNDS_MS),
+            "counts": list(self.counts),
+            "count": count,
+            "mean_ms": (self.total_ms / count) if count else None,
+            "p50_ms": finite(self.quantile(0.5)),
+            "p99_ms": finite(self.quantile(0.99)),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`snapshot` output (bounds must
+        match this build's :data:`BUCKET_BOUNDS_MS`)."""
+        if tuple(snapshot.get("bounds_ms", ())) != BUCKET_BOUNDS_MS:
+            raise ValueError("histogram bounds do not match this build")
+        total = snapshot.get("mean_ms") or 0.0
+        count = snapshot.get("count") or 0
+        return cls(counts=list(snapshot["counts"]),
+                   total_ms=float(total) * count)
+
+
+class RequestMetrics:
+    """Per-process request accounting: counts by op, errors, latency.
+
+    One instance per daemon worker (reset at fork, so every worker
+    reports its own traffic).  :meth:`observe` wraps one dispatched
+    request; :meth:`snapshot` is the ``requests`` block of
+    ``serve status``.
+    """
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.by_op: dict[str, int] = {}
+        self.errors = 0
+        self.latency = LatencyHistogram()
+
+    def observe(self, op: str, seconds: float, ok: bool = True) -> None:
+        """Record one answered request of ``op`` taking ``seconds``."""
+        self.by_op[op] = self.by_op.get(op, 0) + 1
+        if not ok:
+            self.errors += 1
+        self.latency.observe(seconds)
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_op.values())
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for status blocks and progress reporting."""
+        return {
+            "total": self.total,
+            "errors": self.errors,
+            "by_op": dict(sorted(self.by_op.items())),
+            "since": self.started_at,
+            "latency_ms": self.latency.snapshot(),
+        }

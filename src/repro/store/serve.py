@@ -33,7 +33,6 @@ from collections.abc import Sequence
 from typing import NamedTuple
 
 from repro.core.pipeline import IdentifierBase
-from repro.store.artifact import ServingIdentifier, load_identifier
 
 #: Default number of URLs per scoring batch (one matmul each).
 DEFAULT_BATCH_SIZE = 512
@@ -86,17 +85,28 @@ def score_batch(
 
 
 #: Per-process identifier, set once by the pool initializer.
-_worker_identifier: ServingIdentifier | None = None
+_worker_identifier: IdentifierBase | None = None
 
 
-def _initialize_worker(model_path: str) -> None:
-    """Pool initializer: map the shared artifact into this process."""
+def _initialize_worker(handle: str) -> None:
+    """Pool initializer: re-open the shared model in this process.
+
+    ``handle`` is a :func:`repro.api.portable_handle` string — every
+    backend the facade resolves works here, with zero configuration
+    beyond the string itself.  For artifact paths (the normal case)
+    ``open_model`` memory-maps the file, so N workers still share one
+    physical copy of the weight matrix.
+    """
+    from repro.api import open_model
+
     global _worker_identifier
-    _worker_identifier = load_identifier(model_path)
+    identifier = open_model(handle)
+    assert isinstance(identifier, IdentifierBase)
+    _worker_identifier = identifier
 
 
 def _score_batch(urls: Sequence[str]) -> list[ServedUrl]:
-    """Score one batch with the worker's mapped model (one matmul)."""
+    """Score one batch with the worker's re-opened model (one matmul)."""
     identifier = _worker_identifier
     assert identifier is not None, "worker used before initialisation"
     return score_batch(identifier, urls)

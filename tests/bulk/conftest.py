@@ -1,0 +1,45 @@
+"""Shared fixtures of the bulk-engine suite: one tiny trained artifact
+and one sharded gzipped corpus, reused by every test module."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.store import save_identifier
+
+
+@pytest.fixture(scope="package")
+def bulk_model(small_train, tmp_path_factory):
+    """``(artifact_path, identifier)`` of a small compiled NB/words model."""
+    identifier = LanguageIdentifier("words", "NB", seed=0).fit(
+        small_train.subsample(0.4, seed=2)
+    )
+    path = tmp_path_factory.mktemp("bulk-model") / "nb.urlmodel"
+    save_identifier(identifier, path)
+    return path, identifier
+
+
+@pytest.fixture(scope="package")
+def corpus(small_bundle, tmp_path_factory):
+    """``(shard_dir, urls)``: three gzipped text shards, uneven sizes."""
+    urls = list(small_bundle.odp_test.urls[:90])
+    shard_dir = tmp_path_factory.mktemp("bulk-corpus")
+    slices = (urls[:40], urls[40:65], urls[65:])
+    for index, chunk in enumerate(slices):
+        with gzip.open(shard_dir / f"part-{index:02d}.txt.gz", "wt") as out:
+            out.write("\n".join(chunk) + "\n")
+    return shard_dir, urls
+
+
+@pytest.fixture()
+def reference_rows(bulk_model, corpus):
+    """The single-process ``classify`` rows for the whole corpus, in
+    shard order — the byte-parity oracle."""
+    _, identifier = bulk_model
+    _, urls = corpus
+    return [
+        prediction.tsv() for prediction in identifier.predict_iter(urls)
+    ]

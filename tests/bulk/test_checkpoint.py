@@ -1,0 +1,155 @@
+"""The run manifest: durability, corruption refusals, resume gates."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bulk import (
+    ManifestCorruptError,
+    ManifestMismatchError,
+    RunManifest,
+    sha256_file,
+)
+from repro.bulk.checkpoint import MANIFEST_VERSION
+from repro.bulk.source import Shard
+
+
+def make_shards(*names):
+    return [
+        Shard(shard_id=name, path=f"/in/{name}", format="text",
+              compressed=False, size_bytes=100 + index)
+        for index, name in enumerate(names)
+    ]
+
+
+@pytest.fixture()
+def manifest():
+    return RunManifest.plan(
+        {"handle": "/m.urlmodel", "name": "NB/words", "checksum": "c" * 64,
+         "rollout": {}},
+        make_shards("a.txt", "b.txt"),
+        sink="tsv", chunk_size=512, url_field="url",
+    )
+
+
+class TestRoundtrip:
+    def test_save_load_preserves_everything(self, manifest, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest.mark_done("a.txt", output="part-00000.tsv", rows=7,
+                           sha256="d" * 64, seconds=0.25)
+        manifest.save(path)
+        loaded = RunManifest.load(path)
+        assert loaded.order == ["a.txt", "b.txt"]
+        assert loaded.pending_ids() == ["b.txt"]
+        assert loaded.done_ids() == ["a.txt"]
+        assert loaded.shards["a.txt"]["sha256"] == "d" * 64
+        assert loaded.model["checksum"] == "c" * 64
+
+    def test_save_is_atomic_replace(self, manifest, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest.save(path)
+        before = path.read_text()
+        manifest.mark_done("a.txt", output="o", rows=1, sha256="x",
+                           seconds=0.0)
+        manifest.save(path)
+        assert path.read_text() != before
+        assert not list(tmp_path.glob("*.tmp"))  # temp file cleaned up
+
+
+class TestCorruption:
+    def test_truncated_manifest_refused(self, manifest, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest.save(path)
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # simulated torn write
+        with pytest.raises(ManifestCorruptError, match="does not parse"):
+            RunManifest.load(path)
+
+    def test_non_object_refused(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ManifestCorruptError, match="not a JSON object"):
+            RunManifest.load(path)
+
+    def test_missing_field_refused(self, manifest, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest.save(path)
+        payload = json.loads(path.read_text())
+        del payload["shards"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestCorruptError, match="required"):
+            RunManifest.load(path)
+
+    def test_order_shards_disagreement_refused(self, manifest, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest.save(path)
+        payload = json.loads(path.read_text())
+        payload["order"].append("ghost.txt")  # no matching shards entry
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestCorruptError, match="inconsistent"):
+            RunManifest.load(path)
+
+    def test_version_gate(self, manifest, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest.save(path)
+        payload = json.loads(path.read_text())
+        payload["version"] = MANIFEST_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestMismatchError, match="format version"):
+            RunManifest.load(path)
+
+
+class TestResumeGates:
+    def test_model_checksum_mismatch_refused(self, manifest):
+        with pytest.raises(ManifestMismatchError, match="mix two models"):
+            manifest.check_model({"checksum": "e" * 64})
+        manifest.check_model({"checksum": "c" * 64})  # same model: fine
+
+    def test_changed_shard_list_refused(self, manifest):
+        with pytest.raises(ManifestMismatchError, match="shard list changed"):
+            manifest.check_shards(make_shards("a.txt", "zz.txt"))
+        manifest.check_shards(make_shards("a.txt", "b.txt"))
+
+    def test_resized_shard_refused(self, manifest):
+        # Same names, different bytes: a regenerated corpus must not
+        # resume against outputs scored from the old one.
+        shards = make_shards("a.txt", "b.txt")
+        resized = [
+            shards[0],
+            Shard(shard_id="b.txt", path="/in/b.txt", format="text",
+                  compressed=False, size_bytes=999),
+        ]
+        with pytest.raises(ManifestMismatchError, match="changed size"):
+            manifest.check_shards(resized)
+
+
+class TestVerifyOutputs:
+    def _complete(self, manifest, tmp_path):
+        for index, shard_id in enumerate(manifest.order):
+            output = tmp_path / f"part-{index:05d}.tsv"
+            output.write_text(f"rows of {shard_id}\n")
+            manifest.mark_done(
+                shard_id, output=output.name, rows=1,
+                sha256=sha256_file(output), seconds=0.1,
+            )
+
+    def test_intact_outputs_stay_done(self, manifest, tmp_path):
+        self._complete(manifest, tmp_path)
+        assert manifest.verify_outputs(tmp_path) == []
+        assert manifest.pending_ids() == []
+
+    def test_missing_output_demoted(self, manifest, tmp_path):
+        self._complete(manifest, tmp_path)
+        (tmp_path / "part-00000.tsv").unlink()
+        assert manifest.verify_outputs(tmp_path) == ["a.txt"]
+        assert manifest.pending_ids() == ["a.txt"]
+        assert "sha256" not in manifest.shards["a.txt"]
+
+    def test_shortened_output_demoted(self, manifest, tmp_path):
+        self._complete(manifest, tmp_path)
+        target = tmp_path / "part-00001.tsv"
+        target.write_bytes(target.read_bytes()[:-3])  # torn tail
+        assert manifest.verify_outputs(tmp_path) == ["b.txt"]
+        assert manifest.pending_ids() == ["b.txt"]

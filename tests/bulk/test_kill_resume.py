@@ -1,0 +1,124 @@
+"""The acceptance scenario: SIGKILL a bulk run mid-flight, resume it,
+and get output byte-identical to a never-killed run.
+
+The run is a real ``repro bulk`` CLI subprocess in its own process
+group (so the kill takes the worker pool down with the parent, exactly
+like an OOM-killer or a node reclaim would).  The corpus is sized so
+the kill lands while shards are still pending; the manifest is polled
+for the first committed shard before pulling the trigger.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro.bulk as bulk
+
+#: URLs per shard; six shards.  Big enough that scoring takes a couple
+#: of seconds — a wide-open window for the kill to land mid-run.
+SHARDS = 6
+URLS_PER_SHARD = 4000
+
+
+@pytest.fixture(scope="module")
+def big_corpus(tmp_path_factory):
+    from repro.corpus.generator import UrlCorpusGenerator
+    from repro.languages import LANGUAGES
+
+    generator = UrlCorpusGenerator(seed=3)
+    per_language = SHARDS * URLS_PER_SHARD // len(LANGUAGES)
+    corpus = generator.generate_corpus(
+        "odp", {language: per_language for language in LANGUAGES}
+    )
+    urls = [record.url for record in corpus]
+    shard_dir = tmp_path_factory.mktemp("kill-corpus")
+    for index in range(SHARDS):
+        chunk = urls[index::SHARDS]
+        with gzip.open(shard_dir / f"s{index}.txt.gz", "wt") as out:
+            out.write("\n".join(chunk) + "\n")
+    return shard_dir
+
+
+def test_sigkill_then_resume_is_byte_identical(
+    bulk_model, big_corpus, tmp_path
+):
+    model_path, _ = bulk_model
+    out_dir = tmp_path / "run"
+    manifest_path = out_dir / "manifest.json"
+    env = dict(os.environ)
+    src = str(os.path.join(os.path.dirname(bulk.__file__), "..", ".."))
+    env["PYTHONPATH"] = os.path.normpath(src)
+    command = [
+        sys.executable, "-m", "repro.cli", "bulk",
+        "--model", str(model_path), "--input", str(big_corpus),
+        "--output", str(out_dir), "--workers", "2", "--quiet",
+    ]
+    process = subprocess.Popen(
+        command, env=env, start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        # Wait for the first committed shard, then SIGKILL the whole
+        # process group — parent, pool workers, everything.
+        deadline = time.time() + 120
+        done = 0
+        while time.time() < deadline:
+            if process.poll() is not None:
+                break  # finished before we could kill it (fast machine)
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                manifest = {"shards": {}}
+            done = sum(
+                1 for entry in manifest["shards"].values()
+                if entry.get("status") == "done"
+            )
+            if 1 <= done < SHARDS:
+                os.killpg(process.pid, signal.SIGKILL)
+                break
+            time.sleep(0.01)
+    finally:
+        try:
+            os.killpg(process.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        process.wait(timeout=30)
+
+    manifest = json.loads(manifest_path.read_text())  # survived the kill
+    completed_before = {
+        shard_id: dict(entry)
+        for shard_id, entry in manifest["shards"].items()
+        if entry.get("status") == "done"
+    }
+
+    resumed = bulk.run(
+        model_path, big_corpus, out_dir, workers=2, resume=True
+    )
+    assert resumed.shards_total == SHARDS
+    assert resumed.rows_total == SHARDS * URLS_PER_SHARD
+    # Completed shards were not re-scored: same committed checksums.
+    manifest = json.loads(manifest_path.read_text())
+    for shard_id, before in completed_before.items():
+        assert manifest["shards"][shard_id]["sha256"] == before["sha256"]
+    if process.returncode == -signal.SIGKILL:
+        assert resumed.shards_scored == SHARDS - len(completed_before)
+
+    # Byte parity with a run that was never killed.
+    clean = bulk.run(
+        model_path, big_corpus, tmp_path / "clean", workers=2
+    )
+    killed_bytes = b"".join(
+        (out_dir / name).read_bytes() for name in resumed.outputs
+    )
+    clean_bytes = b"".join(
+        (tmp_path / "clean" / name).read_bytes() for name in clean.outputs
+    )
+    assert killed_bytes == clean_bytes

@@ -174,6 +174,18 @@ class TestLifecycle:
                     b.value if b else None for b in best
                 ]
 
+                # Per-worker request accounting: one persistent
+                # connection lands every op above on one worker, whose
+                # status block must count them all with latencies.
+                requests = client.status()["requests"]
+                assert requests["errors"] == 0
+                for op in ("status", "decisions", "score", "classify"):
+                    assert requests["by_op"][op] >= 1
+                latency = requests["latency_ms"]
+                assert latency["count"] == requests["total"] >= 4
+                assert sum(latency["counts"]) == latency["count"]
+                assert latency["p50_ms"] is not None
+
                 # Gate: an artifact without rollout metadata is refused.
                 import numpy as np
 

@@ -1,0 +1,79 @@
+"""Request metrics: the histogram/counter blocks behind ``serve
+status`` and the bulk engine's progress reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.metrics import (
+    BUCKET_BOUNDS_MS,
+    LatencyHistogram,
+    RequestMetrics,
+)
+
+
+class TestLatencyHistogram:
+    def test_observe_lands_in_log_buckets(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.0004)  # 0.4ms -> first bucket (<= 0.5)
+        histogram.observe(0.003)  # 3ms -> <= 5 bucket
+        histogram.observe(99.0)  # 99s -> overflow
+        assert histogram.count == 3
+        assert histogram.counts[0] == 1
+        assert histogram.counts[BUCKET_BOUNDS_MS.index(5.0)] == 1
+        assert histogram.counts[-1] == 1
+
+    def test_merge_sums_counts_and_totals(self):
+        left, right = LatencyHistogram(), LatencyHistogram()
+        left.observe(0.001)
+        right.observe(0.001)
+        right.observe(1.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.total_ms == pytest.approx(1002.0)
+
+    def test_snapshot_roundtrip(self):
+        histogram = LatencyHistogram()
+        for seconds in (0.0001, 0.002, 0.02, 0.5):
+            histogram.observe(seconds)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["mean_ms"] == pytest.approx(
+            histogram.total_ms / 4
+        )
+        rebuilt = LatencyHistogram.from_snapshot(snapshot)
+        assert rebuilt.counts == histogram.counts
+        assert rebuilt.snapshot()["count"] == 4
+
+    def test_snapshot_overflow_quantiles_stay_json_valid(self):
+        import json
+
+        histogram = LatencyHistogram()
+        histogram.observe(99.0)  # overflow bucket: quantile() says inf
+        snapshot = histogram.snapshot()
+        assert snapshot["p50_ms"] is None and snapshot["p99_ms"] is None
+        json.loads(json.dumps(snapshot, allow_nan=False))  # strict JSON
+
+    def test_quantiles_are_bucket_bounds(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.observe(0.0008)  # 0.8ms -> <= 1ms bucket
+        histogram.observe(0.040)  # 40ms -> <= 50ms bucket
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == 50.0
+        assert LatencyHistogram().quantile(0.5) is None
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+
+class TestRequestMetrics:
+    def test_counts_by_op_and_errors(self):
+        metrics = RequestMetrics()
+        metrics.observe("classify", 0.002)
+        metrics.observe("classify", 0.004)
+        metrics.observe("score", 0.001, ok=False)
+        snapshot = metrics.snapshot()
+        assert snapshot["total"] == 3
+        assert snapshot["by_op"] == {"classify": 2, "score": 1}
+        assert snapshot["errors"] == 1
+        assert snapshot["latency_ms"]["count"] == 3

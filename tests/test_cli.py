@@ -37,6 +37,17 @@ class TestParser:
         assert batch.serve_command == "batch"
         assert batch.urls == ["http://a.de"]
 
+    def test_bulk_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["bulk", "--model", "m.urlmodel", "--input", "shards/",
+             "--output", "run/", "--workers", "4", "--sink", "jsonl",
+             "--chunk-size", "128", "--url-field", "page", "--resume"]
+        )
+        assert args.command == "bulk"
+        assert (args.workers, args.sink, args.chunk_size) == (4, "jsonl", 128)
+        assert args.url_field == "page" and args.resume and not args.quiet
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -121,6 +132,64 @@ class TestCommands:
         code = main(["experiment", "table1", "--scale", "0.08"], out=out)
         assert code == 0
         assert "Table 1" in out.getvalue()
+
+    def test_bulk_matches_classify_and_resumes(self, tmp_path):
+        """`bulk` over a shard directory == `classify` over the same
+        URLs, and a second `--resume` invocation is a no-op."""
+        model_path = tmp_path / "model.urlmodel"
+        main(["train", "--out", str(model_path), "--scale", "0.08"],
+             out=io.StringIO())
+
+        out = io.StringIO()
+        main(["generate", "--per-language", "20", "--seed", "5"], out=out)
+        urls = [line.split("\t")[1] for line in
+                out.getvalue().strip().splitlines()]
+        shard_dir = tmp_path / "shards"
+        shard_dir.mkdir()
+        (shard_dir / "a.txt").write_text("\n".join(urls[:40]) + "\n")
+        (shard_dir / "b.txt").write_text("\n".join(urls[40:]) + "\n")
+
+        reference = io.StringIO()
+        code = main(["classify", "--model", str(model_path), *urls],
+                    out=reference)
+        assert code == 0
+
+        out = io.StringIO()
+        code = main(
+            ["bulk", "--model", str(model_path), "--input", str(shard_dir),
+             "--output", str(tmp_path / "run"), "--workers", "2"],
+            out=out,
+        )
+        assert code == 0
+        assert "scored 100 URLs" in out.getvalue()
+        assert "manifest:" in out.getvalue()
+        produced = "".join(
+            (tmp_path / "run" / f"part-{index:05d}.tsv").read_text()
+            for index in range(2)
+        )
+        assert produced == reference.getvalue()
+
+        out = io.StringIO()
+        code = main(
+            ["bulk", "--model", str(model_path), "--input", str(shard_dir),
+             "--output", str(tmp_path / "run"), "--resume", "--quiet"],
+            out=out,
+        )
+        assert code == 0
+        assert "scored 0 URLs" in out.getvalue()
+
+    def test_bulk_without_resume_refuses_existing_run(self, tmp_path):
+        model_path = tmp_path / "model.urlmodel"
+        main(["train", "--out", str(model_path), "--scale", "0.08"],
+             out=io.StringIO())
+        shard_dir = tmp_path / "shards"
+        shard_dir.mkdir()
+        (shard_dir / "a.txt").write_text("http://www.blumen.de/garten\n")
+        args = ["bulk", "--model", str(model_path), "--input",
+                str(shard_dir), "--output", str(tmp_path / "run"), "--quiet"]
+        assert main(args, out=io.StringIO()) == 0
+        with pytest.raises(SystemExit, match="already records a run"):
+            main(args, out=io.StringIO())
 
 
 class TestModelFormats:

@@ -43,6 +43,7 @@ DOCS = (
     "docs/api.md",
     "docs/serving.md",
     "docs/cli.md",
+    "docs/bulk.md",
 )
 FENCE_OPEN = re.compile(r"^```(\w+)\s*$")
 FENCE_CLOSE = "```"
