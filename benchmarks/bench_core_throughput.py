@@ -251,6 +251,46 @@ def test_serve_daemon_roundtrip(benchmark, model_files, daemon_client, urls, rec
     record(benchmark, "serve_daemon_roundtrip", len(urls))
 
 
+def test_serve_robustness_overhead(model_files, daemon_client, urls):
+    """The fault-tolerance plumbing must be invisible at request time:
+    a round-trip under a full :class:`RetryPolicy` — deadline header
+    encoded, decoded and checked twice server-side, admission gate
+    consulted, ``attempt`` bookkeeping armed — may cost <5% over the
+    plain client on the same daemon.  Interleaved best-of-N on one
+    socket, same batch, so scheduler noise hits both sides equally;
+    the ratio lands in the JSON summary as
+    ``serve_robustness_overhead``.
+    """
+    import timeit
+
+    from repro.store.client import DaemonClient, RetryPolicy
+
+    policy = RetryPolicy(retries=4, backoff=0.05, deadline=600.0)
+    with DaemonClient(daemon_client.socket_path, retry=policy) as guarded:
+        assert guarded.classify(urls) == daemon_client.classify(urls)
+        rounds = 30
+        plain_times, guarded_times = [], []
+        for _ in range(rounds):
+            plain_times.append(
+                timeit.timeit(lambda: daemon_client.classify(urls), number=1)
+            )
+            guarded_times.append(
+                timeit.timeit(lambda: guarded.classify(urls), number=1)
+            )
+    plain, with_policy = min(plain_times), min(guarded_times)
+    overhead = with_policy / plain - 1.0
+    _results["serve_robustness_overhead"] = {
+        "best_seconds": with_policy,
+        "urls_per_second": len(urls) / with_policy,
+        "overhead_vs_plain": overhead,
+    }
+    assert overhead < 0.05 or with_policy - plain < 200e-6, (
+        f"deadline/retry plumbing costs {overhead:.1%} per daemon "
+        f"round-trip (plain {plain * 1e3:.3f} ms, "
+        f"with policy {with_policy * 1e3:.3f} ms)"
+    )
+
+
 def test_api_dispatch_overhead(model_files, urls):
     """The ``repro.api`` facade must be free: opening a model through
     ``open_model()`` and predicting through the ``Predictor`` surface

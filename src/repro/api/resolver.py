@@ -19,7 +19,10 @@ fitted identifier            passes through unchanged
 URI handles also accept **per-scheme options** as a query string, so a
 handle can carry everything a fresh process needs to resolve it — no
 environment-variable plumbing: ``store://name?root=/srv/models`` pins
-the store root, ``repro://sock?timeout=5`` the daemon dial timeout.
+the store root, ``repro://sock?timeout=5`` the daemon dial timeout, and
+``repro://sock?retries=8&backoff=0.1&deadline=2`` the client's
+fault-tolerance posture (:class:`~repro.store.client.RetryPolicy`:
+retry budget, initial backoff seconds, end-to-end request deadline).
 :func:`portable_handle` produces exactly such a self-contained handle
 string for shipping to worker processes (the bulk engine and the
 serving pool both re-open models that way).
@@ -149,7 +152,7 @@ def _split_scheme(handle: str) -> Optional[tuple[str, str]]:
 
 #: Query-string options each built-in scheme accepts.
 _STORE_OPTIONS = frozenset({"root"})
-_DAEMON_OPTIONS = frozenset({"timeout"})
+_DAEMON_OPTIONS = frozenset({"timeout", "retries", "backoff", "deadline"})
 
 
 def _split_options(
@@ -222,41 +225,85 @@ def daemon_socket_path(handle: str) -> str:
     return path
 
 
+def _daemon_seconds_option(
+    options: dict[str, str], key: str, rest: str
+) -> Optional[float]:
+    """``options[key]`` as positive finite seconds, or None if absent.
+
+    One typed error for every unusable value — NaN, negative, infinite,
+    non-numeric — so CLI callers always get the clean exit path, never
+    ``socket.settimeout``'s raw ``ValueError``.
+    """
+    if key not in options:
+        return None
+    try:
+        value = float(options[key])
+    except ValueError:
+        value = float("nan")
+    if not 0 < value < float("inf"):
+        raise InvalidHandleError(
+            f"repro:// option {key}={options[key]!r} is not "
+            f"a positive number of seconds (handle "
+            f"{DAEMON_SCHEME}://{rest!r})",
+            handle=f"{DAEMON_SCHEME}://{rest}",
+        ) from None
+    return value
+
+
 def _resolve_daemon(rest: str, context: ResolveContext) -> Predictor:
     """``repro://`` resolver: dial the daemon and verify it answers.
 
     The handle may pin its own dial timeout (``repro://sock?timeout=5``)
-    — handle options beat the :class:`ResolveContext` default, so a
-    worker process re-opening the handle needs no extra arguments.
+    and the client's retry posture
+    (``repro://sock?retries=8&backoff=0.1&deadline=2`` —
+    :class:`~repro.store.client.RetryPolicy` budget, initial backoff
+    seconds, end-to-end per-request deadline seconds) — handle options
+    beat the :class:`ResolveContext` defaults, so a worker process
+    re-opening the handle needs no extra arguments.
     """
-    from repro.store.client import DaemonError, RemoteIdentifier
+    from repro.store.client import DaemonError, RemoteIdentifier, RetryPolicy
 
     socket_path, options = _split_options(
         rest, scheme=DAEMON_SCHEME, allowed=_DAEMON_OPTIONS
     )
     timeout = context.timeout
-    if "timeout" in options:
+    pinned_timeout = _daemon_seconds_option(options, "timeout", rest)
+    if pinned_timeout is not None:
+        timeout = pinned_timeout
+    backoff = _daemon_seconds_option(options, "backoff", rest)
+    deadline = _daemon_seconds_option(options, "deadline", rest)
+    retries: Optional[int] = None
+    if "retries" in options:
         try:
-            timeout = float(options["timeout"])
+            retries = int(options["retries"])
         except ValueError:
-            timeout = float("nan")
-        # One typed error for every unusable value — NaN, negative,
-        # infinite — so CLI callers always get the clean exit path,
-        # never socket.settimeout's raw ValueError.
-        if not 0 < timeout < float("inf"):
+            retries = -1
+        if retries < 0:
             raise InvalidHandleError(
-                f"repro:// option timeout={options['timeout']!r} is not "
-                f"a positive number of seconds (handle "
+                f"repro:// option retries={options['retries']!r} is not "
+                f"a non-negative integer (handle "
                 f"{DAEMON_SCHEME}://{rest!r})",
                 handle=f"{DAEMON_SCHEME}://{rest}",
             ) from None
+    retry: Optional[RetryPolicy] = None
+    if retries is not None or backoff is not None or deadline is not None:
+        defaults = RetryPolicy()
+        chosen_backoff = defaults.backoff if backoff is None else backoff
+        retry = RetryPolicy(
+            retries=defaults.retries if retries is None else retries,
+            backoff=chosen_backoff,
+            # A handle pinning a large initial backoff must not trip the
+            # policy's backoff <= backoff_max invariant.
+            backoff_max=max(defaults.backoff_max, chosen_backoff),
+            deadline=deadline,
+        )
     if not socket_path:
         raise InvalidHandleError(
             f"serving handle has an empty socket path: "
             f"{DAEMON_SCHEME}://{rest!r}; expected repro://<socket-path>",
             handle=f"{DAEMON_SCHEME}://{rest}",
         )
-    remote = RemoteIdentifier.connect(socket_path, timeout=timeout)
+    remote = RemoteIdentifier.connect(socket_path, timeout=timeout, retry=retry)
     try:
         remote.client.ping()
     except DaemonError as error:

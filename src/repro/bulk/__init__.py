@@ -25,19 +25,28 @@ CLI: ``repro bulk``.  Docs: ``docs/bulk.md``.
 """
 
 from repro.bulk.checkpoint import MANIFEST_NAME, RunManifest, sha256_file
-from repro.bulk.engine import RunReport, model_fingerprint, run
+from repro.bulk.engine import (
+    RunReport,
+    VerifyReport,
+    model_fingerprint,
+    run,
+    verify_run,
+)
 from repro.bulk.errors import (
     BulkError,
     CheckpointError,
     ManifestCorruptError,
     ManifestMismatchError,
+    ShardCommitError,
+    VerifyError,
 )
 from repro.bulk.sink import SINKS, SummaryAccumulator, make_sink
-from repro.bulk.source import Shard, discover_shards, read_urls
+from repro.bulk.source import BadRow, Shard, discover_shards, read_rows, read_urls
 
 __all__ = [
     "MANIFEST_NAME",
     "SINKS",
+    "BadRow",
     "BulkError",
     "CheckpointError",
     "ManifestCorruptError",
@@ -45,11 +54,16 @@ __all__ = [
     "RunManifest",
     "RunReport",
     "Shard",
+    "ShardCommitError",
     "SummaryAccumulator",
+    "VerifyError",
+    "VerifyReport",
     "discover_shards",
     "make_sink",
     "model_fingerprint",
+    "read_rows",
     "read_urls",
     "run",
     "sha256_file",
+    "verify_run",
 ]

@@ -217,8 +217,17 @@ class RunManifest:
         rows: int,
         sha256: str,
         seconds: float,
+        quarantined: int = 0,
+        quarantine_file: str | None = None,
+        quarantine_sha256: str | None = None,
     ) -> None:
-        """Record one shard's completed, renamed, hashed output."""
+        """Record one shard's completed, renamed, hashed output.
+
+        When rows were quarantined, the sidecar file name and its
+        sha256 are checkpointed too, so resume validation and ``bulk
+        verify`` cover the quarantine record with the same rigor as
+        the scores themselves.
+        """
         entry = self.shards[shard_id]
         entry.update(
             status="done",
@@ -227,6 +236,15 @@ class RunManifest:
             sha256=sha256,
             seconds=round(seconds, 6),
         )
+        if quarantined:
+            entry.update(
+                quarantined=quarantined,
+                quarantine_file=quarantine_file,
+                quarantine_sha256=quarantine_sha256,
+            )
+        else:
+            for key in ("quarantined", "quarantine_file", "quarantine_sha256"):
+                entry.pop(key, None)
 
     def pending_ids(self) -> list[str]:
         return [
@@ -320,9 +338,20 @@ class RunManifest:
                 matches = sha256_file(output) == entry["sha256"]
             except OSError:
                 matches = False
+            if matches and entry.get("quarantine_file"):
+                sidecar = output_dir / entry["quarantine_file"]
+                try:
+                    matches = (
+                        sha256_file(sidecar) == entry["quarantine_sha256"]
+                    )
+                except OSError:
+                    matches = False
             if not matches:
                 entry["status"] = "pending"
-                for key in ("output", "rows", "sha256", "seconds"):
+                for key in (
+                    "output", "rows", "sha256", "seconds",
+                    "quarantined", "quarantine_file", "quarantine_sha256",
+                ):
                     entry.pop(key, None)
                 demoted.append(shard_id)
         return demoted

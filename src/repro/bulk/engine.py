@@ -37,6 +37,7 @@ engine is idempotent.
 from __future__ import annotations
 
 import hashlib
+import json
 import multiprocessing
 import os
 import time
@@ -45,13 +46,25 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.api.protocol import DEFAULT_CHUNK_SIZE, Predictor
-from repro.bulk.checkpoint import MANIFEST_NAME, RunManifest
-from repro.bulk.errors import BulkError, ManifestMismatchError
+from repro.bulk.checkpoint import MANIFEST_NAME, RunManifest, sha256_file
+from repro.bulk.errors import (
+    BulkError,
+    ManifestMismatchError,
+    ShardCommitError,
+    VerifyError,
+)
 from repro.bulk.sink import RowSink, SummaryAccumulator, make_sink
-from repro.bulk.source import Shard, discover_shards, read_urls
+from repro.bulk.source import BadRow, Shard, discover_shards, read_rows
 from repro.store.metrics import LatencyHistogram
+from repro.testing import faults
 
-__all__ = ["RunReport", "model_fingerprint", "run"]
+__all__ = [
+    "RunReport",
+    "VerifyReport",
+    "model_fingerprint",
+    "run",
+    "verify_run",
+]
 
 #: Default worker-process count for bulk runs.
 DEFAULT_WORKERS = 2
@@ -131,6 +144,7 @@ class RunReport:
     rows_total: int
     wall_seconds: float
     urls_per_second: float
+    rows_quarantined: int = 0
     summary: dict = field(default_factory=dict)
     latency: dict | None = None
 
@@ -140,9 +154,15 @@ class RunReport:
             f"{label}={count}"
             for label, count in self.summary.get("best", {}).items()
         )
+        quarantined = (
+            f", {self.rows_quarantined} quarantined"
+            if self.rows_quarantined
+            else ""
+        )
         return (
             f"scored {self.rows_scored} URLs in {self.shards_scored} "
-            f"shard(s) ({self.shards_skipped} already done) in "
+            f"shard(s) ({self.shards_skipped} already done"
+            f"{quarantined}) in "
             f"{self.wall_seconds:.2f}s — {self.urls_per_second:.0f} "
             f"URLs/s; totals: {best or 'none'}"
         )
@@ -151,12 +171,18 @@ class RunReport:
 # -- worker side ------------------------------------------------------------------
 
 #: Per-process scoring state, set once by the pool initializer.
-_worker_state: tuple[Predictor, RowSink, int, str, str] | None = None
+_worker_state: (
+    tuple[Predictor, RowSink, int, str, str, bool] | None
+) = None
+
+#: File-name suffix of a shard's quarantine sidecar.
+QUARANTINE_SUFFIX = ".quarantine.jsonl"
 
 
 def _initialize_worker(
     handle: str, sink_name: str, provenance: str | None,
     chunk_size: int, url_field: str, output_dir: str,
+    quarantine: bool = True,
 ) -> None:
     """Pool initializer: re-open the shared model in this process.
 
@@ -174,6 +200,7 @@ def _initialize_worker(
         chunk_size,
         url_field,
         output_dir,
+        quarantine,
     )
 
 
@@ -188,6 +215,48 @@ def _chunks(urls: Iterable[str], size: int) -> Iterator[list[str]]:
         yield chunk
 
 
+def _predict_rows(
+    predictor: Predictor,
+    chunk: list[str],
+    shard_id: str,
+    quarantine: bool,
+    quarantined: list[dict],
+) -> list:
+    """One predict pass over a chunk, degrading to per-row retry.
+
+    A whole-chunk failure (a poison URL crashing the backend, a
+    transient daemon error) is retried one URL at a time, so a single
+    bad row costs one row, not a shard: rows that fail again land in
+    ``quarantined`` with the error as the reason, every other row is
+    scored normally.  With quarantine off the original error
+    propagates — the strict, fail-the-run reading.
+    """
+    try:
+        faults.maybe_raise(
+            "predict-error", shard=shard_id, text=" ".join(chunk)
+        )
+        return list(predictor.predict(chunk))
+    except Exception as error:
+        if not quarantine:
+            raise
+        chunk_error = error
+    predictions: list = []
+    for url in chunk:
+        try:
+            faults.maybe_raise("predict-error", shard=shard_id, text=url)
+            predictions.extend(predictor.predict([url]))
+        except Exception as error:
+            quarantined.append({
+                "shard": shard_id,
+                "url": url,
+                "reason": (
+                    f"predict failed after per-row retry ({error}); "
+                    f"chunk failure was: {chunk_error}"
+                ),
+            })
+    return predictions
+
+
 def _score_shard(task: dict) -> dict:
     """Score one shard with the worker's model; commit atomically.
 
@@ -195,10 +264,18 @@ def _score_shard(task: dict) -> dict:
     on compiled backends), format, hash, write.  The output file is
     born as ``<name>.part`` and renamed only after an fsync, so a
     SIGKILL can never leave a truncated file under the final name.
+    In quarantine mode (the default) malformed input rows and rows
+    whose per-row predict retry still fails are recorded in a
+    ``*.quarantine.jsonl`` sidecar instead of failing the shard.
+    A commit that the filesystem refuses (ENOSPC, a vanished output
+    directory) raises :class:`~repro.bulk.errors.ShardCommitError`
+    after removing the part file — a later ``--resume`` re-scores
+    exactly the uncommitted shards.
     Returns the completion record the parent checkpoints.
     """
     assert _worker_state is not None, "worker used before initialisation"
-    predictor, sink, chunk_size, url_field, output_dir = _worker_state
+    (predictor, sink, chunk_size, url_field, output_dir,
+     quarantine) = _worker_state
     shard = Shard(**task["shard"])
     output_name = task["output"]
     final_path = Path(output_dir) / output_name
@@ -207,30 +284,73 @@ def _score_shard(task: dict) -> dict:
     # interleave writes with a resume's worker on the same shard —
     # whoever renames last wins atomically, with self-consistent bytes.
     part_path = Path(output_dir) / f"{output_name}.part.{os.getpid()}"
+    sidecar_path = Path(output_dir) / f"{output_name}{QUARANTINE_SUFFIX}"
+    quarantined: list[dict] = []
+
+    def rows_in() -> Iterator[str]:
+        for item in read_rows(shard, url_field):
+            if isinstance(item, BadRow):
+                if not quarantine:
+                    raise BulkError(item.reason)
+                quarantined.append({
+                    "shard": item.shard_id,
+                    "row": item.row,
+                    "raw": item.raw,
+                    "reason": item.reason,
+                })
+                continue
+            yield item
+
     digest = hashlib.sha256()
     summary = SummaryAccumulator()
     latency = LatencyHistogram()
     rows = 0
     started = time.perf_counter()
-    with open(part_path, "wb") as stream:
-        header = sink.header()
-        if header is not None:
-            data = (header + "\n").encode("utf-8")
-            digest.update(data)
-            stream.write(data)
-        for chunk in _chunks(read_urls(shard, url_field), chunk_size):
-            chunk_started = time.perf_counter()
-            batch = predictor.predict(chunk)
-            latency.observe(time.perf_counter() - chunk_started)
-            for prediction in batch:
-                data = (sink.format(prediction) + "\n").encode("utf-8")
+    quarantine_sha256: str | None = None
+    try:
+        with open(part_path, "wb") as stream:
+            header = sink.header()
+            if header is not None:
+                data = (header + "\n").encode("utf-8")
                 digest.update(data)
                 stream.write(data)
-                summary.observe(prediction)
-                rows += 1
-        stream.flush()
-        os.fsync(stream.fileno())
-    os.replace(part_path, final_path)
+            for chunk in _chunks(rows_in(), chunk_size):
+                chunk_started = time.perf_counter()
+                batch = _predict_rows(
+                    predictor, chunk, shard.shard_id, quarantine,
+                    quarantined,
+                )
+                latency.observe(time.perf_counter() - chunk_started)
+                for prediction in batch:
+                    data = (sink.format(prediction) + "\n").encode("utf-8")
+                    digest.update(data)
+                    stream.write(data)
+                    summary.observe(prediction)
+                    rows += 1
+            stream.flush()
+            os.fsync(stream.fileno())
+        if quarantined:
+            quarantine_sha256 = _commit_sidecar(sidecar_path, quarantined)
+        faults.maybe_raise("commit-error", shard=shard.shard_id)
+        os.replace(part_path, final_path)
+    except OSError as error:
+        try:
+            part_path.unlink()
+        except OSError:
+            pass
+        raise ShardCommitError(
+            f"shard {shard.shard_id}: committing {output_name} failed "
+            f"({error}); already-committed shards are safe — fix the "
+            "disk and re-run with --resume to re-score only what is "
+            "missing"
+        ) from error
+    if not quarantined:
+        # A previous, since-demoted attempt may have left a sidecar;
+        # this clean pass supersedes it.
+        try:
+            sidecar_path.unlink()
+        except OSError:
+            pass
     return {
         "shard_id": shard.shard_id,
         "output": output_name,
@@ -239,7 +359,27 @@ def _score_shard(task: dict) -> dict:
         "seconds": time.perf_counter() - started,
         "summary": summary.snapshot(),
         "latency": latency.snapshot(),
+        "quarantined": len(quarantined),
+        "quarantine_file": sidecar_path.name if quarantined else None,
+        "quarantine_sha256": quarantine_sha256,
     }
+
+
+def _commit_sidecar(sidecar_path: Path, quarantined: list[dict]) -> str:
+    """Atomically write a shard's quarantine sidecar; return its sha256."""
+    part = sidecar_path.with_name(
+        f"{sidecar_path.name}.part.{os.getpid()}"
+    )
+    digest = hashlib.sha256()
+    with open(part, "wb") as stream:
+        for entry in quarantined:
+            data = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+            digest.update(data)
+            stream.write(data)
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(part, sidecar_path)
+    return digest.hexdigest()
 
 
 # -- parent side ------------------------------------------------------------------
@@ -293,6 +433,7 @@ def run(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     url_field: str = "url",
     resume: bool = False,
+    quarantine: bool = True,
     store_root: str | os.PathLike | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> RunReport:
@@ -302,8 +443,12 @@ def run(
     path* (live predictor objects have no portable form for worker
     processes).  ``workers <= 1`` scores in-process — the baseline for
     scaling measurements and the only mode stdin input supports.
-    ``progress`` (if given) receives one human-readable line per
-    completed shard.
+    ``quarantine`` (default on) diverts malformed input rows and rows
+    whose per-row predict retry still fails into a per-shard
+    ``*.quarantine.jsonl`` sidecar instead of failing the run;
+    ``quarantine=False`` restores strict fail-on-first-bad-row
+    semantics.  ``progress`` (if given) receives one human-readable
+    line per completed shard.
 
     Returns a :class:`RunReport`; raises the
     :class:`~repro.bulk.errors.BulkError` hierarchy on planning and
@@ -396,20 +541,25 @@ def run(
 
     initargs = (
         handle, sink, provenance, chunk_size, url_field, str(output_dir),
+        quarantine,
     )
     started = time.perf_counter()
     scored = 0
     rows_scored = 0
+    rows_quarantined = 0
     latency = LatencyHistogram()
 
     def commit(result: dict) -> None:
-        nonlocal scored, rows_scored
+        nonlocal scored, rows_scored, rows_quarantined
         manifest.mark_done(
             result["shard_id"],
             output=result["output"],
             rows=result["rows"],
             sha256=result["sha256"],
             seconds=result["seconds"],
+            quarantined=result.get("quarantined", 0),
+            quarantine_file=result.get("quarantine_file"),
+            quarantine_sha256=result.get("quarantine_sha256"),
         )
         manifest.shards[result["shard_id"]]["summary"] = result["summary"]
         if not stdin_run:
@@ -417,13 +567,19 @@ def run(
         latency.merge(LatencyHistogram.from_snapshot(result["latency"]))
         scored += 1
         rows_scored += result["rows"]
+        rows_quarantined += result.get("quarantined", 0)
         if progress:
             rate = result["rows"] / result["seconds"] if result["seconds"] else 0
+            note = (
+                f" ({result['quarantined']} quarantined)"
+                if result.get("quarantined")
+                else ""
+            )
             progress(
                 f"[{skipped + scored}/{len(manifest.order)}] "
                 f"{result['shard_id']} -> {result['output']}: "
                 f"{result['rows']} rows in {result['seconds']:.2f}s "
-                f"({rate:.0f}/s)"
+                f"({rate:.0f}/s){note}"
             )
 
     if tasks:
@@ -459,6 +615,10 @@ def run(
         ),
         6,
     )
+    summary["quarantined"] = sum(
+        manifest.shards[shard_id].get("quarantined", 0)
+        for shard_id in manifest.done_ids()
+    )
     manifest.summary = summary
     if not stdin_run:
         manifest.save(manifest_path)
@@ -478,6 +638,101 @@ def run(
         rows_total=summary["rows"],
         wall_seconds=wall,
         urls_per_second=(rows_scored / wall) if wall > 0 else 0.0,
+        rows_quarantined=rows_quarantined,
         summary=summary,
         latency=latency.snapshot() if latency.count else None,
+    )
+
+
+# -- verification -----------------------------------------------------------------
+
+
+@dataclass
+class VerifyReport:
+    """What ``repro bulk verify`` checked, when everything held."""
+
+    output_dir: str
+    manifest_path: str
+    shards_verified: int
+    rows: int
+    quarantined: int
+    bytes_hashed: int
+
+    def describe(self) -> str:
+        return (
+            f"verified {self.shards_verified} shard(s), {self.rows} "
+            f"rows, {self.quarantined} quarantined — every committed "
+            f"output matches its checkpointed sha256 "
+            f"({self.bytes_hashed} bytes re-hashed)"
+        )
+
+
+def verify_run(output_dir: str | os.PathLike) -> VerifyReport:
+    """Re-hash every committed output of a finished run.
+
+    Loads the manifest, requires every shard ``done``, and re-computes
+    the sha256 of each output shard *and* each quarantine sidecar
+    against the checkpointed values — the offline proof that the bytes
+    on disk are still exactly the bytes the run committed.  Raises
+    :class:`~repro.bulk.errors.VerifyError` listing every problem
+    (pending shards, missing files, checksum mismatches); returns a
+    :class:`VerifyReport` when the run verifies clean.
+    """
+    output_dir = Path(output_dir)
+    manifest_path = output_dir / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise VerifyError(
+            f"{manifest_path} does not exist — nothing to verify "
+            "(is this the run's output directory?)"
+        )
+    manifest = RunManifest.load(manifest_path)
+    problems: list[str] = []
+    pending = manifest.pending_ids()
+    if pending:
+        problems.append(
+            f"{len(pending)} shard(s) not finished: {', '.join(pending)}"
+        )
+    rows = 0
+    quarantined = 0
+    bytes_hashed = 0
+    for shard_id in manifest.done_ids():
+        entry = manifest.shards[shard_id]
+        for file_key, sha_key in (
+            ("output", "sha256"),
+            ("quarantine_file", "quarantine_sha256"),
+        ):
+            name = entry.get(file_key)
+            if name is None:
+                continue
+            path = output_dir / name
+            try:
+                actual = sha256_file(path)
+            except OSError as error:
+                problems.append(
+                    f"shard {shard_id}: {name} unreadable ({error})"
+                )
+                continue
+            if actual != entry.get(sha_key):
+                problems.append(
+                    f"shard {shard_id}: {name} sha256 {actual[:16]}… "
+                    f"does not match checkpointed "
+                    f"{str(entry.get(sha_key))[:16]}…"
+                )
+                continue
+            bytes_hashed += path.stat().st_size
+        rows += entry.get("rows", 0)
+        quarantined += entry.get("quarantined", 0)
+    if problems:
+        raise VerifyError(
+            f"run in {output_dir} failed verification "
+            f"({len(problems)} problem(s)):\n  - "
+            + "\n  - ".join(problems)
+        )
+    return VerifyReport(
+        output_dir=str(output_dir),
+        manifest_path=str(manifest_path),
+        shards_verified=len(manifest.done_ids()),
+        rows=rows,
+        quarantined=quarantined,
+        bytes_hashed=bytes_hashed,
     )

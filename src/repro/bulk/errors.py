@@ -12,11 +12,27 @@ __all__ = [
     "CheckpointError",
     "ManifestCorruptError",
     "ManifestMismatchError",
+    "ShardCommitError",
+    "VerifyError",
 ]
 
 
 class BulkError(Exception):
     """Base class for every bulk-engine failure."""
+
+
+class ShardCommitError(BulkError):
+    """A scored shard's output could not be committed to disk (ENOSPC,
+    permissions, a vanished output directory).  The run stops — row
+    data is safe in the input, nothing half-written carries the final
+    output name — and a later ``--resume`` re-scores exactly the
+    uncommitted shards."""
+
+
+class VerifyError(BulkError):
+    """``repro bulk verify`` found the output directory inconsistent
+    with its manifest — shards still pending, output files missing, or
+    bytes whose sha256 no longer matches the checkpointed one."""
 
 
 class CheckpointError(BulkError):

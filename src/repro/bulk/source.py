@@ -42,11 +42,18 @@ from repro.bulk.errors import BulkError
 __all__ = [
     "FORMATS",
     "STDIN_SPEC",
+    "BadRow",
     "Shard",
     "detect_format",
     "discover_shards",
+    "read_rows",
     "read_urls",
 ]
+
+#: Longest raw-row excerpt a :class:`BadRow` carries into the
+#: quarantine sidecar (enough to find the row, bounded so one
+#: pathological line cannot bloat the sidecar).
+BAD_ROW_EXCERPT_CHARS = 500
 
 #: Input spec naming standard input.
 STDIN_SPEC = "-"
@@ -56,6 +63,24 @@ FORMATS = ("text", "jsonl", "csv")
 
 _JSONL_SUFFIXES = {".jsonl", ".ndjson"}
 _CSV_SUFFIXES = {".csv"}
+
+
+@dataclass(frozen=True)
+class BadRow:
+    """One input row that cannot be scored, and why.
+
+    Yielded by :func:`read_rows` in place of a URL so callers choose
+    the policy: the strict :func:`read_urls` wrapper raises on the
+    first one (classify-parity mode), while the engine's quarantine
+    path records it in the run's ``quarantine.jsonl`` sidecar and
+    keeps scoring.  ``row`` is the 1-based row number inside the
+    shard; ``raw`` is a bounded excerpt of the offending line.
+    """
+
+    shard_id: str
+    row: int
+    reason: str
+    raw: str
 
 
 @dataclass(frozen=True)
@@ -150,14 +175,23 @@ def _open_text(shard: Shard) -> io.TextIOBase:
     return open(shard.path, "r", encoding="utf-8")
 
 
-def read_urls(shard: Shard, url_field: str = "url") -> Iterator[str]:
-    """Stream the URLs of one shard, in file order, skipping blanks.
+def _excerpt(raw: str) -> str:
+    return raw.rstrip("\n")[:BAD_ROW_EXCERPT_CHARS]
+
+
+def read_rows(
+    shard: Shard, url_field: str = "url"
+) -> Iterator[str | BadRow]:
+    """Stream one shard in file order: a URL per good row, a
+    :class:`BadRow` per malformed one, blanks skipped.
 
     ``url_field`` names the JSONL object field / CSV header column
-    holding the URL (ignored for plain text).  Malformed rows raise
-    :class:`~repro.bulk.errors.BulkError` naming the shard and row —
-    silently dropping rows would make "output is byte-identical to
-    single-process classify" unverifiable.
+    holding the URL (ignored for plain text).  Per-row problems —
+    invalid JSON, a missing/empty/non-string URL, a short CSV row —
+    become :class:`BadRow` values so scoring can continue past them;
+    shard-level problems (a CSV header without the URL column) still
+    raise :class:`~repro.bulk.errors.BulkError`, because every
+    subsequent row would fail identically.
     """
     stream = _open_text(shard)
     try:
@@ -173,29 +207,41 @@ def read_urls(shard: Shard, url_field: str = "url") -> Iterator[str]:
                 try:
                     row = json.loads(line)
                 except json.JSONDecodeError as error:
-                    raise BulkError(
+                    yield BadRow(
+                        shard.shard_id, number,
                         f"shard {shard.shard_id} row {number}: "
-                        f"invalid JSON ({error})"
-                    ) from None
-                if not isinstance(row, dict) or url_field not in row:
-                    raise BulkError(
-                        f"shard {shard.shard_id} row {number}: no "
-                        f"{url_field!r} field (set url_field / --url-field)"
+                        f"invalid JSON ({error})",
+                        _excerpt(line),
                     )
+                    continue
+                if not isinstance(row, dict) or url_field not in row:
+                    yield BadRow(
+                        shard.shard_id, number,
+                        f"shard {shard.shard_id} row {number}: no "
+                        f"{url_field!r} field (set url_field / --url-field)",
+                        _excerpt(line),
+                    )
+                    continue
                 url = row[url_field]
                 if not isinstance(url, str):
-                    raise BulkError(
+                    yield BadRow(
+                        shard.shard_id, number,
                         f"shard {shard.shard_id} row {number}: "
                         f"{url_field!r} is {type(url).__name__}, not a "
                         "string — scoring a coerced repr would silently "
-                        "corrupt the output"
+                        "corrupt the output",
+                        _excerpt(line),
                     )
+                    continue
                 if not url:
-                    raise BulkError(
+                    yield BadRow(
+                        shard.shard_id, number,
                         f"shard {shard.shard_id} row {number}: "
                         f"{url_field!r} is empty — dropping or scoring "
-                        "it would silently desync output row counts"
+                        "it would silently desync output row counts",
+                        _excerpt(line),
                     )
+                    continue
                 yield url
         else:  # csv
             reader = csv.reader(stream)
@@ -214,18 +260,39 @@ def read_urls(shard: Shard, url_field: str = "url") -> Iterator[str]:
                 if not row:
                     continue  # an entirely blank line, like text's
                 if column >= len(row):
-                    raise BulkError(
+                    yield BadRow(
+                        shard.shard_id, number,
                         f"shard {shard.shard_id} row {number}: "
-                        f"{len(row)} columns, URL column is {column + 1}"
+                        f"{len(row)} columns, URL column is {column + 1}",
+                        _excerpt(",".join(row)),
                     )
+                    continue
                 if not row[column]:
-                    raise BulkError(
+                    yield BadRow(
+                        shard.shard_id, number,
                         f"shard {shard.shard_id} row {number}: "
                         f"{url_field!r} cell is empty — dropping or "
                         "scoring it would silently desync output row "
-                        "counts"
+                        "counts",
+                        _excerpt(",".join(row)),
                     )
+                    continue
                 yield row[column]
     finally:
         if not shard.is_stdin:
             stream.close()
+
+
+def read_urls(shard: Shard, url_field: str = "url") -> Iterator[str]:
+    """Stream the URLs of one shard, in file order, skipping blanks.
+
+    The strict reading: the first malformed row raises
+    :class:`~repro.bulk.errors.BulkError` naming the shard and row —
+    silently dropping rows would make "output is byte-identical to
+    single-process classify" unverifiable.  The engine's quarantine
+    mode uses :func:`read_rows` directly instead.
+    """
+    for item in read_rows(shard, url_field=url_field):
+        if isinstance(item, BadRow):
+            raise BulkError(item.reason)
+        yield item

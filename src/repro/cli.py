@@ -177,14 +177,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpointed, parallel bulk scoring of a sharded URL corpus",
     )
     bulk.add_argument(
-        "--model", required=True,
-        help="any repro.api.open_model handle string: artifact path, "
-        "store://<name>[?root=..], repro://<socket>, or legacy pickle",
+        "action", nargs="?", choices=("run", "verify"), default="run",
+        help="run (default) scores the corpus; verify re-hashes a "
+        "finished run's committed outputs against its manifest",
     )
     bulk.add_argument(
-        "--input", required=True,
+        "--model",
+        help="any repro.api.open_model handle string: artifact path, "
+        "store://<name>[?root=..], repro://<socket>, or legacy pickle "
+        "(required for run)",
+    )
+    bulk.add_argument(
+        "--input",
         help="a URL file (.txt/.jsonl/.csv, optionally .gz), a directory "
-        "of such shards, or '-' for stdin (streaming only)",
+        "of such shards, or '-' for stdin (streaming only; required "
+        "for run)",
     )
     bulk.add_argument(
         "--output", required=True,
@@ -207,6 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="continue the run checkpointed in --output (refused if "
         "the model checksum or shard list changed)",
+    )
+    bulk.add_argument(
+        "--no-quarantine", action="store_true",
+        help="fail the run on the first malformed or unscorable row "
+        "instead of diverting it to the *.quarantine.jsonl sidecar",
     )
     bulk.add_argument(
         "--quiet", action="store_true",
@@ -366,8 +378,20 @@ def _cmd_bulk(args: argparse.Namespace, out) -> int:
     their actionable message; per-shard progress goes to ``out`` unless
     ``--quiet``.
     """
-    from repro.bulk import BulkError, run
+    from repro.bulk import BulkError, run, verify_run
 
+    if args.action == "verify":
+        try:
+            verified = verify_run(args.output)
+        except BulkError as error:
+            raise SystemExit(str(error)) from None
+        out.write(verified.describe() + "\n")
+        return 0
+    if not args.model or not args.input:
+        raise SystemExit(
+            "repro bulk: --model and --input are required "
+            "(only 'repro bulk verify' runs without them)"
+        )
     progress = None if args.quiet else (
         lambda line: out.write(line + "\n")
     )
@@ -381,6 +405,7 @@ def _cmd_bulk(args: argparse.Namespace, out) -> int:
             chunk_size=args.chunk_size,
             url_field=args.url_field,
             resume=args.resume,
+            quarantine=not args.no_quarantine,
             progress=progress,
         )
     except (BulkError, ResolveError) as error:

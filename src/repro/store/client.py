@@ -20,16 +20,22 @@ Error taxonomy: :class:`DaemonUnavailableError` means nothing answered
 (daemon not started, crashed, or wrong socket path) — callers may retry
 or fall back to loading the artifact themselves.
 :class:`DaemonRequestError` means a live daemon *refused* the request
-and carries the protocol error ``code``; retrying the same request will
-fail the same way.
+and carries the protocol error ``code``.  Refusals in
+:data:`~repro.store.wire.RETRYABLE_CODES` (``overloaded``,
+``shutting-down``) are retried *inside* the client by its
+:class:`RetryPolicy` before this error ever surfaces — so by the time a
+caller sees it, the retry budget is spent and looping further is
+pointless.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import socket
 import time
 import warnings
+from dataclasses import dataclass
 
 from repro.api.resolver import daemon_socket_path, is_daemon_handle
 from repro.core.pipeline import IdentifierBase
@@ -37,11 +43,17 @@ from repro.languages import Language
 from repro.store.serve import ServedUrl
 from repro.store.wire import (
     PROTOCOL_VERSION,
+    RETRYABLE_CODES,
     ConnectionClosed,
     WireError,
     recv_message,
     send_message,
 )
+
+#: Operations safe to replay: pure reads whose repetition cannot change
+#: daemon state.  ``reload`` and ``stop`` are excluded — replaying a
+#: mutation after an ambiguous failure could act twice.
+IDEMPOTENT_OPS = frozenset({"ping", "status", "classify", "score", "decisions"})
 
 #: Scheme prefix of daemon handle strings (``repro://<socket-path>``);
 #: canonical form lives in :data:`repro.api.DAEMON_SCHEME`.
@@ -71,6 +83,48 @@ class DaemonRequestError(DaemonError):
         self.code = code
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`DaemonClient` retries transient failures.
+
+    Retries happen only for *idempotent* operations
+    (:data:`IDEMPOTENT_OPS`), and only on transient failures: transport
+    errors (the connection died — a crashed or hot-reload-retired
+    worker) and refusals whose code is in
+    :data:`~repro.store.wire.RETRYABLE_CODES`.  Terminal refusals
+    (``bad-request``, ``deadline-exceeded``, …) surface immediately —
+    replaying them could only fail identically.
+
+    ``retries`` bounds the retry budget (total attempts = retries + 1).
+    Delays grow exponentially from ``backoff`` up to ``backoff_max``,
+    each scaled by a uniform jitter in [0.5, 1.0] so a fleet of clients
+    bounced by one daemon restart does not retry in lockstep.
+
+    ``deadline`` (seconds) is the end-to-end budget for one logical
+    request across all its attempts.  It is also propagated to the
+    daemon in the frame header, so the server can refuse or abandon
+    work this client will no longer wait for.
+    """
+
+    retries: int = 4
+    backoff: float = 0.05
+    backoff_max: float = 2.0
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff <= 0 or self.backoff_max < self.backoff:
+            raise ValueError("need 0 < backoff <= backoff_max")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive seconds")
+
+    def delay(self, attempt: int) -> float:
+        """Jittered sleep before retry number ``attempt`` (1-based)."""
+        base = min(self.backoff * (2 ** (attempt - 1)), self.backoff_max)
+        return base * (0.5 + random.random() / 2)
+
+
 def parse_handle(handle: str) -> str:
     """Socket path of a ``repro://`` handle string.
 
@@ -94,13 +148,14 @@ class DaemonClient:
 
     The connection is opened lazily on the first request and kept for
     the client's lifetime (a daemon worker serves any number of
-    requests per connection).  When the daemon swaps its worker
-    generation during a hot reload, persistent connections are closed
-    at frame boundaries; the client transparently retries on a fresh
-    connection (a few times, briefly — requests are pure reads, so
-    replaying one is always safe) before surfacing
-    :class:`DaemonUnavailableError`.  A daemon that was never there
-    fails fast: connection *refusal* is not retried.
+    requests per connection).  Transient failures — a connection closed
+    by a hot-reload handover or a crashed worker, a typed
+    ``overloaded`` or ``shutting-down`` refusal — are retried on a
+    fresh connection under the client's :class:`RetryPolicy` (jittered
+    exponential backoff, idempotent operations only) before surfacing
+    :class:`DaemonUnavailableError` / :class:`DaemonRequestError`.
+    A daemon that was never there fails fast: connection *refusal* is
+    not retried.
 
     Use as a context manager or call :meth:`close` when done::
 
@@ -108,20 +163,19 @@ class DaemonClient:
             rows = client.classify(["http://www.blumen.de/garten"])
     """
 
-    #: Attempts per request across dying connections (hot-reload handover).
-    MAX_ATTEMPTS = 5
-
     def __init__(
         self,
         socket_path: str | os.PathLike,
         timeout: float = 30.0,
         protocol_version: int = PROTOCOL_VERSION,
+        retry: RetryPolicy | None = None,
     ) -> None:
         """``protocol_version`` exists so tests can provoke the daemon's
         version gate; production callers never pass it."""
         self.socket_path = os.fspath(socket_path)
         self.timeout = timeout
         self.protocol_version = protocol_version
+        self.retry = RetryPolicy() if retry is None else retry
         self._sock: socket.socket | None = None
 
     # -- connection management ----------------------------------------------------
@@ -155,46 +209,79 @@ class DaemonClient:
 
     # -- request plumbing ---------------------------------------------------------
 
-    def _roundtrip(self, message: dict) -> dict:
+    def _roundtrip(self, message: dict,
+                   deadline_ms: int | None = None) -> dict:
         if self._sock is None:
             self._sock = self._connect()
-        send_message(self._sock, message)
+        send_message(self._sock, message, deadline_ms=deadline_ms)
         return recv_message(self._sock)
 
     def request(self, op: str, **fields) -> dict:
         """Issue one ``op`` request and return the success response.
 
-        Raises :class:`DaemonRequestError` on a protocol-level refusal
-        and :class:`DaemonUnavailableError` when no daemon answers even
-        after one reconnect.
+        Transient failures are retried under :attr:`retry` when ``op``
+        is idempotent: transport errors (the worker that held our
+        connection crashed or retired in a hot reload — a fresh
+        connection reaches its replacement) and typed refusals in
+        :data:`~repro.store.wire.RETRYABLE_CODES`.  Retried requests
+        carry an ``attempt`` field so the daemon's robustness counters
+        see them.
+
+        Raises :class:`DaemonRequestError` on a terminal refusal (or a
+        retryable one that outlived the retry budget) and
+        :class:`DaemonUnavailableError` when no daemon answers.
         """
-        message = {"v": self.protocol_version, "op": op, **fields}
-        last_error: Exception | None = None
-        for attempt in range(self.MAX_ATTEMPTS):
+        policy = self.retry
+        idempotent = op in IDEMPOTENT_OPS
+        expires = (
+            time.monotonic() + policy.deadline
+            if policy.deadline is not None else None
+        )
+
+        def may_retry(attempt: int) -> bool:
+            if not idempotent or attempt > policy.retries:
+                return False
+            return expires is None or time.monotonic() < expires
+
+        attempt = 0
+        while True:
+            attempt += 1
+            message = {"v": self.protocol_version, "op": op, **fields}
+            if attempt > 1:
+                message["attempt"] = attempt
+            deadline_ms = None
+            if expires is not None:
+                deadline_ms = max(
+                    0, int((expires - time.monotonic()) * 1000)
+                )
             try:
-                response = self._roundtrip(message)
-                break
+                response = self._roundtrip(message, deadline_ms=deadline_ms)
             except (WireError, ConnectionClosed, OSError) as error:
-                # The worker that held our connection may have retired
-                # in a hot reload; a fresh connection reaches its
-                # replacement (possibly after a couple of tries while
-                # the generation handover settles).
                 self.close()
-                last_error = error
-                if attempt + 1 < self.MAX_ATTEMPTS:
-                    time.sleep(0.05 * (attempt + 1))
-        else:
-            raise DaemonUnavailableError(
-                f"serving daemon on {self.socket_path!r} stopped "
-                f"answering ({last_error})"
-            ) from None
-        if not response.get("ok"):
-            error = response.get("error", {})
+                if may_retry(attempt):
+                    time.sleep(policy.delay(attempt))
+                    continue
+                raise DaemonUnavailableError(
+                    f"serving daemon on {self.socket_path!r} stopped "
+                    f"answering ({error})"
+                ) from None
+            if response.get("ok"):
+                return response
+            error_block = response.get("error", {})
+            code = error_block.get("code", "internal")
+            if code in RETRYABLE_CODES and may_retry(attempt):
+                # A draining worker closes after this answer; an
+                # overloaded daemon wants us elsewhere.  Either way the
+                # retry belongs on a fresh connection.
+                self.close()
+                time.sleep(policy.delay(attempt))
+                continue
             raise DaemonRequestError(
-                code=error.get("code", "internal"),
-                message=error.get("message", "daemon returned an error"),
+                code=code,
+                message=error_block.get(
+                    "message", "daemon returned an error"
+                ),
             )
-        return response
 
     # -- the served operations ----------------------------------------------------
 
@@ -264,9 +351,10 @@ class RemoteIdentifier(IdentifierBase):
 
     @classmethod
     def connect(cls, socket_path: str | os.PathLike,
-                timeout: float = 30.0) -> "RemoteIdentifier":
+                timeout: float = 30.0,
+                retry: RetryPolicy | None = None) -> "RemoteIdentifier":
         """A remote identifier over a fresh :class:`DaemonClient`."""
-        return cls(DaemonClient(socket_path, timeout=timeout))
+        return cls(DaemonClient(socket_path, timeout=timeout, retry=retry))
 
     @property
     def name(self) -> str:

@@ -41,6 +41,7 @@ protocol spec, hot-reload semantics, and capacity planning.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import select
 import signal
@@ -48,13 +49,14 @@ import socket
 import sys
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.store.artifact import MODEL_KIND, ServingIdentifier, load_identifier
 from repro.store.format import ArtifactError, ArtifactFile
-from repro.store.metrics import RequestMetrics
+from repro.store.metrics import RequestMetrics, RobustnessCounters
 from repro.store.serve import score_batch
 from repro.store.wire import (
     PROTOCOL_VERSION,
@@ -63,9 +65,10 @@ from repro.store.wire import (
     WireError,
     error_response,
     ok_response,
-    recv_message,
+    recv_frame,
     send_message,
 )
+from repro.testing import faults
 
 #: Default worker count for ``serve start``.
 DEFAULT_WORKERS = 2
@@ -81,6 +84,42 @@ FRAME_IO_TIMEOUT = 30.0
 
 #: Seconds a graceful shutdown waits for workers before SIGKILL.
 DRAIN_TIMEOUT = 10.0
+
+#: Seconds a draining worker keeps a persistent connection open to
+#: answer one late frame with a typed ``shutting-down`` error instead
+#: of resetting it mid-conversation.
+DRAIN_NOTIFY_SECONDS = 1.0
+
+#: Upper bound on one batch request's URL count.  The frame cap already
+#: bounds bytes; this bounds *work* — a maximal batch must not be able
+#: to occupy a worker long enough to read as an outage.
+MAX_BATCH_URLS = 65536
+
+#: Crash containment defaults (env-overridable so chaos tests can run
+#: the loop at test speed): this many current-generation worker deaths
+#: inside the window flips the daemon to ``degraded`` and swaps hot
+#: respawns for exponential backoff.
+CRASH_LOOP_THRESHOLD = 3
+CRASH_LOOP_WINDOW = 30.0
+RESPAWN_BACKOFF_INITIAL = 0.5
+RESPAWN_BACKOFF_MAX = 30.0
+
+
+class DaemonStartupError(RuntimeError):
+    """:func:`start_daemon` could not produce a serving daemon — the
+    socket is taken, the detached process died at boot, or readiness
+    timed out.  Subclasses ``RuntimeError`` for callers that still
+    catch broadly."""
+
+
+class DaemonNotRunningError(RuntimeError):
+    """No live daemon is recorded for the socket (missing or stale
+    pidfile)."""
+
+
+class DaemonStopTimeout(RuntimeError):
+    """The daemon acknowledged ``SIGTERM`` but outlived the stop
+    deadline; it may still be draining — inspect its log and pidfile."""
 
 
 def _utc_now() -> str:
@@ -135,6 +174,35 @@ class ServingDaemon:
         self._started_at = 0.0
         self._metrics = RequestMetrics()
         self._http_server: ThreadingHTTPServer | None = None
+        # Fleet-shared fault-tolerance state.  _degraded (the crash-loop
+        # flag any answering process must report) and the robustness
+        # counters are created before run() forks, so every worker
+        # updates the same shared slots.  Admission state is per worker
+        # instead of one shared counter: each _spawn_worker allocates a
+        # shared busy flag the child sets while holding a connection
+        # (one connection per worker, so a held connection IS
+        # occupancy).  The parent sums flags of live workers only —
+        # a SIGKILLed worker's stale flag dies with its table entry,
+        # where a global counter would leak an increment forever.
+        self._degraded = multiprocessing.Value("i", 0)
+        self._robustness = RobustnessCounters()
+        self._child_busy: dict[int, object] = {}  # pid -> shared flag
+        self._my_busy = None  # this worker's flag (children only)
+        # Crash containment (parent only).  Env overrides exist so the
+        # chaos tests can drive the loop at test speed instead of
+        # waiting out production windows.
+        self._crash_threshold = int(os.environ.get(
+            "REPRO_SERVE_CRASH_THRESHOLD", CRASH_LOOP_THRESHOLD))
+        self._crash_window = float(os.environ.get(
+            "REPRO_SERVE_CRASH_WINDOW", CRASH_LOOP_WINDOW))
+        self._backoff_initial = float(os.environ.get(
+            "REPRO_SERVE_BACKOFF_INITIAL", RESPAWN_BACKOFF_INITIAL))
+        self._backoff_max = float(os.environ.get(
+            "REPRO_SERVE_BACKOFF_MAX", RESPAWN_BACKOFF_MAX))
+        self._crash_times: deque[float] = deque()
+        self._respawn_backoff = 0.0
+        self._respawn_at = 0.0  # monotonic instant the backoff expires
+        self._pending_respawns = 0
         # Serializes os.fork() against the HTTP threads: a fork while a
         # thread holds an I/O or logging lock would hand the child a
         # lock nobody in it will ever release.  Also serializes HTTP
@@ -212,7 +280,8 @@ class ServingDaemon:
 
     # -- request dispatch (shared by socket workers and the HTTP thread) -----------
 
-    def _timed_dispatch(self, message: dict) -> dict:
+    def _timed_dispatch(self, message: dict,
+                        deadline: float | None = None) -> dict:
         """:meth:`_dispatch` plus per-worker request accounting.
 
         Every answered request lands in this process's
@@ -223,10 +292,39 @@ class ServingDaemon:
         thread-safe; both callers are already serialized — socket
         workers are single-threaded processes, and the parent's HTTP
         handlers dispatch under ``_fork_lock``.
+
+        ``deadline`` is the request's expiry on *this process's*
+        monotonic clock (converted from the frame header's budget at
+        receive time).  It is checked before dispatch — refusing work
+        nobody will wait for — and again after, so work that outlived
+        the caller's budget reports ``deadline-exceeded`` rather than
+        pretending the caller got the answer in time.
         """
         op = message.get("op")
         started = time.perf_counter()
-        response = self._dispatch(message)
+        attempt = message.get("attempt")
+        if isinstance(attempt, int) and attempt > 1:
+            self._robustness.bump("retries_observed")
+        if isinstance(op, str):
+            faults.maybe_sleep("slow-handler", op=op)
+        if deadline is not None and time.monotonic() >= deadline:
+            self._robustness.bump("deadline_expiries")
+            response = error_response(
+                "deadline-exceeded",
+                "request deadline expired before dispatch",
+            )
+        else:
+            response = self._dispatch(message)
+            if (
+                deadline is not None
+                and response.get("ok")
+                and time.monotonic() >= deadline
+            ):
+                self._robustness.bump("deadline_expiries")
+                response = error_response(
+                    "deadline-exceeded",
+                    "request completed after its deadline expired",
+                )
         self._metrics.observe(
             op if isinstance(op, str) else "invalid",
             time.perf_counter() - started,
@@ -244,6 +342,11 @@ class ServingDaemon:
                 f"daemon speaks protocol {PROTOCOL_VERSION}, "
                 f"request carries v={message.get('v')!r}",
             )
+        # Only the parent's stop flag gates dispatch: a *worker* that
+        # began draining mid-request still answers that request for
+        # real (the drain contract — in-flight work completes
+        # byte-identically; only frames arriving after the stop get
+        # the typed refusal, in _serve_connection's post-recv check).
         if self._stop_requested:
             return error_response("shutting-down", "daemon is shutting down")
         op = message["op"]
@@ -280,6 +383,14 @@ class ServingDaemon:
             ):
                 return error_response(
                     "bad-request", f"op {op!r} requires 'urls': list[str]"
+                )
+            if len(urls) > MAX_BATCH_URLS:
+                # Terminal, not retryable: the identical batch would be
+                # rejected identically.  The caller must split it.
+                return error_response(
+                    "bad-request",
+                    f"batch of {len(urls)} URLs exceeds the per-request "
+                    f"limit of {MAX_BATCH_URLS}; split the batch",
                 )
             return self._dispatch_batch(op, urls)
         return error_response("unknown-op", f"unsupported op {op!r}")
@@ -332,8 +443,13 @@ class ServingDaemon:
         return {
             "pid": os.getpid(),
             "role": "worker" if self._is_worker else "parent",
+            # "degraded" = crash-loop containment active (respawns are
+            # backing off); requests are still answered by whatever
+            # capacity remains, parent included.
+            "state": "degraded" if self._degraded.value else "ok",
             "generation": state.generation,
             "workers": self.workers,
+            "inflight": self._inflight(),
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "http_port": self.http_port,
@@ -347,6 +463,7 @@ class ServingDaemon:
                 "rollout": state.rollout,
             },
             "requests": self._metrics.snapshot(),
+            "robustness": self._robustness.snapshot(),
             "caches": {
                 "interned_rows": compiled.cache_info,
                 "tokenizer": {
@@ -367,15 +484,19 @@ class ServingDaemon:
         section lock; the child releases its inherited copy on exiting
         the ``with`` block.
         """
+        busy_flag = multiprocessing.Value("i", 0)  # shared across the fork
         with self._fork_lock:
             pid = os.fork()
             if pid:
                 self._children[pid] = generation
+                self._child_busy[pid] = busy_flag
                 return pid
         # Child: serve the listener until told to drain.
         self._is_worker = True
         self._supervisor_pid = os.getppid()
         self._children = {}
+        self._child_busy = {}
+        self._my_busy = busy_flag
         self._metrics = RequestMetrics()  # own the worker's request stats
         if self._http_server is not None:
             self._http_server.socket.close()  # inherited fd; never served here
@@ -408,18 +529,29 @@ class ServingDaemon:
                 continue
             except OSError:
                 break  # listener closed under us during shutdown
-            with connection:
-                self._serve_connection(connection)
+            # A held connection is this worker's whole capacity (one
+            # connection per worker); the parent sums these flags as
+            # its admission signal and starts answering `overloaded`
+            # when every live worker is occupied.
+            self._my_busy.value = 1
+            try:
+                with connection:
+                    self._serve_connection(connection)
+            finally:
+                self._my_busy.value = 0
 
     def _serve_connection(self, connection: socket.socket) -> None:
         """Answer frames on one connection until the peer closes — or
         until this worker is told to drain.
 
-        Drain semantics (the hot-reload handover): a retiring worker
-        finishes the request it is answering, then closes persistent
-        connections at the next frame boundary.  Clients reconnect
-        transparently (:meth:`repro.store.client.DaemonClient.request`
-        retries briefly) and land on the replacement generation.
+        Drain semantics (graceful stop and the hot-reload handover): a
+        retiring worker finishes the request it is answering, then
+        keeps the connection open for :data:`DRAIN_NOTIFY_SECONDS` so
+        one late frame gets a typed ``shutting-down`` answer instead of
+        a reset.  ``shutting-down`` is retryable: the client replays on
+        a fresh connection and lands on the replacement generation (or,
+        on a full stop, surfaces the typed error when the retry budget
+        runs out).
 
         The drain flag is polled only while *idle between frames*
         (``select`` below), never by timing out a frame mid-transfer —
@@ -428,14 +560,20 @@ class ServingDaemon:
         a peer stalling longer than that loses the connection.
         """
         connection.settimeout(FRAME_IO_TIMEOUT)
-        while not self._worker_stop:
+        drain_until: float | None = None
+        while True:
+            if self._worker_stop:
+                if drain_until is None:
+                    drain_until = time.monotonic() + DRAIN_NOTIFY_SECONDS
+                elif time.monotonic() >= drain_until:
+                    return  # notify window over; close at the boundary
             readable, _, _ = select.select(
                 [connection], [], [], SUPERVISE_INTERVAL
             )
             if not readable:
                 continue  # idle at a frame boundary; re-check drain flag
             try:
-                message = recv_message(connection)
+                message, deadline_ms = recv_frame(connection)
             except TimeoutError:
                 return  # peer stalled mid-frame; drop the connection
             except ConnectionClosed:
@@ -450,12 +588,49 @@ class ServingDaemon:
                     connection, error_response("bad-request", str(error))
                 )
                 return
+            op = message.get("op")
+            if self._worker_stop:
+                # The drain-notify answer: typed, retryable, no reset.
+                self._send_best_effort(
+                    connection,
+                    error_response(
+                        "shutting-down",
+                        "worker is draining; retry on a new connection",
+                    ),
+                    op=op,
+                )
+                return
+            faults.maybe_kill("worker-kill", op=op)
+            deadline = (
+                time.monotonic() + deadline_ms / 1000.0
+                if deadline_ms is not None else None
+            )
             if not self._send_best_effort(
-                connection, self._timed_dispatch(message)
+                connection, self._timed_dispatch(message, deadline=deadline),
+                op=op,
             ):
                 return
 
-    def _send_best_effort(self, connection: socket.socket, message: dict) -> bool:
+    def _send_torn_frame(self, connection: socket.socket,
+                         message: dict) -> None:
+        """Injected fault: send half a frame, then hard-close.
+
+        Exercises the client's torn-frame path — a truncated body must
+        surface as a dirty :class:`ConnectionClosed`, never as a parsed
+        partial message or a hang.
+        """
+        body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+        frame = len(body).to_bytes(4, "big") + body
+        try:
+            connection.sendall(frame[: max(5, len(frame) // 2)])
+        except OSError:
+            pass
+
+    def _send_best_effort(self, connection: socket.socket, message: dict,
+                          op: str | None = None) -> bool:
+        if faults.should_fire("torn-frame", op=op) is not None:
+            self._send_torn_frame(connection, message)
+            return False
         try:
             send_message(connection, message)
             return True
@@ -623,13 +798,25 @@ class ServingDaemon:
             # (reload, respawn) are serialized against the HTTP threads
             # via _fork_lock.
             self._start_http_thread()
+        # The parent is the admission valve: when every worker is busy
+        # (or dead), it accepts the connections nobody else will and
+        # answers with typed `overloaded` instead of letting callers
+        # hang in the listen backlog.  Its accept must never block —
+        # a worker may win the race for a pending connection at any
+        # moment — hence timeout 0 on the parent's socket object.
+        self._listener.settimeout(0)
         try:
             while not self._stop_requested:
                 if self._hup_requested:
                     self._hup_requested = False
                     self._reload()
                 self._reap(respawn=True)
-                time.sleep(SUPERVISE_INTERVAL)
+                self._respawn_after_backoff()
+                if self._saturated():
+                    self._shed_load()
+                    time.sleep(0.05)  # stay responsive while saturated
+                else:
+                    time.sleep(SUPERVISE_INTERVAL)
         finally:
             self._shutdown()
         return 0
@@ -641,7 +828,18 @@ class ServingDaemon:
             self._stop_requested = True
 
     def _reap(self, respawn: bool) -> None:
-        """Collect exited workers; replace unexpected current-gen deaths."""
+        """Collect exited workers; replace unexpected current-gen deaths.
+
+        Crash containment: every unexpected current-generation death
+        lands in a sliding window.  Below :attr:`_crash_threshold`
+        deaths per :attr:`_crash_window` seconds, the replacement forks
+        immediately (a one-off crash costs one request).  At the
+        threshold the daemon is crash-looping — most likely every
+        respawn dies the same way — so replacements queue behind an
+        exponential backoff (:meth:`_respawn_after_backoff`) and the
+        shared ``degraded`` flag flips, surfacing the state in
+        ``serve status`` while the parent keeps answering ping/status.
+        """
         assert self._state is not None
         while True:
             try:
@@ -651,13 +849,120 @@ class ServingDaemon:
             if pid == 0:
                 return
             generation = self._children.pop(pid, None)
+            self._child_busy.pop(pid, None)  # stale busy flag dies here
             if (
                 respawn
                 and not self._stop_requested
                 and generation == self._state.generation
             ):
-                self._log(f"worker {pid} died; respawning")
-                self._spawn_worker(self._state.generation)
+                now = time.monotonic()
+                self._crash_times.append(now)
+                while (
+                    self._crash_times
+                    and now - self._crash_times[0] > self._crash_window
+                ):
+                    self._crash_times.popleft()
+                self._robustness.mark_crash()
+                if len(self._crash_times) >= self._crash_threshold:
+                    self._pending_respawns += 1
+                    self._respawn_backoff = min(
+                        max(self._respawn_backoff * 2, self._backoff_initial),
+                        self._backoff_max,
+                    )
+                    self._respawn_at = now + self._respawn_backoff
+                    self._degraded.value = 1
+                    self._log(
+                        f"worker {pid} died; crash loop detected "
+                        f"({len(self._crash_times)} deaths in "
+                        f"{self._crash_window:.0f}s) — degraded, next "
+                        f"respawn in {self._respawn_backoff:.1f}s"
+                    )
+                else:
+                    self._log(f"worker {pid} died; respawning")
+                    self._robustness.bump("worker_respawns")
+                    self._spawn_worker(self._state.generation)
+
+    def _respawn_after_backoff(self) -> None:
+        """Fork the respawns the crash-loop backoff was holding back."""
+        assert self._state is not None
+        if not self._pending_respawns or time.monotonic() < self._respawn_at:
+            return
+        count, self._pending_respawns = self._pending_respawns, 0
+        self._degraded.value = 0
+        self._log(f"backoff expired; respawning {count} worker(s)")
+        for _ in range(count):
+            self._robustness.bump("worker_respawns")
+            self._spawn_worker(self._state.generation)
+
+    # -- parent-side admission (back-pressure) -------------------------------------
+
+    def _inflight(self) -> int | None:
+        """Connections currently held by live workers (parent view;
+        workers return None — only the parent holds the flag table)."""
+        if self._is_worker:
+            return None
+        return sum(flag.value for flag in self._child_busy.values())
+
+    def _saturated(self) -> bool:
+        """True when no current-generation worker can accept a new
+        connection — every live one is holding a connection, or none
+        are alive (crash-loop backoff).  Approximate by design: the
+        busy flags and the child table move under us, and a wrong
+        ``True`` only converts a would-have-queued caller into a
+        retryable ``overloaded``."""
+        assert self._state is not None
+        alive = busy = 0
+        for pid, generation in self._children.items():
+            if generation != self._state.generation:
+                continue
+            alive += 1
+            flag = self._child_busy.get(pid)
+            if flag is not None and flag.value:
+                busy += 1
+        return alive == 0 or busy >= alive
+
+    def _shed_load(self) -> None:
+        """Answer pending connections while saturated: typed
+        ``overloaded`` for work, real answers for ping/status.
+
+        Never silent queuing — a caller that would previously have sat
+        in the listen backlog behind busy workers now gets a retryable
+        refusal within one supervise tick.  Ping and status are
+        answered for real (from the parent) so health checks and
+        operators can still see a saturated or degraded daemon; one
+        frame per connection, then close, so the parent never becomes
+        a long-lived serving path.
+        """
+        assert self._listener is not None
+        for _ in range(64):
+            try:
+                connection, _ = self._listener.accept()
+            except (BlockingIOError, socket.timeout, OSError):
+                return
+            with connection:
+                try:
+                    connection.settimeout(1.0)
+                    message, deadline_ms = recv_frame(connection)
+                except (WireError, OSError, TimeoutError):
+                    continue
+                op = message.get("op")
+                if op in ("classify", "score", "decisions"):
+                    self._robustness.bump("overload_rejections")
+                    response = error_response(
+                        "overloaded",
+                        f"all {self.workers} workers are busy; "
+                        "retry with backoff",
+                    )
+                else:
+                    deadline = (
+                        time.monotonic() + deadline_ms / 1000.0
+                        if deadline_ms is not None else None
+                    )
+                    with self._fork_lock:
+                        response = self._timed_dispatch(
+                            message, deadline=deadline
+                        )
+                self._send_best_effort(connection, response, op=op)
 
     def _reload(self) -> None:
         """The SIGHUP path: gate, remap, hand the socket to new workers."""
@@ -750,9 +1055,10 @@ def start_daemon(
     path + ``.log``), and blocks until the daemon is ready or
     ``ready_timeout`` elapses.  Returns the daemon's supervisor pid.
 
-    Raises :class:`RuntimeError` — with the tail of the log file, which
-    is where load failures such as a corrupt or version-mismatched
-    artifact land — when the daemon dies or misses the deadline.
+    Raises :class:`DaemonStartupError` — with the tail of the log file,
+    which is where load failures such as a corrupt or version-mismatched
+    artifact land — when the socket is taken, the daemon dies, or it
+    misses the deadline.
     """
     from repro.store.client import DaemonClient, DaemonError
 
@@ -770,7 +1076,7 @@ def start_daemon(
     except DaemonError:
         pass  # nothing live on the socket; proceed
     else:
-        raise RuntimeError(
+        raise DaemonStartupError(
             f"another daemon is already serving on {socket_path}; "
             "stop it first (repro serve stop) or pick another socket"
         )
@@ -824,12 +1130,12 @@ def start_daemon(
             # Died at boot (corrupt / version-mismatched artifact, bad
             # socket path)?  The grandchild's last words are in the log.
             if "daemon failed:" in log_tail():
-                raise RuntimeError(
+                raise DaemonStartupError(
                     f"daemon on {socket_path} died during startup; "
                     f"log tail:\n{log_tail()}"
                 ) from None
             time.sleep(0.1)
-    raise RuntimeError(
+    raise DaemonStartupError(
         f"daemon on {socket_path} did not become ready within "
         f"{ready_timeout:.0f}s; log tail:\n{log_tail()}"
     )
@@ -838,19 +1144,19 @@ def start_daemon(
 def signal_daemon(socket_path: str | os.PathLike, signum: int) -> int:
     """Send ``signum`` to the daemon's supervisor; returns its pid.
 
-    Raises :class:`RuntimeError` when no pidfile exists or the recorded
-    process is gone (stale pidfile).
+    Raises :class:`DaemonNotRunningError` when no pidfile exists or the
+    recorded process is gone (stale pidfile).
     """
     pid = read_pid(socket_path)
     if pid is None:
-        raise RuntimeError(
+        raise DaemonNotRunningError(
             f"no daemon pidfile for socket {socket_path} "
             f"(expected {pidfile_for(socket_path)})"
         )
     try:
         os.kill(pid, signum)
     except ProcessLookupError:
-        raise RuntimeError(
+        raise DaemonNotRunningError(
             f"daemon pid {pid} recorded for {socket_path} is not running "
             "(stale pidfile?)"
         ) from None
@@ -863,8 +1169,9 @@ def stop_daemon(
     """Gracefully stop the daemon on ``socket_path``; returns its pid.
 
     Sends ``SIGTERM`` and waits until the pidfile disappears (the last
-    thing a clean shutdown removes).  Raises :class:`RuntimeError` when
-    nothing is running or the daemon ignores the deadline.
+    thing a clean shutdown removes).  Raises
+    :class:`DaemonNotRunningError` when nothing is running and
+    :class:`DaemonStopTimeout` when the daemon ignores the deadline.
     """
     pid = signal_daemon(socket_path, signal.SIGTERM)
     deadline = time.time() + timeout
@@ -877,6 +1184,6 @@ def stop_daemon(
         except ProcessLookupError:
             return pid  # died without cleanup; stale files, but stopped
         time.sleep(0.05)
-    raise RuntimeError(
+    raise DaemonStopTimeout(
         f"daemon pid {pid} did not stop within {timeout:.0f}s"
     )

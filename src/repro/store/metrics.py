@@ -16,13 +16,27 @@ engine reuses :class:`LatencyHistogram` to aggregate per-chunk scoring
 latency across its worker pool into the run summary — one histogram
 format everywhere, so dashboards read both the online and the offline
 path with the same code.
+
+:class:`RobustnessCounters` is the third accumulator: fleet-wide
+fault-tolerance events (overload rejections, deadline expiries, client
+retries observed, worker respawns).  Unlike per-worker request metrics
+these *must* aggregate across the whole process tree — a rejection
+happens in whichever process answered, and operators alert on the sum —
+so they live in :mod:`multiprocessing` shared memory created before the
+daemon forks its workers.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 
-__all__ = ["BUCKET_BOUNDS_MS", "LatencyHistogram", "RequestMetrics"]
+__all__ = [
+    "BUCKET_BOUNDS_MS",
+    "LatencyHistogram",
+    "RequestMetrics",
+    "RobustnessCounters",
+]
 
 #: Upper bucket bounds in milliseconds; one implicit overflow bucket
 #: follows the last bound.  Log-spaced 1-2-5 so the same histogram
@@ -125,6 +139,52 @@ class LatencyHistogram:
         count = snapshot.get("count") or 0
         return cls(counts=list(snapshot["counts"]),
                    total_ms=float(total) * count)
+
+
+class RobustnessCounters:
+    """Fault-tolerance event counters shared across a process tree.
+
+    Create **before** forking workers; every process that inherits the
+    instance increments the same shared slots (each ``Value`` carries
+    its own lock, so bumps from parent and workers never lose updates).
+    The ``robustness`` block of ``serve status`` is :meth:`snapshot`,
+    which therefore reports fleet totals no matter which worker answers.
+    """
+
+    #: Monotonic event counts, in snapshot order.
+    COUNT_FIELDS = (
+        "overload_rejections",  # typed `overloaded` refusals
+        "deadline_expiries",    # requests answered `deadline-exceeded`
+        "retries_observed",     # requests arriving with attempt > 1
+        "worker_respawns",      # workers re-forked after a death
+    )
+
+    def __init__(self) -> None:
+        self._counts = {
+            field: multiprocessing.Value("q", 0)
+            for field in self.COUNT_FIELDS
+        }
+        self._last_crash = multiprocessing.Value("d", 0.0)
+
+    def bump(self, field: str, by: int = 1) -> None:
+        """Atomically add ``by`` to one of :data:`COUNT_FIELDS`."""
+        slot = self._counts[field]
+        with slot.get_lock():
+            slot.value += by
+
+    def mark_crash(self, when: float | None = None) -> None:
+        """Record the wall time of the most recent worker death."""
+        with self._last_crash.get_lock():
+            self._last_crash.value = time.time() if when is None else when
+
+    def snapshot(self) -> dict:
+        """JSON-ready fleet view (``last_crash_at`` None until a death)."""
+        view: dict = {
+            field: slot.value for field, slot in self._counts.items()
+        }
+        crash = self._last_crash.value
+        view["last_crash_at"] = crash if crash else None
+        return view
 
 
 class RequestMetrics:

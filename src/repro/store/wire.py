@@ -7,7 +7,17 @@ framing over a stream socket (Unix domain by default):
 .. code-block:: text
 
     offset 0   frame length   uint32 big-endian   (4 bytes)
-    offset 4   body           UTF-8 JSON          (length bytes)
+    offset 4   deadline       uint64 big-endian   (8 bytes, optional)
+    ...        body           UTF-8 JSON          (length bytes)
+
+Bit 31 of the length word is a flag, not part of the length (safe
+because :data:`MAX_FRAME_BYTES` is far below 2\\ :sup:`31`): when set,
+an 8-byte big-endian *deadline* field — the milliseconds of budget the
+sender grants this request — precedes the body.  Receivers convert the
+budget to their own monotonic clock on arrival, so nothing on the wire
+depends on clocks agreeing across hosts.  Frames without the flag are
+byte-identical to the pre-deadline protocol, which is why this is not
+a :data:`PROTOCOL_VERSION` bump.
 
 A *request* body is an object with at least ``{"v": 1, "op": <name>}``;
 op-specific fields (``urls`` for the batch ops) ride alongside.  A
@@ -17,8 +27,12 @@ One connection carries any number of request/response pairs, strictly
 in order; either side closes by half-closing the stream.
 
 Error codes are a closed set (:data:`ERROR_CODES`) so operators can
-alert on them; ``docs/serving.md`` is the authoritative prose spec and
-must list every code here.
+alert on them, split into *retryable* (:data:`RETRYABLE_CODES` — the
+daemon refused or abandoned the request without doing the work, so an
+idempotent retry is safe and useful) and *terminal* (everything else —
+retrying the same request can only fail the same way).
+``docs/serving.md`` is the authoritative prose spec and must list
+every code here.
 
 This module is dependency-free on purpose: the framing helpers are the
 *only* code shared between daemon and client, so a thin client can be
@@ -42,13 +56,31 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 
 #: The closed set of ``error.code`` values a daemon may return.
 ERROR_CODES = (
-    "bad-request",      # body is not a JSON object of the expected shape
-    "frame-too-large",  # a request or response body exceeds MAX_FRAME_BYTES
-    "protocol-version", # request "v" does not match PROTOCOL_VERSION
-    "unknown-op",       # "op" is not one of the served operations
-    "shutting-down",    # daemon received the request mid-shutdown
-    "internal",         # unexpected server-side failure (see daemon log)
+    "bad-request",        # body is not a JSON object of the expected shape
+    "frame-too-large",    # a request or response body exceeds MAX_FRAME_BYTES
+    "protocol-version",   # request "v" does not match PROTOCOL_VERSION
+    "unknown-op",         # "op" is not one of the served operations
+    "overloaded",         # every worker is busy; request refused unstarted
+    "deadline-exceeded",  # the request's deadline expired before completion
+    "shutting-down",      # daemon received the request mid-shutdown
+    "internal",           # unexpected server-side failure (see daemon log)
 )
+
+#: Codes for which the daemon did no (or abandoned-able) work, so an
+#: *idempotent* request may be safely retried with backoff.  Notably
+#: absent: ``deadline-exceeded`` — the caller's budget is spent, so a
+#: retry would expire the same way — and ``bad-request`` — the same
+#: bytes can only be rejected again.
+RETRYABLE_CODES = frozenset({"overloaded", "shutting-down"})
+
+#: Bit 31 of the length word marks a deadline field in the frame
+#: header.  MAX_FRAME_BYTES (32 MiB) is far below 2**31, so the bit is
+#: never part of a genuine length.
+DEADLINE_FLAG = 0x8000_0000
+
+#: Widest deadline the header can carry (uint64 milliseconds — in
+#: practice "no deadline" should be expressed by omitting the field).
+MAX_DEADLINE_MS = (1 << 64) - 1
 
 
 class WireError(Exception):
@@ -76,11 +108,22 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     The raised error's ``clean`` flag is True when the peer closed
     before sending *any* of the ``n`` bytes — a boundary, not a
     truncation.  Callers mid-frame must override it to False.
+
+    EINTR: :pep:`475` makes ``recv`` retry interrupted syscalls
+    transparently, but a signal *handler* that raises (the daemon's
+    drain handlers are flag-setters, third-party handlers may not be)
+    surfaces ``InterruptedError`` anyway — so the loop retries it
+    explicitly rather than tearing a frame over a signal.  A
+    ``socket.timeout`` is never swallowed: half a frame after the
+    peer's send deadline means the peer is gone or wedged.
     """
     chunks: list[bytes] = []
     remaining = n
     while remaining:
-        chunk = sock.recv(min(remaining, 1 << 20))
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except InterruptedError:
+            continue
         if not chunk:
             raise ConnectionClosed(
                 f"peer closed with {remaining} of {n} bytes outstanding",
@@ -91,18 +134,51 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_message(sock: socket.socket, message: dict) -> None:
-    """Frame ``message`` as length-prefixed JSON and send it whole."""
+def _send_all(sock: socket.socket, payload: bytes) -> None:
+    """``sendall`` with explicit EINTR recovery.
+
+    ``sendall`` retries EINTR internally (:pep:`475`) but, if a raising
+    signal handler interrupts it anyway, gives no way to learn how many
+    bytes already left — resuming with another ``sendall`` of the whole
+    payload would corrupt the stream with a torn frame.  Sending
+    ``send`` chunk by chunk keeps the offset in our hands, so an
+    ``InterruptedError`` resumes exactly where it stopped.  Any *other*
+    send failure leaves the stream unrecoverable mid-frame; callers
+    must close the connection, never reuse it.
+    """
+    view = memoryview(payload)
+    sent = 0
+    while sent < len(view):
+        try:
+            sent += sock.send(view[sent:])
+        except InterruptedError:
+            continue
+
+
+def send_message(sock: socket.socket, message: dict,
+                 deadline_ms: int | None = None) -> None:
+    """Frame ``message`` as length-prefixed JSON and send it whole.
+
+    ``deadline_ms`` (request frames only) grants the receiver that many
+    milliseconds of budget, carried in the frame header so the server
+    can refuse or abandon work the caller will no longer wait for.
+    """
     body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise FrameTooLargeError(
             f"outgoing frame is {len(body)} bytes; limit {MAX_FRAME_BYTES}"
         )
-    sock.sendall(len(body).to_bytes(4, "big") + body)
+    if deadline_ms is None:
+        header = len(body).to_bytes(4, "big")
+    else:
+        budget = max(0, min(int(deadline_ms), MAX_DEADLINE_MS))
+        header = (len(body) | DEADLINE_FLAG).to_bytes(4, "big") \
+            + budget.to_bytes(8, "big")
+    _send_all(sock, header + body)
 
 
-def recv_message(sock: socket.socket) -> dict:
-    """Read one length-prefixed JSON frame.
+def recv_frame(sock: socket.socket) -> tuple[dict, int | None]:
+    """Read one frame: ``(message, deadline budget in ms or None)``.
 
     Raises :class:`ConnectionClosed` (with ``clean=True`` when the close
     landed exactly on a frame boundary), :class:`FrameTooLargeError` on
@@ -110,12 +186,16 @@ def recv_message(sock: socket.socket) -> dict:
     not a JSON object.
     """
     prefix = _recv_exact(sock, 4)  # clean=True if closed on the boundary
-    length = int.from_bytes(prefix, "big")
+    word = int.from_bytes(prefix, "big")
+    length = word & ~DEADLINE_FLAG
+    deadline_ms: int | None = None
     if length > MAX_FRAME_BYTES:
         raise FrameTooLargeError(
             f"incoming frame announces {length} bytes; limit {MAX_FRAME_BYTES}"
         )
     try:
+        if word & DEADLINE_FLAG:
+            deadline_ms = int.from_bytes(_recv_exact(sock, 8), "big")
         body = _recv_exact(sock, length)
     except ConnectionClosed as error:
         error.clean = False  # the frame had started; this is a truncation
@@ -128,6 +208,12 @@ def recv_message(sock: socket.socket) -> dict:
         raise WireError(
             f"frame body must be a JSON object, got {type(message).__name__}"
         )
+    return message, deadline_ms
+
+
+def recv_message(sock: socket.socket) -> dict:
+    """Read one frame, discarding any deadline field (response side)."""
+    message, _ = recv_frame(sock)
     return message
 
 

@@ -1,0 +1,32 @@
+"""Test-support machinery shipped inside the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the robustness tests and the ``chaos-smoke`` CI job drive; it
+lives under ``src/`` (not ``tests/``) because the serving daemon and
+the bulk engine's *worker processes* must be able to import it after a
+fork or a spawn, where the test tree is not on ``sys.path``.
+"""
+
+from repro.testing.faults import (
+    FAULT_POINTS,
+    FAULTS_ENV,
+    FAULTS_STATE_ENV,
+    FaultSpec,
+    active_faults,
+    maybe_kill,
+    maybe_raise,
+    maybe_sleep,
+    should_fire,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "FAULTS_ENV",
+    "FAULTS_STATE_ENV",
+    "FaultSpec",
+    "active_faults",
+    "maybe_kill",
+    "maybe_raise",
+    "maybe_sleep",
+    "should_fire",
+]

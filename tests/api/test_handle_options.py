@@ -78,7 +78,23 @@ class TestDaemonOptions:
 
     def test_unknown_option_refused(self):
         with pytest.raises(InvalidHandleError, match="unknown repro://"):
-            daemon_socket_path("repro://x.sock?retries=3")
+            daemon_socket_path("repro://x.sock?compression=zstd")
+
+    def test_retry_options_strip_from_socket_path(self):
+        handle = "repro://a/b.sock?retries=3&backoff=0.1&deadline=2"
+        assert daemon_socket_path(handle) == "a/b.sock"
+
+    @pytest.mark.parametrize("option", ["retries=-1", "retries=soon"])
+    def test_bad_retries_refused_typed(self, option):
+        with pytest.raises(InvalidHandleError, match="retries"):
+            open_model(f"repro://x.sock?{option}")
+
+    @pytest.mark.parametrize("option", [
+        "backoff=0", "backoff=nan", "deadline=-2", "deadline=inf",
+    ])
+    def test_bad_retry_seconds_refused_typed(self, option):
+        with pytest.raises(InvalidHandleError, match="positive number"):
+            open_model(f"repro://x.sock?{option}")
 
 
 class TestPortableHandle:

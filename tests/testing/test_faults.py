@@ -1,0 +1,187 @@
+"""The deterministic fault-injection harness (`repro.testing.faults`).
+
+Every chaos test in the repo trusts this harness to fire exactly when
+armed and never otherwise — so the harness itself gets the pedantic
+treatment: parsing, matcher semantics, after/times windows, and the
+cross-process hit counting that keeps a respawned worker from
+re-firing a ``times=1`` fault.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+
+import pytest
+
+from repro.testing import faults
+from repro.testing.faults import (
+    FAULT_POINTS,
+    FAULTS_ENV,
+    FAULTS_STATE_ENV,
+    FaultConfigError,
+    active_faults,
+    maybe_raise,
+    maybe_sleep,
+    should_fire,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_harness(monkeypatch):
+    """Every test starts disarmed, with fresh per-process counters."""
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    monkeypatch.delenv(FAULTS_STATE_ENV, raising=False)
+    faults._local_hits.clear()
+    yield
+    faults._local_hits.clear()
+
+
+def arm(monkeypatch, value: str) -> None:
+    monkeypatch.setenv(FAULTS_ENV, value)
+
+
+class TestParsing:
+    def test_disarmed_by_default(self):
+        assert active_faults() == {}
+        assert should_fire("worker-kill") is None
+
+    def test_unknown_point_refused(self, monkeypatch):
+        arm(monkeypatch, "rm-rf-slash:times=1")
+        with pytest.raises(FaultConfigError, match="unknown fault point"):
+            active_faults()
+
+    def test_unknown_option_refused(self, monkeypatch):
+        arm(monkeypatch, "worker-kill:color=red")
+        with pytest.raises(FaultConfigError, match="unknown fault option"):
+            active_faults()
+
+    def test_malformed_option_refused(self, monkeypatch):
+        arm(monkeypatch, "worker-kill:times")
+        with pytest.raises(FaultConfigError, match="not key=value"):
+            active_faults()
+
+    def test_unparseable_value_refused(self, monkeypatch):
+        arm(monkeypatch, "worker-kill:after=soon")
+        with pytest.raises(FaultConfigError, match="does not parse"):
+            active_faults()
+
+    def test_multiple_points_parse(self, monkeypatch):
+        arm(
+            monkeypatch,
+            "worker-kill:op=classify,times=2; slow-handler:seconds=0.25",
+        )
+        specs = active_faults()
+        assert set(specs) == {"worker-kill", "slow-handler"}
+        assert specs["worker-kill"].matchers == {"op": "classify"}
+        assert specs["worker-kill"].times == 2
+        assert specs["slow-handler"].seconds == 0.25
+
+    def test_every_registered_point_parses_bare(self, monkeypatch):
+        arm(monkeypatch, ";".join(FAULT_POINTS))
+        assert set(active_faults()) == set(FAULT_POINTS)
+
+    def test_reparse_tracks_env_changes(self, monkeypatch):
+        arm(monkeypatch, "slow-handler:seconds=1")
+        assert active_faults()["slow-handler"].seconds == 1.0
+        arm(monkeypatch, "slow-handler:seconds=2")
+        assert active_faults()["slow-handler"].seconds == 2.0
+
+
+class TestFiring:
+    def test_fires_once_by_default(self, monkeypatch):
+        arm(monkeypatch, "torn-frame")
+        assert should_fire("torn-frame") is not None
+        assert should_fire("torn-frame") is None  # times=1: disarmed
+
+    def test_after_skips_early_hits(self, monkeypatch):
+        arm(monkeypatch, "torn-frame:after=3,times=2")
+        fired = [should_fire("torn-frame") is not None for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+
+    def test_times_inf_never_disarms(self, monkeypatch):
+        arm(monkeypatch, "torn-frame:times=inf")
+        assert all(
+            should_fire("torn-frame") is not None for _ in range(20)
+        )
+
+    def test_matcher_miss_consumes_no_hits(self, monkeypatch):
+        arm(monkeypatch, "worker-kill:op=classify,times=1")
+        # A stream of non-matching calls must not burn the single shot.
+        for _ in range(5):
+            assert should_fire("worker-kill", op="ping") is None
+        assert should_fire("worker-kill", op="classify") is not None
+        assert should_fire("worker-kill", op="classify") is None
+
+    def test_substring_matcher_against_text(self, monkeypatch):
+        arm(monkeypatch, "predict-error:match=POISON,times=inf")
+        assert should_fire("predict-error", text="http://POISON.example") \
+            is not None
+        assert should_fire("predict-error", text="http://fine.example") \
+            is None
+        assert should_fire("predict-error") is None  # no text context
+
+    def test_points_count_independently(self, monkeypatch):
+        arm(monkeypatch, "torn-frame:times=1;slow-handler:times=1")
+        assert should_fire("torn-frame") is not None
+        # torn-frame's hit must not consume slow-handler's budget.
+        assert should_fire("slow-handler") is not None
+
+
+class TestStateDirCounting:
+    def test_counts_shared_across_processes(self, monkeypatch, tmp_path):
+        """The state dir makes after/times fleet-wide: a second
+        "process" (simulated by clearing the per-process fallback)
+        continues the same sequence instead of restarting it."""
+        arm(monkeypatch, "torn-frame:times=2")
+        monkeypatch.setenv(FAULTS_STATE_ENV, str(tmp_path / "state"))
+        assert should_fire("torn-frame") is not None
+        faults._local_hits.clear()  # a respawned worker has no memory
+        assert should_fire("torn-frame") is not None  # hit 2 of 2
+        assert should_fire("torn-frame") is None  # budget spent fleet-wide
+
+    def test_sequence_files_are_per_point(self, monkeypatch, tmp_path):
+        arm(monkeypatch, "torn-frame;slow-handler")
+        state = tmp_path / "state"
+        monkeypatch.setenv(FAULTS_STATE_ENV, str(state))
+        should_fire("torn-frame")
+        should_fire("slow-handler")
+        names = sorted(entry.name for entry in state.iterdir())
+        assert names == ["slow-handler.1", "torn-frame.1"]
+
+
+class TestPayloads:
+    def test_maybe_sleep(self, monkeypatch):
+        arm(monkeypatch, "slow-handler:seconds=0.05,times=1")
+        started = time.monotonic()
+        assert maybe_sleep("slow-handler") is True
+        assert time.monotonic() - started >= 0.05
+        assert maybe_sleep("slow-handler") is False  # disarmed
+
+    def test_maybe_raise_is_enospc(self, monkeypatch):
+        arm(monkeypatch, "commit-error:shard=s1")
+        with pytest.raises(OSError) as caught:
+            maybe_raise("commit-error", shard="s1")
+        assert caught.value.errno == errno.ENOSPC
+        maybe_raise("commit-error", shard="s1")  # disarmed: no raise
+
+    def test_disarmed_payloads_are_noops(self):
+        assert maybe_sleep("slow-handler") is False
+        maybe_raise("commit-error")
+
+    def test_hot_path_cost_is_one_env_lookup(self, monkeypatch):
+        """With the harness off, should_fire must do nothing but check
+        the environment — guard against accidental parsing or I/O on
+        the serving hot path."""
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        calls = []
+        real_get = os.environ.get
+        monkeypatch.setattr(
+            os.environ, "get",
+            lambda key, default=None: (
+                calls.append(key) or real_get(key, default)
+            ),
+        )
+        should_fire("worker-kill", op="classify")
+        assert calls == [FAULTS_ENV]
