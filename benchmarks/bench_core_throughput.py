@@ -251,6 +251,126 @@ def test_serve_daemon_roundtrip(benchmark, model_files, daemon_client, urls, rec
     record(benchmark, "serve_daemon_roundtrip", len(urls))
 
 
+@pytest.fixture(scope="module")
+def tcp_endpoint(model_files, tmp_path_factory):
+    """A dual-listener daemon sized for fan-in benches: 4 workers,
+    Unix socket + ephemeral TCP port.  Yields ``(host, port)``."""
+    from repro.store.client import DaemonClient
+    from repro.store.daemon import start_daemon, stop_daemon
+
+    _, artifact_path = model_files
+    socket_path = tmp_path_factory.mktemp("tcpd") / "bench-tcp.sock"
+    start_daemon(artifact_path, socket_path, workers=4, tcp="127.0.0.1:0")
+    with DaemonClient(socket_path) as client:
+        tcp = client.status()["tcp"]
+    yield (tcp["host"], tcp["port"])
+    stop_daemon(socket_path)
+
+
+def test_serve_keepalive_vs_reconnect(model_files, tcp_endpoint, urls, benchmark):
+    """What connection reuse buys: the same stream of small classify
+    requests through one persistent TCP connection versus a fresh dial
+    per request.  Small batches on purpose — connection setup is a
+    fixed cost, so this is the regime where keep-alive matters most.
+    Interleaved best-of-N; the ratio lands in the JSON summary as
+    ``serve_keepalive_vs_reconnect.speedup``.
+    """
+    import timeit
+
+    from repro.store.client import DaemonClient
+
+    if not benchmark.enabled:
+        pytest.skip("timing disabled (--benchmark-disable)")
+
+    batch = urls[:50]
+    requests_per_round = 10
+
+    def reconnect_round():
+        for _ in range(requests_per_round):
+            with DaemonClient(tcp_endpoint) as client:
+                client.classify(batch)
+
+    with DaemonClient(tcp_endpoint) as persistent:
+        assert persistent.classify(batch)
+
+        def keepalive_round():
+            for _ in range(requests_per_round):
+                persistent.classify(batch)
+
+        rounds = 10
+        keepalive_times, reconnect_times = [], []
+        for _ in range(rounds):
+            keepalive_times.append(timeit.timeit(keepalive_round, number=1))
+            reconnect_times.append(timeit.timeit(reconnect_round, number=1))
+    keepalive, reconnect = min(keepalive_times), min(reconnect_times)
+    n_urls = len(batch) * requests_per_round
+    _results["serve_keepalive_vs_reconnect"] = {
+        "best_seconds": keepalive,
+        "urls_per_second": n_urls / keepalive,
+        "reconnect_seconds": reconnect,
+        "speedup": reconnect / keepalive,
+    }
+    assert reconnect > keepalive, (
+        f"keep-alive should beat reconnect-per-request "
+        f"(keep-alive {keepalive * 1e3:.2f} ms, "
+        f"reconnect {reconnect * 1e3:.2f} ms per {requests_per_round} requests)"
+    )
+
+
+def test_serve_tcp_concurrent_rps(model_files, tcp_endpoint, urls, benchmark):
+    """Sustained fan-in throughput: N concurrent TCP clients streaming
+    batches against one daemon, versus the same total work pushed
+    serially through a single connection.  Concurrency is a *hardware*
+    property (one usable core cannot overlap anything), so the
+    machine's core count is recorded next to the numbers
+    (``serve_tcp_concurrent_rps`` in the JSON summary).
+    """
+    import os
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.store.client import DaemonClient
+
+    if not benchmark.enabled:
+        pytest.skip("timing disabled (--benchmark-disable)")
+
+    clients = 4
+    rounds_per_client = 8
+    batch = urls[:250]
+
+    def client_stream():
+        with DaemonClient(tcp_endpoint) as client:
+            for _ in range(rounds_per_client):
+                client.classify(batch)
+
+    def concurrent_run() -> float:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            for future in [pool.submit(client_stream) for _ in range(clients)]:
+                future.result()
+        return time.perf_counter() - started
+
+    def serial_run() -> float:
+        started = time.perf_counter()
+        with DaemonClient(tcp_endpoint) as client:
+            for _ in range(clients * rounds_per_client):
+                client.classify(batch)
+        return time.perf_counter() - started
+
+    client_stream()  # warm the workers' caches before timing anything
+    best_concurrent = min(concurrent_run() for _ in range(3))
+    best_serial = min(serial_run() for _ in range(3))
+    total_urls = len(batch) * rounds_per_client * clients
+    _results["serve_tcp_concurrent_rps"] = {
+        "best_seconds": best_concurrent,
+        "urls_per_second": total_urls / best_concurrent,
+        "single_connection_urls_per_second": total_urls / best_serial,
+        "concurrent_clients": clients,
+        "urls": total_urls,
+        "available_cpus": len(os.sched_getaffinity(0)),
+    }
+
+
 def test_serve_robustness_overhead(model_files, daemon_client, urls):
     """The fault-tolerance plumbing must be invisible at request time:
     a round-trip under a full :class:`RetryPolicy` — deadline header

@@ -17,7 +17,12 @@ Surface:
 
 * :func:`open_model` / :func:`register_scheme` — URI-style handle
   resolution (``path``, ``store://name[@version]``, ``repro://socket``,
-  legacy pickle) with an extensible scheme registry;
+  ``repro+tcp://host:port``, legacy pickle) with an extensible scheme
+  registry;
+* :func:`aopen_model` / :class:`AsyncPredictor` — the asyncio twin:
+  daemon handles get a native async client multiplexing concurrent
+  calls over one keep-alive connection, local handles score in worker
+  threads;
 * :class:`Predictor` — the structural protocol every backend
   implements (``predict`` / ``predict_iter`` / ``decisions`` /
   ``scores_many`` / ``scores`` / ``capabilities`` / ``close``,
@@ -38,6 +43,7 @@ equivalence contract: ``decisions()`` byte-identical, scores within
 
 from __future__ import annotations
 
+from repro.api.aio import AsyncPredictor, aopen_model
 from repro.api.errors import (
     BackendUnavailableError,
     InvalidHandleError,
@@ -52,7 +58,9 @@ from repro.api.resolver import (
     DAEMON_SCHEME,
     DEFAULT_STORE_ROOT,
     STORE_ROOT_ENV,
+    TCP_DAEMON_SCHEME,
     ResolveContext,
+    daemon_endpoint,
     daemon_socket_path,
     is_daemon_handle,
     open_model,
@@ -61,10 +69,12 @@ from repro.api.resolver import (
     registered_schemes,
     resolve_artifact_path,
     sniff_model_format,
+    tcp_daemon_address,
 )
 from repro.api.types import BatchResult, Capabilities, ModelInfo, Prediction
 
 __all__ = [
+    "AsyncPredictor",
     "BackendUnavailableError",
     "BatchResult",
     "Capabilities",
@@ -79,9 +89,12 @@ __all__ = [
     "ResolveContext",
     "ResolveError",
     "STORE_ROOT_ENV",
+    "TCP_DAEMON_SCHEME",
     "UnknownSchemeError",
     "UnreadableModelError",
     "VersionMismatchError",
+    "aopen_model",
+    "daemon_endpoint",
     "daemon_socket_path",
     "is_daemon_handle",
     "open_model",
@@ -91,4 +104,5 @@ __all__ = [
     "registered_schemes",
     "resolve_artifact_path",
     "sniff_model_format",
+    "tcp_daemon_address",
 ]

@@ -46,7 +46,7 @@ import warnings
 from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional, Union, cast
+from typing import TYPE_CHECKING, Any, Optional, Union, cast
 from urllib.parse import parse_qsl, quote
 
 from repro.api.errors import (
@@ -60,12 +60,17 @@ from repro.api.errors import (
 )
 from repro.api.protocol import Predictor
 
+if TYPE_CHECKING:
+    from repro.store.client import RetryPolicy
+
 __all__ = [
     "DAEMON_SCHEME",
     "DEFAULT_STORE_ROOT",
     "STORE_ROOT_ENV",
+    "TCP_DAEMON_SCHEME",
     "ModelHandleLike",
     "ResolveContext",
+    "daemon_endpoint",
     "daemon_socket_path",
     "is_daemon_handle",
     "open_model",
@@ -74,10 +79,14 @@ __all__ = [
     "registered_schemes",
     "resolve_artifact_path",
     "sniff_model_format",
+    "tcp_daemon_address",
 ]
 
 #: Scheme of serving-daemon handles (``repro://<socket-path>``).
 DAEMON_SCHEME = "repro"
+
+#: Scheme of TCP serving-daemon handles (``repro+tcp://<host>:<port>``).
+TCP_DAEMON_SCHEME = "repro+tcp"
 
 #: Scheme of model-store handles (``store://<name>[@<checksum-prefix>]``).
 STORE_SCHEME = "store"
@@ -191,11 +200,11 @@ def _split_options(
 
 
 def is_daemon_handle(value: object) -> bool:
-    """True for ``repro://`` daemon handle strings."""
+    """True for daemon handle strings (``repro://``, ``repro+tcp://``)."""
     if not isinstance(value, str):
         return False
     split = _split_scheme(value)
-    return split is not None and split[0] == DAEMON_SCHEME
+    return split is not None and split[0] in (DAEMON_SCHEME, TCP_DAEMON_SCHEME)
 
 
 def daemon_socket_path(handle: str) -> str:
@@ -226,7 +235,8 @@ def daemon_socket_path(handle: str) -> str:
 
 
 def _daemon_seconds_option(
-    options: dict[str, str], key: str, rest: str
+    options: dict[str, str], key: str, rest: str,
+    scheme: str = DAEMON_SCHEME,
 ) -> Optional[float]:
     """``options[key]`` as positive finite seconds, or None if absent.
 
@@ -242,36 +252,33 @@ def _daemon_seconds_option(
         value = float("nan")
     if not 0 < value < float("inf"):
         raise InvalidHandleError(
-            f"repro:// option {key}={options[key]!r} is not "
+            f"{scheme}:// option {key}={options[key]!r} is not "
             f"a positive number of seconds (handle "
-            f"{DAEMON_SCHEME}://{rest!r})",
-            handle=f"{DAEMON_SCHEME}://{rest}",
+            f"{scheme}://{rest!r})",
+            handle=f"{scheme}://{rest}",
         ) from None
     return value
 
 
-def _resolve_daemon(rest: str, context: ResolveContext) -> Predictor:
-    """``repro://`` resolver: dial the daemon and verify it answers.
+def _daemon_dial_settings(
+    options: dict[str, str], rest: str, context: ResolveContext,
+    scheme: str = DAEMON_SCHEME,
+) -> tuple[float, Optional["RetryPolicy"]]:
+    """``(timeout, retry)`` a daemon handle's options pin.
 
-    The handle may pin its own dial timeout (``repro://sock?timeout=5``)
-    and the client's retry posture
-    (``repro://sock?retries=8&backoff=0.1&deadline=2`` —
-    :class:`~repro.store.client.RetryPolicy` budget, initial backoff
-    seconds, end-to-end per-request deadline seconds) — handle options
-    beat the :class:`ResolveContext` defaults, so a worker process
-    re-opening the handle needs no extra arguments.
+    Shared by the Unix (``repro://``) and TCP (``repro+tcp://``)
+    resolvers so both handle grammars accept the identical
+    ``timeout``/``retries``/``backoff``/``deadline`` options with the
+    identical validation.
     """
-    from repro.store.client import DaemonError, RemoteIdentifier, RetryPolicy
+    from repro.store.client import RetryPolicy
 
-    socket_path, options = _split_options(
-        rest, scheme=DAEMON_SCHEME, allowed=_DAEMON_OPTIONS
-    )
     timeout = context.timeout
-    pinned_timeout = _daemon_seconds_option(options, "timeout", rest)
+    pinned_timeout = _daemon_seconds_option(options, "timeout", rest, scheme)
     if pinned_timeout is not None:
         timeout = pinned_timeout
-    backoff = _daemon_seconds_option(options, "backoff", rest)
-    deadline = _daemon_seconds_option(options, "deadline", rest)
+    backoff = _daemon_seconds_option(options, "backoff", rest, scheme)
+    deadline = _daemon_seconds_option(options, "deadline", rest, scheme)
     retries: Optional[int] = None
     if "retries" in options:
         try:
@@ -280,10 +287,10 @@ def _resolve_daemon(rest: str, context: ResolveContext) -> Predictor:
             retries = -1
         if retries < 0:
             raise InvalidHandleError(
-                f"repro:// option retries={options['retries']!r} is not "
+                f"{scheme}:// option retries={options['retries']!r} is not "
                 f"a non-negative integer (handle "
-                f"{DAEMON_SCHEME}://{rest!r})",
-                handle=f"{DAEMON_SCHEME}://{rest}",
+                f"{scheme}://{rest!r})",
+                handle=f"{scheme}://{rest}",
             ) from None
     retry: Optional[RetryPolicy] = None
     if retries is not None or backoff is not None or deadline is not None:
@@ -297,26 +304,146 @@ def _resolve_daemon(rest: str, context: ResolveContext) -> Predictor:
             backoff_max=max(defaults.backoff_max, chosen_backoff),
             deadline=deadline,
         )
+    return timeout, retry
+
+
+def _connect_remote(
+    address: Union[str, tuple[str, int]], timeout: float,
+    retry: Optional["RetryPolicy"], handle: str,
+) -> Predictor:
+    """Dial a daemon at ``address``, verify it answers, or raise typed."""
+    from repro.store.client import DaemonError, RemoteIdentifier
+
+    remote = RemoteIdentifier.connect(address, timeout=timeout, retry=retry)
+    try:
+        remote.client.ping()
+    except DaemonError as error:
+        # Dead endpoint *or* a live daemon refusing the ping (e.g. a
+        # protocol-version gate): either way the backend is unusable —
+        # close the connection and surface one typed error.  The client
+        # error already names the endpoint and the fix.
+        remote.close()
+        raise BackendUnavailableError(
+            f"{error}; or open the model's artifact path directly",
+            handle=handle,
+        ) from error
+    return cast(Predictor, remote)
+
+
+def _resolve_daemon(rest: str, context: ResolveContext) -> Predictor:
+    """``repro://`` resolver: dial the daemon and verify it answers.
+
+    The handle may pin its own dial timeout (``repro://sock?timeout=5``)
+    and the client's retry posture
+    (``repro://sock?retries=8&backoff=0.1&deadline=2`` —
+    :class:`~repro.store.client.RetryPolicy` budget, initial backoff
+    seconds, end-to-end per-request deadline seconds) — handle options
+    beat the :class:`ResolveContext` defaults, so a worker process
+    re-opening the handle needs no extra arguments.
+    """
+    socket_path, options = _split_options(
+        rest, scheme=DAEMON_SCHEME, allowed=_DAEMON_OPTIONS
+    )
+    timeout, retry = _daemon_dial_settings(options, rest, context)
     if not socket_path:
         raise InvalidHandleError(
             f"serving handle has an empty socket path: "
             f"{DAEMON_SCHEME}://{rest!r}; expected repro://<socket-path>",
             handle=f"{DAEMON_SCHEME}://{rest}",
         )
-    remote = RemoteIdentifier.connect(socket_path, timeout=timeout, retry=retry)
+    return _connect_remote(
+        socket_path, timeout, retry, handle=f"{DAEMON_SCHEME}://{rest}"
+    )
+
+
+def tcp_daemon_address(handle: str) -> tuple[str, int]:
+    """``(host, port)`` of a ``repro+tcp://host:port`` handle string.
+
+    The host is anything before the last ``:`` (a hostname or IPv4
+    literal; an empty host means loopback), the port a decimal integer.
+    Raises :class:`InvalidHandleError` for strings without the scheme or
+    with an unparsable endpoint.
+    """
+    split = _split_scheme(handle) if isinstance(handle, str) else None
+    if split is None or split[0] != TCP_DAEMON_SCHEME:
+        raise InvalidHandleError(
+            f"not a {TCP_DAEMON_SCHEME}:// serving handle: {handle!r}",
+            handle=str(handle),
+        )
+    body, _ = _split_options(
+        split[1], scheme=TCP_DAEMON_SCHEME, allowed=_DAEMON_OPTIONS
+    )
+    host, separator, port_text = body.rpartition(":")
     try:
-        remote.client.ping()
-    except DaemonError as error:
-        # Dead socket *or* a live daemon refusing the ping (e.g. a
-        # protocol-version gate): either way the backend is unusable —
-        # close the connection and surface one typed error.  The client
-        # error already names the socket and the fix.
-        remote.close()
-        raise BackendUnavailableError(
-            f"{error}; or open the model's artifact path directly",
-            handle=f"{DAEMON_SCHEME}://{rest}",
-        ) from error
-    return cast(Predictor, remote)
+        port = int(port_text)
+        if not separator or not 0 < port < 65536:
+            raise ValueError
+    except ValueError:
+        raise InvalidHandleError(
+            f"serving handle needs host:port after the scheme: {handle!r} "
+            f"(expected {TCP_DAEMON_SCHEME}://<host>:<port>)",
+            handle=handle,
+        ) from None
+    return host or "127.0.0.1", port
+
+
+def _resolve_daemon_tcp(rest: str, context: ResolveContext) -> Predictor:
+    """``repro+tcp://`` resolver: dial a daemon's TCP front door.
+
+    Same handle options as ``repro://``
+    (``?timeout=&retries=&backoff=&deadline=``); the body is
+    ``host:port`` instead of a socket path.
+    """
+    handle = f"{TCP_DAEMON_SCHEME}://{rest}"
+    _, options = _split_options(
+        rest, scheme=TCP_DAEMON_SCHEME, allowed=_DAEMON_OPTIONS
+    )
+    address = tcp_daemon_address(handle)
+    timeout, retry = _daemon_dial_settings(
+        options, rest, context, scheme=TCP_DAEMON_SCHEME
+    )
+    return _connect_remote(address, timeout, retry, handle=handle)
+
+
+def daemon_endpoint(
+    handle: str, *, timeout: float = 30.0
+) -> tuple[Union[str, tuple[str, int]], float, Optional["RetryPolicy"]]:
+    """``(address, timeout, retry)`` a daemon handle string dials.
+
+    The one place that understands *both* daemon handle grammars —
+    ``repro://<socket-path>`` yields a filesystem path,
+    ``repro+tcp://<host>:<port>`` a ``(host, port)`` pair — together
+    with the dial settings the handle's
+    ``?timeout=&retries=&backoff=&deadline=`` options pin (handle
+    options beat the ``timeout`` argument, exactly as in
+    :func:`open_model`).  The async facade
+    (:func:`repro.api.aopen_model`) resolves daemon handles through
+    this instead of the sync resolver so both stacks agree on the
+    grammar by construction.  Raises :class:`InvalidHandleError` for
+    non-daemon handles.
+    """
+    split = _split_scheme(handle) if isinstance(handle, str) else None
+    if split is None or split[0] not in (DAEMON_SCHEME, TCP_DAEMON_SCHEME):
+        raise InvalidHandleError(
+            f"not a daemon serving handle: {handle!r}; expected "
+            f"{DAEMON_SCHEME}://<socket-path> or "
+            f"{TCP_DAEMON_SCHEME}://<host>:<port>",
+            handle=str(handle),
+        )
+    scheme, rest = split
+    _, options = _split_options(
+        rest, scheme=scheme, allowed=_DAEMON_OPTIONS
+    )
+    address: Union[str, tuple[str, int]]
+    if scheme == TCP_DAEMON_SCHEME:
+        address = tcp_daemon_address(handle)
+    else:
+        address = daemon_socket_path(handle)
+    context = ResolveContext(timeout=timeout)
+    chosen_timeout, retry = _daemon_dial_settings(
+        options, rest, context, scheme=scheme
+    )
+    return address, chosen_timeout, retry
 
 
 # -- store handles ----------------------------------------------------------------
@@ -586,7 +713,7 @@ def resolve_artifact_path(
             if scheme == STORE_SCHEME:
                 context = ResolveContext(store_root=store_root)
                 return str(_store_lookup(rest, context).path)
-            if scheme == DAEMON_SCHEME:
+            if scheme in (DAEMON_SCHEME, TCP_DAEMON_SCHEME):
                 raise InvalidHandleError(
                     f"{handle!r} points at a running daemon, not an "
                     "artifact file; serve commands need a model path or "
@@ -666,4 +793,5 @@ def portable_handle(
 
 
 register_scheme(DAEMON_SCHEME, _resolve_daemon)
+register_scheme(TCP_DAEMON_SCHEME, _resolve_daemon_tcp)
 register_scheme(STORE_SCHEME, _resolve_store)

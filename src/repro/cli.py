@@ -147,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also serve HTTP on 127.0.0.1:PORT (0 picks a free port)",
     )
     start.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="also accept wire-protocol clients over TCP "
+        "(e.g. 127.0.0.1:7707; :0 picks a free loopback port; "
+        "clients dial repro+tcp://HOST:PORT)",
+    )
+    start.add_argument(
         "--foreground", action="store_true",
         help="stay attached, log to stderr (no detach, no log file)",
     )
@@ -325,13 +331,15 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
                 return ServingDaemon(
                     model_path, args.socket,
                     workers=args.workers, http_port=args.http,
+                    tcp=args.tcp,
                 ).run()
             try:
                 pid = start_daemon(
                     model_path, args.socket,
                     workers=args.workers, http_port=args.http,
+                    tcp=args.tcp,
                 )
-            except RuntimeError as error:
+            except (RuntimeError, ValueError) as error:
                 raise SystemExit(str(error)) from None
             out.write(f"daemon {pid} serving {args.model} on {args.socket}\n")
             return 0

@@ -36,19 +36,26 @@ import socket
 import time
 import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.api.resolver import daemon_socket_path, is_daemon_handle
 from repro.core.pipeline import IdentifierBase
 from repro.languages import Language
 from repro.store.serve import ServedUrl
 from repro.store.wire import (
+    MAX_CORRELATION_ID,
     PROTOCOL_VERSION,
     RETRYABLE_CODES,
     ConnectionClosed,
     WireError,
+    encode_frame,
+    read_frame_async,
     recv_message,
     send_message,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only
+    import asyncio
 
 #: Operations safe to replay: pure reads whose repetition cannot change
 #: daemon state.  ``reload`` and ``stop`` are excluded — replaying a
@@ -165,22 +172,52 @@ class DaemonClient:
 
     def __init__(
         self,
-        socket_path: str | os.PathLike,
+        socket_path: "str | os.PathLike | tuple[str, int]",
         timeout: float = 30.0,
         protocol_version: int = PROTOCOL_VERSION,
         retry: RetryPolicy | None = None,
     ) -> None:
-        """``protocol_version`` exists so tests can provoke the daemon's
+        """``socket_path`` is a Unix socket path, or a ``(host, port)``
+        tuple to dial a daemon's TCP front door instead.
+        ``protocol_version`` exists so tests can provoke the daemon's
         version gate; production callers never pass it."""
-        self.socket_path = os.fspath(socket_path)
+        if isinstance(socket_path, tuple):
+            host, port = socket_path
+            self.socket_path: str | None = None
+            self.tcp_address: tuple[str, int] | None = (str(host), int(port))
+            self.endpoint = f"{host}:{port}"
+        else:
+            self.socket_path = os.fspath(socket_path)
+            self.tcp_address = None
+            self.endpoint = self.socket_path
         self.timeout = timeout
         self.protocol_version = protocol_version
         self.retry = RetryPolicy() if retry is None else retry
         self._sock: socket.socket | None = None
 
+    @property
+    def handle(self) -> str:
+        """The facade handle string this client's endpoint resolves from."""
+        if self.tcp_address is not None:
+            return f"repro+tcp://{self.endpoint}"
+        return f"repro://{self.socket_path}"
+
     # -- connection management ----------------------------------------------------
 
     def _connect(self) -> socket.socket:
+        if self.tcp_address is not None:
+            try:
+                sock = socket.create_connection(
+                    self.tcp_address, timeout=self.timeout
+                )
+            except OSError as error:
+                raise DaemonUnavailableError(
+                    f"no serving daemon on {self.endpoint!r} ({error}); "
+                    "start one with 'repro serve start --tcp'"
+                ) from None
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(self.timeout)
+            return sock
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.settimeout(self.timeout)
         try:
@@ -188,7 +225,7 @@ class DaemonClient:
         except OSError as error:
             sock.close()
             raise DaemonUnavailableError(
-                f"no serving daemon on {self.socket_path!r} ({error}); "
+                f"no serving daemon on {self.endpoint!r} ({error}); "
                 "start one with 'repro serve start'"
             ) from None
         return sock
@@ -262,7 +299,7 @@ class DaemonClient:
                     time.sleep(policy.delay(attempt))
                     continue
                 raise DaemonUnavailableError(
-                    f"serving daemon on {self.socket_path!r} stopped "
+                    f"serving daemon on {self.endpoint!r} stopped "
                     f"answering ({error})"
                 ) from None
             if response.get("ok"):
@@ -350,10 +387,11 @@ class RemoteIdentifier(IdentifierBase):
         self._capabilities = None
 
     @classmethod
-    def connect(cls, socket_path: str | os.PathLike,
+    def connect(cls, socket_path: "str | os.PathLike | tuple[str, int]",
                 timeout: float = 30.0,
                 retry: RetryPolicy | None = None) -> "RemoteIdentifier":
-        """A remote identifier over a fresh :class:`DaemonClient`."""
+        """A remote identifier over a fresh :class:`DaemonClient`
+        (``socket_path`` may be a ``(host, port)`` TCP endpoint)."""
         return cls(DaemonClient(socket_path, timeout=timeout, retry=retry))
 
     @property
@@ -389,7 +427,7 @@ class RemoteIdentifier(IdentifierBase):
                     languages=tuple(LANGUAGES),
                     created_at=rollout.get("created_at"),
                     train_corpus=rollout.get("train_corpus"),
-                    source=f"repro://{self.client.socket_path}",
+                    source=self.client.handle,
                 ),
                 compiled=False,
                 remote=True,
@@ -415,6 +453,446 @@ class RemoteIdentifier(IdentifierBase):
         return {
             Language.coerce(code): values for code, values in remote.items()
         }
+
+
+class AsyncDaemonClient:
+    """Asyncio-native daemon client multiplexing one connection.
+
+    Where :class:`DaemonClient` serializes request/response pairs, this
+    client lets any number of coroutines issue requests concurrently
+    over **one** socket: every request frame carries a correlation id,
+    a single background reader task pairs incoming response frames back
+    to their awaiting callers, and writes are serialized so pipelined
+    frames never interleave.  The daemon answers strictly in order, so
+    one connection behaves like a FIFO pipeline — high fan-in
+    concurrency without a connection per caller.
+
+    Retry semantics are :class:`RetryPolicy`'s, identical to the sync
+    client: idempotent ops only, transport errors and typed
+    ``overloaded``/``shutting-down`` refusals retried on a fresh
+    connection with jittered exponential backoff, the remaining
+    deadline budget propagated in each attempt's frame header.
+
+    Responses from servers that do not echo correlation ids are paired
+    FIFO — correct because the protocol answers strictly in order.
+
+    Use as an async context manager or call :meth:`aclose`::
+
+        async with AsyncDaemonClient("repro.sock") as client:
+            rows = await client.aclassify(["http://www.blumen.de/garten"])
+    """
+
+    def __init__(
+        self,
+        socket_path: "str | os.PathLike | tuple[str, int]",
+        timeout: float = 30.0,
+        protocol_version: int = PROTOCOL_VERSION,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        if isinstance(socket_path, tuple):
+            host, port = socket_path
+            self.socket_path: str | None = None
+            self.tcp_address: tuple[str, int] | None = (str(host), int(port))
+            self.endpoint = f"{host}:{port}"
+        else:
+            self.socket_path = os.fspath(socket_path)
+            self.tcp_address = None
+            self.endpoint = self.socket_path
+        self.timeout = timeout
+        self.protocol_version = protocol_version
+        self.retry = RetryPolicy() if retry is None else retry
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self._reader_task: "asyncio.Task | None" = None
+        self._pending: "dict[int, asyncio.Future]" = {}
+        self._connect_lock: "asyncio.Lock | None" = None
+        self._write_lock: "asyncio.Lock | None" = None
+        self._next_cid = 0
+        #: Connections dialed over this client's lifetime — observability
+        #: for tests and capacity planning (1 under pure multiplexing;
+        #: +1 per retry-forced reconnect).
+        self.connections_opened = 0
+
+    @property
+    def handle(self) -> str:
+        """The facade handle string this client's endpoint resolves from."""
+        if self.tcp_address is not None:
+            return f"repro+tcp://{self.endpoint}"
+        return f"repro://{self.socket_path}"
+
+    # -- connection management ----------------------------------------------------
+
+    def _locks(self) -> "tuple[asyncio.Lock, asyncio.Lock]":
+        # Created lazily so the client can be constructed outside a
+        # running event loop.
+        import asyncio
+
+        if self._connect_lock is None:
+            self._connect_lock = asyncio.Lock()
+            self._write_lock = asyncio.Lock()
+        assert self._write_lock is not None
+        return self._connect_lock, self._write_lock
+
+    async def _ensure_connected(self) -> None:
+        import asyncio
+
+        connect_lock, _ = self._locks()
+        async with connect_lock:
+            if self._writer is not None:
+                return
+            try:
+                if self.tcp_address is not None:
+                    reader, writer = await asyncio.wait_for(
+                        asyncio.open_connection(*self.tcp_address),
+                        self.timeout,
+                    )
+                    sock = writer.get_extra_info("socket")
+                    if sock is not None:
+                        sock.setsockopt(
+                            socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                        )
+                else:
+                    assert self.socket_path is not None
+                    reader, writer = await asyncio.wait_for(
+                        asyncio.open_unix_connection(self.socket_path),
+                        self.timeout,
+                    )
+            except (OSError, asyncio.TimeoutError) as error:
+                raise DaemonUnavailableError(
+                    f"no serving daemon on {self.endpoint!r} ({error}); "
+                    "start one with 'repro serve start'"
+                ) from None
+            self._reader, self._writer = reader, writer
+            self.connections_opened += 1
+            self._reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop(reader)
+            )
+
+    async def _read_loop(self, reader: "asyncio.StreamReader") -> None:
+        """Pair every incoming response frame with its awaiting caller.
+
+        Runs until the connection dies, then fails every still-pending
+        future with the transport error so each caller's retry loop can
+        decide for itself.  A response whose correlation id matches no
+        pending future (its caller was cancelled) is dropped on the
+        floor — the stream stays aligned because pairing is positional
+        only for id-less responses.
+        """
+        try:
+            while True:
+                frame = await read_frame_async(reader)
+                future = None
+                if frame.correlation_id is not None:
+                    future = self._pending.pop(frame.correlation_id, None)
+                elif self._pending:
+                    # Id-less server (or a scripted test double): the
+                    # strict in-order contract makes FIFO pairing exact.
+                    future = self._pending.pop(next(iter(self._pending)))
+                if future is not None and not future.done():
+                    future.set_result(frame.message)
+        except (WireError, OSError) as error:
+            self._connection_lost(error)
+
+    def _connection_lost(self, error: Exception) -> None:
+        """Tear down state after the transport died under the reader."""
+        writer, self._writer, self._reader = self._writer, None, None
+        self._reader_task = None
+        if writer is not None:
+            writer.close()
+        self._fail_pending(error)
+
+    def _fail_pending(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    error if isinstance(error, WireError)
+                    else ConnectionClosed(str(error), clean=False)
+                )
+
+    async def _drop_connection(self) -> None:
+        """Voluntarily close (retry path / :meth:`aclose`).
+
+        Any *other* requests still in flight on the connection fail with
+        a dirty :class:`ConnectionClosed` and retry under their own
+        budgets — the same thing a daemon-side close would do to them.
+        """
+        import asyncio
+        import contextlib
+
+        task, self._reader_task = self._reader_task, None
+        writer, self._writer, self._reader = self._writer, None, None
+        if task is not None and task is not asyncio.current_task():
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        if writer is not None:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._fail_pending(ConnectionClosed("connection dropped", clean=False))
+
+    async def aclose(self) -> None:
+        """Close the connection (a later request reconnects)."""
+        await self._drop_connection()
+
+    async def __aenter__(self) -> "AsyncDaemonClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- request plumbing ---------------------------------------------------------
+
+    def _claim_cid(self) -> int:
+        self._next_cid = (self._next_cid + 1) & MAX_CORRELATION_ID
+        while self._next_cid in self._pending:
+            self._next_cid = (self._next_cid + 1) & MAX_CORRELATION_ID
+        return self._next_cid
+
+    async def _roundtrip(self, message: dict,
+                         deadline_ms: int | None) -> dict:
+        import asyncio
+
+        await self._ensure_connected()
+        _, write_lock = self._locks()
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        async with write_lock:
+            if self._writer is None:
+                raise ConnectionClosed("connection lost before send",
+                                       clean=False)
+            cid = self._claim_cid()
+            self._pending[cid] = future
+            try:
+                self._writer.write(
+                    encode_frame(message, deadline_ms, cid)
+                )
+                await self._writer.drain()
+            except (OSError, ConnectionError) as error:
+                self._pending.pop(cid, None)
+                raise ConnectionClosed(
+                    f"send failed: {error}", clean=False
+                ) from None
+        try:
+            return await asyncio.wait_for(future, self.timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(cid, None)
+            raise TimeoutError(
+                f"no response within {self.timeout:.1f}s"
+            ) from None
+        except asyncio.CancelledError:
+            # Caller cancelled mid-request: forget the id so the late
+            # response (already being computed) is dropped, not paired
+            # with some future request.
+            self._pending.pop(cid, None)
+            raise
+
+    async def request(self, op: str, **fields) -> dict:
+        """Async twin of :meth:`DaemonClient.request` — same retry
+        matrix, same error taxonomy, ``asyncio.sleep`` backoff."""
+        import asyncio
+
+        policy = self.retry
+        idempotent = op in IDEMPOTENT_OPS
+        expires = (
+            time.monotonic() + policy.deadline
+            if policy.deadline is not None else None
+        )
+
+        def may_retry(attempt: int) -> bool:
+            if not idempotent or attempt > policy.retries:
+                return False
+            return expires is None or time.monotonic() < expires
+
+        attempt = 0
+        while True:
+            attempt += 1
+            message = {"v": self.protocol_version, "op": op, **fields}
+            if attempt > 1:
+                message["attempt"] = attempt
+            deadline_ms = None
+            if expires is not None:
+                deadline_ms = max(
+                    0, int((expires - time.monotonic()) * 1000)
+                )
+            try:
+                response = await self._roundtrip(
+                    message, deadline_ms=deadline_ms
+                )
+            except (WireError, ConnectionClosed, OSError,
+                    TimeoutError) as error:
+                await self._drop_connection()
+                if may_retry(attempt):
+                    await asyncio.sleep(policy.delay(attempt))
+                    continue
+                raise DaemonUnavailableError(
+                    f"serving daemon on {self.endpoint!r} stopped "
+                    f"answering ({error})"
+                ) from None
+            if response.get("ok"):
+                return response
+            error_block = response.get("error", {})
+            code = error_block.get("code", "internal")
+            if code in RETRYABLE_CODES and may_retry(attempt):
+                await self._drop_connection()
+                await asyncio.sleep(policy.delay(attempt))
+                continue
+            raise DaemonRequestError(
+                code=code,
+                message=error_block.get(
+                    "message", "daemon returned an error"
+                ),
+            )
+
+    # -- the served operations ----------------------------------------------------
+
+    async def aping(self) -> bool:
+        """True when a daemon answers on the endpoint."""
+        return bool((await self.request("ping")).get("ok"))
+
+    async def astatus(self) -> dict:
+        """The answering worker's status block."""
+        return await self.request("status")
+
+    async def aclassify(self, urls) -> list[ServedUrl]:
+        """Batch triage, one :class:`ServedUrl` per input URL in order."""
+        response = await self.request("classify", urls=list(urls))
+        return [
+            ServedUrl(url=row["url"], best=row["best"],
+                      positives=tuple(row["positives"]))
+            for row in response["results"]
+        ]
+
+    async def ascore(self, urls) -> dict[str, list[float]]:
+        """Per-language decision scores, keyed by language code."""
+        response = await self.request("score", urls=list(urls))
+        return {
+            code: list(values)
+            for code, values in response["scores"].items()
+        }
+
+    async def adecisions(self, urls) -> dict[str, list[bool]]:
+        """Per-language binary decisions, keyed by language code."""
+        response = await self.request("decisions", urls=list(urls))
+        return {
+            code: list(values)
+            for code, values in response["decisions"].items()
+        }
+
+    async def areload(self) -> dict:
+        """Ask the daemon to re-examine its artifact path (SIGHUP)."""
+        return await self.request("reload")
+
+    async def astop(self) -> dict:
+        """Ask the daemon to shut down gracefully (SIGTERM)."""
+        return await self.request("stop")
+
+
+class AsyncRemoteIdentifier:
+    """The :class:`repro.api.AsyncPredictor` surface over a daemon.
+
+    The async twin of :class:`RemoteIdentifier`: holds no weights, one
+    request per batch call, scores round-tripping bit-identically
+    through JSON.  ``apredict`` derives decisions and best labels from
+    one score pass with exactly the rules
+    :meth:`repro.core.pipeline.IdentifierBase.predict` uses, so sync
+    and async predictions over the same daemon are byte-identical.
+    """
+
+    def __init__(self, client: AsyncDaemonClient) -> None:
+        self.client = client
+        self._capabilities = None
+
+    @classmethod
+    def connect(cls, socket_path: "str | os.PathLike | tuple[str, int]",
+                timeout: float = 30.0,
+                retry: RetryPolicy | None = None) -> "AsyncRemoteIdentifier":
+        """An async remote identifier over a fresh
+        :class:`AsyncDaemonClient` (``socket_path`` may be a
+        ``(host, port)`` TCP endpoint)."""
+        return cls(AsyncDaemonClient(socket_path, timeout=timeout,
+                                     retry=retry))
+
+    @property
+    def name(self) -> str:
+        """Report label; remote daemons answer it via capabilities."""
+        if self._capabilities is not None:
+            return self._capabilities.model.name
+        return "remote"
+
+    async def acapabilities(self):
+        """Capability block (fetched once, cached like the sync twin)."""
+        if self._capabilities is None:
+            from repro.api.types import Capabilities, ModelInfo
+            from repro.languages import LANGUAGES
+
+            model = (await self.client.astatus()).get("model", {})
+            rollout = model.get("rollout") or {}
+            self._capabilities = Capabilities(
+                model=ModelInfo(
+                    name=model.get("name", "remote"),
+                    backend="remote",
+                    languages=tuple(LANGUAGES),
+                    created_at=rollout.get("created_at"),
+                    train_corpus=rollout.get("train_corpus"),
+                    source=self.client.handle,
+                ),
+                compiled=False,
+                remote=True,
+            )
+        return self._capabilities
+
+    async def adecisions(self, urls) -> dict:
+        remote = await self.client.adecisions(urls)
+        return {
+            Language.coerce(code): values for code, values in remote.items()
+        }
+
+    async def ascores_many(self, urls) -> dict:
+        remote = await self.client.ascore(urls)
+        return {
+            Language.coerce(code): values for code, values in remote.items()
+        }
+
+    async def apredict(self, urls):
+        """One score pass into a :class:`repro.api.BatchResult` — the
+        same derivation as the sync ``predict`` (decisions are
+        ``score > 0``; best is the max-scoring language when positive)."""
+        from repro.api.types import BatchResult
+
+        urls = list(urls)
+        scores = await self.ascores_many(urls)
+        decisions = {
+            language: [value > 0.0 for value in values]
+            for language, values in scores.items()
+        }
+        best = []
+        for row in range(len(urls)):
+            best_language, best_score = max(
+                ((language, scores[language][row]) for language in scores),
+                key=lambda item: item[1],
+            )
+            best.append(best_language if best_score > 0.0 else None)
+        capabilities = await self.acapabilities()
+        return BatchResult(
+            urls=tuple(urls),
+            scores=scores,
+            decisions=decisions,
+            best=tuple(best),
+            model=capabilities.model,
+        )
+
+    async def aclose(self) -> None:
+        """Drop the connection and the cached capability block."""
+        self._capabilities = None
+        await self.client.aclose()
+
+    async def __aenter__(self) -> "AsyncRemoteIdentifier":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
 
 
 def resolve_serving_handle(handle: str, timeout: float = 30.0) -> RemoteIdentifier:

@@ -40,6 +40,7 @@ protocol spec, hot-reload semantics, and capacity planning.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing
 import os
@@ -65,7 +66,7 @@ from repro.store.wire import (
     WireError,
     error_response,
     ok_response,
-    recv_frame,
+    recv_frame_ex,
     send_message,
 )
 from repro.testing import faults
@@ -103,6 +104,65 @@ CRASH_LOOP_THRESHOLD = 3
 CRASH_LOOP_WINDOW = 30.0
 RESPAWN_BACKOFF_INITIAL = 0.5
 RESPAWN_BACKOFF_MAX = 30.0
+
+
+def _batch_fingerprint(urls: list[str]) -> str:
+    """Short digest binding a pagination cursor to one exact batch."""
+    joined = "\n".join(urls).encode("utf-8", "surrogatepass")
+    return hashlib.sha256(joined).hexdigest()[:12]
+
+
+def encode_page_cursor(urls: list[str], last_index: int) -> str:
+    """Opaque keyset cursor: the last row already returned, fingerprinted.
+
+    The REST surface pages by *position in the request batch* (the
+    stable sort key of a classify/score/decisions response), so the
+    cursor names the last returned row and the fingerprint refuses a
+    cursor replayed against a different batch — the keyset analogue of
+    Paper-Scanner's ``{date}|{id}`` cursors.
+    """
+    return f"{last_index}|{_batch_fingerprint(urls)}"
+
+
+def decode_page_cursor(urls: list[str], cursor: str) -> int:
+    """Validate ``cursor`` against ``urls``; return the next start index.
+
+    Raises ``ValueError`` with an operator-readable reason on a cursor
+    that is malformed, out of range, or minted for a different batch.
+    """
+    index_text, _, fingerprint = str(cursor).partition("|")
+    try:
+        last_index = int(index_text)
+    except ValueError:
+        raise ValueError(f"malformed page cursor {cursor!r}") from None
+    if fingerprint != _batch_fingerprint(urls):
+        raise ValueError(
+            "page cursor was minted for a different url batch; "
+            "send the same 'urls' list on every page"
+        )
+    if not 0 <= last_index < len(urls):
+        raise ValueError(f"page cursor index {last_index} out of range")
+    return last_index + 1
+
+
+def parse_tcp_spec(spec: "str | tuple[str, int]") -> tuple[str, int]:
+    """Parse a ``host:port`` TCP listener spec into ``(host, port)``.
+
+    An omitted host (``:8642``) binds loopback — exposing the daemon
+    beyond the machine is an explicit choice (``0.0.0.0:8642``), never
+    a default.  Port ``0`` asks the kernel for a free port; the daemon
+    resolves and reports the real one in its status block.
+    """
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    text = str(spec)
+    if ":" not in text:
+        raise ValueError(
+            f"TCP spec {text!r} must look like host:port (try 127.0.0.1:0)"
+        )
+    host, _, port_text = text.rpartition(":")
+    return host or "127.0.0.1", int(port_text)
 
 
 class DaemonStartupError(RuntimeError):
@@ -156,6 +216,7 @@ class ServingDaemon:
         workers: int = DEFAULT_WORKERS,
         http_port: int | None = None,
         pid_path: str | os.PathLike | None = None,
+        tcp: "str | tuple[str, int] | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -164,8 +225,14 @@ class ServingDaemon:
         self.workers = workers
         self.http_port = http_port
         self.pid_path = Path(pid_path) if pid_path else pidfile_for(socket_path)
+        #: Optional TCP front door: parsed at construction (so a bad
+        #: spec fails fast in the caller's process), bound in run(),
+        #: resolved into ``tcp_address`` before workers fork.
+        self.tcp_spec = parse_tcp_spec(tcp) if tcp is not None else None
+        self.tcp_address: tuple[str, int] | None = None
         self._state: _ModelState | None = None
         self._listener: socket.socket | None = None
+        self._tcp_listener: socket.socket | None = None
         self._children: dict[int, int] = {}  # pid -> generation
         self._stop_requested = False
         self._hup_requested = False
@@ -281,7 +348,8 @@ class ServingDaemon:
     # -- request dispatch (shared by socket workers and the HTTP thread) -----------
 
     def _timed_dispatch(self, message: dict,
-                        deadline: float | None = None) -> dict:
+                        deadline: float | None = None,
+                        transport: str = "unix") -> dict:
         """:meth:`_dispatch` plus per-worker request accounting.
 
         Every answered request lands in this process's
@@ -329,6 +397,7 @@ class ServingDaemon:
             op if isinstance(op, str) else "invalid",
             time.perf_counter() - started,
             ok=bool(response.get("ok")),
+            transport=transport,
         )
         return response
 
@@ -453,6 +522,10 @@ class ServingDaemon:
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "http_port": self.http_port,
+            "tcp": (
+                {"host": self.tcp_address[0], "port": self.tcp_address[1]}
+                if self.tcp_address is not None else None
+            ),
             "model": {
                 "name": identifier.name,
                 "algorithm": identifier.algorithm,
@@ -515,20 +588,52 @@ class ServingDaemon:
     def _worker_sigterm(self, signum, frame) -> None:
         self._worker_stop = True
 
+    def _listeners(self) -> list[socket.socket]:
+        """Every bound front door (Unix always, TCP when configured)."""
+        return [
+            listener
+            for listener in (self._listener, self._tcp_listener)
+            if listener is not None
+        ]
+
+    def _transport_of(self, listener: socket.socket) -> str:
+        return "tcp" if listener is self._tcp_listener else "unix"
+
     def _worker_loop(self) -> None:
-        assert self._listener is not None
-        listener = self._listener
-        listener.settimeout(SUPERVISE_INTERVAL)
+        listeners = self._listeners()
+        assert listeners
+        # Non-blocking accept + select: one worker waits on *both* front
+        # doors at once, and a sibling winning the race for a pending
+        # connection surfaces as BlockingIOError, never a stall.
+        # settimeout is per socket *object*, so this worker's setting
+        # never disturbs the parent or its siblings.
+        for listener in listeners:
+            listener.settimeout(0)
         while not self._worker_stop:
             if os.getppid() != self._supervisor_pid:
                 self._log("supervisor is gone; worker exiting")
                 break  # orphaned: nobody will ever reload or stop us
             try:
-                connection, _ = listener.accept()
-            except (socket.timeout, InterruptedError):
+                readable, _, _ = select.select(
+                    listeners, [], [], SUPERVISE_INTERVAL
+                )
+            except InterruptedError:
                 continue
             except OSError:
+                break  # a listener closed under us during shutdown
+            if not readable:
+                continue
+            try:
+                connection, _ = readable[0].accept()
+            except (BlockingIOError, socket.timeout, InterruptedError):
+                continue  # a sibling won the race
+            except OSError:
                 break  # listener closed under us during shutdown
+            transport = self._transport_of(readable[0])
+            if transport == "tcp":
+                connection.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
             # A held connection is this worker's whole capacity (one
             # connection per worker); the parent sums these flags as
             # its admission signal and starts answering `overloaded`
@@ -536,13 +641,21 @@ class ServingDaemon:
             self._my_busy.value = 1
             try:
                 with connection:
-                    self._serve_connection(connection)
+                    self._serve_connection(connection, transport)
             finally:
                 self._my_busy.value = 0
 
-    def _serve_connection(self, connection: socket.socket) -> None:
+    def _serve_connection(self, connection: socket.socket,
+                          transport: str = "unix") -> None:
         """Answer frames on one connection until the peer closes — or
         until this worker is told to drain.
+
+        Keep-alive with pipelining: any number of request frames may
+        already be queued in the stream; the worker reads, dispatches,
+        and answers them strictly in order, echoing each request's
+        correlation id (when it carried one) on the matching response —
+        which is what lets an async client pair fan-in responses with
+        fan-out requests on one connection.
 
         Drain semantics (graceful stop and the hot-reload handover): a
         retiring worker finishes the request it is answering, then
@@ -573,7 +686,7 @@ class ServingDaemon:
             if not readable:
                 continue  # idle at a frame boundary; re-check drain flag
             try:
-                message, deadline_ms = recv_frame(connection)
+                frame = recv_frame_ex(connection)
             except TimeoutError:
                 return  # peer stalled mid-frame; drop the connection
             except ConnectionClosed:
@@ -588,6 +701,8 @@ class ServingDaemon:
                     connection, error_response("bad-request", str(error))
                 )
                 return
+            message = frame.message
+            cid = frame.correlation_id
             op = message.get("op")
             if self._worker_stop:
                 # The drain-notify answer: typed, retryable, no reset.
@@ -598,16 +713,21 @@ class ServingDaemon:
                         "worker is draining; retry on a new connection",
                     ),
                     op=op,
+                    correlation_id=cid,
                 )
                 return
             faults.maybe_kill("worker-kill", op=op)
             deadline = (
-                time.monotonic() + deadline_ms / 1000.0
-                if deadline_ms is not None else None
+                time.monotonic() + frame.deadline_ms / 1000.0
+                if frame.deadline_ms is not None else None
             )
             if not self._send_best_effort(
-                connection, self._timed_dispatch(message, deadline=deadline),
+                connection,
+                self._timed_dispatch(
+                    message, deadline=deadline, transport=transport
+                ),
                 op=op,
+                correlation_id=cid,
             ):
                 return
 
@@ -627,12 +747,13 @@ class ServingDaemon:
             pass
 
     def _send_best_effort(self, connection: socket.socket, message: dict,
-                          op: str | None = None) -> bool:
+                          op: str | None = None,
+                          correlation_id: int | None = None) -> bool:
         if faults.should_fire("torn-frame", op=op) is not None:
             self._send_torn_frame(connection, message)
             return False
         try:
-            send_message(connection, message)
+            send_message(connection, message, correlation_id=correlation_id)
             return True
         except FrameTooLargeError as error:
             # The *response* outgrew the frame cap (a batch near the
@@ -646,6 +767,7 @@ class ServingDaemon:
                     f"response exceeds the frame cap; send smaller "
                     f"batches ({error})",
                 ),
+                correlation_id=correlation_id,
             )
         except OSError:
             return False  # peer went away mid-answer; drop the connection
@@ -719,11 +841,58 @@ class ServingDaemon:
                 except (ValueError, json.JSONDecodeError) as error:
                     self._reply(400, error_response("bad-request", str(error)))
                     return
+                # Keyset pagination: "limit" caps the rows answered per
+                # page, "cursor" (from the previous page's next_cursor)
+                # names the last row already returned.  Only the page's
+                # slice of urls is dispatched, so a huge batch costs one
+                # page of work per request instead of one giant frame.
+                limit = body.pop("limit", None)
+                cursor = body.pop("cursor", None)
+                page: tuple[list, int] | None = None
+                if limit is not None or cursor is not None:
+                    urls = body.get("urls")
+                    if not isinstance(urls, list):
+                        self._reply(400, error_response(
+                            "bad-request",
+                            "pagination requires 'urls': list",
+                        ))
+                        return
+                    if limit is None:
+                        limit = len(urls)
+                    if not isinstance(limit, int) or limit < 1:
+                        self._reply(400, error_response(
+                            "bad-request", f"'limit' must be >= 1, got "
+                            f"{limit!r}",
+                        ))
+                        return
+                    try:
+                        start = (
+                            decode_page_cursor(urls, cursor)
+                            if cursor is not None else 0
+                        )
+                    except ValueError as error:
+                        self._reply(400, error_response(
+                            "bad-request", str(error)
+                        ))
+                        return
+                    page = (urls, start)
+                    body = {**body, "urls": urls[start:start + limit]}
                 # The path, not the body, decides the op — a body "op"
                 # must never widen a batch endpoint into stop/reload.
                 response = daemon._timed_dispatch(
-                    {**body, "v": PROTOCOL_VERSION, "op": op}
+                    {**body, "v": PROTOCOL_VERSION, "op": op},
+                    transport="http",
                 )
+                if page is not None and response.get("ok"):
+                    urls, start = page
+                    served = len(body["urls"])
+                    end = start + served
+                    response["total"] = len(urls)
+                    response["offset"] = start
+                    response["next_cursor"] = (
+                        encode_page_cursor(urls, end - 1)
+                        if served and end < len(urls) else None
+                    )
                 self._reply(200 if response.get("ok") else 400, response)
 
         server = ThreadingHTTPServer(("127.0.0.1", self.http_port), Handler)
@@ -770,6 +939,21 @@ class ServingDaemon:
         listener.listen(128)
         return listener
 
+    def _bind_tcp(self) -> socket.socket:
+        """Bind the TCP listener and resolve ``tcp_address``.
+
+        Bound before workers fork so every worker inherits the listener
+        and every status block reports the kernel-resolved port (spec
+        port ``0`` means "pick one for me").
+        """
+        assert self.tcp_spec is not None
+        listener = socket.create_server(
+            self.tcp_spec, backlog=128, reuse_port=False
+        )
+        host, port = listener.getsockname()[:2]
+        self.tcp_address = (host, port)
+        return listener
+
     def run(self) -> int:
         """Serve until told to stop; returns the process exit code.
 
@@ -780,6 +964,8 @@ class ServingDaemon:
         self._started_at = time.time()
         self._state = self._load_state(generation=1)
         self._listener = self._bind()
+        if self.tcp_spec is not None:
+            self._tcp_listener = self._bind_tcp()
         self.pid_path.write_text(f"{os.getpid()}\n")
         signal.signal(signal.SIGTERM, self._parent_signal)
         signal.signal(signal.SIGINT, self._parent_signal)
@@ -791,6 +977,11 @@ class ServingDaemon:
             f"(checksum {self._state.checksum[:12]}…) from {self.model_path} "
             f"on {self.socket_path} with {self.workers} workers"
         )
+        if self.tcp_address is not None:
+            self._log(
+                f"tcp front door on "
+                f"{self.tcp_address[0]}:{self.tcp_address[1]}"
+            )
         for _ in range(self.workers):
             self._spawn_worker(self._state.generation)
         if self._http_server is not None:
@@ -803,8 +994,9 @@ class ServingDaemon:
         # answers with typed `overloaded` instead of letting callers
         # hang in the listen backlog.  Its accept must never block —
         # a worker may win the race for a pending connection at any
-        # moment — hence timeout 0 on the parent's socket object.
-        self._listener.settimeout(0)
+        # moment — hence timeout 0 on the parent's socket objects.
+        for listener in self._listeners():
+            listener.settimeout(0)
         try:
             while not self._stop_requested:
                 if self._hup_requested:
@@ -933,36 +1125,44 @@ class ServingDaemon:
         frame per connection, then close, so the parent never becomes
         a long-lived serving path.
         """
-        assert self._listener is not None
-        for _ in range(64):
-            try:
-                connection, _ = self._listener.accept()
-            except (BlockingIOError, socket.timeout, OSError):
-                return
-            with connection:
+        budget = 64
+        for listener in self._listeners():
+            transport = self._transport_of(listener)
+            while budget > 0:
                 try:
-                    connection.settimeout(1.0)
-                    message, deadline_ms = recv_frame(connection)
-                except (WireError, OSError, TimeoutError):
-                    continue
-                op = message.get("op")
-                if op in ("classify", "score", "decisions"):
-                    self._robustness.bump("overload_rejections")
-                    response = error_response(
-                        "overloaded",
-                        f"all {self.workers} workers are busy; "
-                        "retry with backoff",
-                    )
-                else:
-                    deadline = (
-                        time.monotonic() + deadline_ms / 1000.0
-                        if deadline_ms is not None else None
-                    )
-                    with self._fork_lock:
-                        response = self._timed_dispatch(
-                            message, deadline=deadline
+                    connection, _ = listener.accept()
+                except (BlockingIOError, socket.timeout, OSError):
+                    break  # this listener's backlog is drained
+                budget -= 1
+                with connection:
+                    try:
+                        connection.settimeout(1.0)
+                        frame = recv_frame_ex(connection)
+                    except (WireError, OSError, TimeoutError):
+                        continue
+                    message = frame.message
+                    op = message.get("op")
+                    if op in ("classify", "score", "decisions"):
+                        self._robustness.bump("overload_rejections")
+                        response = error_response(
+                            "overloaded",
+                            f"all {self.workers} workers are busy; "
+                            "retry with backoff",
                         )
-                self._send_best_effort(connection, response, op=op)
+                    else:
+                        deadline = (
+                            time.monotonic() + frame.deadline_ms / 1000.0
+                            if frame.deadline_ms is not None else None
+                        )
+                        with self._fork_lock:
+                            response = self._timed_dispatch(
+                                message, deadline=deadline,
+                                transport=transport,
+                            )
+                    self._send_best_effort(
+                        connection, response, op=op,
+                        correlation_id=frame.correlation_id,
+                    )
 
     def _reload(self) -> None:
         """The SIGHUP path: gate, remap, hand the socket to new workers."""
@@ -1013,8 +1213,8 @@ class ServingDaemon:
             self._log(f"worker {pid} did not drain; killing")
             self._terminate(pid, signal.SIGKILL)
         self._reap(respawn=False)
-        if self._listener is not None:
-            self._listener.close()
+        for listener in self._listeners():
+            listener.close()
         for path in (self.socket_path, self.pid_path):
             try:
                 path.unlink()
@@ -1047,6 +1247,7 @@ def start_daemon(
     http_port: int | None = None,
     log_path: str | os.PathLike | None = None,
     ready_timeout: float = 60.0,
+    tcp: "str | tuple[str, int] | None" = None,
 ) -> int:
     """Start a detached daemon and wait until it answers ``ping``.
 
@@ -1062,6 +1263,8 @@ def start_daemon(
     """
     from repro.store.client import DaemonClient, DaemonError
 
+    if tcp is not None:
+        parse_tcp_spec(tcp)  # fail in the caller, not the detached child
     socket_path = Path(socket_path)
     log_path = Path(log_path) if log_path else socket_path.with_name(
         socket_path.name + ".log"
@@ -1100,7 +1303,8 @@ def start_daemon(
             sys.stdout = open(1, "w", buffering=1, closefd=False)
             sys.stderr = open(2, "w", buffering=1, closefd=False)
             code = ServingDaemon(
-                model_path, socket_path, workers=workers, http_port=http_port
+                model_path, socket_path, workers=workers,
+                http_port=http_port, tcp=tcp,
             ).run()
         except BaseException as error:  # noqa: BLE001 - report then die
             print(f"daemon failed: {error!r}", file=sys.stderr, flush=True)

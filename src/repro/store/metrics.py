@@ -199,12 +199,22 @@ class RequestMetrics:
     def __init__(self) -> None:
         self.started_at = time.time()
         self.by_op: dict[str, int] = {}
+        self.by_transport: dict[str, int] = {}
         self.errors = 0
         self.latency = LatencyHistogram()
 
-    def observe(self, op: str, seconds: float, ok: bool = True) -> None:
-        """Record one answered request of ``op`` taking ``seconds``."""
+    def observe(self, op: str, seconds: float, ok: bool = True,
+                transport: str | None = None) -> None:
+        """Record one answered request of ``op`` taking ``seconds``.
+
+        ``transport`` tags which listener carried the request ("unix",
+        "tcp", "http"), so operators can see per-front-door traffic in
+        ``serve status`` when a daemon exposes several at once.
+        """
         self.by_op[op] = self.by_op.get(op, 0) + 1
+        if transport is not None:
+            self.by_transport[transport] = \
+                self.by_transport.get(transport, 0) + 1
         if not ok:
             self.errors += 1
         self.latency.observe(seconds)
@@ -219,6 +229,7 @@ class RequestMetrics:
             "total": self.total,
             "errors": self.errors,
             "by_op": dict(sorted(self.by_op.items())),
+            "by_transport": dict(sorted(self.by_transport.items())),
             "since": self.started_at,
             "latency_ms": self.latency.snapshot(),
         }

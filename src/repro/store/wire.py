@@ -8,16 +8,23 @@ framing over a stream socket (Unix domain by default):
 
     offset 0   frame length   uint32 big-endian   (4 bytes)
     offset 4   deadline       uint64 big-endian   (8 bytes, optional)
+    ...        correlation    uint32 big-endian   (4 bytes, optional)
     ...        body           UTF-8 JSON          (length bytes)
 
-Bit 31 of the length word is a flag, not part of the length (safe
-because :data:`MAX_FRAME_BYTES` is far below 2\\ :sup:`31`): when set,
-an 8-byte big-endian *deadline* field — the milliseconds of budget the
-sender grants this request — precedes the body.  Receivers convert the
-budget to their own monotonic clock on arrival, so nothing on the wire
-depends on clocks agreeing across hosts.  Frames without the flag are
-byte-identical to the pre-deadline protocol, which is why this is not
-a :data:`PROTOCOL_VERSION` bump.
+The top bits of the length word are flags, not part of the length
+(safe because :data:`MAX_FRAME_BYTES` is far below 2\\ :sup:`30`).
+Bit 31 (:data:`DEADLINE_FLAG`): an 8-byte big-endian *deadline* field —
+the milliseconds of budget the sender grants this request — precedes
+the body.  Receivers convert the budget to their own monotonic clock on
+arrival, so nothing on the wire depends on clocks agreeing across
+hosts.  Bit 30 (:data:`CORRELATION_FLAG`): a 4-byte big-endian
+*correlation id* follows the deadline field (or the length word when no
+deadline is present).  A server echoes a request's correlation id on
+the matching response frame, which is what lets a client pipeline many
+requests down one keep-alive connection and pair the strictly-ordered
+responses back to their callers without guessing.  Frames without
+either flag are byte-identical to the original protocol, which is why
+neither field is a :data:`PROTOCOL_VERSION` bump.
 
 A *request* body is an object with at least ``{"v": 1, "op": <name>}``;
 op-specific fields (``urls`` for the batch ops) ride alongside.  A
@@ -41,8 +48,13 @@ vendored without pulling in the fork/signal machinery.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import socket
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle / cost avoidance
+    import asyncio
 
 #: Version of the request/response schema (independent of the artifact
 #: :data:`~repro.store.format.FORMAT_VERSION`).  Bump on incompatible
@@ -81,6 +93,19 @@ DEADLINE_FLAG = 0x8000_0000
 #: Widest deadline the header can carry (uint64 milliseconds — in
 #: practice "no deadline" should be expressed by omitting the field).
 MAX_DEADLINE_MS = (1 << 64) - 1
+
+#: Bit 30 of the length word marks a correlation-id field in the frame
+#: header: 4 bytes big-endian after the (optional) deadline field.  A
+#: response echoes its request's id so pipelined frames on a keep-alive
+#: connection can be paired without relying on counting alone.
+CORRELATION_FLAG = 0x4000_0000
+
+#: Widest correlation id the header can carry (uint32).  Clients that
+#: wrap simply reuse ids no longer in flight.
+MAX_CORRELATION_ID = (1 << 32) - 1
+
+#: Every header bit that is a flag rather than length.
+_FLAG_MASK = DEADLINE_FLAG | CORRELATION_FLAG
 
 
 class WireError(Exception):
@@ -155,51 +180,60 @@ def _send_all(sock: socket.socket, payload: bytes) -> None:
             continue
 
 
-def send_message(sock: socket.socket, message: dict,
-                 deadline_ms: int | None = None) -> None:
-    """Frame ``message`` as length-prefixed JSON and send it whole.
+@dataclasses.dataclass(frozen=True, slots=True)
+class Frame:
+    """One decoded frame: body plus every optional header field."""
 
-    ``deadline_ms`` (request frames only) grants the receiver that many
-    milliseconds of budget, carried in the frame header so the server
-    can refuse or abandon work the caller will no longer wait for.
+    message: dict
+    deadline_ms: int | None = None
+    correlation_id: int | None = None
+
+
+def encode_frame(message: dict, deadline_ms: int | None = None,
+                 correlation_id: int | None = None) -> bytes:
+    """Encode ``message`` plus optional header fields into wire bytes.
+
+    This is the single encoder both the blocking sender
+    (:func:`send_message`) and the asyncio client share, so the two
+    stacks cannot drift apart byte-wise.
     """
     body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise FrameTooLargeError(
             f"outgoing frame is {len(body)} bytes; limit {MAX_FRAME_BYTES}"
         )
-    if deadline_ms is None:
-        header = len(body).to_bytes(4, "big")
-    else:
+    word = len(body)
+    tail = b""
+    if deadline_ms is not None:
+        word |= DEADLINE_FLAG
         budget = max(0, min(int(deadline_ms), MAX_DEADLINE_MS))
-        header = (len(body) | DEADLINE_FLAG).to_bytes(4, "big") \
-            + budget.to_bytes(8, "big")
-    _send_all(sock, header + body)
+        tail += budget.to_bytes(8, "big")
+    if correlation_id is not None:
+        if not 0 <= int(correlation_id) <= MAX_CORRELATION_ID:
+            raise WireError(
+                f"correlation id {correlation_id!r} outside uint32 range"
+            )
+        word |= CORRELATION_FLAG
+        tail += int(correlation_id).to_bytes(4, "big")
+    return word.to_bytes(4, "big") + tail + body
 
 
-def recv_frame(sock: socket.socket) -> tuple[dict, int | None]:
-    """Read one frame: ``(message, deadline budget in ms or None)``.
+def send_message(sock: socket.socket, message: dict,
+                 deadline_ms: int | None = None,
+                 correlation_id: int | None = None) -> None:
+    """Frame ``message`` as length-prefixed JSON and send it whole.
 
-    Raises :class:`ConnectionClosed` (with ``clean=True`` when the close
-    landed exactly on a frame boundary), :class:`FrameTooLargeError` on
-    an oversized announcement, or :class:`WireError` on a body that is
-    not a JSON object.
+    ``deadline_ms`` (request frames only) grants the receiver that many
+    milliseconds of budget, carried in the frame header so the server
+    can refuse or abandon work the caller will no longer wait for.
+    ``correlation_id`` tags the frame so pipelined responses can be
+    paired with their requests; servers echo it back verbatim.
     """
-    prefix = _recv_exact(sock, 4)  # clean=True if closed on the boundary
-    word = int.from_bytes(prefix, "big")
-    length = word & ~DEADLINE_FLAG
-    deadline_ms: int | None = None
-    if length > MAX_FRAME_BYTES:
-        raise FrameTooLargeError(
-            f"incoming frame announces {length} bytes; limit {MAX_FRAME_BYTES}"
-        )
-    try:
-        if word & DEADLINE_FLAG:
-            deadline_ms = int.from_bytes(_recv_exact(sock, 8), "big")
-        body = _recv_exact(sock, length)
-    except ConnectionClosed as error:
-        error.clean = False  # the frame had started; this is a truncation
-        raise
+    _send_all(sock, encode_frame(message, deadline_ms, correlation_id))
+
+
+def _decode_body(body: bytes) -> dict:
+    """Decode a frame body into the request/response object."""
     try:
         message = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -208,7 +242,84 @@ def recv_frame(sock: socket.socket) -> tuple[dict, int | None]:
         raise WireError(
             f"frame body must be a JSON object, got {type(message).__name__}"
         )
-    return message, deadline_ms
+    return message
+
+
+def _header_layout(prefix: bytes) -> tuple[int, bool, bool]:
+    """Split the length word into ``(length, has_deadline, has_cid)``."""
+    word = int.from_bytes(prefix, "big")
+    length = word & ~_FLAG_MASK
+    if length > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"incoming frame announces {length} bytes; limit {MAX_FRAME_BYTES}"
+        )
+    return length, bool(word & DEADLINE_FLAG), bool(word & CORRELATION_FLAG)
+
+
+def recv_frame_ex(sock: socket.socket) -> Frame:
+    """Read one frame with every optional header field decoded.
+
+    Raises :class:`ConnectionClosed` (with ``clean=True`` when the close
+    landed exactly on a frame boundary), :class:`FrameTooLargeError` on
+    an oversized announcement, or :class:`WireError` on a body that is
+    not a JSON object.
+    """
+    prefix = _recv_exact(sock, 4)  # clean=True if closed on the boundary
+    length, has_deadline, has_cid = _header_layout(prefix)
+    deadline_ms: int | None = None
+    correlation_id: int | None = None
+    try:
+        if has_deadline:
+            deadline_ms = int.from_bytes(_recv_exact(sock, 8), "big")
+        if has_cid:
+            correlation_id = int.from_bytes(_recv_exact(sock, 4), "big")
+        body = _recv_exact(sock, length)
+    except ConnectionClosed as error:
+        error.clean = False  # the frame had started; this is a truncation
+        raise
+    return Frame(_decode_body(body), deadline_ms, correlation_id)
+
+
+def recv_frame(sock: socket.socket) -> tuple[dict, int | None]:
+    """Read one frame: ``(message, deadline budget in ms or None)``.
+
+    The historical two-field shape; callers that care about the
+    correlation id use :func:`recv_frame_ex`.
+    """
+    frame = recv_frame_ex(sock)
+    return frame.message, frame.deadline_ms
+
+
+async def read_frame_async(reader: "asyncio.StreamReader") -> Frame:
+    """Asyncio twin of :func:`recv_frame_ex` over a ``StreamReader``.
+
+    Maps ``IncompleteReadError`` onto the same :class:`ConnectionClosed`
+    semantics as the blocking reader: ``clean=True`` only when the close
+    landed exactly on a frame boundary.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as error:
+        raise ConnectionClosed(
+            "peer closed before a frame header",
+            clean=not error.partial,
+        ) from None
+    length, has_deadline, has_cid = _header_layout(prefix)
+    deadline_ms: int | None = None
+    correlation_id: int | None = None
+    try:
+        if has_deadline:
+            deadline_ms = int.from_bytes(await reader.readexactly(8), "big")
+        if has_cid:
+            correlation_id = int.from_bytes(await reader.readexactly(4), "big")
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ConnectionClosed(
+            "peer closed mid-frame", clean=False
+        ) from None
+    return Frame(_decode_body(body), deadline_ms, correlation_id)
 
 
 def recv_message(sock: socket.socket) -> dict:

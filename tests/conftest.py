@@ -2,13 +2,48 @@
 
 from __future__ import annotations
 
+import os
 import random
+import shutil
+import tempfile
+from pathlib import Path
 
 import pytest
 
 from repro.corpus.records import Corpus, LabeledUrl
 from repro.datasets import build_datasets
 from repro.languages import Language
+
+#: Conservative cross-platform bound on AF_UNIX's ``sun_path`` (Linux
+#: allows 107 usable bytes, the BSDs 103); kept lower so daemon sidecar
+#: files derived from the socket path (``<socket>.pid``, ``<socket>.log``)
+#: stay well clear too.
+SUN_PATH_BUDGET = 92
+
+
+@pytest.fixture
+def sockpath(tmp_path):
+    """Factory for Unix-socket paths that always fit ``sun_path``.
+
+    pytest's ``tmp_path`` encodes the full test id, and parametrized
+    ids can push ``<tmp_path>/x.sock`` past the AF_UNIX path limit —
+    ``bind()`` then fails with a baffling ``OSError``.  Paths that fit
+    stay inside ``tmp_path`` (auto-cleaned); long ones fall back to a
+    short ``mkdtemp`` directory removed at teardown.
+    """
+    fallback_dirs: list[str] = []
+
+    def make(name: str = "daemon.sock") -> Path:
+        candidate = tmp_path / name
+        if len(os.fsencode(candidate)) <= SUN_PATH_BUDGET:
+            return candidate
+        short = tempfile.mkdtemp(prefix="sk-")
+        fallback_dirs.append(short)
+        return Path(short) / name
+
+    yield make
+    for directory in fallback_dirs:
+        shutil.rmtree(directory, ignore_errors=True)
 
 
 @pytest.fixture(scope="session")

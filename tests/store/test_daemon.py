@@ -107,7 +107,11 @@ class TestWire:
     def test_oversized_frame_rejected_without_reading(self):
         a, b = socket.socketpair()
         with a, b:
-            a.sendall((1 << 30).to_bytes(4, "big"))
+            # Bits 31/30 are the deadline/correlation flags, so the
+            # largest flag-free declared length is (1 << 30) - 1; any
+            # value above MAX_FRAME_BYTES in that space must be refused
+            # before a single body byte is read.
+            a.sendall((1 << 29).to_bytes(4, "big"))
             with pytest.raises(FrameTooLargeError):
                 recv_message(b)
 
@@ -135,12 +139,14 @@ class TestHandles:
 
 
 class TestLifecycle:
-    def test_start_score_reload_stop(self, oracle_pair, test_urls, tmp_path):
+    def test_start_score_reload_stop(
+        self, oracle_pair, test_urls, tmp_path, sockpath
+    ):
         """The full arc: every decision byte-identical to the sparse
         oracle of whichever artifact generation is live."""
         first, second = oracle_pair
         model_path = tmp_path / "live.urlmodel"
-        socket_path = tmp_path / "live.sock"
+        socket_path = sockpath("live.sock")
         save_identifier(first, model_path)
         first_bytes = model_path.read_bytes()  # kept for the rollback gate
 
@@ -232,7 +238,7 @@ class TestLifecycle:
         assert process_gone(pid)
 
     def test_remote_identifier_and_crawler_handle(
-        self, oracle_pair, test_urls, tmp_path
+        self, oracle_pair, test_urls, tmp_path, sockpath
     ):
         """``repro://`` handles resolve to a weightless identifier whose
         answers match the daemon's model exactly."""
@@ -240,7 +246,7 @@ class TestLifecycle:
 
         first, _ = oracle_pair
         model_path = tmp_path / "handle.urlmodel"
-        socket_path = tmp_path / "handle.sock"
+        socket_path = sockpath("handle.sock")
         save_identifier(first, model_path)
         start_daemon(model_path, socket_path, workers=1)
         try:
@@ -263,11 +269,11 @@ class TestLifecycle:
 
 class TestHttpFrontend:
     def test_http_serves_the_same_operations(
-        self, oracle_pair, test_urls, tmp_path
+        self, oracle_pair, test_urls, tmp_path, sockpath
     ):
         first, _ = oracle_pair
         model_path = tmp_path / "http.urlmodel"
-        socket_path = tmp_path / "http.sock"
+        socket_path = sockpath("http.sock")
         save_identifier(first, model_path)
         start_daemon(model_path, socket_path, workers=1, http_port=0)
         try:
@@ -330,14 +336,14 @@ class TestHttpFrontend:
 
 
 class TestClientErrorPaths:
-    def test_daemon_down_fails_fast(self, tmp_path):
-        with DaemonClient(tmp_path / "nothing.sock", timeout=2.0) as client:
+    def test_daemon_down_fails_fast(self, sockpath):
+        with DaemonClient(sockpath("nothing.sock"), timeout=2.0) as client:
             with pytest.raises(DaemonUnavailableError, match="serve start"):
                 client.ping()
 
-    def test_stale_socket_file(self, tmp_path):
+    def test_stale_socket_file(self, sockpath):
         """A socket file whose daemon is gone refuses connections."""
-        stale = tmp_path / "stale.sock"
+        stale = sockpath("stale.sock")
         listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         listener.bind(str(stale))
         listener.close()  # file remains, nobody listens
@@ -345,10 +351,10 @@ class TestClientErrorPaths:
             with pytest.raises(DaemonUnavailableError):
                 client.ping()
 
-    def test_protocol_version_gate(self, oracle_pair, tmp_path):
+    def test_protocol_version_gate(self, oracle_pair, tmp_path, sockpath):
         first, _ = oracle_pair
         model_path = tmp_path / "proto.urlmodel"
-        socket_path = tmp_path / "proto.sock"
+        socket_path = sockpath("proto.sock")
         save_identifier(first, model_path)
         start_daemon(model_path, socket_path, workers=1)
         try:
@@ -366,12 +372,12 @@ class TestClientErrorPaths:
         finally:
             stop_daemon(socket_path)
 
-    def test_double_start_refused(self, oracle_pair, tmp_path):
+    def test_double_start_refused(self, oracle_pair, tmp_path, sockpath):
         """Starting over a live socket must fail loudly — never report
         the old daemon as serving the new model."""
         first, _ = oracle_pair
         model_path = tmp_path / "dup.urlmodel"
-        socket_path = tmp_path / "dup.sock"
+        socket_path = sockpath("dup.sock")
         save_identifier(first, model_path)
         start_daemon(model_path, socket_path, workers=1)
         try:
@@ -380,7 +386,9 @@ class TestClientErrorPaths:
         finally:
             stop_daemon(socket_path)
 
-    def test_version_mismatched_artifact_refuses_to_boot(self, tmp_path):
+    def test_version_mismatched_artifact_refuses_to_boot(
+        self, tmp_path, sockpath
+    ):
         """A daemon pointed at an artifact from an incompatible format
         version dies at startup with the reason in its log."""
         bogus = tmp_path / "future.urlmodel"
@@ -388,7 +396,7 @@ class TestClientErrorPaths:
         bogus.write_bytes(MAGIC + len(header).to_bytes(8, "little") + header)
         with pytest.raises(RuntimeError, match="died during startup"):
             start_daemon(
-                bogus, tmp_path / "future.sock", workers=1, ready_timeout=20
+                bogus, sockpath("future.sock"), workers=1, ready_timeout=20
             )
 
     def test_stop_without_daemon(self, tmp_path):

@@ -327,11 +327,11 @@ class ScriptedServer:
 
 
 @pytest.fixture()
-def scripted(tmp_path):
+def scripted(sockpath):
     servers = []
 
     def factory(script):
-        server = ScriptedServer(tmp_path / f"s{len(servers)}.sock", script)
+        server = ScriptedServer(sockpath(f"s{len(servers)}.sock"), script)
         servers.append(server)
         return server
 
@@ -437,12 +437,12 @@ class TestClientRetries:
         assert time.monotonic() - started < 2.0
         assert len(server.requests) < 20
 
-    def test_connection_refusal_fails_fast(self, tmp_path):
+    def test_connection_refusal_fails_fast(self, sockpath):
         """A daemon that was never there is not retried — fail fast so
         misconfiguration is loud."""
         started = time.monotonic()
         with DaemonClient(
-            tmp_path / "never.sock", timeout=2.0, retry=FAST
+            sockpath("never.sock"), timeout=2.0, retry=FAST
         ) as client:
             with pytest.raises(DaemonUnavailableError):
                 client.ping()
@@ -508,13 +508,13 @@ def arm_faults(monkeypatch, tmp_path, spec: str) -> None:
 
 class TestChaos:
     def test_worker_sigkill_mid_request_client_retry_completes(
-        self, served_model, test_urls, tmp_path, monkeypatch
+        self, served_model, test_urls, tmp_path, monkeypatch, sockpath
     ):
         """The headline chaos scenario: a worker is SIGKILLed after
         reading a request; the client's retry lands on surviving
         capacity and completes with the exact same answer."""
         model_path, identifier = served_model
-        socket_path = tmp_path / "kill.sock"
+        socket_path = sockpath("kill.sock")
         arm_faults(
             monkeypatch, tmp_path, "worker-kill:op=decisions,times=1"
         )
@@ -541,10 +541,10 @@ class TestChaos:
             stop_daemon(socket_path)
 
     def test_torn_response_client_retry_completes(
-        self, served_model, test_urls, tmp_path, monkeypatch
+        self, served_model, test_urls, tmp_path, monkeypatch, sockpath
     ):
         model_path, identifier = served_model
-        socket_path = tmp_path / "torn.sock"
+        socket_path = sockpath("torn.sock")
         arm_faults(
             monkeypatch, tmp_path, "torn-frame:op=decisions,times=1"
         )
@@ -558,13 +558,13 @@ class TestChaos:
             stop_daemon(socket_path)
 
     def test_saturated_daemon_sheds_load_with_typed_overloaded(
-        self, served_model, test_urls, tmp_path, monkeypatch
+        self, served_model, test_urls, tmp_path, monkeypatch, sockpath
     ):
         """With the single worker pinned in a slow request, new batch
         work is refused `overloaded` (never silently queued) while
         ping/status still answer from the parent."""
         model_path, identifier = served_model
-        socket_path = tmp_path / "busy.sock"
+        socket_path = sockpath("busy.sock")
         arm_faults(
             monkeypatch, tmp_path,
             "slow-handler:op=decisions,seconds=2.5,times=1",
@@ -601,10 +601,10 @@ class TestChaos:
             stop_daemon(socket_path)
 
     def test_expired_deadline_is_typed_and_counted(
-        self, served_model, test_urls, tmp_path, monkeypatch
+        self, served_model, test_urls, tmp_path, monkeypatch, sockpath
     ):
         model_path, _ = served_model
-        socket_path = tmp_path / "late.sock"
+        socket_path = sockpath("late.sock")
         arm_faults(
             monkeypatch, tmp_path,
             "slow-handler:op=decisions,seconds=1.0,times=1",
@@ -623,14 +623,14 @@ class TestChaos:
             stop_daemon(socket_path)
 
     def test_crash_loop_degrades_then_backoff_recovers(
-        self, served_model, test_urls, tmp_path, monkeypatch
+        self, served_model, test_urls, tmp_path, monkeypatch, sockpath
     ):
         """Three injected deaths flip the daemon to `degraded` (status
         still answered, from the parent); once the backoff expires and
         the fault budget is spent, a respawned worker serves again and
         the state returns to `ok`."""
         model_path, identifier = served_model
-        socket_path = tmp_path / "loop.sock"
+        socket_path = sockpath("loop.sock")
         arm_faults(
             monkeypatch, tmp_path, "worker-kill:op=decisions,times=3"
         )
@@ -677,13 +677,13 @@ class TestChaos:
             stop_daemon(socket_path)
 
     def test_sigterm_drains_in_flight_and_refuses_late_frames(
-        self, served_model, test_urls, tmp_path, monkeypatch
+        self, served_model, test_urls, tmp_path, monkeypatch, sockpath
     ):
         """SIGTERM mid-request: the in-flight answer arrives complete
         and byte-identical; the next frame on the same connection gets
         a typed `shutting-down`, never a reset."""
         model_path, identifier = served_model
-        socket_path = tmp_path / "drain.sock"
+        socket_path = sockpath("drain.sock")
         arm_faults(
             monkeypatch, tmp_path,
             "slow-handler:op=decisions,seconds=1.2,times=1",
@@ -727,14 +727,14 @@ class TestChaos:
         assert not socket_path.exists()
 
     def test_oversized_batch_is_terminal_bad_request(
-        self, served_model, tmp_path
+        self, served_model, sockpath
     ):
         """MAX_BATCH_URLS bounds per-request work with a terminal
         refusal (the identical batch could only be refused again)."""
         from repro.store.daemon import MAX_BATCH_URLS
 
         model_path, _ = served_model
-        socket_path = tmp_path / "big.sock"
+        socket_path = sockpath("big.sock")
         start_daemon(model_path, socket_path, workers=1)
         try:
             urls = ["http://example.de/x"] * (MAX_BATCH_URLS + 1)

@@ -1,0 +1,450 @@
+"""The TCP front door, held to the Unix-socket daemon's contract.
+
+One parametrized ``transport`` fixture runs the existing lifecycle and
+robustness scenarios — oracle byte-parity, SIGHUP reload, saturation
+shedding, SIGTERM drain, worker-kill chaos — unmodified against both
+front doors of the *same* daemon (every daemon here listens on its
+Unix socket and on TCP at once, which is exactly the deployment shape
+``serve start --tcp`` produces).  On top of the shared matrix:
+keep-alive pipelining with correlation-id echo over raw sockets, the
+``repro+tcp://`` resolver route, ``parse_tcp_spec`` grammar, and the
+HTTP front-end's keyset pagination.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.store import save_identifier
+from repro.store.client import (
+    DaemonClient,
+    DaemonRequestError,
+    RemoteIdentifier,
+    RetryPolicy,
+)
+from repro.store.daemon import (
+    decode_page_cursor,
+    encode_page_cursor,
+    parse_tcp_spec,
+    signal_daemon,
+    start_daemon,
+    stop_daemon,
+)
+from repro.store.wire import recv_frame_ex, send_message
+from repro.testing.faults import FAULTS_ENV, FAULTS_STATE_ENV
+
+FAST = RetryPolicy(retries=4, backoff=0.01, backoff_max=0.02)
+
+
+@pytest.fixture(scope="module")
+def oracle_pair(small_train, tmp_path_factory):
+    """Two fitted identifiers (distinct algorithms) and the saved
+    artifact of the first — the before/after of a hot reload."""
+    train = small_train.subsample(0.3, seed=7)
+    first = LanguageIdentifier("words", "NB", seed=0).fit(train)
+    second = LanguageIdentifier("words", "RE", seed=1).fit(train)
+    path = tmp_path_factory.mktemp("tcp-model") / "nb.urlmodel"
+    save_identifier(first, path)
+    return path, first, second
+
+
+@pytest.fixture(scope="module")
+def test_urls(small_bundle):
+    return small_bundle.odp_test.urls[:30]
+
+
+def sparse_oracle(identifier, urls):
+    return {
+        language.value: values
+        for language, values in identifier._sparse_decisions(urls).items()
+    }
+
+
+def arm_faults(monkeypatch, tmp_path, spec: str) -> None:
+    monkeypatch.setenv(FAULTS_ENV, spec)
+    monkeypatch.setenv(FAULTS_STATE_ENV, str(tmp_path / "fault-state"))
+
+
+@pytest.fixture(params=["unix", "tcp"])
+def transport(request):
+    """Which front door of the dual-listener daemon a scenario dials."""
+    return request.param
+
+
+@pytest.fixture
+def live_daemon(oracle_pair, sockpath, transport, tmp_path):
+    """Factory for dual-listener daemons, yielding per-transport
+    endpoints.
+
+    Returned records carry ``endpoint`` (what :class:`DaemonClient`
+    dials for the parametrized transport), ``socket_path`` (for
+    signals/stop), and ``pid``.  Started *inside* the test so chaos
+    scenarios can arm faults in the environment first.
+    """
+    model_path, first, _ = oracle_pair
+    started = []
+
+    def start(workers=2, model=None):
+        socket_path = sockpath(f"d{len(started)}.sock")
+        pid = start_daemon(
+            model or model_path, socket_path, workers=workers,
+            tcp="127.0.0.1:0",
+        )
+        with DaemonClient(socket_path) as client:
+            tcp_block = client.status()["tcp"]
+        assert tcp_block["host"] == "127.0.0.1" and tcp_block["port"] > 0
+        endpoint = (
+            socket_path if transport == "unix"
+            else ("127.0.0.1", tcp_block["port"])
+        )
+        record = SimpleNamespace(
+            pid=pid, socket_path=socket_path, endpoint=endpoint,
+            tcp_port=tcp_block["port"],
+        )
+        started.append(record)
+        return record
+
+    yield start
+    for record in started:
+        try:
+            stop_daemon(record.socket_path)
+        except RuntimeError:
+            pass  # the scenario already stopped (or drained) it
+
+
+def raw_connect(record, transport):
+    """A raw stream socket to the parametrized front door."""
+    if transport == "unix":
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.connect(str(record.socket_path))
+    else:
+        raw = socket.create_connection(("127.0.0.1", record.tcp_port))
+    raw.settimeout(30.0)
+    return raw
+
+
+class TestTransportMatrix:
+    """The lifecycle and robustness scenarios, over both front doors."""
+
+    def test_lifecycle_oracle_parity_and_accounting(
+        self, live_daemon, oracle_pair, test_urls, transport
+    ):
+        _, first, _ = oracle_pair
+        record = live_daemon()
+        with DaemonClient(record.endpoint) as client:
+            assert client.decisions(test_urls) == sparse_oracle(
+                first, test_urls
+            )
+            reference = first.scores_many(test_urls)
+            assert client.score(test_urls) == {
+                language.value: values
+                for language, values in reference.items()
+            }
+            rows = client.classify(test_urls[:10])
+            best = first.classify_many(test_urls[:10])
+            assert [row.best for row in rows] == [
+                b.value if b else None for b in best
+            ]
+            # One persistent connection lands everything on one worker,
+            # whose per-transport counters must name this front door
+            # (the status answering now counts itself only on the next
+            # snapshot, so: decisions + score + classify = 3).
+            requests = client.status()["requests"]
+            assert requests["by_transport"][transport] >= 3
+            assert requests["errors"] == 0
+
+    def test_sighup_reload_serves_the_new_oracle(
+        self, live_daemon, oracle_pair, test_urls, tmp_path
+    ):
+        model_path, first, second = oracle_pair
+        # A private artifact copy: the reload mutates it.
+        private = tmp_path / "reload.urlmodel"
+        private.write_bytes(model_path.read_bytes())
+        record = live_daemon(model=private)
+        with DaemonClient(record.endpoint) as client:
+            first_checksum = client.status()["model"]["checksum"]
+            assert client.decisions(test_urls) == sparse_oracle(
+                first, test_urls
+            )
+            save_identifier(second, private)
+            signal_daemon(record.socket_path, signal.SIGHUP)
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                status = client.status()
+                if status["model"]["checksum"] != first_checksum:
+                    break
+                time.sleep(0.1)
+            assert status["model"]["name"] == "RE/words"
+            assert client.decisions(test_urls) == sparse_oracle(
+                second, test_urls
+            )
+
+    def test_saturated_daemon_sheds_with_typed_overloaded(
+        self, live_daemon, oracle_pair, test_urls, tmp_path, monkeypatch
+    ):
+        _, first, _ = oracle_pair
+        arm_faults(
+            monkeypatch, tmp_path,
+            "slow-handler:op=decisions,seconds=2.5,times=1",
+        )
+        record = live_daemon(workers=1)
+        slow_result = {}
+
+        def slow_call():
+            with DaemonClient(record.endpoint, retry=FAST) as client:
+                slow_result["decisions"] = client.decisions(test_urls)
+
+        pinned = threading.Thread(target=slow_call)
+        pinned.start()
+        time.sleep(0.6)
+        no_retry = RetryPolicy(retries=0, backoff=0.01)
+        with DaemonClient(record.endpoint, retry=no_retry) as client:
+            with pytest.raises(DaemonRequestError) as caught:
+                client.decisions(test_urls[:2])
+        assert caught.value.code == "overloaded"
+        # Health stays observable from the parent on this same door.
+        with DaemonClient(record.endpoint, retry=FAST) as client:
+            status = client.status()
+        assert status["role"] == "parent"
+        assert status["robustness"]["overload_rejections"] >= 1
+        pinned.join(timeout=30)
+        assert slow_result["decisions"] == sparse_oracle(first, test_urls)
+
+    def test_sigterm_drains_in_flight_then_refuses_late_frames(
+        self, live_daemon, oracle_pair, test_urls, tmp_path, monkeypatch
+    ):
+        _, first, _ = oracle_pair
+        arm_faults(
+            monkeypatch, tmp_path,
+            "slow-handler:op=decisions,seconds=1.2,times=1",
+        )
+        record = live_daemon(workers=1)
+        no_retry = RetryPolicy(retries=0, backoff=0.01)
+        client = DaemonClient(record.endpoint, retry=no_retry)
+        outcome = {}
+
+        def in_flight():
+            try:
+                outcome["decisions"] = client.decisions(test_urls)
+            except Exception as error:  # noqa: BLE001 - assert below
+                outcome["error"] = error
+
+        try:
+            request = threading.Thread(target=in_flight)
+            request.start()
+            time.sleep(0.5)
+            signal_daemon(record.socket_path, signal.SIGTERM)
+            request.join(timeout=30)
+            assert "error" not in outcome, outcome.get("error")
+            assert outcome["decisions"] == sparse_oracle(first, test_urls)
+            with pytest.raises(DaemonRequestError) as caught:
+                client.ping()
+            assert caught.value.code == "shutting-down"
+        finally:
+            client.close()
+            from repro.store.daemon import pidfile_for
+
+            deadline = time.time() + 30
+            while time.time() < deadline and pidfile_for(
+                record.socket_path
+            ).exists():
+                time.sleep(0.1)
+
+    def test_worker_sigkill_mid_request_retry_completes(
+        self, live_daemon, oracle_pair, test_urls, tmp_path, monkeypatch
+    ):
+        _, first, _ = oracle_pair
+        arm_faults(
+            monkeypatch, tmp_path, "worker-kill:op=decisions,times=1"
+        )
+        record = live_daemon(workers=2)
+        with DaemonClient(record.endpoint, retry=FAST) as client:
+            assert client.decisions(test_urls) == sparse_oracle(
+                first, test_urls
+            )
+            status = client.status()
+        assert status["robustness"]["retries_observed"] >= 1
+
+    def test_keepalive_pipelining_echoes_correlation_ids_in_order(
+        self, live_daemon, transport
+    ):
+        """Five frames written back-to-back before any read: the daemon
+        answers strictly in request order, echoing each frame's
+        correlation id — the contract the async client's multiplexing
+        rests on."""
+        record = live_daemon(workers=1)
+        cids = [7, 3, 9, 1, 4]
+        with raw_connect(record, transport) as raw:
+            for cid in cids:
+                send_message(raw, {"op": "ping", "v": 1},
+                             correlation_id=cid)
+            for expected in cids:
+                frame = recv_frame_ex(raw)
+                assert frame.message["ok"] is True
+                assert frame.correlation_id == expected
+
+    def test_idless_frames_get_idless_responses(
+        self, live_daemon, transport
+    ):
+        """A legacy client that never sends correlation ids must get
+        byte-compatible responses with no correlation field."""
+        record = live_daemon(workers=1)
+        with raw_connect(record, transport) as raw:
+            send_message(raw, {"op": "ping", "v": 1})
+            frame = recv_frame_ex(raw)
+            assert frame.message["ok"] is True
+            assert frame.correlation_id is None
+
+
+class TestTcpSpecGrammar:
+    def test_host_port_forms(self):
+        assert parse_tcp_spec("127.0.0.1:7707") == ("127.0.0.1", 7707)
+        assert parse_tcp_spec(":0") == ("127.0.0.1", 0)
+        assert parse_tcp_spec("0.0.0.0:80") == ("0.0.0.0", 80)
+        assert parse_tcp_spec(("example.org", 9000)) == ("example.org", 9000)
+
+    @pytest.mark.parametrize("spec", ["7707", "host:", "host:http", ""])
+    def test_malformed_specs_refused(self, spec):
+        with pytest.raises(ValueError):
+            parse_tcp_spec(spec)
+
+    def test_bad_spec_fails_in_the_caller_not_the_child(
+        self, oracle_pair, sockpath
+    ):
+        """`serve start --tcp nonsense` must raise in the starting
+        process, not die invisibly in the detached daemon."""
+        model_path, _, _ = oracle_pair
+        with pytest.raises(ValueError, match="host:port"):
+            start_daemon(
+                model_path, sockpath("bad.sock"), workers=1, tcp="nonsense"
+            )
+
+
+class TestTcpResolver:
+    def test_repro_tcp_handle_resolves_with_oracle_parity(
+        self, live_daemon, oracle_pair, test_urls, transport
+    ):
+        from repro.api import open_model
+
+        if transport == "unix":
+            pytest.skip("resolver route is the TCP-specific half")
+        _, first, _ = oracle_pair
+        record = live_daemon()
+        handle = f"repro+tcp://127.0.0.1:{record.tcp_port}"
+        with open_model(handle) as model:
+            assert isinstance(model, RemoteIdentifier)
+            assert model.name == "NB/words"
+            decisions = {
+                language.value: values
+                for language, values in model.decisions(test_urls).items()
+            }
+        assert decisions == sparse_oracle(first, test_urls)
+
+
+class TestHttpPagination:
+    @pytest.fixture()
+    def http_daemon(self, oracle_pair, sockpath):
+        model_path, first, _ = oracle_pair
+        socket_path = sockpath("http.sock")
+        start_daemon(model_path, socket_path, workers=1, http_port=0)
+        with DaemonClient(socket_path) as client:
+            port = client.status()["http_port"]
+        yield f"http://127.0.0.1:{port}", first
+        stop_daemon(socket_path)
+
+    def post(self, base, path, body):
+        request = urllib.request.Request(
+            f"{base}{path}", data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+
+    def test_keyset_pagination_walks_the_whole_batch(
+        self, http_daemon, test_urls
+    ):
+        base, first = http_daemon
+        urls = test_urls[:11]
+        pages, cursor = [], None
+        while True:
+            body = {"urls": urls, "limit": 4}
+            if cursor is not None:
+                body["cursor"] = cursor
+            page = self.post(base, "/v1/classify", body)
+            assert page["ok"] and page["total"] == len(urls)
+            pages.append(page)
+            cursor = page["next_cursor"]
+            if cursor is None:
+                break
+        assert [page["offset"] for page in pages] == [0, 4, 8]
+        stitched = [row for page in pages for row in page["results"]]
+        best = first.classify_many(urls)
+        assert [row["best"] for row in stitched] == [
+            b.value if b else None for b in best
+        ]
+
+    def test_cursor_from_a_different_batch_rejected(
+        self, http_daemon, test_urls
+    ):
+        base, _ = http_daemon
+        urls = test_urls[:8]
+        foreign = encode_page_cursor(["http://other.example/x"], 1)
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            self.post(base, "/v1/classify",
+                      {"urls": urls, "limit": 2, "cursor": foreign})
+        assert caught.value.code == 400
+
+    @pytest.mark.parametrize("limit", [0, -3, "four"])
+    def test_bad_limit_rejected(self, http_daemon, test_urls, limit):
+        base, _ = http_daemon
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            self.post(base, "/v1/classify",
+                      {"urls": test_urls[:4], "limit": limit})
+        assert caught.value.code == 400
+
+    def test_unpaginated_requests_keep_the_exact_old_shape(
+        self, http_daemon, test_urls
+    ):
+        """No limit/cursor in the body → no pagination keys in the
+        response; pre-pagination consumers see unchanged payloads."""
+        base, first = http_daemon
+        page = self.post(base, "/v1/score", {"urls": test_urls[:3]})
+        assert page["ok"]
+        assert "next_cursor" not in page and "total" not in page
+        reference = first.scores_many(test_urls[:3])
+        assert page["scores"] == {
+            language.value: values
+            for language, values in reference.items()
+        }
+
+    def test_limit_covering_the_batch_ends_pagination_immediately(
+        self, http_daemon, test_urls
+    ):
+        base, _ = http_daemon
+        page = self.post(base, "/v1/decisions",
+                         {"urls": test_urls[:3], "limit": 50})
+        assert page["ok"] and page["next_cursor"] is None
+        assert page["total"] == 3 and page["offset"] == 0
+
+    def test_cursor_codec_roundtrip(self):
+        urls = [f"http://example.fr/{i}" for i in range(10)]
+        cursor = encode_page_cursor(urls, 3)
+        assert decode_page_cursor(urls, cursor) == 4
+        with pytest.raises(ValueError):
+            decode_page_cursor(urls, "junk")
+        with pytest.raises(ValueError):
+            decode_page_cursor(urls, "2|000000000000")
+        with pytest.raises(ValueError):
+            decode_page_cursor(
+                urls, encode_page_cursor(urls, 3).replace("3|", "99|")
+            )
