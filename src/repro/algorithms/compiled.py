@@ -30,6 +30,22 @@ import numpy as np
 from repro.features.indexer import CsrBatch
 
 
+def _weight_vector(array: np.ndarray) -> np.ndarray:
+    """Weights as float64 — except float32, which passes through.
+
+    Training always produces float64, but a quantised artifact
+    (``repro train --dtype float32``, :mod:`repro.store.artifact`) maps
+    its stacked matrix as float32; keeping that dtype preserves the
+    zero-copy mmap view and the halved footprint.  The CSR matmul
+    upcasts gathered entries to float64, so scores are still accumulated
+    at full precision.
+    """
+    array = np.asarray(array)
+    if array.dtype == np.float32:
+        return array
+    return np.asarray(array, dtype=np.float64)
+
+
 class CompiledScorer(abc.ABC):
     """Vectorized batch scorer produced by ``classifier.compile()``."""
 
@@ -74,7 +90,7 @@ class CompiledLinear(CompiledScorer):
         bias: float = 0.0,
         oov_weight: Callable[[str], float] | None = None,
     ) -> None:
-        self.weights = np.asarray(weights, dtype=np.float64)
+        self.weights = _weight_vector(weights)
         self.bias = float(bias)
         self.oov_weight = oov_weight
 
@@ -102,8 +118,8 @@ class CompiledNormalizedLinear(CompiledScorer):
     n_columns = 2
 
     def __init__(self, weights: np.ndarray, mask: np.ndarray) -> None:
-        self.weights = np.asarray(weights, dtype=np.float64)
-        self.mask = np.asarray(mask, dtype=np.float64)
+        self.weights = _weight_vector(weights)
+        self.mask = _weight_vector(mask)
 
     def columns(self) -> np.ndarray:
         return np.column_stack([self.weights, self.mask])

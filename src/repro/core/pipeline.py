@@ -75,7 +75,12 @@ from repro.features import (
     TrigramFeatureExtractor,
     WordFeatureExtractor,
 )
-from repro.features.indexer import CsrBatch, FeatureIndexer
+from repro.features.indexer import (
+    CsrBatch,
+    FeatureIndexer,
+    FusedExtractionPlan,
+    build_fused_plan,
+)
 from repro.languages import LANGUAGES, Language
 
 #: Valid values for ``LanguageIdentifier(backend=...)``.
@@ -138,9 +143,7 @@ class CompiledIdentifier:
         self.extractor = extractor
         self.indexer = indexer
         self.scorers = scorers
-        self._row_cache: dict[
-            str, tuple[np.ndarray, np.ndarray, tuple[tuple[str, float], ...]]
-        ] = {}
+        self._init_extraction()
         self._column_slices: dict[Language, slice] = {}
         offset = 0
         column_blocks = []
@@ -159,12 +162,62 @@ class CompiledIdentifier:
         else:
             self._columns = np.hstack(column_blocks) if column_blocks else None
 
+    def _init_extraction(self) -> None:
+        """Build the fused extraction plan and the per-backend row memos.
+
+        Words/trigrams feature sets get a byte-level fused plan and use
+        it by default; custom extractors (and raw-mode trigrams) get no
+        plan and stay on the string-based reference path.  Each backend
+        owns a *separate* per-URL row memo so that switching
+        :attr:`extraction` mid-process can never serve a row produced by
+        the other backend — parity between them is a property the test
+        suite proves, not one the cache assumes.
+        """
+        self._fused_plan: FusedExtractionPlan | None = build_fused_plan(
+            self.extractor, self.indexer
+        )
+        self._row_caches: dict[
+            str,
+            dict[str, tuple[np.ndarray, np.ndarray, tuple[tuple[str, float], ...]]],
+        ] = {"fused": {}, "reference": {}}
+        self._extraction = "fused" if self._fused_plan is not None else "reference"
+
+    @property
+    def extraction(self) -> str:
+        """Active extraction backend: ``"fused"`` or ``"reference"``."""
+        return self._extraction
+
+    @extraction.setter
+    def extraction(self, mode: str) -> None:
+        if mode not in ("fused", "reference"):
+            raise ValueError(
+                f"extraction must be 'fused' or 'reference', got {mode!r}"
+            )
+        if mode == "fused" and self._fused_plan is None:
+            raise ValueError(
+                "this feature set has no fused extraction plan; "
+                "only stock words/trigrams extractors are fuse-eligible"
+            )
+        self._extraction = mode
+
+    @property
+    def _row_cache(
+        self,
+    ) -> dict[str, tuple[np.ndarray, np.ndarray, tuple[tuple[str, float], ...]]]:
+        """The active backend's per-URL interned-row memo."""
+        return self._row_caches[self._extraction]
+
     @property
     def cache_info(self) -> dict:
         """Occupancy of the interned-row memo (``rows`` cached of
-        ``capacity``).  Long-lived serving processes surface this in
-        their status output so operators can see the memo warm up."""
-        return {"rows": len(self._row_cache), "capacity": ROW_CACHE_SIZE}
+        ``capacity``) plus the active extraction backend.  Long-lived
+        serving processes surface this in their status output so
+        operators can see the memo warm up."""
+        return {
+            "rows": len(self._row_cache),
+            "capacity": ROW_CACHE_SIZE,
+            "extraction": self._extraction,
+        }
 
     @property
     def stacked_columns(self) -> np.ndarray | None:
@@ -205,7 +258,12 @@ class CompiledIdentifier:
         cache = self._row_cache
         missing = list(dict.fromkeys(url for url in urls if url not in cache))
         if missing:
-            fresh = self.indexer.transform(self.extractor.extract_many(missing))
+            if self._extraction == "fused" and self._fused_plan is not None:
+                fresh = self.indexer.rows_fused(missing, self._fused_plan)
+            else:
+                fresh = self.indexer.transform(
+                    self.extractor.extract_many(missing)
+                )
             fresh_residuals: dict[int, list[tuple[str, float]]] = {}
             for row, name, value in fresh.residuals:
                 fresh_residuals.setdefault(row, []).append((name, value))
@@ -251,8 +309,19 @@ class CompiledIdentifier:
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
-        state["_row_cache"] = {}  # memo is transient; keep pickles small
+        # Memos are transient and the fused plan's intern tables are
+        # cheap to rebuild from the indexer — keep pickles small.
+        state.pop("_row_caches", None)
+        state.pop("_fused_plan", None)
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        state.pop("_row_cache", None)  # legacy pickles carried the memo
+        mode = state.pop("_extraction", None)
+        self.__dict__.update(state)
+        self._init_extraction()
+        if mode == "reference":
+            self._extraction = "reference"
 
     def scores_matrix(self, urls: Sequence[str]) -> np.ndarray:
         """``(n_urls, n_languages)`` decision scores in one pass."""

@@ -27,6 +27,13 @@ from collections.abc import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.features.vectorizer import Vocabulary
+from repro.urls.tokenizer import tokenize_bytes_cached
+from repro.urls.trigrams import (
+    N_TRIGRAM_CODES,
+    decode_trigram_code,
+    sliding_trigram_codes,
+    trigram_code,
+)
 
 
 class CsrBatch:
@@ -201,7 +208,166 @@ class FeatureIndexer:
             residuals=residuals,
         )
 
+    def rows_fused(self, urls: Sequence[str], plan: "FusedExtractionPlan") -> CsrBatch:
+        """CSR batch straight from URLs, skipping feature-name strings.
+
+        Produces *exactly* the batch ``transform(extractor.extract_many
+        (urls))`` would — same entry order (first occurrence within each
+        row, so float summation order and therefore compiled scores stay
+        bit-identical), same residuals — but tokenises at the byte level
+        and interns trigrams through one vectorised table gather for the
+        whole batch.  Feature-name strings are materialised only for
+        out-of-vocabulary residuals.
+        """
+        if not self._fitted:
+            raise RuntimeError("FeatureIndexer.rows_fused called before fit")
+        if plan.n_features != len(self._vocabulary):
+            raise ValueError(
+                "fused plan was built for a different vocabulary "
+                f"({plan.n_features} features, indexer has {len(self._vocabulary)})"
+            )
+        indptr = np.empty(len(urls) + 1, dtype=np.int64)
+        indptr[0] = 0
+        indices: list[int] = []
+        data: list[float] = []
+        residuals: list[tuple[int, str, float]] = []
+        push_index = indices.append
+        push_value = data.append
+        prefix = plan.prefix
+        if plan.kind == "words":
+            token_id = plan.token_ids.get  # type: ignore[union-attr]
+            for row, url in enumerate(urls):
+                vector: dict[bytes, float] = {}
+                for token in tokenize_bytes_cached(url):
+                    vector[token] = vector.get(token, 0.0) + 1.0
+                for token, count in vector.items():
+                    feature_id = token_id(token)
+                    if feature_id is None:
+                        residuals.append(
+                            (row, prefix + token.decode("ascii"), count)
+                        )
+                    else:
+                        push_index(feature_id)
+                        push_value(count)
+                indptr[row + 1] = len(indices)
+        else:
+            tokens_per_url = [tokenize_bytes_cached(url) for url in urls]
+            buffer = b"".join(
+                b" " + b" ".join(tokens) + b" " for tokens in tokens_per_url
+            )
+            codes = sliding_trigram_codes(buffer)
+            ids = plan.trigram_table[codes]  # type: ignore[index]
+            code_list = codes.tolist()
+            id_list = ids.tolist()
+            position = 0
+            for row, tokens in enumerate(tokens_per_url):
+                stop = position + sum(map(len, tokens))
+                accumulator: dict[int, list] = {}
+                get_entry = accumulator.get
+                while position < stop:
+                    code = code_list[position]
+                    entry = get_entry(code)
+                    if entry is None:
+                        accumulator[code] = [id_list[position], 1.0]
+                    else:
+                        entry[1] += 1.0
+                    position += 1
+                for code, (feature_id, count) in accumulator.items():
+                    if feature_id < 0:
+                        residuals.append(
+                            (row, prefix + decode_trigram_code(code), count)
+                        )
+                    else:
+                        push_index(feature_id)
+                        push_value(count)
+                indptr[row + 1] = len(indices)
+        return CsrBatch(
+            indptr=indptr,
+            indices=np.asarray(indices, dtype=np.int64),
+            data=np.asarray(data, dtype=np.float64),
+            n_features=len(self._vocabulary),
+            residuals=residuals,
+        )
+
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_names_array"] = None  # rebuilt lazily after unpickling
         return state
+
+
+class FusedExtractionPlan:
+    """Precompiled byte-level intern tables for one words/trigrams space.
+
+    Built once per (extractor, indexer) pair by :func:`build_fused_plan`;
+    consumed by :meth:`FeatureIndexer.rows_fused`.  For word features the
+    table is a ``bytes token -> id`` dict; for trigram features it is a
+    dense ``27**3`` int32 array indexed by the base-27 trigram code
+    (``-1`` marks out-of-vocabulary codes), which lets the whole batch's
+    vocabulary lookup run as a single numpy gather.
+    """
+
+    __slots__ = ("kind", "prefix", "n_features", "token_ids", "trigram_table")
+
+    def __init__(
+        self,
+        kind: str,
+        prefix: str,
+        n_features: int,
+        token_ids: dict[bytes, int] | None = None,
+        trigram_table: np.ndarray | None = None,
+    ) -> None:
+        if kind not in ("words", "trigrams"):
+            raise ValueError(f"kind must be 'words' or 'trigrams', got {kind!r}")
+        self.kind = kind
+        self.prefix = prefix
+        self.n_features = n_features
+        self.token_ids = token_ids
+        self.trigram_table = trigram_table
+
+
+def build_fused_plan(
+    extractor: object, indexer: FeatureIndexer
+) -> FusedExtractionPlan | None:
+    """Fused extraction plan for ``extractor`` over ``indexer``'s space,
+    or ``None`` when the extractor is not fuse-eligible.
+
+    Eligibility is deliberately exact-type: only the stock
+    ``WordFeatureExtractor`` and token-mode ``TrigramFeatureExtractor``
+    have byte-level equivalents proven token-for-token identical;
+    subclasses and custom extractors transparently keep the reference
+    (string-based) path.
+    """
+    from repro.features.ngrams import TrigramFeatureExtractor
+    from repro.features.words import WordFeatureExtractor
+
+    if type(extractor) is WordFeatureExtractor:
+        prefix = extractor.prefix
+        token_ids: dict[bytes, int] = {}
+        for feature_id, name in enumerate(indexer.names):
+            if not name.startswith(prefix):
+                continue
+            token = name[len(prefix) :]
+            if token.isascii() and token.isalpha() and token.islower():
+                token_ids[token.encode("ascii")] = feature_id
+        return FusedExtractionPlan(
+            kind="words",
+            prefix=prefix,
+            n_features=len(indexer),
+            token_ids=token_ids,
+        )
+    if type(extractor) is TrigramFeatureExtractor and extractor.mode == "token":
+        prefix = extractor.prefix
+        table = np.full(N_TRIGRAM_CODES, -1, dtype=np.int32)
+        for feature_id, name in enumerate(indexer.names):
+            if not name.startswith(prefix):
+                continue
+            code = trigram_code(name[len(prefix) :])
+            if code is not None:
+                table[code] = feature_id
+        return FusedExtractionPlan(
+            kind="trigrams",
+            prefix=prefix,
+            n_features=len(indexer),
+            trigram_table=table,
+        )
+    return None

@@ -39,6 +39,7 @@ See ``docs/architecture.md`` for the on-disk layout and header fields,
 
 from repro.store.artifact import (
     MODEL_KIND,
+    QUANTIZED_SCORE_TOLERANCE,
     ServingIdentifier,
     load_identifier,
     save_identifier,
@@ -80,6 +81,7 @@ __all__ = [
     "MODEL_KIND",
     "ModelHandle",
     "ModelStore",
+    "QUANTIZED_SCORE_TOLERANCE",
     "RemoteIdentifier",
     "ServedUrl",
     "ServingDaemon",

@@ -55,6 +55,22 @@ from repro.store.format import ArtifactError, ArtifactFile, write_artifact
 #: ``model.kind`` value identifying artifacts written by this module.
 MODEL_KIND = "repro/url-language-identifier"
 
+#: Weight dtypes an artifact may declare via the ``weights_dtype`` flag.
+WEIGHT_DTYPES = ("float64", "float32")
+
+#: Header flag keys this reader understands; anything else is refused.
+KNOWN_FLAGS = frozenset({"weights_dtype"})
+
+#: Score-error contract of float32-quantised artifacts, *relative* to
+#: ``1 + sum_i x_i * |w64_i|`` per decision score.  Rounding float64
+#: weights to float32 perturbs each by at most ``|w| * 2**-24``, so the
+#: score error is bounded by that weighted sum times ``2**-24`` ≈ 6e-8;
+#: the contract allows 16x headroom.  Decisions (``score > 0``) are
+#: expected to be byte-identical on any corpus whose scores are not
+#: adversarially within the bound of zero — the quantisation test suite
+#: asserts exactly that.
+QUANTIZED_SCORE_TOLERANCE = 1e-6
+
 
 # -- extractor (de)serialisation -------------------------------------------------
 
@@ -236,7 +252,9 @@ def _rollout_stamp(identifier) -> dict:
 # -- save / load -----------------------------------------------------------------
 
 
-def save_identifier(identifier, path: str | os.PathLike) -> str:
+def save_identifier(
+    identifier, path: str | os.PathLike, *, dtype: str | None = None
+) -> str:
     """Persist a fitted, compiled identifier as a model artifact.
 
     Accepts anything exposing a ``compiled``
@@ -247,7 +265,21 @@ def save_identifier(identifier, path: str | os.PathLike) -> str:
     checksum.  Raises :class:`ArtifactError` when the identifier has no
     compiled backend (DT/kNN/IIS-MaxEnt/baselines — keep those on the
     deprecated pickle path).
+
+    ``dtype`` selects the stored precision of the stacked weight matrix:
+    ``None`` keeps the matrix's own dtype, ``"float64"`` is the exact
+    default, and ``"float32"`` quantises the matmul columns — halving
+    the mmapped footprint at the cost of scores moving by at most
+    :data:`QUANTIZED_SCORE_TOLERANCE` (relative; decisions are expected
+    to be unchanged).  Everything outside the matmul — rank-order
+    profiles, Markov residual weights, bias constants — always stays
+    exact, and a ``weights_dtype`` header flag marks quantised files so
+    old readers refuse them instead of mis-reading.
     """
+    if dtype is not None and dtype not in WEIGHT_DTYPES:
+        raise ArtifactError(
+            f"unsupported weights dtype {dtype!r}; choose from {WEIGHT_DTYPES}"
+        )
     compiled: CompiledIdentifier | None = getattr(identifier, "compiled", None)
     if compiled is None:
         raise ArtifactError(
@@ -265,7 +297,17 @@ def save_identifier(identifier, path: str | os.PathLike) -> str:
         ),
     }
     stacked = compiled.stacked_columns
+    flags: dict[str, str] = {}
     if stacked is not None:
+        if dtype is not None:
+            stacked = np.asarray(stacked, dtype=np.dtype(dtype))
+        if stacked.dtype == np.float32:
+            flags["weights_dtype"] = "float32"
+        elif stacked.dtype != np.float64:
+            raise ArtifactError(
+                f"stacked weight matrix has unsupported dtype {stacked.dtype}; "
+                f"choose from {WEIGHT_DTYPES}"
+            )
         buffers["columns"] = stacked
 
     column_slices = compiled.column_slices
@@ -290,7 +332,7 @@ def save_identifier(identifier, path: str | os.PathLike) -> str:
         "extractor": _serialize_extractor(compiled.extractor),
         "scorers": scorer_specs,
     }
-    return write_artifact(path, model, buffers)
+    return write_artifact(path, model, buffers, flags=flags)
 
 
 class ServingIdentifier(IdentifierBase):
@@ -305,9 +347,18 @@ class ServingIdentifier(IdentifierBase):
     experimentation and introspection.
     """
 
-    def __init__(self, compiled: CompiledIdentifier, model: dict) -> None:
+    def __init__(
+        self,
+        compiled: CompiledIdentifier,
+        model: dict,
+        weights_dtype: str = "float64",
+    ) -> None:
         self._compiled = compiled
         self.model = dict(model)
+        #: Stored precision of the mapped weight matrix ("float32" for
+        #: quantised artifacts; scores then carry the
+        #: :data:`QUANTIZED_SCORE_TOLERANCE` contract).
+        self.weights_dtype = weights_dtype
         self.feature_set = model.get("feature_set", "words")
         self.algorithm = model.get("algorithm", "NB")
         self.seed = model.get("seed", 0)
@@ -377,6 +428,20 @@ def load_identifier(path: str | os.PathLike) -> ServingIdentifier:
             f"{artifact.path} is a valid artifact container but not a "
             f"language-identifier model (kind={model.get('kind')!r})"
         )
+    flags = artifact.flags
+    unknown_flags = set(flags) - KNOWN_FLAGS
+    if unknown_flags:
+        raise ArtifactError(
+            f"{artifact.path} carries unknown load-affecting flags "
+            f"{sorted(unknown_flags)}; this reader understands "
+            f"{sorted(KNOWN_FLAGS)} — refusing rather than mis-reading"
+        )
+    weights_dtype = flags.get("weights_dtype", "float64")
+    if weights_dtype not in WEIGHT_DTYPES:
+        raise ArtifactError(
+            f"{artifact.path} declares weights_dtype={weights_dtype!r}; "
+            f"this reader understands {WEIGHT_DTYPES}"
+        )
 
     blob = artifact.buffer("vocabulary").tobytes().decode("utf-8")
     names = blob.split("\n") if blob else []
@@ -389,6 +454,11 @@ def load_identifier(path: str | os.PathLike) -> ServingIdentifier:
     extractor = _build_extractor(model.get("extractor", {}))
 
     columns = artifact.buffer("columns") if "columns" in artifact.buffer_names else None
+    if columns is not None and str(columns.dtype) != weights_dtype:
+        raise ArtifactError(
+            f"{artifact.path}: columns buffer is {columns.dtype}, header "
+            f"flags declare {weights_dtype!r} — artifact is inconsistent"
+        )
     scorers = {}
     for code in model.get("languages", []):
         language = Language.coerce(code)
@@ -399,4 +469,6 @@ def load_identifier(path: str | os.PathLike) -> ServingIdentifier:
     compiled = CompiledIdentifier(
         extractor=extractor, indexer=indexer, scorers=scorers, columns=columns
     )
-    return ServingIdentifier(compiled=compiled, model=model)
+    return ServingIdentifier(
+        compiled=compiled, model=model, weights_dtype=weights_dtype
+    )

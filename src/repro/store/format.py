@@ -26,6 +26,12 @@ The header carries three top-level keys:
     save time.  :meth:`ArtifactFile.verify` recomputes it on demand;
     plain loads skip it so that an ``mmap``-ed open stays lazy (pages
     fault in only when the weights are actually read).
+``flags`` (optional)
+    String-to-string table of load-affecting options, e.g.
+    ``{"weights_dtype": "float32"}`` for quantised weight buffers.
+    Written only when non-empty; model-layer readers must refuse
+    unknown keys rather than skip them, since a flag changes how the
+    payload must be interpreted.
 ``model``
     Free-form model-level metadata; this layer does not interpret it
     (:mod:`repro.store.artifact` does — including the ``model.rollout``
@@ -108,6 +114,7 @@ def write_artifact(
     path: str | os.PathLike,
     model: Mapping,
     buffers: Mapping[str, np.ndarray],
+    flags: Mapping[str, str] | None = None,
 ) -> str:
     """Write ``buffers`` + ``model`` metadata as one artifact file.
 
@@ -115,6 +122,13 @@ def write_artifact(
     into place, so readers never observe a half-written artifact.
     Returns the payload's checksum hex digest (the artifact's content
     identity, also recorded in the header).
+
+    ``flags`` is an optional string-to-string table of *load-affecting*
+    options (e.g. ``{"weights_dtype": "float32"}``).  Unlike ``model``
+    metadata, readers must refuse flags they do not understand — a flag
+    changes how the payload is to be interpreted, so skipping one would
+    silently mis-read the model.  The key is written only when non-empty
+    so that flag-free artifacts stay byte-stable across versions.
     """
     path = Path(path)
     arrays = {name: _canonical_array(name, array) for name, array in buffers.items()}
@@ -139,6 +153,8 @@ def write_artifact(
         "checksum": {"algorithm": _CHECKSUM_ALGORITHM, "hexdigest": digest},
         "model": dict(model),
     }
+    if flags:
+        header["flags"] = dict(flags)
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
     payload_start = _align(len(MAGIC) + 8 + len(header_bytes))
 
@@ -227,6 +243,14 @@ class ArtifactFile:
     def model(self) -> dict:
         """The model-level metadata block of the header."""
         return self.header.get("model", {})
+
+    @property
+    def flags(self) -> dict:
+        """Load-affecting option table (empty for flag-free artifacts).
+
+        Model-layer readers must refuse any key they do not understand
+        (see :func:`write_artifact`)."""
+        return self.header.get("flags", {})
 
     @property
     def checksum(self) -> str:

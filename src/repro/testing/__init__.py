@@ -7,6 +7,7 @@ the bulk engine's *worker processes* must be able to import it after a
 fork or a spawn, where the test tree is not on ``sys.path``.
 """
 
+from repro.testing.urlgen import EDGE_CASE_URLS, adversarial_urls, random_url
 from repro.testing.faults import (
     FAULT_POINTS,
     FAULTS_ENV,
@@ -20,13 +21,16 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "EDGE_CASE_URLS",
     "FAULT_POINTS",
     "FAULTS_ENV",
     "FAULTS_STATE_ENV",
     "FaultSpec",
     "active_faults",
+    "adversarial_urls",
     "maybe_kill",
     "maybe_raise",
     "maybe_sleep",
+    "random_url",
     "should_fire",
 ]

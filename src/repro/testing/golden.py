@@ -1,0 +1,95 @@
+"""Golden extraction vectors: the one builder both sides share.
+
+``tests/data/extraction_golden.jsonl`` freezes, for a fixed adversarial
+URL set, the full extraction chain of the *reference* (string-based)
+path: URL → tokens → interned token ids → trigrams → interned trigram
+ids.  The checked-in file is produced by ``tools/
+regen_extraction_golden.py`` and compared — line by line, via this same
+builder — by ``tests/urls/test_extraction_golden.py``, so any drift in
+either extraction path across future refactors fails loudly with a
+readable per-URL diff instead of a silent behaviour change.
+
+Vocabularies are fitted on only the first :data:`GOLDEN_FIT_COUNT` URLs
+so the remaining URLs exercise the out-of-vocabulary (id ``-1``) lanes
+of both paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.testing.urlgen import adversarial_urls
+
+#: URLs in the golden set (the fixed edge cases lead; see urlgen).
+GOLDEN_COUNT = 64
+
+#: Seed of the adversarial draw behind the golden set.
+GOLDEN_SEED = 2024
+
+#: URLs (a prefix of the set) whose features fit the vocabularies.
+GOLDEN_FIT_COUNT = 32
+
+
+def extraction_golden_records(
+    count: int = GOLDEN_COUNT,
+    seed: int = GOLDEN_SEED,
+    fit_count: int = GOLDEN_FIT_COUNT,
+) -> list[dict]:
+    """Golden records via the reference extraction path only.
+
+    One dict per URL: ``url``, ``tokens``, ``token_ids``, ``trigrams``,
+    ``trigram_ids`` — ids interned against vocabularies fitted on the
+    first ``fit_count`` URLs' features, ``-1`` marking out-of-vocabulary.
+    """
+    from repro.features.indexer import FeatureIndexer
+    from repro.features.ngrams import TrigramFeatureExtractor
+    from repro.features.words import WordFeatureExtractor
+    from repro.urls.tokenizer import tokenize
+    from repro.urls.trigrams import url_trigrams
+
+    urls = adversarial_urls(count, seed)
+    word_extractor = WordFeatureExtractor()
+    trigram_extractor = TrigramFeatureExtractor()
+    fit_urls = urls[:fit_count]
+    word_indexer = FeatureIndexer().fit(word_extractor.extract_many(fit_urls))
+    trigram_indexer = FeatureIndexer().fit(
+        trigram_extractor.extract_many(fit_urls)
+    )
+
+    records = []
+    for url in urls:
+        tokens = tokenize(url)
+        trigrams = url_trigrams(url)
+        word_id = word_indexer.id_of
+        trigram_id = trigram_indexer.id_of
+        token_ids = [
+            interned if (interned := word_id(word_extractor.prefix + token)) is not None else -1
+            for token in tokens
+        ]
+        trigram_ids = [
+            interned if (interned := trigram_id(trigram_extractor.prefix + gram)) is not None else -1
+            for gram in trigrams
+        ]
+        records.append(
+            {
+                "url": url,
+                "tokens": tokens,
+                "token_ids": token_ids,
+                "trigrams": trigrams,
+                "trigram_ids": trigram_ids,
+            }
+        )
+    return records
+
+
+def dump_golden_jsonl(records: list[dict]) -> str:
+    """Serialise golden records to the checked-in JSONL text.
+
+    ``ensure_ascii`` keeps the file 7-bit clean (lone surrogates in the
+    adversarial URLs are representable only as ``\\udXXX`` escapes), and
+    sorted keys keep regeneration byte-stable.
+    """
+    return "".join(
+        json.dumps(record, ensure_ascii=True, sort_keys=True) + "\n"
+        for record in records
+    )

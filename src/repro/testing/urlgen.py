@@ -1,0 +1,139 @@
+"""Seeded adversarial URL generator for extraction-parity testing.
+
+The byte-level fused extraction path (:mod:`repro.urls.tokenizer`,
+:mod:`repro.urls.trigrams`, ``FeatureIndexer.rows_fused``) claims
+token-for-token equivalence with the string-based reference for *any*
+input string, not just well-formed URLs.  This module generates the
+inputs that claim has to survive: unicode/IDN hosts, percent-encoding,
+mixed-case schemes, query/fragment soup, lone surrogates, and the
+degenerate lengths (empty, one character, tens of kilobytes).
+
+It lives under ``src/`` (like :mod:`repro.testing.faults`) so both the
+test suite and the golden-vector regeneration tool in ``tools/`` import
+one canonical generator — the checked-in golden vectors and the property
+suite draw from the same distribution.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Inputs every parity run must include, before any random draws.  Each
+#: one earned its place by stressing a specific hazard of the byte path.
+EDGE_CASE_URLS: tuple[str, ...] = (
+    "",
+    "a",
+    "ab",
+    "-",
+    "...",
+    "http://",
+    "WWW.INDEX.HTML",
+    "HtTpS://WwW.ExAmPlE.CoM/InDeX.HtM",
+    # U+212A (Kelvin sign) lowercases to ASCII "k": the string must be
+    # lowered *before* encoding or the byte path misses the letter.
+    "http://Kelvin.example/K",
+    # German sharp s and ligatures: multi-byte UTF-8 interleaved with
+    # ASCII letter runs.
+    "straße.de/ß/groß",
+    "ﬁsh.example/ﬂy",
+    # Unpaired surrogate: encodable only via surrogatepass.
+    "\ud800lonely.example/\udfffpath",
+    # IDN, both unicode and punycode spellings.
+    "https://münchen.de/straßenbahn",
+    "https://xn--mnchen-3ya.de/",
+    "http://日本語.example/テスト",
+    "http://еллада.gr/αθήνα",
+    # Percent-encoding and query/fragment soup.
+    "http://h.example/a%20b%2Fc?q=%C3%BC&x=1#frag%ment",
+    "?&=;##??//%%",
+    # Very long inputs: one giant token, and many tiny ones.
+    "http://example.com/" + "a" * 10_000,
+    "http://example.com/" + "a-" * 5_000,
+)
+
+_SCHEMES = ("http", "https", "HTTP", "HtTpS", "ftp", "FTP", "")
+_TLDS = ("com", "de", "fr", "it", "es", "gr", "co.uk", "example", "xn--p1ai")
+_ASCII_WORDS = (
+    "www", "index", "html", "htm", "http", "https",  # special words
+    "weather", "wetter", "meteo", "tiempo", "recherche", "produits",
+    "news", "sport", "a", "ab", "x", "archive", "2024", "v2",
+)
+_UNICODE_WORDS = (
+    "münchen", "straße", "été", "niño",
+    "日本語", "αθήνα",
+    "москва", "Kelvin", "ﬁsh",
+)
+_SOUP = "%&=?#/~+;:,@!$'()*[]{}|\\^\"<>`_- \t ​𐀀"
+
+
+def _word(rng: random.Random) -> str:
+    pool = rng.random()
+    if pool < 0.55:
+        word = rng.choice(_ASCII_WORDS)
+    elif pool < 0.8:
+        word = rng.choice(_UNICODE_WORDS)
+    else:
+        word = "".join(
+            rng.choice("abcdefghijklmnopqrstuvwxyz0123456789")
+            for _ in range(rng.randrange(1, 12))
+        )
+    if rng.random() < 0.3:
+        word = "".join(
+            ch.upper() if rng.random() < 0.5 else ch for ch in word
+        )
+    if rng.random() < 0.15:
+        index = rng.randrange(len(word) + 1)
+        word = word[:index] + rng.choice(_SOUP) + word[index:]
+    return word
+
+
+def _percent_encode_some(rng: random.Random, text: str) -> str:
+    if rng.random() < 0.25:
+        return "".join(
+            f"%{ord(ch) % 256:02X}" if rng.random() < 0.2 else ch
+            for ch in text
+        )
+    return text
+
+
+def random_url(rng: random.Random) -> str:
+    """One adversarial URL-ish string drawn from ``rng``."""
+    scheme = rng.choice(_SCHEMES)
+    parts = []
+    if scheme:
+        parts.append(scheme + "://")
+    if rng.random() < 0.1:
+        parts.append(_word(rng) + ":" + _word(rng) + "@")  # userinfo
+    host_labels = [_word(rng) for _ in range(rng.randrange(1, 4))]
+    if rng.random() < 0.7:
+        host_labels.append(rng.choice(_TLDS))
+    parts.append(".".join(host_labels))
+    if rng.random() < 0.15:
+        parts.append(f":{rng.randrange(0, 70000)}")
+    for _ in range(rng.randrange(0, 5)):
+        parts.append("/" + _percent_encode_some(rng, _word(rng)))
+    if rng.random() < 0.35:
+        pairs = "&".join(
+            _word(rng) + "=" + _percent_encode_some(rng, _word(rng))
+            for _ in range(rng.randrange(1, 4))
+        )
+        parts.append("?" + pairs)
+    if rng.random() < 0.2:
+        parts.append("#" + _word(rng))
+    if rng.random() < 0.05:
+        parts.append(rng.choice(("a", "ß", " ")) * rng.randrange(100, 2000))
+    return "".join(parts)
+
+
+def adversarial_urls(count: int, seed: int = 0) -> list[str]:
+    """``count`` deterministic adversarial inputs for the given seed.
+
+    The fixed :data:`EDGE_CASE_URLS` always lead (truncated if ``count``
+    is smaller); the remainder are random draws from :func:`random_url`.
+    Same ``(count, seed)`` -> same list, so failures reproduce exactly.
+    """
+    rng = random.Random(seed)
+    urls = list(EDGE_CASE_URLS[:count])
+    while len(urls) < count:
+        urls.append(random_url(rng))
+    return urls

@@ -21,10 +21,16 @@ SPECIAL_WORDS: frozenset[str] = frozenset(
     {"www", "index", "html", "htm", "http", "https"}
 )
 
+#: :data:`SPECIAL_WORDS` as byte strings, for the byte-level fast path.
+SPECIAL_WORDS_BYTES: frozenset[bytes] = frozenset(
+    word.encode("ascii") for word in SPECIAL_WORDS
+)
+
 #: Minimum token length; strings shorter than this are dropped.
 MIN_TOKEN_LENGTH = 2
 
 _LETTER_RUN = re.compile(r"[a-z]+")
+_LETTER_RUN_BYTES = re.compile(rb"[a-z]+")
 
 
 def tokenize(url: str, *, keep_special: bool = False) -> list[str]:
@@ -38,16 +44,49 @@ def tokenize(url: str, *, keep_special: bool = False) -> list[str]:
     The paper's URLs are effectively ASCII; uppercase letters are folded
     to lowercase before splitting so ``NewYork`` yields ``newyork``.
     """
-    lowered = url.lower()
-    tokens = []
-    for match in _LETTER_RUN.finditer(lowered):
-        token = match.group()
-        if len(token) < MIN_TOKEN_LENGTH:
-            continue
-        if not keep_special and token in SPECIAL_WORDS:
-            continue
-        tokens.append(token)
-    return tokens
+    tokens = _LETTER_RUN.findall(url.lower())
+    min_length = MIN_TOKEN_LENGTH
+    if keep_special:
+        return [token for token in tokens if len(token) >= min_length]
+    special = SPECIAL_WORDS
+    return [
+        token
+        for token in tokens
+        if len(token) >= min_length and token not in special
+    ]
+
+
+def encode_lowered(url: str) -> bytes:
+    """Lowercase ``url`` and encode it to one UTF-8 byte buffer.
+
+    The encoded buffer is what the byte-level fast path slides over.
+    Lowercasing happens on the *string* first so that the handful of
+    Unicode code points whose lowercase form is ASCII (e.g. the Kelvin
+    sign ``K`` → ``k``) fold exactly as the string path folds them;
+    ``surrogatepass`` keeps lone surrogates encodable so adversarial
+    inputs cannot crash the fast path.
+    """
+    return url.lower().encode("utf-8", "surrogatepass")
+
+
+def tokenize_bytes(url: str) -> list[bytes]:
+    """Byte-level :func:`tokenize` (default options), token-for-token.
+
+    ASCII letters occupy ``0x61..0x7a``, and every byte of a multi-byte
+    UTF-8 sequence is ``>= 0x80``, so the ``[a-z]+`` runs of the encoded
+    buffer are exactly the ``[a-z]+`` runs of the lowered string — the
+    fused extraction path (:meth:`repro.features.indexer.FeatureIndexer
+    .rows_fused`) tokenises here and never materialises ``str`` tokens
+    for in-vocabulary features.
+    """
+    tokens = _LETTER_RUN_BYTES.findall(encode_lowered(url))
+    min_length = MIN_TOKEN_LENGTH
+    special = SPECIAL_WORDS_BYTES
+    return [
+        token
+        for token in tokens
+        if len(token) >= min_length and token not in special
+    ]
 
 
 #: Entries kept by the memoized tokenizer.  Crawler frontiers and the
@@ -66,9 +105,23 @@ def tokenize_cached(url: str) -> tuple[str, ...]:
     return tuple(tokenize(url))
 
 
+@lru_cache(maxsize=TOKEN_CACHE_SIZE)
+def tokenize_bytes_cached(url: str) -> tuple[bytes, ...]:
+    """Memoized :func:`tokenize_bytes` returning a shared tuple.
+
+    Deliberately a *separate* memo from :func:`tokenize_cached`: the
+    fused and reference extraction paths must never read each other's
+    cache entries, so a process that alternates backends cannot
+    cross-contaminate (the entries are provably equal, but keeping the
+    keyspaces disjoint makes the isolation structural, not incidental).
+    """
+    return tuple(tokenize_bytes(url))
+
+
 def clear_token_cache() -> None:
-    """Drop all memoized token streams."""
+    """Drop all memoized token streams (both string and byte memos)."""
     tokenize_cached.cache_clear()
+    tokenize_bytes_cached.cache_clear()
 
 
 def iter_tokens(url: str) -> Iterator[str]:

@@ -13,10 +13,26 @@ that tests this conjecture.
 
 from __future__ import annotations
 
-from repro.urls.tokenizer import tokenize
+from functools import lru_cache
+
+import numpy as np
+
+from repro.urls.tokenizer import tokenize, tokenize_bytes
 
 #: Padding character marking word boundaries inside trigrams.
 BOUNDARY = " "
+
+#: Characters a within-token trigram can contain: the boundary plus a-z.
+ALPHABET_SIZE = 27
+
+#: Size of the dense trigram-code space (``27 ** 3``).
+N_TRIGRAM_CODES = ALPHABET_SIZE**3
+
+# byte value -> character code (boundary space = 0, a..z = 1..26); every
+# other byte maps to 0 but never sits inside a token, so it only ever
+# occupies the (ignored) outer positions of an invalid window.
+_BYTE_CODE_LUT = np.zeros(256, dtype=np.int32)
+_BYTE_CODE_LUT[ord("a") : ord("z") + 1] = np.arange(1, 27, dtype=np.int32)
 
 
 def token_trigrams(token: str) -> list[str]:
@@ -32,13 +48,95 @@ def token_trigrams(token: str) -> list[str]:
     return [padded[i : i + 3] for i in range(len(padded) - 2)]
 
 
+@lru_cache(maxsize=1 << 15)
+def _cached_token_trigrams(token: str) -> tuple[str, ...]:
+    """Memoized :func:`token_trigrams`; URL tokens repeat heavily
+    (``com``, ``de``, ``net`` …) so the batch extractors share one
+    trigram tuple per distinct token instead of re-slicing it."""
+    return tuple(token_trigrams(token))
+
+
 def url_trigrams(url: str) -> list[str]:
     """All trigrams of ``url`` under the paper's method: tokenise first,
     then take within-token trigrams."""
     grams: list[str] = []
     for token in tokenize(url):
-        grams.extend(token_trigrams(token))
+        grams.extend(_cached_token_trigrams(token))
     return grams
+
+
+def trigram_code(gram: str) -> int | None:
+    """Dense integer code of a 3-character trigram, or ``None`` if any
+    character falls outside the boundary+a-z alphabet.
+
+    The code is the base-27 value of the three character codes
+    (boundary = 0, ``a``..``z`` = 1..26), giving a perfect hash into
+    ``range(N_TRIGRAM_CODES)`` — the index space of the fused path's
+    trigram-id table (:class:`repro.features.indexer.FusedExtractionPlan`).
+    """
+    if len(gram) != 3:
+        return None
+    code = 0
+    for char in gram:
+        if char == BOUNDARY:
+            value = 0
+        else:
+            value = ord(char) - 96  # "a" -> 1 .. "z" -> 26
+            if not 1 <= value <= 26:
+                return None
+        code = code * ALPHABET_SIZE + value
+    return code
+
+
+def decode_trigram_code(code: int) -> str:
+    """Inverse of :func:`trigram_code` (codes outside the valid range
+    raise)."""
+    if not 0 <= code < N_TRIGRAM_CODES:
+        raise ValueError(f"trigram code out of range: {code}")
+    chars = []
+    for divisor in (729, 27, 1):
+        value = (code // divisor) % ALPHABET_SIZE
+        chars.append(BOUNDARY if value == 0 else chr(96 + value))
+    return "".join(chars)
+
+
+def pack_token_buffer(tokens: list[bytes]) -> bytes:
+    """Boundary-padded single buffer of byte tokens: ``" a b c "``.
+
+    Every 3-byte window of the buffer whose *middle* byte is a letter is
+    exactly one within-token trigram, in order, and nothing else is —
+    windows straddling two tokens have a boundary space in the middle.
+    Buffers of consecutive URLs can be concatenated directly: the double
+    space at each junction keeps cross-URL windows invalid.
+    """
+    return b" " + b" ".join(tokens) + b" "
+
+
+def sliding_trigram_codes(buffer: bytes) -> np.ndarray:
+    """Trigram codes (int32, in order) of a boundary-padded byte buffer.
+
+    One vectorised pass: no per-trigram slices, no intermediate strings.
+    The buffer must come from :func:`pack_token_buffer` (possibly several
+    concatenated) so that only space/letter bytes occur.
+    """
+    if len(buffer) < 3:
+        return np.empty(0, dtype=np.int32)
+    codes = _BYTE_CODE_LUT[np.frombuffer(buffer, dtype=np.uint8)]
+    middle = codes[1:-1]
+    windows = codes[:-2] * 729 + middle * 27 + codes[2:]
+    return windows[middle > 0]
+
+
+def byte_url_trigrams(url: str) -> list[str]:
+    """Byte-level :func:`url_trigrams`, decoded back to strings.
+
+    Diagnostic/parity helper: the fused scoring path keeps the integer
+    codes and never materialises these strings; this function exists so
+    tests can assert the byte path token-for-token against the string
+    reference.
+    """
+    buffer = pack_token_buffer(tokenize_bytes(url))
+    return [decode_trigram_code(int(code)) for code in sliding_trigram_codes(buffer)]
 
 
 def raw_trigrams(url: str) -> list[str]:
@@ -62,5 +160,5 @@ def trigrams_of_tokens(tokens: list[str]) -> list[str]:
     """Within-token trigrams for an already-tokenised sequence."""
     grams: list[str] = []
     for token in tokens:
-        grams.extend(token_trigrams(token))
+        grams.extend(_cached_token_trigrams(token))
     return grams

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Regenerate the golden extraction vectors.
+
+Rewrites ``tests/data/extraction_golden.jsonl`` from the reference
+(string-based) extraction path over the canonical adversarial URL set
+(:mod:`repro.testing.golden`).  Run from the repo root after an
+*intentional* change to tokenisation or trigram semantics:
+
+    PYTHONPATH=src python tools/regen_extraction_golden.py
+
+and review the diff — every changed line is a behaviour change of the
+extraction contract, which the parity suite holds both the reference
+and the fused byte-level path to.  ``--check`` verifies the checked-in
+file instead of rewriting it (exit 1 on drift), which is how the test
+suite and CI consume this module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.testing.golden import (  # noqa: E402
+    dump_golden_jsonl,
+    extraction_golden_records,
+)
+
+GOLDEN_PATH = REPO_ROOT / "tests" / "data" / "extraction_golden.jsonl"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the checked-in file matches regeneration (no write)",
+    )
+    args = parser.parse_args(argv)
+
+    text = dump_golden_jsonl(extraction_golden_records())
+    if args.check:
+        if not GOLDEN_PATH.exists():
+            print(f"missing golden file: {GOLDEN_PATH}", file=sys.stderr)
+            return 1
+        committed = GOLDEN_PATH.read_text(encoding="ascii")
+        if committed != text:
+            committed_lines = committed.splitlines()
+            fresh_lines = text.splitlines()
+            for index, (old, new) in enumerate(
+                zip(committed_lines, fresh_lines)
+            ):
+                if old != new:
+                    print(f"golden drift at line {index + 1}:", file=sys.stderr)
+                    print(f"  committed: {old[:200]}", file=sys.stderr)
+                    print(f"  fresh:     {new[:200]}", file=sys.stderr)
+                    break
+            if len(committed_lines) != len(fresh_lines):
+                print(
+                    f"line count {len(committed_lines)} -> {len(fresh_lines)}",
+                    file=sys.stderr,
+                )
+            print(
+                "extraction golden vectors drifted; if intentional, rerun "
+                "tools/regen_extraction_golden.py and review the diff",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{GOLDEN_PATH.name}: OK ({len(text.splitlines())} records)")
+        return 0
+
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(text, encoding="ascii")
+    print(f"wrote {GOLDEN_PATH} ({len(text.splitlines())} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
