@@ -15,7 +15,8 @@ Layers:
 
 * :mod:`repro.bulk.source` — shard discovery and streaming readers;
 * :mod:`repro.bulk.sink` — row formats (``classify``-identical TSV,
-  JSONL/CSV with scores and provenance) and the summary rollup;
+  JSONL/CSV with scores and provenance, ``sqlite`` = JSONL plus a
+  derived :mod:`repro.query` result index) and the summary rollup;
 * :mod:`repro.bulk.checkpoint` — the run manifest (model fingerprint,
   per-shard output sha256, atomic replacement);
 * :mod:`repro.bulk.engine` — the planner/runner (:func:`run`);
@@ -40,7 +41,7 @@ from repro.bulk.errors import (
     ShardCommitError,
     VerifyError,
 )
-from repro.bulk.sink import SINKS, SummaryAccumulator, make_sink
+from repro.bulk.sink import SINKS, SqliteSink, SummaryAccumulator, make_sink
 from repro.bulk.source import BadRow, Shard, discover_shards, read_rows, read_urls
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "RunReport",
     "Shard",
     "ShardCommitError",
+    "SqliteSink",
     "SummaryAccumulator",
     "VerifyError",
     "VerifyReport",

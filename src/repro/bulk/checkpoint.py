@@ -101,6 +101,12 @@ class RunManifest:
     order: list[str] = field(default_factory=list)
     shards: dict[str, dict] = field(default_factory=dict)
     summary: dict | None = None
+    #: File name of the run's derived SQLite result index (set by
+    #: sinks that maintain one, e.g. ``sqlite``).  Advisory: the index
+    #: is always rebuildable from the shards and is *not* part of the
+    #: resume/verify contract — the text outputs stay the only source
+    #: of truth.
+    query_index: str | None = None
     version: int = MANIFEST_VERSION
 
     # -- construction --------------------------------------------------------------
@@ -174,6 +180,7 @@ class RunManifest:
                     for key, value in payload["shards"].items()
                 },
                 summary=payload.get("summary"),
+                query_index=payload.get("query_index"),
                 version=int(payload["version"]),
             )
         except (KeyError, TypeError, ValueError) as error:
@@ -205,6 +212,8 @@ class RunManifest:
         }
         if self.summary is not None:
             payload["summary"] = self.summary
+        if self.query_index is not None:
+            payload["query_index"] = self.query_index
         _atomic_write_json(Path(path), payload)
 
     # -- state transitions ---------------------------------------------------------

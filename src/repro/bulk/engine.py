@@ -470,6 +470,12 @@ def run(
     output_dir.mkdir(parents=True, exist_ok=True)
 
     stdin_run = any(shard.is_stdin for shard in shards)
+    if stdin_run and row_sink.indexes_results:
+        raise BulkError(
+            "the sqlite sink maintains a result index beside the "
+            "checkpoint manifest, which stdin input cannot have; pipe "
+            "to files and use a shard directory (or use --sink jsonl)"
+        )
     if stdin_run and resume:
         raise BulkError(
             "stdin input cannot be checkpointed or resumed (the stream "
@@ -549,6 +555,29 @@ def run(
     rows_quarantined = 0
     latency = LatencyHistogram()
 
+    # Parent-side result indexing (sqlite sink): ingest each shard the
+    # moment its output commits, so the index trails the manifest by at
+    # most one shard.  Workers never see the database — the scoring hot
+    # path pays nothing.  Any gap a kill leaves between manifest save
+    # and ingest is healed by the index_run() reconcile below.
+    ordinals = {
+        shard_id: ordinal
+        for ordinal, shard_id in enumerate(manifest.order)
+    }
+    index_connection = None
+    if row_sink.indexes_results:
+        from repro.query.schema import RESULT_DB_NAME, create_result_db
+
+        manifest.query_index = RESULT_DB_NAME
+        manifest.save(manifest_path)
+        index_connection = create_result_db(output_dir / RESULT_DB_NAME)
+        with index_connection:
+            index_connection.execute(
+                "INSERT INTO meta(key, value) VALUES ('model', ?) "
+                "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                (json.dumps(manifest.model, sort_keys=True),),
+            )
+
     def commit(result: dict) -> None:
         nonlocal scored, rows_scored, rows_quarantined
         manifest.mark_done(
@@ -564,6 +593,16 @@ def run(
         manifest.shards[result["shard_id"]]["summary"] = result["summary"]
         if not stdin_run:
             manifest.save(manifest_path)
+        if index_connection is not None:
+            from repro.query.ingest import ingest_shard
+
+            ingest_shard(
+                index_connection,
+                ordinal=ordinals[result["shard_id"]],
+                shard_id=result["shard_id"],
+                output_path=output_dir / result["output"],
+                sha256=result["sha256"],
+            )
         latency.merge(LatencyHistogram.from_snapshot(result["latency"]))
         scored += 1
         rows_scored += result["rows"]
@@ -582,24 +621,28 @@ def run(
                 f"({rate:.0f}/s){note}"
             )
 
-    if tasks:
-        if workers <= 1 or stdin_run or len(tasks) == 1:
-            _initialize_worker(*initargs)
-            try:
-                for task in tasks:
-                    commit(_score_shard(task))
-            finally:
-                state = _worker_state
-                if state is not None:
-                    state[0].close()
-        else:
-            with multiprocessing.Pool(
-                processes=min(workers, len(tasks)),
-                initializer=_initialize_worker,
-                initargs=initargs,
-            ) as pool:
-                for result in pool.imap_unordered(_score_shard, tasks):
-                    commit(result)
+    try:
+        if tasks:
+            if workers <= 1 or stdin_run or len(tasks) == 1:
+                _initialize_worker(*initargs)
+                try:
+                    for task in tasks:
+                        commit(_score_shard(task))
+                finally:
+                    state = _worker_state
+                    if state is not None:
+                        state[0].close()
+            else:
+                with multiprocessing.Pool(
+                    processes=min(workers, len(tasks)),
+                    initializer=_initialize_worker,
+                    initargs=initargs,
+                ) as pool:
+                    for result in pool.imap_unordered(_score_shard, tasks):
+                        commit(result)
+    finally:
+        if index_connection is not None:
+            index_connection.close()
 
     wall = time.perf_counter() - started
     totals = SummaryAccumulator()
@@ -622,6 +665,16 @@ def run(
     manifest.summary = summary
     if not stdin_run:
         manifest.save(manifest_path)
+
+    if row_sink.indexes_results:
+        # Reconcile: converge the index onto the manifest.  Heals the
+        # one-shard gap a kill can leave between manifest save and
+        # ingest, drops rows of shards a resume demoted and re-scored,
+        # and is a cheap no-op when the per-commit ingestion above
+        # already covered everything.
+        from repro.query.ingest import index_run
+
+        index_run(output_dir)
 
     return RunReport(
         output_dir=str(output_dir),

@@ -14,6 +14,11 @@ formats ship:
   trace every row back to the exact artifact that scored it).
 * ``csv`` — header + one row per URL with per-language score columns
   and the same provenance stamp.
+* ``sqlite`` — the ``jsonl`` rows byte-for-byte, **plus** a derived
+  SQLite result index (``results.sqlite``) the engine maintains beside
+  the shards (see :mod:`repro.query`).  The text shards stay the
+  checkpointed source of truth; the database is always rebuildable
+  from them.
 
 :class:`SummaryAccumulator` is the rollup sink every run feeds: per-
 language decision counts, row totals, throughput — mergeable across
@@ -39,6 +44,7 @@ __all__ = [
     "RowSink",
     "CsvSink",
     "JsonlSink",
+    "SqliteSink",
     "SummaryAccumulator",
     "TsvSink",
     "make_sink",
@@ -62,6 +68,10 @@ class RowSink:
 
     #: File suffix of output shards in this format (per subclass).
     suffix: ClassVar[str] = ".txt"
+
+    #: Whether the engine should maintain a SQLite result index
+    #: (:mod:`repro.query`) beside the shards of a run in this format.
+    indexes_results: ClassVar[bool] = False
 
     def header(self) -> str | None:
         """Optional first line of every output shard."""
@@ -146,11 +156,31 @@ class CsvSink(RowSink):
         return buffer.getvalue()
 
 
+class SqliteSink(JsonlSink):
+    """JSONL rows plus an engine-maintained SQLite result index.
+
+    The **file contract is exactly** :class:`JsonlSink` — same suffix,
+    same bytes, same shard sha256s — so the manifest resume/verify
+    story is untouched and an interrupted sqlite run can even be
+    resumed as ``jsonl`` (or vice versa, modulo the manifest's sink
+    check).  What changes is engine-side: after every shard commit the
+    engine ingests the committed output into ``results.sqlite`` in the
+    run directory, and reconciles the database against the manifest at
+    the end of the run (:func:`repro.query.ingest.index_run`).
+    Workers never touch the database; ingestion is parent-only, so the
+    scoring hot path pays nothing.
+    """
+
+    # Engine-side flag: maintain the result index for this run.
+    indexes_results: ClassVar[bool] = True
+
+
 #: Registered sink formats, by CLI name.
 SINKS: dict[str, type[RowSink]] = {
     "tsv": TsvSink,
     "jsonl": JsonlSink,
     "csv": CsvSink,
+    "sqlite": SqliteSink,
 }
 
 

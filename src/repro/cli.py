@@ -8,6 +8,7 @@
     python -m repro.cli classify --model repro://repro.sock < urls.txt
     python -m repro.cli serve stop --socket repro.sock
     python -m repro.cli bulk --model model.urlmodel --input shards/ --output run/
+    python -m repro.cli query counts --db run/
     python -m repro.cli experiment table8
 
 ``generate`` emits a TSV of labelled synthetic URLs; ``train`` fits a
@@ -22,6 +23,9 @@ manages the long-lived daemon (``start``/``stop``/``status``/
 ``reload``, plus ``batch`` for one-shot pool scoring); ``bulk`` is the
 checkpointed offline engine for corpora that dwarf RAM (sharded
 gzipped input, N workers, killable and resumable — ``docs/bulk.md``);
+``query`` answers per-language counts, score histograms, URL lookups,
+full-text search and model lineage over the SQLite result index a
+``--sink sqlite`` bulk run maintains (``docs/query.md``);
 ``evaluate`` prints the paper's metric table; ``experiment`` runs a
 table/figure driver.  ``docs/cli.md`` is the full reference with
 runnable examples, ``docs/api.md`` the handle grammar.
@@ -161,6 +165,11 @@ def build_parser() -> argparse.ArgumentParser:
         "clients dial repro+tcp://HOST:PORT)",
     )
     start.add_argument(
+        "--query-db", default=None, metavar="PATH",
+        help="expose read-only GET /v1/query/* routes over this result "
+        "index (a results.sqlite or a bulk run directory; needs --http)",
+    )
+    start.add_argument(
         "--foreground", action="store_true",
         help="stay attached, log to stderr (no detach, no log file)",
     )
@@ -172,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sub = serve_commands.add_parser(name, help=text)
         sub.add_argument("--socket", default="repro-serve.sock")
+        if name == "status":
+            sub.add_argument(
+                "--json", action="store_true",
+                help="compact single-line JSON (the default output is "
+                "the same block, indented)",
+            )
 
     batch = serve_commands.add_parser(
         "batch",
@@ -214,9 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bulk.add_argument("--workers", type=int, default=2)
     bulk.add_argument(
-        "--sink", default="tsv", choices=("tsv", "jsonl", "csv"),
+        "--sink", default="tsv", choices=("tsv", "jsonl", "csv", "sqlite"),
         help="row format: tsv is byte-identical to 'classify'; "
-        "jsonl/csv add per-language scores and model provenance",
+        "jsonl/csv add per-language scores and model provenance; "
+        "sqlite writes jsonl shards plus a queryable results.sqlite "
+        "index ('repro query')",
     )
     bulk.add_argument("--chunk-size", type=int, default=512,
                       help="URLs per scoring pass (one matmul each)")
@@ -238,6 +255,133 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-shard progress lines",
     )
+    bulk.add_argument(
+        "--json", action="store_true",
+        help="verify only: print the verification report as one JSON "
+        "object instead of the human summary line",
+    )
+
+    query = commands.add_parser(
+        "query",
+        help="query a bulk run's SQLite result index and model lineage",
+    )
+    query_commands = query.add_subparsers(dest="query_command", required=True)
+
+    def _query_db(sub, required=True):
+        sub.add_argument(
+            "--db", required=required,
+            help="the results.sqlite file, or the bulk run's output "
+            "directory containing it",
+        )
+
+    def _query_json(sub):
+        sub.add_argument(
+            "--json", action="store_true",
+            help="print the result as one JSON object",
+        )
+
+    q_index = query_commands.add_parser(
+        "index",
+        help="build or reconcile a run's result index from its manifest "
+        "(runs with --sink sqlite maintain it automatically)",
+    )
+    q_index.add_argument(
+        "--run", required=True,
+        help="the bulk run's output directory (manifest.json + shards)",
+    )
+    q_index.add_argument(
+        "--db", help="database path (default: results.sqlite in --run)"
+    )
+    q_index.add_argument(
+        "--rebuild", action="store_true",
+        help="start the index over (new fingerprint; outstanding page "
+        "cursors are invalidated)",
+    )
+
+    q_status = query_commands.add_parser(
+        "status", help="index totals, fingerprint, and scoring model"
+    )
+    _query_db(q_status)
+    _query_json(q_status)
+
+    q_counts = query_commands.add_parser(
+        "counts", help="per-language decision totals"
+    )
+    _query_db(q_counts)
+    q_counts.add_argument("--language", help="narrow to one language code")
+    _query_json(q_counts)
+
+    q_hist = query_commands.add_parser(
+        "hist", help="score-distribution histogram"
+    )
+    _query_db(q_hist)
+    q_hist.add_argument("--language", help="narrow to one language code")
+    q_hist.add_argument("--bins", type=int, default=20)
+    _query_json(q_hist)
+
+    q_lookup = query_commands.add_parser(
+        "lookup", help="point or prefix URL lookup"
+    )
+    _query_db(q_lookup)
+    q_lookup.add_argument("url", help="the URL (or, with --prefix, its start)")
+    q_lookup.add_argument(
+        "--prefix", action="store_true",
+        help="match every URL starting with the argument",
+    )
+    q_lookup.add_argument("--limit", type=int, default=None)
+    _query_json(q_lookup)
+
+    q_search = query_commands.add_parser(
+        "search", help="full-text search over URLs (FTS5 match syntax)"
+    )
+    _query_db(q_search)
+    q_search.add_argument("match", help="FTS5 query, e.g. 'blumen OR garten'")
+    q_search.add_argument("--limit", type=int, default=None)
+    q_search.add_argument(
+        "--cursor", help="resume from a previous page's next_cursor"
+    )
+    _query_json(q_search)
+
+    q_rows = query_commands.add_parser(
+        "rows", help="score-ordered rows under keyset page cursors"
+    )
+    _query_db(q_rows)
+    q_rows.add_argument("--language", help="narrow to one language code")
+    q_rows.add_argument("--limit", type=int, default=None)
+    q_rows.add_argument(
+        "--cursor", help="resume from a previous page's next_cursor"
+    )
+    _query_json(q_rows)
+
+    q_lineage = query_commands.add_parser(
+        "lineage",
+        help="build/query the model-registry lineage index (which corpus "
+        "trained which model; which model scored which run)",
+    )
+    q_lineage.add_argument(
+        "--db", default="lineage.sqlite",
+        help="lineage database path (default: lineage.sqlite)",
+    )
+    q_lineage.add_argument(
+        "--store", help="model-store root to (re)index into the database"
+    )
+    q_lineage.add_argument(
+        "--run", action="append", default=[], metavar="RUN_DIR",
+        help="bulk run directory to (re)index (repeatable)",
+    )
+    q_lineage.add_argument(
+        "--model", help="list runs scored by this model (name, checksum, "
+        "or checksum prefix)",
+    )
+    q_lineage.add_argument(
+        "--corpus", help="list models trained on this corpus fingerprint "
+        "(sha256 or prefix)",
+    )
+    q_lineage.add_argument(
+        "--run-model", metavar="RUN_DIR",
+        help="resolve the model behind one run (joined against the store)",
+    )
+    _query_json(q_lineage)
 
     experiment = commands.add_parser(
         "experiment", help="run a table/figure reproduction driver"
@@ -338,17 +482,22 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     try:
         if command == "start":
             model_path = _artifact_path(args.model)
+            if args.query_db and args.http is None:
+                raise SystemExit(
+                    "serve start: --query-db rides on the HTTP front-end; "
+                    "add --http PORT (0 picks a free port)"
+                )
             if args.foreground:
                 return ServingDaemon(
                     model_path, args.socket,
                     workers=args.workers, http_port=args.http,
-                    tcp=args.tcp,
+                    tcp=args.tcp, query_db=args.query_db,
                 ).run()
             try:
                 pid = start_daemon(
                     model_path, args.socket,
                     workers=args.workers, http_port=args.http,
-                    tcp=args.tcp,
+                    tcp=args.tcp, query_db=args.query_db,
                 )
             except (RuntimeError, ValueError) as error:
                 raise SystemExit(str(error)) from None
@@ -363,8 +512,16 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             return 0
         if command == "status":
             with DaemonClient(args.socket) as client:
-                out.write(json.dumps(client.status(), indent=2, sort_keys=True))
-                out.write("\n")
+                status = client.status()
+            if args.json:
+                out.write(
+                    json.dumps(
+                        status, separators=(",", ":"), sort_keys=True
+                    )
+                )
+            else:
+                out.write(json.dumps(status, indent=2, sort_keys=True))
+            out.write("\n")
             return 0
         if command == "reload":
             with DaemonClient(args.socket) as client:
@@ -404,7 +561,20 @@ def _cmd_bulk(args: argparse.Namespace, out) -> int:
             verified = verify_run(args.output)
         except BulkError as error:
             raise SystemExit(str(error)) from None
-        out.write(verified.describe() + "\n")
+        if args.json:
+            import dataclasses
+            import json
+
+            out.write(
+                json.dumps(
+                    dataclasses.asdict(verified),
+                    separators=(",", ":"),
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        else:
+            out.write(verified.describe() + "\n")
         return 0
     if not args.model or not args.input:
         raise SystemExit(
@@ -432,6 +602,123 @@ def _cmd_bulk(args: argparse.Namespace, out) -> int:
     out.write(report.describe() + "\n")
     if report.manifest_path:
         out.write(f"manifest: {report.manifest_path}\n")
+    return 0
+
+
+def _dump(out, payload: dict, as_json: bool) -> None:
+    """One result object: compact JSON or indented (human) JSON."""
+    import json
+
+    if as_json:
+        out.write(json.dumps(payload, separators=(",", ":"), sort_keys=True))
+    else:
+        out.write(json.dumps(payload, indent=2, sort_keys=True))
+    out.write("\n")
+
+
+def _write_page(out, page, as_json: bool) -> None:
+    """Rows + pagination: JSON snapshot, or TSV-ish lines + cursor."""
+    if as_json:
+        _dump(out, page.snapshot(), True)
+        return
+    for row in page.rows:
+        score = "" if row["score"] is None else f"{row['score']!r}"
+        out.write(
+            f"{row['best'] or 'und'}\t{score}\t{row['url']}\n"
+        )
+    if page.next_cursor:
+        out.write(f"# next --cursor {page.next_cursor}\n")
+
+
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    """The result-index and lineage query surface (``docs/query.md``).
+
+    Typed :class:`repro.query.QueryError` failures (missing index,
+    foreign cursor, bad limit, unreadable manifest) exit cleanly with
+    their actionable message — exactly the errors the HTTP routes turn
+    into 400s.
+    """
+    from repro.query import (
+        Page,
+        QueryError,
+        build_lineage,
+        index_run,
+        open_index,
+        open_lineage,
+    )
+
+    command = args.query_command
+    try:
+        if command == "index":
+            report = index_run(
+                args.run, args.db, rebuild=args.rebuild,
+                progress=lambda line: out.write(line + "\n"),
+            )
+            out.write(report.describe() + "\n")
+            return 0
+        if command == "lineage":
+            if args.store or args.run:
+                index = build_lineage(
+                    args.db, store_root=args.store, run_dirs=args.run,
+                )
+            else:
+                index = open_lineage(args.db)
+            with index:
+                if args.run_model:
+                    resolved = index.run_model(args.run_model)
+                    if resolved is None:
+                        raise SystemExit(
+                            f"lineage index has no run {args.run_model!r}; "
+                            "index it first with --run"
+                        )
+                    _dump(out, resolved, args.json)
+                elif args.model:
+                    _dump(out, {"runs": index.runs(model=args.model)},
+                          args.json)
+                elif args.corpus:
+                    _dump(out, {"models": index.models(corpus=args.corpus)},
+                          args.json)
+                else:
+                    _dump(
+                        out,
+                        {"models": index.models(), "runs": index.runs()},
+                        args.json,
+                    )
+            return 0
+        with open_index(args.db) as index:
+            if command == "status":
+                _dump(out, index.status(), args.json)
+            elif command == "counts":
+                _dump(out, index.counts(args.language), args.json)
+            elif command == "hist":
+                _dump(
+                    out,
+                    index.histogram(args.language, bins=args.bins),
+                    args.json,
+                )
+            elif command == "lookup":
+                rows = index.lookup(
+                    args.url, prefix=args.prefix, limit=args.limit
+                )
+                _write_page(out, Page(rows=rows), args.json)
+            elif command == "search":
+                _write_page(
+                    out,
+                    index.search(
+                        args.match, limit=args.limit, cursor=args.cursor
+                    ),
+                    args.json,
+                )
+            elif command == "rows":
+                _write_page(
+                    out,
+                    index.page(
+                        args.language, limit=args.limit, cursor=args.cursor
+                    ),
+                    args.json,
+                )
+    except QueryError as error:
+        raise SystemExit(str(error)) from None
     return 0
 
 
@@ -474,6 +761,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "classify": _cmd_classify,
         "serve": _cmd_serve,
         "bulk": _cmd_bulk,
+        "query": _cmd_query,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
     }[args.command]

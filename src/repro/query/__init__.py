@@ -1,0 +1,93 @@
+"""Queryable result store and model-registry lineage index.
+
+The bulk engine (PR 6/8) writes checksummed text shards and a resume
+manifest — perfect for durability, useless for questions.  This package
+adds the read side the paper's 3-billion-URL ambitions imply:
+
+* :mod:`repro.query.schema` — the SQLite result database beside a
+  run's shards: WAL mode, per-language/score indexes, an FTS5 table
+  over URLs.  Always derived, always rebuildable from the shards.
+* :mod:`repro.query.ingest` — atomic per-shard ingestion and the
+  :func:`index_run` reconciler that converges the database onto the
+  manifest (idempotent; kill-safe at every instant).
+* :mod:`repro.query.results` — :class:`ResultIndex`: counts,
+  histograms, URL point/prefix lookup, FTS search, and score-ordered
+  listing under keyset cursors.  Every row path is index-backed.
+* :mod:`repro.query.cursor` — ``{score}|{rowid}|{fingerprint}`` page
+  cursors with typed refusal of cursors minted for another build.
+* :mod:`repro.query.lineage` — which corpus trained which model,
+  which model scored which run, from rollout stamps and manifests.
+
+Entry points: ``repro query ...`` on the CLI, ``GET /v1/query/*`` on
+the serving daemon, and this module's re-exports for Python callers.
+"""
+
+from repro.query.cursor import (
+    DEFAULT_PAGE_LIMIT,
+    MAX_PAGE_LIMIT,
+    clamp_limit,
+    decode_cursor,
+    encode_cursor,
+)
+from repro.query.errors import (
+    CursorError,
+    IndexCorruptError,
+    IndexMissingError,
+    IndexVersionError,
+    LineageError,
+    QueryError,
+)
+from repro.query.ingest import (
+    IngestReport,
+    index_fingerprint,
+    index_run,
+    ingest_shard,
+    insert_rows,
+)
+from repro.query.lineage import (
+    LINEAGE_DB_NAME,
+    LineageIndex,
+    build_lineage,
+    open_lineage,
+)
+from repro.query.results import Page, ResultIndex, open_index
+from repro.query.schema import (
+    RESULT_DB_NAME,
+    ROW_ID_STRIDE,
+    SCHEMA_VERSION,
+    create_result_db,
+    open_result_db,
+    resolve_db_path,
+)
+
+__all__ = [
+    "DEFAULT_PAGE_LIMIT",
+    "MAX_PAGE_LIMIT",
+    "LINEAGE_DB_NAME",
+    "RESULT_DB_NAME",
+    "ROW_ID_STRIDE",
+    "SCHEMA_VERSION",
+    "CursorError",
+    "IndexCorruptError",
+    "IndexMissingError",
+    "IndexVersionError",
+    "IngestReport",
+    "LineageError",
+    "LineageIndex",
+    "Page",
+    "QueryError",
+    "ResultIndex",
+    "build_lineage",
+    "clamp_limit",
+    "create_result_db",
+    "decode_cursor",
+    "encode_cursor",
+    "index_fingerprint",
+    "index_run",
+    "ingest_shard",
+    "insert_rows",
+    "open_index",
+    "open_lineage",
+    "open_result_db",
+    "resolve_db_path",
+]

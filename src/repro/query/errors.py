@@ -1,0 +1,52 @@
+"""The typed failure hierarchy of the query tier.
+
+Mirrors the :mod:`repro.bulk.errors` idiom: every anticipated failure
+is a subclass of one base with an actionable message, so the CLI turns
+any of them into a clean exit, the HTTP front-end into a typed 4xx,
+and library callers catch precisely.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CursorError",
+    "IndexCorruptError",
+    "IndexMissingError",
+    "IndexVersionError",
+    "LineageError",
+    "QueryError",
+]
+
+
+class QueryError(Exception):
+    """Base class for every query-tier failure."""
+
+
+class IndexMissingError(QueryError):
+    """No result index exists where one was named — the path does not
+    exist, or the run was never indexed (``repro query index`` builds
+    one from any finished bulk run)."""
+
+
+class IndexCorruptError(QueryError):
+    """The file exists but is not a readable result index (not SQLite,
+    missing the ``meta`` table, truncated mid-write).  Rebuild it from
+    the run's committed shards with ``repro query index --rebuild``."""
+
+
+class IndexVersionError(QueryError):
+    """The index was written by a different schema version; rebuild it
+    with the build that will read it."""
+
+
+class CursorError(QueryError, ValueError):
+    """A keyset page cursor is unusable: malformed, tampered with, or
+    minted against a different index build (the fingerprint embedded in
+    every cursor no longer matches).  Restart pagination from the first
+    page.  Subclasses ``ValueError`` for callers that still catch
+    broadly."""
+
+
+class LineageError(QueryError):
+    """The lineage index cannot answer — the store or run directory it
+    was pointed at is missing, or a manifest does not parse."""

@@ -1,0 +1,264 @@
+"""Lineage: which corpus trained which model, which model scored which run.
+
+The raw material already exists — it was just never queryable:
+
+* every artifact carries a ``model.rollout`` stamp (``created_at``
+  save timestamp, ``train_corpus`` sha256 of the training corpus),
+  surfaced per entry by :meth:`repro.store.ModelStore.list`;
+* every bulk run's manifest checkpoints the **model fingerprint** that
+  scored it (handle, name, artifact checksum, rollout) plus row
+  totals.
+
+:func:`build_lineage` materialises both into two tables of a lineage
+database (``lineage.sqlite`` by convention), rebuilt wholesale on
+every call — the sources stay authoritative, the index is derived:
+
+``models``
+    One row per store artifact: name, checksum, algorithm/feature
+    set, rollout stamp.  Keyed by checksum (the identity that
+    matters; the same weights under two names are one model).
+``runs``
+    One row per indexed bulk run: output directory, the scoring
+    model's checksum/name/rollout, sink, row totals, completion.
+
+:class:`LineageIndex` then answers the audit questions with plain
+SQL joins: :meth:`runs_of_model`, :meth:`models_of_corpus`,
+:meth:`run_model` — turning the rollout stamps into a deployment
+history instead of per-file trivia.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from pathlib import Path
+
+from repro.bulk.checkpoint import MANIFEST_NAME, RunManifest
+from repro.bulk.errors import CheckpointError
+from repro.query.errors import LineageError
+from repro.query.schema import connect
+
+__all__ = ["LINEAGE_DB_NAME", "LineageIndex", "build_lineage", "open_lineage"]
+
+#: Conventional file name of a lineage database.
+LINEAGE_DB_NAME = "lineage.sqlite"
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS models (
+    checksum    TEXT PRIMARY KEY,
+    name        TEXT NOT NULL,
+    algorithm   TEXT NOT NULL,
+    feature_set TEXT NOT NULL,
+    n_features  INTEGER NOT NULL,
+    nbytes      INTEGER NOT NULL,
+    path        TEXT NOT NULL,
+    created_at  TEXT,
+    train_corpus TEXT
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_models_corpus ON models(train_corpus);
+CREATE TABLE IF NOT EXISTS runs (
+    run_dir        TEXT PRIMARY KEY,
+    model_checksum TEXT,
+    model_name     TEXT,
+    model_handle   TEXT,
+    created_at     TEXT,
+    train_corpus   TEXT,
+    sink           TEXT NOT NULL,
+    shards         INTEGER NOT NULL,
+    shards_done    INTEGER NOT NULL,
+    rows           INTEGER NOT NULL,
+    quarantined    INTEGER NOT NULL,
+    completed      INTEGER NOT NULL
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_runs_model ON runs(model_checksum);
+"""
+
+
+def build_lineage(
+    db_path: str | os.PathLike,
+    *,
+    store_root: str | os.PathLike | None = None,
+    run_dirs: list[str | os.PathLike] | None = None,
+) -> "LineageIndex":
+    """(Re)materialise the lineage tables from a store and/or run dirs.
+
+    Upserts: pointing the builder at the same store twice refreshes
+    those rows; a new run directory adds one.  A run directory without
+    a readable manifest raises :class:`LineageError` naming it.
+    """
+    connection = connect(db_path)
+    connection.executescript(_DDL)
+    index = LineageIndex(connection)
+    if store_root is not None:
+        from repro.store.registry import ModelStore
+
+        handles = ModelStore(store_root).list()
+        with connection:
+            connection.executemany(
+                "INSERT INTO models(checksum, name, algorithm, "
+                "feature_set, n_features, nbytes, path, created_at, "
+                "train_corpus) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(checksum) DO UPDATE SET "
+                "name=excluded.name, path=excluded.path, "
+                "created_at=excluded.created_at, "
+                "train_corpus=excluded.train_corpus",
+                [
+                    (
+                        handle.checksum, handle.name, handle.algorithm,
+                        handle.feature_set, handle.n_features,
+                        handle.nbytes, str(handle.path),
+                        handle.created_at, handle.train_corpus,
+                    )
+                    for handle in handles
+                ],
+            )
+    for run_dir in run_dirs or []:
+        manifest_path = Path(run_dir) / MANIFEST_NAME
+        try:
+            manifest = RunManifest.load(manifest_path)
+        except (CheckpointError, OSError) as error:
+            connection.close()
+            raise LineageError(
+                f"cannot index run {run_dir}: {error}"
+            ) from None
+        model = manifest.model
+        rollout = model.get("rollout") or {}
+        done = manifest.done_ids()
+        summary = manifest.summary or {}
+        with connection:
+            connection.execute(
+                "INSERT INTO runs(run_dir, model_checksum, model_name, "
+                "model_handle, created_at, train_corpus, sink, shards, "
+                "shards_done, rows, quarantined, completed) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(run_dir) DO UPDATE SET "
+                "model_checksum=excluded.model_checksum, "
+                "model_name=excluded.model_name, "
+                "model_handle=excluded.model_handle, "
+                "created_at=excluded.created_at, "
+                "train_corpus=excluded.train_corpus, "
+                "sink=excluded.sink, shards=excluded.shards, "
+                "shards_done=excluded.shards_done, rows=excluded.rows, "
+                "quarantined=excluded.quarantined, "
+                "completed=excluded.completed",
+                (
+                    str(Path(run_dir).resolve()),
+                    model.get("checksum"),
+                    model.get("name"),
+                    model.get("handle"),
+                    rollout.get("created_at"),
+                    rollout.get("train_corpus"),
+                    manifest.sink,
+                    len(manifest.order),
+                    len(done),
+                    sum(
+                        manifest.shards[shard_id].get("rows", 0)
+                        for shard_id in done
+                    ),
+                    summary.get("quarantined", 0),
+                    int(len(done) == len(manifest.order)),
+                ),
+            )
+    return index
+
+
+def open_lineage(db_path: str | os.PathLike) -> "LineageIndex":
+    """Open an existing lineage database for querying."""
+    path = Path(db_path)
+    if path.is_dir():
+        path = path / LINEAGE_DB_NAME
+    if not path.exists():
+        raise LineageError(
+            f"no lineage index at {path} — build one with "
+            "'repro query lineage --store <dir> --run <run-dir>'"
+        )
+    connection = connect(path)
+    try:
+        connection.execute("SELECT 1 FROM models LIMIT 1")
+        connection.execute("SELECT 1 FROM runs LIMIT 1")
+    except sqlite3.DatabaseError as error:
+        connection.close()
+        raise LineageError(
+            f"{path} is not a lineage index ({error})"
+        ) from None
+    return LineageIndex(connection)
+
+
+def _rows(cursor: sqlite3.Cursor) -> list[dict]:
+    columns = [column[0] for column in cursor.description]
+    return [dict(zip(columns, row)) for row in cursor.fetchall()]
+
+
+class LineageIndex:
+    """Query side of the lineage database."""
+
+    def __init__(self, connection: sqlite3.Connection) -> None:
+        self.connection = connection
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "LineageIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def models(self, *, corpus: str | None = None) -> list[dict]:
+        """Stored models, optionally only those trained on ``corpus``
+        (a train-corpus sha256 fingerprint), newest first."""
+        if corpus is not None:
+            return self.models_of_corpus(corpus)
+        return _rows(self.connection.execute(
+            "SELECT * FROM models ORDER BY created_at DESC, checksum"
+        ))
+
+    def runs(self, *, model: str | None = None) -> list[dict]:
+        """Indexed runs, optionally only those scored by ``model``
+        (a checksum, checksum prefix, or model name)."""
+        if model is not None:
+            return self.runs_of_model(model)
+        return _rows(self.connection.execute(
+            "SELECT * FROM runs ORDER BY run_dir"
+        ))
+
+    def run_model(self, run_dir: str | os.PathLike) -> dict | None:
+        """The full model row behind one run (joined by checksum), or
+        the run's own fingerprint when the model is not in the store.
+        ``None`` for a run the index has never seen."""
+        resolved = str(Path(run_dir).resolve())
+        rows = _rows(self.connection.execute(
+            "SELECT runs.run_dir, runs.model_checksum, runs.model_name, "
+            "runs.created_at, runs.train_corpus, models.name AS store_name, "
+            "models.path AS store_path, models.algorithm, models.feature_set "
+            "FROM runs LEFT JOIN models "
+            "ON models.checksum = runs.model_checksum "
+            "WHERE runs.run_dir = ?",
+            (resolved,),
+        ))
+        return rows[0] if rows else None
+
+    def runs_of_model(self, model: str) -> list[dict]:
+        """Every indexed run scored by ``model`` — matched by exact
+        checksum, checksum prefix (>= 8 hex digits), or model name."""
+        if len(model) >= 8 and all(
+            character in "0123456789abcdef" for character in model
+        ):
+            return _rows(self.connection.execute(
+                "SELECT * FROM runs WHERE model_checksum LIKE ? "
+                "ORDER BY run_dir",
+                (model + "%",),
+            ))
+        return _rows(self.connection.execute(
+            "SELECT * FROM runs WHERE model_name = ? ORDER BY run_dir",
+            (model,),
+        ))
+
+    def models_of_corpus(self, corpus: str) -> list[dict]:
+        """Every stored model trained on the corpus fingerprint
+        ``corpus`` (full sha256 or a >= 8-digit prefix)."""
+        return _rows(self.connection.execute(
+            "SELECT * FROM models WHERE train_corpus LIKE ? "
+            "ORDER BY created_at DESC, checksum",
+            (corpus + "%",),
+        ))

@@ -217,6 +217,7 @@ class ServingDaemon:
         http_port: int | None = None,
         pid_path: str | os.PathLike | None = None,
         tcp: "str | tuple[str, int] | None" = None,
+        query_db: str | os.PathLike | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -224,6 +225,12 @@ class ServingDaemon:
         self.socket_path = Path(socket_path)
         self.workers = workers
         self.http_port = http_port
+        #: Optional result index (a results.sqlite or a bulk run
+        #: directory) exposed read-only via GET /v1/query/* on the
+        #: HTTP front-end.  Opened per request: SQLite in WAL mode
+        #: makes readers free, and a short-lived read transaction can
+        #: never block a concurrently re-indexing bulk run.
+        self.query_db = Path(query_db) if query_db is not None else None
         self.pid_path = Path(pid_path) if pid_path else pidfile_for(socket_path)
         #: Optional TCP front door: parsed at construction (so a bad
         #: spec fails fast in the caller's process), bound in run(),
@@ -522,6 +529,9 @@ class ServingDaemon:
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "http_port": self.http_port,
+            "query_db": (
+                str(self.query_db) if self.query_db is not None else None
+            ),
             "tcp": (
                 {"host": self.tcp_address[0], "port": self.tcp_address[1]}
                 if self.tcp_address is not None else None
@@ -808,10 +818,90 @@ class ServingDaemon:
                         self._reply(200, "ok\n")
                     elif self.path == "/v1/status":
                         self._reply(200, ok_response(**daemon._status_block()))
+                    elif self.path.startswith("/v1/query/"):
+                        self._do_query()
                     else:
                         self._reply(
                             404, error_response("unknown-op", self.path)
                         )
+
+            def _do_query(self) -> None:
+                """Read-only result-index routes (``--query-db``).
+
+                GET /v1/query/{status,counts,hist,lookup,search,rows}
+                with URL query parameters; pagination reuses the
+                index's own ``{score}|{rowid}|{fingerprint}`` keyset
+                cursors, so a cursor refusal here is byte-for-byte the
+                refusal the ``repro query`` CLI gives.
+                """
+                from urllib.parse import parse_qs, urlparse
+
+                if daemon.query_db is None:
+                    self._reply(404, error_response(
+                        "unknown-op",
+                        f"{self.path}: this daemon serves no result "
+                        "index (start with --query-db)",
+                    ))
+                    return
+                from repro.query import QueryError, open_index
+
+                parsed = urlparse(self.path)
+                op = parsed.path.rsplit("/", 1)[-1]
+                params = {
+                    key: values[-1]
+                    for key, values in parse_qs(parsed.query).items()
+                }
+                language = params.get("language")
+                limit = params.get("limit")
+                cursor = params.get("cursor")
+                try:
+                    with open_index(daemon.query_db) as index:
+                        if op == "status":
+                            payload = index.status()
+                        elif op == "counts":
+                            payload = {"counts": index.counts(language)}
+                        elif op == "hist":
+                            payload = index.histogram(
+                                language,
+                                bins=int(params.get("bins", 20)),
+                            )
+                        elif op == "lookup":
+                            if "url" not in params:
+                                self._reply(400, error_response(
+                                    "bad-request",
+                                    "lookup requires ?url=",
+                                ))
+                                return
+                            payload = {"rows": index.lookup(
+                                params["url"],
+                                prefix=params.get("prefix") in ("1", "true"),
+                                limit=limit,
+                            )}
+                        elif op == "search":
+                            if "q" not in params:
+                                self._reply(400, error_response(
+                                    "bad-request",
+                                    "search requires ?q=",
+                                ))
+                                return
+                            payload = index.search(
+                                params["q"], limit=limit, cursor=cursor,
+                            ).snapshot()
+                        elif op == "rows":
+                            payload = index.page(
+                                language, limit=limit, cursor=cursor,
+                            ).snapshot()
+                        else:
+                            self._reply(404, error_response(
+                                "unknown-op", parsed.path
+                            ))
+                            return
+                except (QueryError, ValueError) as error:
+                    self._reply(
+                        400, error_response("bad-request", str(error))
+                    )
+                    return
+                self._reply(200, ok_response(**payload))
 
             def do_POST(self):  # noqa: N802 - http.server API
                 with daemon._fork_lock:
@@ -1248,6 +1338,7 @@ def start_daemon(
     log_path: str | os.PathLike | None = None,
     ready_timeout: float = 60.0,
     tcp: "str | tuple[str, int] | None" = None,
+    query_db: str | os.PathLike | None = None,
 ) -> int:
     """Start a detached daemon and wait until it answers ``ping``.
 
@@ -1304,7 +1395,7 @@ def start_daemon(
             sys.stderr = open(2, "w", buffering=1, closefd=False)
             code = ServingDaemon(
                 model_path, socket_path, workers=workers,
-                http_port=http_port, tcp=tcp,
+                http_port=http_port, tcp=tcp, query_db=query_db,
             ).run()
         except BaseException as error:  # noqa: BLE001 - report then die
             print(f"daemon failed: {error!r}", file=sys.stderr, flush=True)

@@ -24,7 +24,7 @@ materialise a serving identifier.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.store.artifact import ServingIdentifier, load_identifier, save_identifier
@@ -55,11 +55,30 @@ class ModelHandle:
     nbytes: int
     created_at: str | None = None
     train_corpus: str | None = None
+    #: The artifact's full rollout stamp, verbatim (``created_at`` and
+    #: ``train_corpus`` above are its two well-known keys, surfaced
+    #: flat for convenience).  Empty for pre-stamping artifacts.
+    rollout: dict = field(default_factory=dict)
 
     @property
     def label(self) -> str:
         """Report label, e.g. ``"NB/words"``."""
         return f"{self.algorithm}/{self.feature_set}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready description (the lineage index ingests these)."""
+        return {
+            "name": self.name,
+            "path": str(self.path),
+            "checksum": self.checksum,
+            "algorithm": self.algorithm,
+            "feature_set": self.feature_set,
+            "n_features": self.n_features,
+            "nbytes": self.nbytes,
+            "created_at": self.created_at,
+            "train_corpus": self.train_corpus,
+            "rollout": dict(self.rollout),
+        }
 
     def load(self) -> ServingIdentifier:
         """Materialise the artifact into a serving identifier."""
@@ -127,14 +146,21 @@ class ModelStore:
                 nbytes=artifact.nbytes,
                 created_at=rollout.get("created_at"),
                 train_corpus=rollout.get("train_corpus"),
+                rollout=dict(rollout),
             )
 
     def list(self) -> list[ModelHandle]:
-        """All stored models, sorted by name.  Files that fail to parse
-        are skipped (a store survives a stray foreign file)."""
+        """All stored models, in deterministic (codepoint-sorted
+        **name**) order — stable across filesystems and glob
+        implementations, so listings diff cleanly and the lineage
+        index ingests identically everywhere.  Files that fail to
+        parse are skipped (a store survives a stray foreign file)."""
+        names = sorted(
+            path.name[: -len(ARTIFACT_SUFFIX)]
+            for path in self.root.glob(f"*{ARTIFACT_SUFFIX}")
+        )
         handles = []
-        for path in sorted(self.root.glob(f"*{ARTIFACT_SUFFIX}")):
-            name = path.name[: -len(ARTIFACT_SUFFIX)]
+        for name in names:
             if not name:
                 continue  # a stray file named exactly ".urlmodel"
             try:

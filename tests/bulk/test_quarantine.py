@@ -233,6 +233,22 @@ class TestCli:
         assert code == 0
         assert "verified" in out.getvalue()
 
+    def test_bulk_verify_json(self, bulk_model, corpus, tmp_path):
+        model_path, _ = bulk_model
+        shard_dir, _ = corpus
+        run_dir = tmp_path / "run"
+        report = bulk.run(model_path, shard_dir, run_dir, workers=1)
+        out = io.StringIO()
+        assert main(
+            ["bulk", "verify", "--output", str(run_dir), "--json"], out=out
+        ) == 0
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 1  # one machine-readable line, nothing else
+        payload = json.loads(lines[0])
+        assert payload["shards_verified"] == report.shards_total
+        assert payload["rows"] == report.rows_total
+        assert payload["output_dir"] == str(run_dir)
+
     def test_bulk_run_still_requires_model_and_input(self, tmp_path):
         with pytest.raises(SystemExit, match="--model and --input"):
             main(["bulk", "--output", str(tmp_path / "run")],

@@ -96,3 +96,17 @@ class TestSummary:
         assert snapshot["positives"] == {"de": 2, "en": 2}
         rebuilt = SummaryAccumulator.from_snapshot(snapshot)
         assert rebuilt.snapshot() == snapshot
+
+
+class TestSqlite:
+    def test_file_contract_is_exactly_jsonl(self, prediction):
+        sqlite_sink = make_sink("sqlite", provenance="NB/words@abc")
+        jsonl_sink = make_sink("jsonl", provenance="NB/words@abc")
+        assert sqlite_sink.suffix == jsonl_sink.suffix == ".jsonl"
+        assert sqlite_sink.header() == jsonl_sink.header()
+        assert sqlite_sink.format(prediction) == jsonl_sink.format(prediction)
+
+    def test_only_the_sqlite_sink_asks_for_indexing(self):
+        assert make_sink("sqlite").indexes_results is True
+        for name in ("tsv", "jsonl", "csv"):
+            assert make_sink(name).indexes_results is False

@@ -1,0 +1,190 @@
+"""Cursor grammar units, plus misuse drills run against **both** public
+pagination surfaces — the ``repro query`` CLI and the daemon's
+``/v1/query/*`` HTTP routes — so the refusal semantics cannot drift
+apart."""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.query import (
+    DEFAULT_PAGE_LIMIT,
+    MAX_PAGE_LIMIT,
+    CursorError,
+    clamp_limit,
+    decode_cursor,
+    encode_cursor,
+    index_run,
+)
+from repro.store.client import DaemonClient
+from repro.store.daemon import start_daemon, stop_daemon
+
+
+class TestClampLimit:
+    def test_none_means_default(self):
+        assert clamp_limit(None) == DEFAULT_PAGE_LIMIT
+
+    def test_oversized_clamps_instead_of_failing(self):
+        assert clamp_limit(10**9) == MAX_PAGE_LIMIT
+
+    def test_strings_coerce(self):
+        assert clamp_limit("25") == 25
+
+    @pytest.mark.parametrize("bad", [0, -3, "zero", 2.5, True])
+    def test_unusable_limits_are_typed(self, bad):
+        with pytest.raises(CursorError, match="'limit'"):
+            clamp_limit(bad)
+
+
+class TestCursorGrammar:
+    def test_round_trip_is_exact(self):
+        score = 0.1 + 0.2  # a float that repr must round-trip exactly
+        cursor = encode_cursor(score, 17, "abcdefabcdef")
+        assert decode_cursor(cursor, "abcdefabcdef") == (score, 17)
+
+    @pytest.mark.parametrize("cursor", [
+        "", "just-noise", "1.5|2", "1.5|2|f|extra", "x|2|f", "1.5|y|f",
+    ])
+    def test_malformed_cursors_are_typed(self, cursor):
+        with pytest.raises(CursorError, match="malformed|different index"):
+            decode_cursor(cursor, "f")
+
+    def test_foreign_fingerprint_is_refused_with_remedy(self):
+        cursor = encode_cursor(1.5, 2, "aaaaaaaaaaaa")
+        with pytest.raises(CursorError, match="restart pagination"):
+            decode_cursor(cursor, "bbbbbbbbbbbb")
+
+
+class SurfaceError(Exception):
+    """A misuse refusal, normalised across CLI and HTTP."""
+
+
+class CliSurface:
+    """``repro query rows`` — refusals surface as SystemExit messages."""
+
+    def __init__(self, run_dir):
+        self.run_dir = run_dir
+
+    def rows(self, *, limit=None, cursor=None):
+        argv = ["query", "rows", "--db", str(self.run_dir), "--json"]
+        if limit is not None:
+            argv += ["--limit", str(limit)]
+        if cursor is not None:
+            argv += ["--cursor", cursor]
+        out = io.StringIO()
+        try:
+            main(argv, out=out)
+        except SystemExit as exit_:
+            raise SurfaceError(str(exit_)) from None
+        return json.loads(out.getvalue())
+
+
+class HttpSurface:
+    """``GET /v1/query/rows`` — refusals surface as 400 bad-request."""
+
+    def __init__(self, port):
+        self.port = port
+
+    def rows(self, *, limit=None, cursor=None):
+        query = []
+        if limit is not None:
+            query.append(f"limit={limit}")
+        if cursor is not None:
+            query.append("cursor=" + urllib.parse.quote(cursor, safe=""))
+        url = f"http://127.0.0.1:{self.port}/v1/query/rows"
+        if query:
+            url += "?" + "&".join(query)
+        try:
+            with urllib.request.urlopen(url) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            body = json.loads(error.read())
+            assert error.code == 400
+            assert body["error"]["code"] == "bad-request"
+            raise SurfaceError(body["error"]["message"]) from None
+
+
+@pytest.fixture(params=["cli", "http"])
+def surface(request, sqlite_run, query_model, sockpath):
+    """One pagination surface over the shared sqlite bulk run."""
+    run_dir, _ = sqlite_run
+    if request.param == "cli":
+        yield CliSurface(run_dir)
+        return
+    model_path, _ = query_model
+    socket_path = sockpath("query.sock")
+    start_daemon(
+        model_path, socket_path, workers=1, http_port=0,
+        query_db=run_dir,
+    )
+    try:
+        with DaemonClient(socket_path) as client:
+            port = client.status()["http_port"]
+        yield HttpSurface(port)
+    finally:
+        stop_daemon(socket_path)
+
+
+class TestCursorMisuse:
+    def test_replayed_cursor_against_a_rebuilt_index_is_refused(
+        self, surface, sqlite_run
+    ):
+        run_dir, _ = sqlite_run
+        first = surface.rows(limit=5)
+        assert first["next_cursor"] is not None
+        index_run(run_dir, rebuild=True)  # same rows, new salt
+        with pytest.raises(SurfaceError, match="different index build"):
+            surface.rows(cursor=first["next_cursor"])
+        # A cursor minted by the rebuilt index works again.
+        fresh = surface.rows(limit=5)
+        assert surface.rows(cursor=fresh["next_cursor"])["rows"]
+
+    def test_tampered_fingerprint_is_refused(self, surface):
+        first = surface.rows(limit=5)
+        score, rowid, _ = first["next_cursor"].split("|")
+        forged = f"{score}|{rowid}|{'0' * 12}"
+        with pytest.raises(SurfaceError, match="different index build"):
+            surface.rows(cursor=forged)
+
+    def test_tampered_keyset_is_refused(self, surface):
+        first = surface.rows(limit=5)
+        score, rowid, fingerprint = first["next_cursor"].split("|")
+        with pytest.raises(SurfaceError, match="malformed"):
+            surface.rows(cursor=f"{score}x|{rowid}|{fingerprint}")
+
+    def test_zero_and_negative_limits_are_refused(self, surface):
+        with pytest.raises(SurfaceError, match="'limit'"):
+            surface.rows(limit=0)
+        with pytest.raises(SurfaceError, match="'limit'"):
+            surface.rows(limit=-1)
+
+    def test_oversized_limit_clamps_and_serves(self, surface, sqlite_run):
+        _, report = sqlite_run
+        scored = report.rows_total - report.summary["best"].get("und", 0)
+        page = surface.rows(limit=10**6)
+        assert len(page["rows"]) == min(scored, MAX_PAGE_LIMIT)
+
+    def test_pages_tile_without_overlap(self, surface, sqlite_run):
+        # The score listing covers every *scored* row exactly once
+        # (undecided rows carry no score and live behind counts/lookup).
+        _, report = sqlite_run
+        scored = report.rows_total - report.summary["best"].get("und", 0)
+        seen = []
+        cursor = None
+        while True:
+            page = surface.rows(limit=7, **(
+                {"cursor": cursor} if cursor else {}
+            ))
+            seen.extend(row["id"] for row in page["rows"])
+            cursor = page["next_cursor"]
+            if cursor is None:
+                break
+        assert len(seen) == scored
+        assert len(set(seen)) == scored

@@ -1,0 +1,210 @@
+"""Ingestion semantics: idempotence, determinism, refusals."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.query import (
+    QueryError,
+    create_result_db,
+    index_fingerprint,
+    index_run,
+    ingest_shard,
+    open_index,
+)
+
+
+def write_jsonl(path, rows):
+    with open(path, "w", encoding="utf-8") as stream:
+        for row in rows:
+            stream.write(json.dumps(row, separators=(",", ":")) + "\n")
+
+
+def jsonl_row(url, best, score):
+    scores = {best: score} if best else {}
+    return {
+        "url": url,
+        "best": best,
+        "positives": [best] if best else [],
+        "scores": scores,
+    }
+
+
+class TestIngestShard:
+    def test_rows_land_with_deterministic_ids(self, tmp_path):
+        shard = tmp_path / "a.jsonl"
+        write_jsonl(shard, [
+            jsonl_row("http://x.de/1", "de", 2.5),
+            jsonl_row("http://x.fr/2", "fr", 1.5),
+            jsonl_row("http://x.unknown/3", None, None),
+        ])
+        connection = create_result_db(tmp_path / "r.sqlite")
+        try:
+            rows = ingest_shard(
+                connection, ordinal=3, shard_id="a",
+                output_path=shard, sha256="abc",
+            )
+            assert rows == 3
+            stride = 1 << 32
+            got = connection.execute(
+                "SELECT id, url, best, score FROM results ORDER BY id"
+            ).fetchall()
+            assert got == [
+                (3 * stride + 0, "http://x.de/1", "de", 2.5),
+                (3 * stride + 1, "http://x.fr/2", "fr", 1.5),
+                (3 * stride + 2, "http://x.unknown/3", None, None),
+            ]
+        finally:
+            connection.close()
+
+    def test_same_sha_is_a_noop_stale_sha_replaces(self, tmp_path):
+        shard = tmp_path / "a.jsonl"
+        write_jsonl(shard, [jsonl_row("http://x.de/1", "de", 2.5)])
+        connection = create_result_db(tmp_path / "r.sqlite")
+        try:
+            assert ingest_shard(
+                connection, ordinal=0, shard_id="a",
+                output_path=shard, sha256="v1",
+            ) == 1
+            assert ingest_shard(
+                connection, ordinal=0, shard_id="a",
+                output_path=shard, sha256="v1",
+            ) == 0  # idempotent
+            write_jsonl(shard, [
+                jsonl_row("http://x.de/1", "de", 2.5),
+                jsonl_row("http://x.de/2", "de", 2.0),
+            ])
+            assert ingest_shard(
+                connection, ordinal=0, shard_id="a",
+                output_path=shard, sha256="v2",
+            ) == 2  # stale recording replaced wholesale
+            assert connection.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0] == 2
+        finally:
+            connection.close()
+
+    def test_fingerprint_is_order_independent(self, tmp_path):
+        shard_a = tmp_path / "a.jsonl"
+        shard_b = tmp_path / "b.jsonl"
+        write_jsonl(shard_a, [jsonl_row("http://x.de/1", "de", 2.5)])
+        write_jsonl(shard_b, [jsonl_row("http://x.fr/2", "fr", 1.5)])
+        first = create_result_db(tmp_path / "one.sqlite")
+        second = create_result_db(tmp_path / "two.sqlite")
+        try:
+            # Same salt so only ingest order differs.
+            salt = first.execute(
+                "SELECT value FROM meta WHERE key='salt'"
+            ).fetchone()[0]
+            with second:
+                second.execute(
+                    "UPDATE meta SET value=? WHERE key='salt'", (salt,)
+                )
+            for connection, order in (
+                (first, (("a", shard_a, 0), ("b", shard_b, 1))),
+                (second, (("b", shard_b, 1), ("a", shard_a, 0))),
+            ):
+                for shard_id, path, ordinal in order:
+                    ingest_shard(
+                        connection, ordinal=ordinal, shard_id=shard_id,
+                        output_path=path, sha256=f"sha-{shard_id}",
+                    )
+            assert index_fingerprint(first) == index_fingerprint(second)
+        finally:
+            first.close()
+            second.close()
+
+    def test_rebuilt_database_gets_a_new_fingerprint(self, tmp_path):
+        """Same rows, different build → different fingerprint (the
+        per-creation salt), so replayed cursors are refused."""
+        shard = tmp_path / "a.jsonl"
+        write_jsonl(shard, [jsonl_row("http://x.de/1", "de", 2.5)])
+        prints = []
+        for name in ("one.sqlite", "two.sqlite"):
+            connection = create_result_db(tmp_path / name)
+            ingest_shard(
+                connection, ordinal=0, shard_id="a",
+                output_path=shard, sha256="same",
+            )
+            prints.append(index_fingerprint(connection))
+            connection.close()
+        assert prints[0] != prints[1]
+
+    def test_malformed_jsonl_is_typed_with_location(self, tmp_path):
+        shard = tmp_path / "a.jsonl"
+        shard.write_text('{"url": "http://ok.de"}\nnot json\n')
+        connection = create_result_db(tmp_path / "r.sqlite")
+        try:
+            with pytest.raises(QueryError, match=r"a\.jsonl:2"):
+                ingest_shard(
+                    connection, ordinal=0, shard_id="a",
+                    output_path=shard, sha256="x",
+                )
+            # The failed transaction left nothing half-ingested.
+            assert connection.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0] == 0
+        finally:
+            connection.close()
+
+    def test_tsv_shards_are_refused_with_remedy(self, tmp_path):
+        shard = tmp_path / "part-00000.tsv"
+        shard.write_text("de\tde\thttp://x.de/1\n")
+        connection = create_result_db(tmp_path / "r.sqlite")
+        try:
+            with pytest.raises(QueryError, match="--sink sqlite"):
+                ingest_shard(
+                    connection, ordinal=0, shard_id="a",
+                    output_path=shard, sha256="x",
+                )
+        finally:
+            connection.close()
+
+
+class TestIndexRun:
+    def test_reconcile_matches_run_and_is_idempotent(self, sqlite_run):
+        run_dir, report = sqlite_run
+        # The engine already ingested everything; reconcile is a no-op.
+        again = index_run(run_dir)
+        assert again.shards_ingested == 0
+        assert again.shards_skipped == report.shards_total
+        assert again.rows == report.rows_total
+
+    def test_reconcile_heals_a_ripped_out_shard(self, sqlite_run):
+        run_dir, report = sqlite_run
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        victim = manifest["order"][0]
+        db = run_dir / "results.sqlite"
+        connection = sqlite3.connect(db)
+        with connection:
+            connection.execute(
+                "DELETE FROM results WHERE shard_id = ?", (victim,)
+            )
+            connection.execute(
+                "DELETE FROM shards WHERE shard_id = ?", (victim,)
+            )
+        connection.close()
+        healed = index_run(run_dir)
+        assert healed.shards_ingested == 1
+        assert healed.rows == report.rows_total
+
+    def test_rebuild_changes_fingerprint_same_rows(self, sqlite_run):
+        run_dir, report = sqlite_run
+        with open_index(run_dir) as index:
+            before = index.fingerprint
+        rebuilt = index_run(run_dir, rebuild=True)
+        assert rebuilt.rows == report.rows_total
+        assert rebuilt.fingerprint != before
+
+    def test_missing_manifest_is_typed(self, tmp_path):
+        with pytest.raises(QueryError, match="nothing to index"):
+            index_run(tmp_path)
+
+    def test_model_meta_recorded(self, sqlite_run):
+        run_dir, _ = sqlite_run
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        with open_index(run_dir) as index:
+            assert index.model["checksum"] == manifest["model"]["checksum"]

@@ -1,0 +1,144 @@
+"""The lineage index: which corpus trained which model, which model
+scored which run — materialised from rollout stamps and run manifests."""
+
+from __future__ import annotations
+
+import shutil
+import sqlite3
+
+import pytest
+
+from repro.core.pipeline import LanguageIdentifier
+from repro.query import LineageError, build_lineage, open_lineage
+from repro.store.registry import ModelStore
+
+
+@pytest.fixture(scope="module")
+def lineage_store(query_model, small_train, tmp_path_factory):
+    """A store holding the run's scoring artifact byte-for-byte (same
+    checksum, so lineage joins resolve) plus one model trained on a
+    different corpus."""
+    model_path, _ = query_model
+    root = tmp_path_factory.mktemp("lineage-store")
+    shutil.copy(model_path, root / "run-scorer.urlmodel")
+    other = LanguageIdentifier("words", "NB", seed=1).fit(
+        small_train.subsample(0.25, seed=5)
+    )
+    store = ModelStore(root)
+    store.save(other, "other-model")
+    return store
+
+
+@pytest.fixture()
+def lineage(lineage_store, sqlite_run, tmp_path):
+    run_dir, _ = sqlite_run
+    index = build_lineage(
+        tmp_path / "lineage.sqlite",
+        store_root=lineage_store.root,
+        run_dirs=[run_dir],
+    )
+    yield index
+    index.close()
+
+
+class TestBuild:
+    def test_models_mirror_the_store_listing(self, lineage, lineage_store):
+        handles = {handle.checksum: handle for handle in lineage_store.list()}
+        rows = lineage.models()
+        assert {row["checksum"] for row in rows} == set(handles)
+        for row in rows:
+            handle = handles[row["checksum"]]
+            assert row["name"] == handle.name
+            assert row["train_corpus"] == handle.train_corpus
+            assert row["created_at"] == handle.created_at
+
+    def test_rebuild_upserts_instead_of_duplicating(
+        self, lineage_store, sqlite_run, tmp_path
+    ):
+        run_dir, _ = sqlite_run
+        db = tmp_path / "lineage.sqlite"
+        first = build_lineage(db, store_root=lineage_store.root,
+                              run_dirs=[run_dir])
+        before = (len(first.models()), len(first.runs()))
+        first.close()
+        second = build_lineage(db, store_root=lineage_store.root,
+                               run_dirs=[run_dir])
+        try:
+            assert (len(second.models()), len(second.runs())) == before
+        finally:
+            second.close()
+
+    def test_run_row_carries_the_manifest_fingerprint(
+        self, lineage, sqlite_run
+    ):
+        run_dir, report = sqlite_run
+        (row,) = lineage.runs()
+        assert row["run_dir"] == str(run_dir.resolve())
+        assert row["sink"] == "sqlite"
+        assert row["completed"] == 1
+        assert row["shards"] == row["shards_done"] == report.shards_total
+        assert row["rows"] == report.rows_total
+
+    def test_unreadable_run_dir_is_named(self, tmp_path):
+        with pytest.raises(LineageError, match="ghost-run"):
+            build_lineage(
+                tmp_path / "lineage.sqlite",
+                run_dirs=[tmp_path / "ghost-run"],
+            )
+
+
+class TestQueries:
+    def test_runs_of_model_by_checksum_prefix(self, lineage, sqlite_run):
+        run_dir, _ = sqlite_run
+        (row,) = lineage.runs()
+        checksum = row["model_checksum"]
+        assert checksum
+        matches = lineage.runs_of_model(checksum[:12])
+        assert [match["run_dir"] for match in matches] == [
+            str(run_dir.resolve())
+        ]
+        assert lineage.runs_of_model("f" * 16) == []
+
+    def test_runs_of_model_by_name(self, lineage):
+        (row,) = lineage.runs()
+        assert lineage.runs_of_model(row["model_name"]) == [row]
+        assert lineage.runs_of_model("no-such-model") == []
+
+    def test_models_of_corpus(self, lineage, lineage_store):
+        scorer = lineage_store.describe("run-scorer")
+        other = lineage_store.describe("other-model")
+        assert scorer.train_corpus != other.train_corpus
+        matches = lineage.models(corpus=scorer.train_corpus[:16])
+        assert [row["checksum"] for row in matches] == [scorer.checksum]
+
+    def test_run_model_joins_the_store_row(self, lineage, sqlite_run):
+        run_dir, _ = sqlite_run
+        row = lineage.run_model(run_dir)
+        assert row is not None
+        assert row["store_name"] == "run-scorer"
+        assert row["algorithm"] == "NB"
+        assert lineage.run_model(run_dir / "nowhere") is None
+
+
+class TestOpen:
+    def test_missing_index_points_at_the_builder(self, tmp_path):
+        with pytest.raises(LineageError, match="query lineage"):
+            open_lineage(tmp_path / "absent.sqlite")
+
+    def test_directory_spec_resolves_conventional_name(
+        self, lineage_store, tmp_path
+    ):
+        build_lineage(
+            tmp_path / "lineage.sqlite", store_root=lineage_store.root
+        ).close()
+        with open_lineage(tmp_path) as index:
+            assert len(index.models()) == 2
+
+    def test_foreign_database_is_typed(self, tmp_path):
+        path = tmp_path / "foreign.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE unrelated (x)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(LineageError, match="not a lineage index"):
+            open_lineage(path)

@@ -1,0 +1,229 @@
+"""The query surface over a six-figure-row index.
+
+The acceptance bar of this suite is the plan, not just the rows: every
+row-returning and aggregating statement must be answered from an index
+range scan — asserted with ``EXPLAIN QUERY PLAN`` against the *actual*
+SQL the methods execute (captured via the connection trace hook), so
+the assertion cannot drift from the implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import (
+    MAX_PAGE_LIMIT,
+    QueryError,
+    open_index,
+)
+
+ROWS_TOTAL = 100_000
+ROWS_PER_LANGUAGE = 20_000
+CODES = ("de", "en", "es", "fr", "it")
+
+
+@pytest.fixture()
+def index(big_db):
+    with open_index(big_db) as opened:
+        yield opened
+
+
+def traced_plans(index, operation):
+    """Run ``operation`` and return the query plans of every statement
+    it executed against the ``results`` table."""
+    statements = []
+    index.connection.set_trace_callback(statements.append)
+    try:
+        operation()
+    finally:
+        index.connection.set_trace_callback(None)
+    plans = []
+    for statement in statements:
+        if "FROM results" not in statement:
+            continue
+        details = [
+            row[-1]
+            for row in index.connection.execute(
+                "EXPLAIN QUERY PLAN " + statement
+            )
+        ]
+        plans.append((statement, details))
+    return plans
+
+
+def assert_no_table_scan(plans):
+    """A bare ``SCAN results`` (no index at all) is the failure mode;
+    covering-index scans are how aggregates are supposed to look."""
+    assert plans, "operation executed no statements over results"
+    for statement, details in plans:
+        for detail in details:
+            if "SCAN results" in detail and "results_fts" not in detail:
+                assert "INDEX" in detail, (
+                    f"full table scan in {statement!r}: {details}"
+                )
+
+
+class TestQueryPlans:
+    def test_per_language_page_is_a_covering_range_scan(self, index):
+        plans = traced_plans(index, lambda: index.page("de", limit=10))
+        assert_no_table_scan(plans)
+        assert any(
+            "INDEX idx_results_lang_score" in detail
+            for _, details in plans for detail in details
+        ), plans
+
+    def test_cursored_page_stays_on_the_index(self, index):
+        first = index.page("de", limit=10)
+        plans = traced_plans(
+            index, lambda: index.page("de", limit=10, cursor=first.next_cursor)
+        )
+        assert_no_table_scan(plans)
+        assert any(
+            "idx_results_lang_score" in detail
+            for _, details in plans for detail in details
+        ), plans
+
+    def test_global_page_uses_the_score_index(self, index):
+        plans = traced_plans(index, lambda: index.page(limit=10))
+        assert_no_table_scan(plans)
+        assert any(
+            "INDEX idx_results_score" in detail
+            for _, details in plans for detail in details
+        ), plans
+
+    def test_counts_never_touch_the_table(self, index):
+        plans = traced_plans(index, lambda: index.counts())
+        assert_no_table_scan(plans)
+        assert all(
+            "COVERING INDEX" in detail
+            for _, details in plans for detail in details
+        ), plans
+
+    def test_lookups_ride_the_url_index(self, index):
+        plans = traced_plans(
+            index,
+            lambda: (
+                index.lookup("http://host0.example-de.test/s0/page0.html"),
+                index.lookup("http://host17.", prefix=True, limit=20),
+            ),
+        )
+        assert_no_table_scan(plans)
+        assert all(
+            any("idx_results_url" in detail for detail in details)
+            for _, details in plans
+        ), plans
+
+    def test_histogram_scans_only_the_language_slice(self, index):
+        plans = traced_plans(index, lambda: index.histogram("de", bins=10))
+        assert_no_table_scan(plans)
+
+
+class TestPagination:
+    def test_full_walk_is_exhaustive_and_duplicate_free(self, index):
+        seen = []
+        cursor = None
+        pages = 0
+        while True:
+            page = index.page("de", limit=1000, cursor=cursor)
+            seen.extend(row["id"] for row in page.rows)
+            pages += 1
+            if page.next_cursor is None:
+                break
+            cursor = page.next_cursor
+        assert len(seen) == ROWS_PER_LANGUAGE
+        assert len(set(seen)) == ROWS_PER_LANGUAGE
+        assert pages == ROWS_PER_LANGUAGE // 1000
+
+    def test_pages_are_score_then_id_ordered(self, index):
+        page = index.page("en", limit=500)
+        keys = [(row["score"], row["id"]) for row in page.rows]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_adjacent_pages_are_disjoint_and_contiguous(self, index):
+        first = index.page(limit=100)
+        second = index.page(limit=100, cursor=first.next_cursor)
+        both = index.page(limit=200)
+        assert [row["id"] for row in first.rows + second.rows] == [
+            row["id"] for row in both.rows
+        ]
+
+    def test_limit_clamped_to_the_ceiling(self, index):
+        page = index.page(limit=999_999)
+        assert len(page.rows) == MAX_PAGE_LIMIT
+
+    def test_final_page_has_no_cursor(self, index):
+        # A slice smaller than one page: a single host's de rows.
+        page = index.page("de", limit=MAX_PAGE_LIMIT)
+        assert page.next_cursor is not None  # 20k rows > one page
+        rows = index.lookup("http://host0.example-de.test/s0/", prefix=True)
+        assert rows and all(
+            row["url"].startswith("http://host0.example-de.test/s0/")
+            for row in rows
+        )
+
+    def test_und_rows_cannot_be_score_listed(self, index):
+        with pytest.raises(QueryError, match="carry no score"):
+            index.page("und")
+        with pytest.raises(QueryError, match="carry no score"):
+            index.histogram("und")
+
+
+class TestAggregates:
+    def test_counts_split_evenly(self, index):
+        assert index.counts() == {code: ROWS_PER_LANGUAGE for code in CODES}
+        assert index.counts("fr") == {"fr": ROWS_PER_LANGUAGE}
+        assert index.counts("und") == {"und": 0}
+
+    def test_status_totals(self, index):
+        status = index.status()
+        assert status["rows"] == ROWS_TOTAL
+        assert status["shards"] == 4
+        assert status["fingerprint"] == index.fingerprint
+
+    def test_histogram_bins_cover_every_scored_row(self, index):
+        histogram = index.histogram(bins=8)
+        assert histogram["rows"] == ROWS_TOTAL
+        assert sum(bucket["count"] for bucket in histogram["bins"]) == ROWS_TOTAL
+        assert histogram["lo"] == pytest.approx(1.0)
+        assert histogram["hi"] == pytest.approx(1.0 + 9972 / 1000.0)
+        assert len(histogram["bins"]) == 8
+
+    def test_histogram_of_absent_language_is_empty(self, index):
+        assert index.histogram("zz") == {
+            "lo": None, "hi": None, "bins": [], "rows": 0,
+        }
+
+    def test_histogram_refuses_silly_bins(self, index):
+        with pytest.raises(QueryError, match="bins"):
+            index.histogram(bins=0)
+
+
+class TestLookupAndSearch:
+    def test_point_lookup_is_exact(self, index):
+        url = "http://host3.example-fr.test/s2/page3.html"
+        rows = index.lookup(url)
+        assert [row["url"] for row in rows] == [url]
+        assert rows[0]["best"] == "fr"
+
+    def test_prefix_lookup_is_ordered_and_capped(self, index):
+        rows = index.lookup("http://host42.", prefix=True, limit=25)
+        assert len(rows) == 25
+        urls = [row["url"] for row in rows]
+        assert urls == sorted(urls)
+        assert all(url.startswith("http://host42.") for url in urls)
+
+    def test_search_finds_the_token_in_every_shard(self, index):
+        page = index.search("page1234")
+        assert len(page.rows) == 4  # once per synthetic shard
+        assert all("page1234.html" in row["url"] for row in page.rows)
+
+    def test_search_pagination_is_disjoint(self, index):
+        first = index.search("de", limit=50)
+        assert first.next_cursor is not None
+        second = index.search("de", limit=50, cursor=first.next_cursor)
+        first_ids = {row["id"] for row in first.rows}
+        assert first_ids.isdisjoint(row["id"] for row in second.rows)
+
+    def test_malformed_match_syntax_is_typed(self, index):
+        with pytest.raises(QueryError, match="unusable search query"):
+            index.search('"unbalanced')

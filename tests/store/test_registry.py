@@ -98,3 +98,29 @@ class TestErrors:
     def test_verify_missing_name(self, store):
         with pytest.raises(ArtifactError, match="not in the store"):
             store.verify("ghost")
+
+
+class TestRolloutAndOrdering:
+    def test_handle_surfaces_the_rollout_stamp(self, store, nb_words):
+        handle = store.save(nb_words)
+        assert handle.rollout["created_at"] == handle.created_at
+        assert handle.rollout["train_corpus"] == handle.train_corpus
+        assert handle.train_corpus == nb_words.train_fingerprint
+        assert len(handle.train_corpus) == 64  # corpus sha256
+
+    def test_as_dict_is_json_ready(self, store, nb_words):
+        import json
+
+        handle = store.save(nb_words, name="dump-me")
+        payload = json.loads(json.dumps(handle.as_dict()))
+        assert payload["name"] == "dump-me"
+        assert payload["checksum"] == handle.checksum
+        assert payload["path"] == str(handle.path)
+        assert payload["rollout"]["train_corpus"] == handle.train_corpus
+
+    def test_list_orders_by_name_not_filename(self, store, nb_words):
+        # "a-b.urlmodel" sorts before "a.urlmodel" ("-" < "."), but the
+        # *names* sort the other way; the listing promises name order.
+        store.save(nb_words, name="a-b")
+        store.save(nb_words, name="a")
+        assert [handle.name for handle in store.list()] == ["a", "a-b"]

@@ -291,6 +291,18 @@ class TestModelFormats:
 
             status = json.loads(status_out.getvalue())
             assert status["model"]["name"] == "NB/words"
+
+            # --json: the same block, one compact machine-readable line.
+            compact_out = io.StringIO()
+            assert main(
+                ["serve", "status", "--socket", str(socket_path), "--json"],
+                out=compact_out,
+            ) == 0
+            compact_lines = compact_out.getvalue().strip().splitlines()
+            assert len(compact_lines) == 1
+            compact = json.loads(compact_lines[0])
+            assert compact["model"] == status["model"]
+            assert compact["pid"] == status["pid"]
         finally:
             stop_out = io.StringIO()
             assert main(

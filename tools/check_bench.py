@@ -61,6 +61,8 @@ PER_ENTRY_TOLERANCE = {
     "serve_robustness_overhead": 0.60,
     "bulk_scoring_throughput": 0.60,
     "bulk_workers_scaling": 0.60,
+    "query_index_overhead": 0.60,
+    "query_lookup_latency": 0.60,
     "api_dispatch_overhead": 0.60,
     "model_load_pickle": 0.50,
     "model_load_artifact": 0.50,

@@ -44,6 +44,7 @@ DOCS = (
     "docs/serving.md",
     "docs/cli.md",
     "docs/bulk.md",
+    "docs/query.md",
 )
 FENCE_OPEN = re.compile(r"^```(\w+)\s*$")
 FENCE_CLOSE = "```"
