@@ -416,6 +416,45 @@ def test_serve_robustness_overhead(model_files, daemon_client, urls):
     )
 
 
+def test_obs_overhead(model_files, daemon_client, urls):
+    """Tracing and metrics must be near-free at request time: a traced
+    round-trip — trace header encoded and echoed, per-stage timers
+    armed, the finished span serialised into the fork-shared ring,
+    drift banks updated — may cost <5% over the plain client on the
+    same daemon.  Interleaved best-of-N, same batch, so scheduler noise
+    hits both sides equally; the ratio lands in the JSON summary as
+    ``obs_overhead``.
+    """
+    import timeit
+
+    from repro.store.client import DaemonClient
+
+    with DaemonClient(daemon_client.socket_path, tracing=True) as traced:
+        assert traced.classify(urls) == daemon_client.classify(urls)
+        assert traced.last_trace is not None
+        rounds = 30
+        plain_times, traced_times = [], []
+        for _ in range(rounds):
+            plain_times.append(
+                timeit.timeit(lambda: daemon_client.classify(urls), number=1)
+            )
+            traced_times.append(
+                timeit.timeit(lambda: traced.classify(urls), number=1)
+            )
+    plain, with_tracing = min(plain_times), min(traced_times)
+    overhead = with_tracing / plain - 1.0
+    _results["obs_overhead"] = {
+        "best_seconds": with_tracing,
+        "urls_per_second": len(urls) / with_tracing,
+        "overhead_vs_plain": overhead,
+    }
+    assert overhead < 0.05 or with_tracing - plain < 200e-6, (
+        f"tracing+metrics cost {overhead:.1%} per daemon round-trip "
+        f"(plain {plain * 1e3:.3f} ms, "
+        f"traced {with_tracing * 1e3:.3f} ms)"
+    )
+
+
 def test_api_dispatch_overhead(model_files, urls):
     """The ``repro.api`` facade must be free: opening a model through
     ``open_model()`` and predicting through the ``Predictor`` surface

@@ -164,9 +164,11 @@ async def _aopen_daemon(handle: str, timeout: float) -> AsyncPredictor:
     it answers — the async twin of the resolver's dial-and-ping."""
     from repro.store.client import AsyncRemoteIdentifier, DaemonError
 
-    address, chosen_timeout, retry = daemon_endpoint(handle, timeout=timeout)
+    address, chosen_timeout, retry, tracing = daemon_endpoint(
+        handle, timeout=timeout
+    )
     remote = AsyncRemoteIdentifier.connect(
-        address, timeout=chosen_timeout, retry=retry
+        address, timeout=chosen_timeout, retry=retry, tracing=tracing
     )
     try:
         await remote.client.aping()

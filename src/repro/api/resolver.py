@@ -161,7 +161,13 @@ def _split_scheme(handle: str) -> Optional[tuple[str, str]]:
 
 #: Query-string options each built-in scheme accepts.
 _STORE_OPTIONS = frozenset({"root"})
-_DAEMON_OPTIONS = frozenset({"timeout", "retries", "backoff", "deadline"})
+_DAEMON_OPTIONS = frozenset(
+    {"timeout", "retries", "backoff", "deadline", "tracing"}
+)
+
+#: Spellings a boolean handle option accepts (case-insensitive).
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"0", "false", "no", "off"})
 
 
 def _split_options(
@@ -260,16 +266,34 @@ def _daemon_seconds_option(
     return value
 
 
+def _daemon_tracing_option(
+    options: dict[str, str], rest: str, scheme: str = DAEMON_SCHEME,
+) -> bool:
+    """The handle's ``?tracing=`` flag as a bool (absent → False)."""
+    if "tracing" not in options:
+        return False
+    value = options["tracing"].strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise InvalidHandleError(
+        f"{scheme}:// option tracing={options['tracing']!r} is not a "
+        f"boolean (use tracing=1 or tracing=0; handle {scheme}://{rest!r})",
+        handle=f"{scheme}://{rest}",
+    )
+
+
 def _daemon_dial_settings(
     options: dict[str, str], rest: str, context: ResolveContext,
     scheme: str = DAEMON_SCHEME,
-) -> tuple[float, Optional["RetryPolicy"]]:
-    """``(timeout, retry)`` a daemon handle's options pin.
+) -> tuple[float, Optional["RetryPolicy"], bool]:
+    """``(timeout, retry, tracing)`` a daemon handle's options pin.
 
     Shared by the Unix (``repro://``) and TCP (``repro+tcp://``)
     resolvers so both handle grammars accept the identical
-    ``timeout``/``retries``/``backoff``/``deadline`` options with the
-    identical validation.
+    ``timeout``/``retries``/``backoff``/``deadline``/``tracing``
+    options with the identical validation.
     """
     from repro.store.client import RetryPolicy
 
@@ -277,6 +301,7 @@ def _daemon_dial_settings(
     pinned_timeout = _daemon_seconds_option(options, "timeout", rest, scheme)
     if pinned_timeout is not None:
         timeout = pinned_timeout
+    tracing = _daemon_tracing_option(options, rest, scheme)
     backoff = _daemon_seconds_option(options, "backoff", rest, scheme)
     deadline = _daemon_seconds_option(options, "deadline", rest, scheme)
     retries: Optional[int] = None
@@ -304,17 +329,18 @@ def _daemon_dial_settings(
             backoff_max=max(defaults.backoff_max, chosen_backoff),
             deadline=deadline,
         )
-    return timeout, retry
+    return timeout, retry, tracing
 
 
 def _connect_remote(
     address: Union[str, tuple[str, int]], timeout: float,
-    retry: Optional["RetryPolicy"], handle: str,
+    retry: Optional["RetryPolicy"], handle: str, tracing: bool = False,
 ) -> Predictor:
     """Dial a daemon at ``address``, verify it answers, or raise typed."""
     from repro.store.client import DaemonError, RemoteIdentifier
 
-    remote = RemoteIdentifier.connect(address, timeout=timeout, retry=retry)
+    remote = RemoteIdentifier.connect(address, timeout=timeout, retry=retry,
+                                      tracing=tracing)
     try:
         remote.client.ping()
     except DaemonError as error:
@@ -333,18 +359,19 @@ def _connect_remote(
 def _resolve_daemon(rest: str, context: ResolveContext) -> Predictor:
     """``repro://`` resolver: dial the daemon and verify it answers.
 
-    The handle may pin its own dial timeout (``repro://sock?timeout=5``)
-    and the client's retry posture
+    The handle may pin its own dial timeout (``repro://sock?timeout=5``),
+    the client's retry posture
     (``repro://sock?retries=8&backoff=0.1&deadline=2`` —
     :class:`~repro.store.client.RetryPolicy` budget, initial backoff
-    seconds, end-to-end per-request deadline seconds) — handle options
-    beat the :class:`ResolveContext` defaults, so a worker process
-    re-opening the handle needs no extra arguments.
+    seconds, end-to-end per-request deadline seconds), and per-request
+    tracing (``repro://sock?tracing=1``) — handle options beat the
+    :class:`ResolveContext` defaults, so a worker process re-opening
+    the handle needs no extra arguments.
     """
     socket_path, options = _split_options(
         rest, scheme=DAEMON_SCHEME, allowed=_DAEMON_OPTIONS
     )
-    timeout, retry = _daemon_dial_settings(options, rest, context)
+    timeout, retry, tracing = _daemon_dial_settings(options, rest, context)
     if not socket_path:
         raise InvalidHandleError(
             f"serving handle has an empty socket path: "
@@ -352,7 +379,8 @@ def _resolve_daemon(rest: str, context: ResolveContext) -> Predictor:
             handle=f"{DAEMON_SCHEME}://{rest}",
         )
     return _connect_remote(
-        socket_path, timeout, retry, handle=f"{DAEMON_SCHEME}://{rest}"
+        socket_path, timeout, retry, handle=f"{DAEMON_SCHEME}://{rest}",
+        tracing=tracing,
     )
 
 
@@ -391,7 +419,7 @@ def _resolve_daemon_tcp(rest: str, context: ResolveContext) -> Predictor:
     """``repro+tcp://`` resolver: dial a daemon's TCP front door.
 
     Same handle options as ``repro://``
-    (``?timeout=&retries=&backoff=&deadline=``); the body is
+    (``?timeout=&retries=&backoff=&deadline=&tracing=``); the body is
     ``host:port`` instead of a socket path.
     """
     handle = f"{TCP_DAEMON_SCHEME}://{rest}"
@@ -399,23 +427,26 @@ def _resolve_daemon_tcp(rest: str, context: ResolveContext) -> Predictor:
         rest, scheme=TCP_DAEMON_SCHEME, allowed=_DAEMON_OPTIONS
     )
     address = tcp_daemon_address(handle)
-    timeout, retry = _daemon_dial_settings(
+    timeout, retry, tracing = _daemon_dial_settings(
         options, rest, context, scheme=TCP_DAEMON_SCHEME
     )
-    return _connect_remote(address, timeout, retry, handle=handle)
+    return _connect_remote(address, timeout, retry, handle=handle,
+                           tracing=tracing)
 
 
 def daemon_endpoint(
     handle: str, *, timeout: float = 30.0
-) -> tuple[Union[str, tuple[str, int]], float, Optional["RetryPolicy"]]:
-    """``(address, timeout, retry)`` a daemon handle string dials.
+) -> tuple[
+    Union[str, tuple[str, int]], float, Optional["RetryPolicy"], bool
+]:
+    """``(address, timeout, retry, tracing)`` a daemon handle dials.
 
     The one place that understands *both* daemon handle grammars —
     ``repro://<socket-path>`` yields a filesystem path,
     ``repro+tcp://<host>:<port>`` a ``(host, port)`` pair — together
     with the dial settings the handle's
-    ``?timeout=&retries=&backoff=&deadline=`` options pin (handle
-    options beat the ``timeout`` argument, exactly as in
+    ``?timeout=&retries=&backoff=&deadline=&tracing=`` options pin
+    (handle options beat the ``timeout`` argument, exactly as in
     :func:`open_model`).  The async facade
     (:func:`repro.api.aopen_model`) resolves daemon handles through
     this instead of the sync resolver so both stacks agree on the
@@ -440,10 +471,10 @@ def daemon_endpoint(
     else:
         address = daemon_socket_path(handle)
     context = ResolveContext(timeout=timeout)
-    chosen_timeout, retry = _daemon_dial_settings(
+    chosen_timeout, retry, tracing = _daemon_dial_settings(
         options, rest, context, scheme=scheme
     )
-    return address, chosen_timeout, retry
+    return address, chosen_timeout, retry, tracing
 
 
 # -- store handles ----------------------------------------------------------------

@@ -55,10 +55,12 @@ from repro.bulk.errors import (
 )
 from repro.bulk.sink import RowSink, SummaryAccumulator, make_sink
 from repro.bulk.source import BadRow, Shard, discover_shards, read_rows
+from repro.obs.events import EventLogger
 from repro.store.metrics import LatencyHistogram
 from repro.testing import faults
 
 __all__ = [
+    "EVENTS_NAME",
     "RunReport",
     "VerifyReport",
     "model_fingerprint",
@@ -68,6 +70,10 @@ __all__ = [
 
 #: Default worker-process count for bulk runs.
 DEFAULT_WORKERS = 2
+
+#: File of JSON-lines progress events written beside the manifest
+#: (append-only across resumes; see ``docs/observability.md``).
+EVENTS_NAME = "events.jsonl"
 
 
 def model_fingerprint(handle: str) -> dict:
@@ -555,6 +561,33 @@ def run(
     rows_quarantined = 0
     latency = LatencyHistogram()
 
+    # Progress events land beside the manifest as append-only JSON
+    # lines, so an operator (or a dashboard tailing the file) can watch
+    # a multi-hour run — and post-mortem a killed one — without a
+    # terminal attached.  Stdin runs have no manifest directory
+    # contract, so they emit nothing.
+    events = (
+        None if stdin_run
+        else EventLogger(path=output_dir / EVENTS_NAME, component="bulk")
+    )
+    bytes_pending = sum(
+        manifest.shards[shard_id].get("size_bytes", 0) or 0
+        for shard_id in pending
+    )
+    bytes_done = 0
+    if events is not None:
+        events.emit(
+            "run-start",
+            model=fingerprint["name"],
+            checksum=fingerprint["checksum"],
+            workers=workers,
+            resume=bool(resume),
+            shards_total=len(manifest.order),
+            shards_pending=len(pending),
+            shards_skipped=skipped,
+            bytes_pending=bytes_pending,
+        )
+
     # Parent-side result indexing (sqlite sink): ingest each shard the
     # moment its output commits, so the index trails the manifest by at
     # most one shard.  Workers never see the database — the scoring hot
@@ -579,7 +612,7 @@ def run(
             )
 
     def commit(result: dict) -> None:
-        nonlocal scored, rows_scored, rows_quarantined
+        nonlocal scored, rows_scored, rows_quarantined, bytes_done
         manifest.mark_done(
             result["shard_id"],
             output=result["output"],
@@ -607,6 +640,29 @@ def run(
         scored += 1
         rows_scored += result["rows"]
         rows_quarantined += result.get("quarantined", 0)
+        bytes_done += (
+            manifest.shards[result["shard_id"]].get("size_bytes", 0) or 0
+        )
+        if events is not None:
+            elapsed = time.perf_counter() - started
+            bytes_per_second = bytes_done / elapsed if elapsed > 0 else 0.0
+            remaining = max(0, bytes_pending - bytes_done)
+            events.emit(
+                "shard-commit",
+                shard=result["shard_id"],
+                output=result["output"],
+                rows=result["rows"],
+                seconds=round(result["seconds"], 6),
+                rows_per_s=round(
+                    result["rows"] / result["seconds"], 3
+                ) if result["seconds"] else None,
+                eta_seconds=round(
+                    remaining / bytes_per_second, 3
+                ) if bytes_per_second > 0 and remaining else None,
+                quarantined=result.get("quarantined", 0),
+                completed=skipped + scored,
+                total=len(manifest.order),
+            )
         if progress:
             rate = result["rows"] / result["seconds"] if result["seconds"] else 0
             note = (
@@ -640,6 +696,16 @@ def run(
                 ) as pool:
                     for result in pool.imap_unordered(_score_shard, tasks):
                         commit(result)
+    except BaseException as error:
+        if events is not None:
+            events.emit(
+                "run-aborted",
+                error=f"{type(error).__name__}: {error}",
+                shards_scored=scored,
+                rows_scored=rows_scored,
+            )
+            events.close()
+        raise
     finally:
         if index_connection is not None:
             index_connection.close()
@@ -665,6 +731,18 @@ def run(
     manifest.summary = summary
     if not stdin_run:
         manifest.save(manifest_path)
+    if events is not None:
+        events.emit(
+            "run-done",
+            shards_scored=scored,
+            shards_skipped=skipped,
+            rows_scored=rows_scored,
+            rows_total=summary["rows"],
+            quarantined=rows_quarantined,
+            wall_seconds=round(wall, 6),
+            urls_per_second=round(rows_scored / wall, 3) if wall > 0 else 0.0,
+        )
+        events.close()
 
     if row_sink.indexes_results:
         # Reconcile: converge the index onto the manifest.  Heals the

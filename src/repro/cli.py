@@ -170,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
         "index (a results.sqlite or a bulk run directory; needs --http)",
     )
     start.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON event logs (one object per line; "
+        "same as REPRO_LOG=json)",
+    )
+    start.add_argument(
         "--foreground", action="store_true",
         help="stay attached, log to stderr (no detach, no log file)",
     )
@@ -186,6 +191,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "--json", action="store_true",
                 help="compact single-line JSON (the default output is "
                 "the same block, indented)",
+            )
+            sub.add_argument(
+                "--prom", action="store_true",
+                help="render the status block in Prometheus text "
+                "exposition format (what GET /metrics serves)",
+            )
+            sub.add_argument(
+                "--traces", action="store_true",
+                help="print the daemon's retained request spans as "
+                "JSON lines, oldest first",
             )
 
     batch = serve_commands.add_parser(
@@ -492,12 +507,14 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
                     model_path, args.socket,
                     workers=args.workers, http_port=args.http,
                     tcp=args.tcp, query_db=args.query_db,
+                    log_json=args.log_json,
                 ).run()
             try:
                 pid = start_daemon(
                     model_path, args.socket,
                     workers=args.workers, http_port=args.http,
                     tcp=args.tcp, query_db=args.query_db,
+                    log_json=args.log_json,
                 )
             except (RuntimeError, ValueError) as error:
                 raise SystemExit(str(error)) from None
@@ -511,8 +528,22 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             out.write(f"daemon {pid} stopped\n")
             return 0
         if command == "status":
+            if args.traces:
+                with DaemonClient(args.socket) as client:
+                    spans = client.traces()
+                for span in spans:
+                    out.write(
+                        json.dumps(span, separators=(",", ":"),
+                                   sort_keys=True) + "\n"
+                    )
+                return 0
             with DaemonClient(args.socket) as client:
                 status = client.status()
+            if args.prom:
+                from repro.obs import render_prometheus
+
+                out.write(render_prometheus(status))
+                return 0
             if args.json:
                 out.write(
                     json.dumps(

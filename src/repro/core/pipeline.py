@@ -324,17 +324,28 @@ class CompiledIdentifier:
             self._extraction = "reference"
 
     def scores_matrix(self, urls: Sequence[str]) -> np.ndarray:
-        """``(n_urls, n_languages)`` decision scores in one pass."""
-        batch = self.batch(urls)
-        if self._columns is not None:
-            sums = batch.matmul(self._columns)
-        else:
-            sums = np.zeros((batch.n_rows, 0), dtype=np.float64)
-        out = np.empty((batch.n_rows, len(self.scorers)), dtype=np.float64)
-        for column, (language, scorer) in enumerate(self.scorers.items()):
-            out[:, column] = scorer.finalize(
-                sums[:, self._column_slices[language]], batch
+        """``(n_urls, n_languages)`` decision scores in one pass.
+
+        The two halves are marked as trace stages (``extract``,
+        ``matmul``) for :mod:`repro.obs` span capture — a no-op unless
+        the serving daemon is recording a traced request.
+        """
+        from repro.obs.trace import stage
+
+        with stage("extract"):
+            batch = self.batch(urls)
+        with stage("matmul"):
+            if self._columns is not None:
+                sums = batch.matmul(self._columns)
+            else:
+                sums = np.zeros((batch.n_rows, 0), dtype=np.float64)
+            out = np.empty(
+                (batch.n_rows, len(self.scorers)), dtype=np.float64
             )
+            for column, (language, scorer) in enumerate(self.scorers.items()):
+                out[:, column] = scorer.finalize(
+                    sums[:, self._column_slices[language]], batch
+                )
         return out
 
     def scores_many(self, urls: Sequence[str]) -> dict[Language, list[float]]:

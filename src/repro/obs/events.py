@@ -1,0 +1,78 @@
+"""Structured JSON event logs: one JSON object per line.
+
+Enabled for the serving daemon by ``repro serve start --log-json`` or
+the ``REPRO_LOG=json`` environment variable, and used unconditionally
+by the bulk engine for its per-run ``events.jsonl`` progress stream.
+Every record carries ``ts`` (epoch seconds), ``event``, ``pid`` and the
+emitting ``component``; lifecycle events add their own fields, and
+request events stamp the active ``trace`` id so one grep ties a traced
+request to the daemon-side log line.
+
+The writer keeps each record to a single ``write()`` call so lines from
+forked workers sharing one log file interleave whole, never torn.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import IO
+
+__all__ = ["EventLogger", "json_log_enabled"]
+
+
+def json_log_enabled() -> bool:
+    """True when ``REPRO_LOG=json`` asks for structured logs."""
+    return os.environ.get("REPRO_LOG", "").strip().lower() == "json"
+
+
+class EventLogger:
+    """Append structured events as JSON lines to a stream or file."""
+
+    def __init__(self, stream: IO[str] | None = None, *,
+                 path: str | os.PathLike | None = None,
+                 component: str = "repro") -> None:
+        if stream is not None and path is not None:
+            raise ValueError("pass stream or path, not both")
+        self.component = component
+        self._owns_stream = path is not None
+        if path is not None:
+            self._stream: IO[str] = open(path, "a", encoding="utf-8")
+        else:
+            self._stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: str, **fields) -> dict:
+        """Write one event record; returns the record that was logged."""
+        record: dict = {
+            "ts": round(time.time(), 6),
+            "event": event,
+            "pid": os.getpid(),
+            "component": self.component,
+        }
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        try:
+            self._stream.write(
+                json.dumps(record, separators=(",", ":"), sort_keys=True)
+                + "\n"
+            )
+            self._stream.flush()
+        except (OSError, ValueError):
+            pass  # a logging failure must never take down the service
+        return record
+
+    def close(self) -> None:
+        if self._owns_stream:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "EventLogger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING
 from repro.api.resolver import daemon_socket_path, is_daemon_handle
 from repro.core.pipeline import IdentifierBase
 from repro.languages import Language
+from repro.obs.trace import start_trace
 from repro.store.serve import ServedUrl
 from repro.store.wire import (
     MAX_CORRELATION_ID,
@@ -50,7 +51,7 @@ from repro.store.wire import (
     WireError,
     encode_frame,
     read_frame_async,
-    recv_message,
+    recv_frame_ex,
     send_message,
 )
 
@@ -60,7 +61,9 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only
 #: Operations safe to replay: pure reads whose repetition cannot change
 #: daemon state.  ``reload`` and ``stop`` are excluded — replaying a
 #: mutation after an ambiguous failure could act twice.
-IDEMPOTENT_OPS = frozenset({"ping", "status", "classify", "score", "decisions"})
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "status", "classify", "score", "decisions", "traces"}
+)
 
 #: Scheme prefix of daemon handle strings (``repro://<socket-path>``);
 #: canonical form lives in :data:`repro.api.DAEMON_SCHEME`.
@@ -176,11 +179,16 @@ class DaemonClient:
         timeout: float = 30.0,
         protocol_version: int = PROTOCOL_VERSION,
         retry: RetryPolicy | None = None,
+        tracing: bool = False,
     ) -> None:
         """``socket_path`` is a Unix socket path, or a ``(host, port)``
         tuple to dial a daemon's TCP front door instead.
         ``protocol_version`` exists so tests can provoke the daemon's
-        version gate; production callers never pass it."""
+        version gate; production callers never pass it.  With
+        ``tracing`` on, every request frame carries a fresh trace id
+        (:data:`repro.store.wire.TRACE_FLAG`); the daemon echoes it on
+        the response, records a per-stage span, and :attr:`last_trace`
+        holds both sides' ids for correlation."""
         if isinstance(socket_path, tuple):
             host, port = socket_path
             self.socket_path: str | None = None
@@ -193,6 +201,12 @@ class DaemonClient:
         self.timeout = timeout
         self.protocol_version = protocol_version
         self.retry = RetryPolicy() if retry is None else retry
+        self.tracing = bool(tracing)
+        #: Ids of the most recent traced round-trip: ``trace_id``, the
+        #: client's ``span_id``, and the daemon's echoed
+        #: ``server_span_id`` (``None`` until the first traced request,
+        #: or when the daemon predates tracing and echoes nothing).
+        self.last_trace: dict | None = None
         self._sock: socket.socket | None = None
 
     @property
@@ -250,8 +264,22 @@ class DaemonClient:
                    deadline_ms: int | None = None) -> dict:
         if self._sock is None:
             self._sock = self._connect()
-        send_message(self._sock, message, deadline_ms=deadline_ms)
-        return recv_message(self._sock)
+        trace = start_trace() if self.tracing else None
+        send_message(
+            self._sock,
+            message,
+            deadline_ms=deadline_ms,
+            trace_id=trace.trace_id if trace is not None else None,
+            span_id=trace.span_id if trace is not None else None,
+        )
+        frame = recv_frame_ex(self._sock)
+        if trace is not None:
+            self.last_trace = {
+                "trace_id": trace.trace_id,
+                "span_id": trace.span_id,
+                "server_span_id": frame.span_id,
+            }
+        return frame.message
 
     def request(self, op: str, **fields) -> dict:
         """Issue one ``op`` request and return the success response.
@@ -355,6 +383,19 @@ class DaemonClient:
         response = self.request("decisions", urls=list(urls))
         return {code: list(values) for code, values in response["decisions"].items()}
 
+    def traces(self, limit: int | None = None) -> list[dict]:
+        """The daemon's most recent request spans, oldest first.
+
+        Spans come from the fork-shared ring buffer every worker writes
+        traced requests into (capacity ``REPRO_TRACE_CAPACITY``), so
+        the answer covers the whole daemon, not just the worker that
+        happens to hold this connection.  ``limit`` caps the answer to
+        the newest N spans."""
+        fields: dict = {}
+        if limit is not None:
+            fields["limit"] = int(limit)
+        return list(self.request("traces", **fields)["traces"])
+
     def reload(self) -> dict:
         """Ask the daemon to re-examine its artifact path (same effect
         as ``SIGHUP``).  Returns immediately; the swap is asynchronous
@@ -389,10 +430,13 @@ class RemoteIdentifier(IdentifierBase):
     @classmethod
     def connect(cls, socket_path: "str | os.PathLike | tuple[str, int]",
                 timeout: float = 30.0,
-                retry: RetryPolicy | None = None) -> "RemoteIdentifier":
+                retry: RetryPolicy | None = None,
+                tracing: bool = False) -> "RemoteIdentifier":
         """A remote identifier over a fresh :class:`DaemonClient`
-        (``socket_path`` may be a ``(host, port)`` TCP endpoint)."""
-        return cls(DaemonClient(socket_path, timeout=timeout, retry=retry))
+        (``socket_path`` may be a ``(host, port)`` TCP endpoint;
+        ``tracing`` turns on per-request trace ids)."""
+        return cls(DaemonClient(socket_path, timeout=timeout, retry=retry,
+                                tracing=tracing))
 
     @property
     def name(self) -> str:
@@ -488,6 +532,7 @@ class AsyncDaemonClient:
         timeout: float = 30.0,
         protocol_version: int = PROTOCOL_VERSION,
         retry: RetryPolicy | None = None,
+        tracing: bool = False,
     ) -> None:
         if isinstance(socket_path, tuple):
             host, port = socket_path
@@ -501,10 +546,16 @@ class AsyncDaemonClient:
         self.timeout = timeout
         self.protocol_version = protocol_version
         self.retry = RetryPolicy() if retry is None else retry
+        self.tracing = bool(tracing)
+        #: Ids of the most recently *answered* traced request (the sync
+        #: client's :attr:`DaemonClient.last_trace`, under concurrency:
+        #: pipelined responses land in completion order).
+        self.last_trace: dict | None = None
         self._reader: "asyncio.StreamReader | None" = None
         self._writer: "asyncio.StreamWriter | None" = None
         self._reader_task: "asyncio.Task | None" = None
         self._pending: "dict[int, asyncio.Future]" = {}
+        self._sent_traces: dict = {}
         self._connect_lock: "asyncio.Lock | None" = None
         self._write_lock: "asyncio.Lock | None" = None
         self._next_cid = 0
@@ -582,12 +633,22 @@ class AsyncDaemonClient:
             while True:
                 frame = await read_frame_async(reader)
                 future = None
+                cid = None
                 if frame.correlation_id is not None:
-                    future = self._pending.pop(frame.correlation_id, None)
+                    cid = frame.correlation_id
+                    future = self._pending.pop(cid, None)
                 elif self._pending:
                     # Id-less server (or a scripted test double): the
                     # strict in-order contract makes FIFO pairing exact.
-                    future = self._pending.pop(next(iter(self._pending)))
+                    cid = next(iter(self._pending))
+                    future = self._pending.pop(cid)
+                sent = self._sent_traces.pop(cid, None) if cid is not None else None
+                if sent is not None:
+                    self.last_trace = {
+                        "trace_id": sent.trace_id,
+                        "span_id": sent.span_id,
+                        "server_span_id": frame.span_id,
+                    }
                 if future is not None and not future.done():
                     future.set_result(frame.message)
         except (WireError, OSError) as error:
@@ -602,6 +663,7 @@ class AsyncDaemonClient:
         self._fail_pending(error)
 
     def _fail_pending(self, error: Exception) -> None:
+        self._sent_traces.clear()
         pending, self._pending = self._pending, {}
         for future in pending.values():
             if not future.done():
@@ -664,13 +726,23 @@ class AsyncDaemonClient:
                                        clean=False)
             cid = self._claim_cid()
             self._pending[cid] = future
+            trace = start_trace() if self.tracing else None
+            if trace is not None:
+                self._sent_traces[cid] = trace
             try:
                 self._writer.write(
-                    encode_frame(message, deadline_ms, cid)
+                    encode_frame(
+                        message,
+                        deadline_ms,
+                        cid,
+                        trace_id=trace.trace_id if trace is not None else None,
+                        span_id=trace.span_id if trace is not None else None,
+                    )
                 )
                 await self._writer.drain()
             except (OSError, ConnectionError) as error:
                 self._pending.pop(cid, None)
+                self._sent_traces.pop(cid, None)
                 raise ConnectionClosed(
                     f"send failed: {error}", clean=False
                 ) from None
@@ -678,6 +750,7 @@ class AsyncDaemonClient:
             return await asyncio.wait_for(future, self.timeout)
         except asyncio.TimeoutError:
             self._pending.pop(cid, None)
+            self._sent_traces.pop(cid, None)
             raise TimeoutError(
                 f"no response within {self.timeout:.1f}s"
             ) from None
@@ -686,6 +759,7 @@ class AsyncDaemonClient:
             # response (already being computed) is dropped, not paired
             # with some future request.
             self._pending.pop(cid, None)
+            self._sent_traces.pop(cid, None)
             raise
 
     async def request(self, op: str, **fields) -> dict:
@@ -780,6 +854,14 @@ class AsyncDaemonClient:
             for code, values in response["decisions"].items()
         }
 
+    async def atraces(self, limit: int | None = None) -> list[dict]:
+        """The daemon's most recent request spans, oldest first
+        (async twin of :meth:`DaemonClient.traces`)."""
+        fields: dict = {}
+        if limit is not None:
+            fields["limit"] = int(limit)
+        return list((await self.request("traces", **fields))["traces"])
+
     async def areload(self) -> dict:
         """Ask the daemon to re-examine its artifact path (SIGHUP)."""
         return await self.request("reload")
@@ -807,12 +889,14 @@ class AsyncRemoteIdentifier:
     @classmethod
     def connect(cls, socket_path: "str | os.PathLike | tuple[str, int]",
                 timeout: float = 30.0,
-                retry: RetryPolicy | None = None) -> "AsyncRemoteIdentifier":
+                retry: RetryPolicy | None = None,
+                tracing: bool = False) -> "AsyncRemoteIdentifier":
         """An async remote identifier over a fresh
         :class:`AsyncDaemonClient` (``socket_path`` may be a
-        ``(host, port)`` TCP endpoint)."""
+        ``(host, port)`` TCP endpoint; ``tracing`` turns on
+        per-request trace ids)."""
         return cls(AsyncDaemonClient(socket_path, timeout=timeout,
-                                     retry=retry))
+                                     retry=retry, tracing=tracing))
 
     @property
     def name(self) -> str:

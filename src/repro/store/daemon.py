@@ -55,9 +55,18 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
+from repro.obs.events import EventLogger, json_log_enabled
+from repro.obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import SpanLog, capture_stages, new_span_id, stage
 from repro.store.artifact import MODEL_KIND, ServingIdentifier, load_identifier
 from repro.store.format import ArtifactError, ArtifactFile
-from repro.store.metrics import RequestMetrics, RobustnessCounters
+from repro.store.metrics import (
+    DEFAULT_DRIFT_WINDOW_ROWS,
+    DriftCounters,
+    RequestMetrics,
+    RobustnessCounters,
+)
 from repro.store.serve import score_batch
 from repro.store.wire import (
     PROTOCOL_VERSION,
@@ -104,6 +113,10 @@ CRASH_LOOP_THRESHOLD = 3
 CRASH_LOOP_WINDOW = 30.0
 RESPAWN_BACKOFF_INITIAL = 0.5
 RESPAWN_BACKOFF_MAX = 30.0
+
+#: Spans retained in the fork-shared trace ring buffer (env-overridable
+#: via ``REPRO_TRACE_CAPACITY``).
+TRACE_CAPACITY = 256
 
 
 def _batch_fingerprint(urls: list[str]) -> str:
@@ -218,6 +231,7 @@ class ServingDaemon:
         pid_path: str | os.PathLike | None = None,
         tcp: "str | tuple[str, int] | None" = None,
         query_db: str | os.PathLike | None = None,
+        log_json: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -262,6 +276,25 @@ class ServingDaemon:
         self._robustness = RobustnessCounters()
         self._child_busy: dict[int, object] = {}  # pid -> shared flag
         self._my_busy = None  # this worker's flag (children only)
+        # Observability (docs/observability.md).  The span ring buffer
+        # is fork-shared like the robustness counters: workers append
+        # the spans of traced requests, the parent reads them back out
+        # for `status --traces` / GET /v1/traces.  Drift counters need
+        # the model's language set, so they are created in run() (and
+        # replaced on reload — a new model starts a new baseline).
+        self._spans = SpanLog(capacity=int(os.environ.get(
+            "REPRO_TRACE_CAPACITY", TRACE_CAPACITY)))
+        self._drift: DriftCounters | None = None
+        self._drift_window = int(os.environ.get(
+            "REPRO_DRIFT_WINDOW", DEFAULT_DRIFT_WINDOW_ROWS))
+        #: Structured JSON event logging (--log-json or REPRO_LOG=json):
+        #: every _log line becomes a {"event": "log"} record and
+        #: lifecycle transitions emit typed events with trace ids.
+        self.log_json = bool(log_json) or json_log_enabled()
+        self._events = (
+            EventLogger(sys.stderr, component="serve")
+            if self.log_json else None
+        )
         # Crash containment (parent only).  Env overrides exist so the
         # chaos tests can drive the loop at test speed instead of
         # waiting out production windows.
@@ -288,9 +321,27 @@ class ServingDaemon:
     # -- logging ------------------------------------------------------------------
 
     def _log(self, message: str) -> None:
-        """One timestamped line to stderr (the log file when detached)."""
+        """One timestamped line to stderr (the log file when detached).
+
+        Under ``--log-json`` / ``REPRO_LOG=json`` the same line becomes
+        a structured ``{"event": "log", "message": ...}`` record, so a
+        fleet's logs stay machine-parseable without losing the prose.
+        """
+        if self._events is not None:
+            self._events.emit("log", message=message,
+                              role="worker" if self._is_worker else "parent")
+            return
         print(f"[{_utc_now()}] repro-serve[{os.getpid()}] {message}",
               file=sys.stderr, flush=True)
+
+    def _event(self, event: str, **fields) -> None:
+        """Emit one typed lifecycle event (JSON mode only)."""
+        if self._events is not None:
+            self._events.emit(
+                event,
+                role="worker" if self._is_worker else "parent",
+                **fields,
+            )
 
     # -- model loading and the reload gate ----------------------------------------
 
@@ -306,6 +357,27 @@ class ServingDaemon:
             generation=generation,
             loaded_at=time.time(),
         )
+
+    def _make_drift(self, state: _ModelState) -> DriftCounters | None:
+        """Fresh fork-shared drift counters for ``state``'s languages.
+
+        Created (pre-fork) per model generation: a reloaded model
+        starts a new baseline, and a replacement serving a different
+        language set gets arrays of the right shape.
+        """
+        languages = [
+            language.value
+            for language in state.identifier.compiled.scorers
+        ]
+        if not languages:
+            return None
+        return DriftCounters(languages, window_rows=self._drift_window)
+
+    def _observe_drift(self, scores: dict) -> None:
+        """Fold one batch's ``scores_many`` result into drift telemetry."""
+        drift = self._drift
+        if drift is not None:
+            drift.observe(scores)
 
     def _reload_gate(self, current: _ModelState) -> str | None:
         """Why the artifact at ``model_path`` must NOT replace ``current``.
@@ -430,6 +502,19 @@ class ServingDaemon:
             return ok_response(pid=os.getpid())
         if op == "status":
             return ok_response(**self._status_block())
+        if op == "traces":
+            limit = message.get("limit")
+            if limit is not None and (
+                not isinstance(limit, int) or limit < 1
+            ):
+                return error_response(
+                    "bad-request", f"'limit' must be >= 1, got {limit!r}"
+                )
+            return ok_response(
+                traces=self._spans.snapshot(limit=limit),
+                recorded=self._spans.recorded,
+                capacity=self._spans.capacity,
+            )
         if op in ("reload", "stop"):
             # Workers forward the ask to the supervising parent, which
             # owns the generation handover / shutdown.  The supervisor
@@ -475,23 +560,28 @@ class ServingDaemon:
         assert self._state is not None
         identifier = self._state.identifier
         try:
+            # One scores_many pass answers every batch op *and* feeds
+            # the drift counters — decisions are score > 0 on the same
+            # matrix (byte-identical to identifier.decisions, which
+            # thresholds the identical scores_matrix), so observing
+            # drift never costs a second matmul.
+            scores = identifier.scores_many(urls)
+            self._observe_drift(scores)
             if op == "classify":
-                rows = score_batch(identifier, urls)
+                rows = score_batch(identifier, urls, scores=scores)
                 return ok_response(results=[
                     {"url": row.url, "best": row.best,
                      "positives": list(row.positives)}
                     for row in rows
                 ])
             if op == "score":
-                scores = identifier.scores_many(urls)
                 return ok_response(scores={
                     language.value: values
                     for language, values in scores.items()
                 })
-            decisions = identifier.decisions(urls)
             return ok_response(decisions={
-                language.value: values
-                for language, values in decisions.items()
+                language.value: [value > 0.0 for value in values]
+                for language, values in scores.items()
             })
         except Exception as error:  # noqa: BLE001 - keep the worker alive
             self._log(f"internal error answering {op!r}: {error!r}")
@@ -547,6 +637,14 @@ class ServingDaemon:
             },
             "requests": self._metrics.snapshot(),
             "robustness": self._robustness.snapshot(),
+            "drift": (
+                self._drift.snapshot() if self._drift is not None else None
+            ),
+            "traces": {
+                "retained": len(self._spans),
+                "recorded": self._spans.recorded,
+                "capacity": self._spans.capacity,
+            },
             "caches": {
                 "interned_rows": compiled.cache_info,
                 "tokenizer": {
@@ -711,9 +809,14 @@ class ServingDaemon:
                     connection, error_response("bad-request", str(error))
                 )
                 return
+            received = time.perf_counter()
             message = frame.message
             cid = frame.correlation_id
             op = message.get("op")
+            trace_echo = (
+                (frame.trace_id, new_span_id())
+                if frame.trace_id is not None else None
+            )
             if self._worker_stop:
                 # The drain-notify answer: typed, retryable, no reset.
                 self._send_best_effort(
@@ -724,6 +827,7 @@ class ServingDaemon:
                     ),
                     op=op,
                     correlation_id=cid,
+                    trace=trace_echo,
                 )
                 return
             faults.maybe_kill("worker-kill", op=op)
@@ -731,15 +835,65 @@ class ServingDaemon:
                 time.monotonic() + frame.deadline_ms / 1000.0
                 if frame.deadline_ms is not None else None
             )
-            if not self._send_best_effort(
-                connection,
-                self._timed_dispatch(
-                    message, deadline=deadline, transport=transport
-                ),
-                op=op,
-                correlation_id=cid,
-            ):
+            if trace_echo is None:
+                if not self._send_best_effort(
+                    connection,
+                    self._timed_dispatch(
+                        message, deadline=deadline, transport=transport
+                    ),
+                    op=op,
+                    correlation_id=cid,
+                ):
+                    return
+                continue
+            # Traced request: capture per-stage timings (the pipeline
+            # marks extract/matmul inside dispatch), echo the trace id
+            # with this server's span id, and record the finished span
+            # in the fork-shared ring buffer.
+            with capture_stages() as stages:
+                stages["accept"] = time.perf_counter() - received
+                with stage("dispatch"):
+                    response = self._timed_dispatch(
+                        message, deadline=deadline, transport=transport
+                    )
+                with stage("respond"):
+                    sent = self._send_best_effort(
+                        connection, response, op=op, correlation_id=cid,
+                        trace=trace_echo,
+                    )
+            self._record_span(
+                frame, trace_echo[1], transport, response, stages,
+                time.perf_counter() - received,
+            )
+            if not sent:
                 return
+
+    def _record_span(self, frame, span_id: int, transport: str,
+                     response: dict, stages: dict,
+                     seconds: float) -> None:
+        """Finish one traced request: ring-buffer span + JSON event."""
+        op = frame.message.get("op")
+        record = {
+            "ts": round(time.time(), 6),
+            "trace": frame.trace_id,
+            "span": span_id,
+            "parent": frame.span_id,
+            "op": op if isinstance(op, str) else "invalid",
+            "transport": transport,
+            "pid": os.getpid(),
+            "ok": bool(response.get("ok")),
+            "ms": round(seconds * 1000.0, 3),
+            "stages_ms": {
+                name: round(value * 1000.0, 3)
+                for name, value in stages.items()
+            },
+        }
+        self._spans.append(record)
+        self._event(
+            "request", trace=frame.trace_id, span=span_id,
+            op=record["op"], transport=transport, ok=record["ok"],
+            ms=record["ms"],
+        )
 
     def _send_torn_frame(self, connection: socket.socket,
                          message: dict) -> None:
@@ -758,12 +912,15 @@ class ServingDaemon:
 
     def _send_best_effort(self, connection: socket.socket, message: dict,
                           op: str | None = None,
-                          correlation_id: int | None = None) -> bool:
+                          correlation_id: int | None = None,
+                          trace: tuple[str, int] | None = None) -> bool:
         if faults.should_fire("torn-frame", op=op) is not None:
             self._send_torn_frame(connection, message)
             return False
+        trace_id, span_id = trace if trace is not None else (None, None)
         try:
-            send_message(connection, message, correlation_id=correlation_id)
+            send_message(connection, message, correlation_id=correlation_id,
+                         trace_id=trace_id, span_id=span_id)
             return True
         except FrameTooLargeError as error:
             # The *response* outgrew the frame cap (a batch near the
@@ -778,6 +935,7 @@ class ServingDaemon:
                     f"batches ({error})",
                 ),
                 correlation_id=correlation_id,
+                trace=trace,
             )
         except OSError:
             return False  # peer went away mid-answer; drop the connection
@@ -797,7 +955,8 @@ class ServingDaemon:
             def log_message(self, format, *args):  # noqa: A002
                 daemon._log(f"http {self.address_string()} {format % args}")
 
-            def _reply(self, status: int, payload: dict | str) -> None:
+            def _reply(self, status: int, payload: dict | str,
+                       content_type: str | None = None) -> None:
                 body = (
                     payload.encode("utf-8")
                     if isinstance(payload, str)
@@ -806,7 +965,10 @@ class ServingDaemon:
                 self.send_response(status)
                 self.send_header(
                     "Content-Type",
-                    "text/plain" if isinstance(payload, str) else "application/json",
+                    content_type or (
+                        "text/plain" if isinstance(payload, str)
+                        else "application/json"
+                    ),
                 )
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
@@ -818,12 +980,52 @@ class ServingDaemon:
                         self._reply(200, "ok\n")
                     elif self.path == "/v1/status":
                         self._reply(200, ok_response(**daemon._status_block()))
+                    elif self.path == "/metrics":
+                        # The Prometheus scrape target: the same status
+                        # block, rendered by the shared zero-dependency
+                        # encoder (`serve status --prom` renders the
+                        # identical text client-side).
+                        self._reply(
+                            200,
+                            render_prometheus(daemon._status_block()),
+                            content_type=PROM_CONTENT_TYPE,
+                        )
+                    elif self.path.rstrip("?") == "/v1/traces" or \
+                            self.path.startswith("/v1/traces?"):
+                        self._do_traces()
                     elif self.path.startswith("/v1/query/"):
                         self._do_query()
                     else:
                         self._reply(
                             404, error_response("unknown-op", self.path)
                         )
+
+            def _do_traces(self) -> None:
+                """Recent spans from the fork-shared ring buffer."""
+                from urllib.parse import parse_qs, urlparse
+
+                params = {
+                    key: values[-1]
+                    for key, values in
+                    parse_qs(urlparse(self.path).query).items()
+                }
+                limit: int | None = None
+                if "limit" in params:
+                    try:
+                        limit = int(params["limit"])
+                        if limit < 1:
+                            raise ValueError
+                    except ValueError:
+                        self._reply(400, error_response(
+                            "bad-request",
+                            f"limit must be >= 1, got {params['limit']!r}",
+                        ))
+                        return
+                self._reply(200, ok_response(
+                    traces=daemon._spans.snapshot(limit=limit),
+                    recorded=daemon._spans.recorded,
+                    capacity=daemon._spans.capacity,
+                ))
 
             def _do_query(self) -> None:
                 """Read-only result-index routes (``--query-db``).
@@ -1053,6 +1255,7 @@ class ServingDaemon:
         """
         self._started_at = time.time()
         self._state = self._load_state(generation=1)
+        self._drift = self._make_drift(self._state)  # pre-fork: shared
         self._listener = self._bind()
         if self.tcp_spec is not None:
             self._tcp_listener = self._bind_tcp()
@@ -1066,6 +1269,14 @@ class ServingDaemon:
             f"serving {self._state.identifier.name} "
             f"(checksum {self._state.checksum[:12]}…) from {self.model_path} "
             f"on {self.socket_path} with {self.workers} workers"
+        )
+        self._event(
+            "daemon-start",
+            model=self._state.identifier.name,
+            checksum=self._state.checksum,
+            generation=self._state.generation,
+            workers=self.workers,
+            socket=str(self.socket_path),
         )
         if self.tcp_address is not None:
             self._log(
@@ -1159,8 +1370,16 @@ class ServingDaemon:
                         f"{self._crash_window:.0f}s) — degraded, next "
                         f"respawn in {self._respawn_backoff:.1f}s"
                     )
+                    self._event(
+                        "crash-loop", worker=pid,
+                        deaths=len(self._crash_times),
+                        window_seconds=self._crash_window,
+                        backoff_seconds=self._respawn_backoff,
+                    )
                 else:
                     self._log(f"worker {pid} died; respawning")
+                    self._event("worker-death", worker=pid,
+                                generation=generation)
                     self._robustness.bump("worker_respawns")
                     self._spawn_worker(self._state.generation)
 
@@ -1252,6 +1471,10 @@ class ServingDaemon:
                     self._send_best_effort(
                         connection, response, op=op,
                         correlation_id=frame.correlation_id,
+                        trace=(
+                            (frame.trace_id, new_span_id())
+                            if frame.trace_id is not None else None
+                        ),
                     )
 
     def _reload(self) -> None:
@@ -1260,11 +1483,15 @@ class ServingDaemon:
         refusal = self._reload_gate(self._state)
         if refusal:
             self._log(f"reload refused: {refusal}")
+            self._event("reload-refused", reason=refusal,
+                        generation=self._state.generation)
             return
         try:
             state = self._load_state(self._state.generation + 1)
         except ArtifactError as error:
             self._log(f"reload refused: replacement failed to load: {error}")
+            self._event("reload-refused", reason=str(error),
+                        generation=self._state.generation)
             return
         old_children = [
             pid
@@ -1272,6 +1499,13 @@ class ServingDaemon:
             if generation == self._state.generation
         ]
         self._state = state  # new forks and the HTTP thread see it now
+        # A new model invalidates the old telemetry baselines: fresh
+        # drift counters (created before the new generation forks, so
+        # its workers share them) and an emptied span ring.  Old-gen
+        # workers still draining hold the previous arrays — their last
+        # few batches age out with them.
+        self._drift = self._make_drift(state)
+        self._spans.clear()
         for _ in range(self.workers):
             self._spawn_worker(state.generation)
         for pid in old_children:
@@ -1280,6 +1514,11 @@ class ServingDaemon:
             f"reloaded generation {state.generation}: "
             f"{state.identifier.name} (checksum {state.checksum[:12]}…, "
             f"rollout {state.rollout.get('created_at')})"
+        )
+        self._event(
+            "reload", generation=state.generation,
+            model=state.identifier.name, checksum=state.checksum,
+            rollout=state.rollout.get("created_at"),
         )
 
     def _terminate(self, pid: int, signum: int) -> None:
@@ -1311,6 +1550,8 @@ class ServingDaemon:
             except FileNotFoundError:
                 pass
         self._log("stopped")
+        self._event("daemon-stop", uptime_seconds=round(
+            time.time() - self._started_at, 3))
 
 
 # -- process management (the CLI's serve start/stop/status/reload) ----------------
@@ -1339,6 +1580,7 @@ def start_daemon(
     ready_timeout: float = 60.0,
     tcp: "str | tuple[str, int] | None" = None,
     query_db: str | os.PathLike | None = None,
+    log_json: bool = False,
 ) -> int:
     """Start a detached daemon and wait until it answers ``ping``.
 
@@ -1396,6 +1638,7 @@ def start_daemon(
             code = ServingDaemon(
                 model_path, socket_path, workers=workers,
                 http_port=http_port, tcp=tcp, query_db=query_db,
+                log_json=log_json,
             ).run()
         except BaseException as error:  # noqa: BLE001 - report then die
             print(f"daemon failed: {error!r}", file=sys.stderr, flush=True)

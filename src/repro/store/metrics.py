@@ -24,15 +24,27 @@ these *must* aggregate across the whole process tree — a rejection
 happens in whichever process answered, and operators alert on the sum —
 so they live in :mod:`multiprocessing` shared memory created before the
 daemon forks its workers.
+
+:class:`DriftCounters` is the fourth: per-language decision-rate and
+score-distribution accumulators, also in fork-shared memory, that
+compare current traffic against a frozen baseline window so a stale
+model under shifting traffic is visible in ``serve status`` (and on
+``GET /metrics``) before a bad rollout — the drift half of the
+ROADMAP's N-language item, closing the loop with the hot-reload gate.
 """
 
 from __future__ import annotations
 
+import bisect
 import multiprocessing
 import time
 
 __all__ = [
     "BUCKET_BOUNDS_MS",
+    "DRIFT_SCORE_BOUNDS",
+    "DEFAULT_DRIFT_WINDOW_ROWS",
+    "DriftCounters",
+    "HistogramBoundsError",
     "LatencyHistogram",
     "RequestMetrics",
     "RobustnessCounters",
@@ -47,17 +59,33 @@ BUCKET_BOUNDS_MS: tuple[float, ...] = (
 )
 
 
+class HistogramBoundsError(ValueError):
+    """Two histograms with different bucket bounds were combined.
+
+    Counts bucketed against one set of bounds are meaningless under
+    another — a silent element-wise sum would misfile every
+    observation — so :meth:`LatencyHistogram.merge` refuses with this
+    typed error instead (e.g. a fleet mixing builds across a bounds
+    change must upgrade before aggregating).
+    """
+
+
 class LatencyHistogram:
     """Counts of observed latencies in fixed log-spaced buckets.
 
-    ``counts`` has ``len(BUCKET_BOUNDS_MS) + 1`` entries; the last is
-    the overflow bucket (> the final bound).  Totals are tracked so
-    the mean survives bucketing exactly.
+    ``counts`` has ``len(bounds) + 1`` entries; the last is the
+    overflow bucket (> the final bound).  Totals are tracked so the
+    mean survives bucketing exactly.  ``bounds`` defaults to this
+    build's :data:`BUCKET_BOUNDS_MS`; a histogram rebuilt from another
+    build's snapshot keeps the bounds it was observed under, and
+    :meth:`merge` refuses to mix the two.
     """
 
     def __init__(self, counts: list[int] | None = None,
-                 total_ms: float = 0.0) -> None:
-        size = len(BUCKET_BOUNDS_MS) + 1
+                 total_ms: float = 0.0,
+                 bounds: tuple[float, ...] = BUCKET_BOUNDS_MS) -> None:
+        self.bounds = tuple(float(bound) for bound in bounds)
+        size = len(self.bounds) + 1
         if counts is None:
             counts = [0] * size
         if len(counts) != size:
@@ -71,14 +99,25 @@ class LatencyHistogram:
         """Record one latency observation (wall seconds)."""
         ms = seconds * 1000.0
         self.total_ms += ms
-        for index, bound in enumerate(BUCKET_BOUNDS_MS):
+        for index, bound in enumerate(self.bounds):
             if ms <= bound:
                 self.counts[index] += 1
                 return
         self.counts[-1] += 1
 
     def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram's observations into this one."""
+        """Fold another histogram's observations into this one.
+
+        Raises :class:`HistogramBoundsError` when the two histograms
+        were bucketed against different bounds (different builds) —
+        summing those counts element-wise would silently misalign them.
+        """
+        if self.bounds != other.bounds:
+            raise HistogramBoundsError(
+                f"cannot merge histograms with different bucket bounds "
+                f"({len(self.bounds)} bounds ending {self.bounds[-1]} vs "
+                f"{len(other.bounds)} bounds ending {other.bounds[-1]})"
+            )
         for index, count in enumerate(other.counts):
             self.counts[index] += count
         self.total_ms += other.total_ms
@@ -101,8 +140,8 @@ class LatencyHistogram:
         for index, count in enumerate(self.counts):
             seen += count
             if seen >= rank and count:
-                if index < len(BUCKET_BOUNDS_MS):
-                    return BUCKET_BOUNDS_MS[index]
+                if index < len(self.bounds):
+                    return self.bounds[index]
                 return float("inf")
         return float("inf")
 
@@ -121,7 +160,7 @@ class LatencyHistogram:
             return None if value == float("inf") else value
 
         return {
-            "bounds_ms": list(BUCKET_BOUNDS_MS),
+            "bounds_ms": list(self.bounds),
             "counts": list(self.counts),
             "count": count,
             "mean_ms": (self.total_ms / count) if count else None,
@@ -131,14 +170,19 @@ class LatencyHistogram:
 
     @classmethod
     def from_snapshot(cls, snapshot: dict) -> "LatencyHistogram":
-        """Rebuild a histogram from :meth:`snapshot` output (bounds must
-        match this build's :data:`BUCKET_BOUNDS_MS`)."""
-        if tuple(snapshot.get("bounds_ms", ())) != BUCKET_BOUNDS_MS:
-            raise ValueError("histogram bounds do not match this build")
+        """Rebuild a histogram from :meth:`snapshot` output.
+
+        The rebuilt histogram carries the snapshot's *own* bounds (so a
+        foreign snapshot loads and renders fine); combining it with a
+        histogram bucketed under different bounds is what
+        :meth:`merge` refuses with :class:`HistogramBoundsError`.
+        """
+        bounds = tuple(snapshot.get("bounds_ms", BUCKET_BOUNDS_MS))
         total = snapshot.get("mean_ms") or 0.0
         count = snapshot.get("count") or 0
         return cls(counts=list(snapshot["counts"]),
-                   total_ms=float(total) * count)
+                   total_ms=float(total) * count,
+                   bounds=bounds)
 
 
 class RobustnessCounters:
@@ -178,13 +222,273 @@ class RobustnessCounters:
             self._last_crash.value = time.time() if when is None else when
 
     def snapshot(self) -> dict:
-        """JSON-ready fleet view (``last_crash_at`` None until a death)."""
+        """JSON-ready fleet view (``last_crash_at`` None until a death).
+
+        The most recent worker death is reported both as an epoch stamp
+        (``last_crash_at``) and as ``last_crash_age_seconds``, so
+        dashboards can alert on "a crash in the last N minutes" without
+        doing clock arithmetic against the scrape time.
+        """
         view: dict = {
             field: slot.value for field, slot in self._counts.items()
         }
         crash = self._last_crash.value
         view["last_crash_at"] = crash if crash else None
+        view["last_crash_age_seconds"] = (
+            round(max(0.0, time.time() - crash), 3) if crash else None
+        )
         return view
+
+
+#: Upper bucket bounds for drift score histograms (one implicit
+#: overflow bucket follows).  Symmetric around the decision threshold
+#: (0): the models' per-URL scores are log-likelihood margins, so the
+#: distribution's mass moving across these bounds is exactly "the model
+#: is less sure than it used to be".
+DRIFT_SCORE_BOUNDS: tuple[float, ...] = (
+    -20.0, -10.0, -5.0, -2.0, -1.0, -0.5,
+    0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0,
+)
+
+#: Rows per drift window.  The first completed window freezes as the
+#: baseline; every later completed window becomes the comparison side.
+DEFAULT_DRIFT_WINDOW_ROWS = 5000
+
+#: Bank indexes into the shared drift arrays.
+_DRIFT_BASELINE, _DRIFT_WINDOW, _DRIFT_CURRENT = 0, 1, 2
+
+
+class DriftCounters:
+    """Per-language decision-rate and score-distribution drift, shared
+    across a daemon's process tree.
+
+    Create **before** forking workers (like
+    :class:`RobustnessCounters`); every worker then accumulates into
+    the same shared arrays, so the parent's status block reports fleet
+    traffic no matter which process scored it.
+
+    The model: traffic fills a *current* window of
+    ``window_rows`` scored URLs.  The first window to complete freezes
+    as the **baseline**; each later completed window becomes the
+    **window** bank (the most recent full window).  :meth:`snapshot`
+    compares the two per language — decision-rate delta and an L1
+    distance between normalised score histograms — so "the fraction of
+    traffic classified as German doubled since this model was rolled
+    out" is a number on a dashboard, not a post-mortem.  The daemon
+    replaces its instance on hot reload: a new model starts a new
+    baseline.
+    """
+
+    @staticmethod
+    def _code(language) -> str:
+        """Normalise a language key: enum members contribute their
+        ``value`` (the ISO code), anything else its string form."""
+        return str(getattr(language, "value", language))
+
+    def __init__(self, languages, window_rows: int = DEFAULT_DRIFT_WINDOW_ROWS) -> None:
+        self.languages = tuple(self._code(language) for language in languages)
+        if not self.languages:
+            raise ValueError("at least one language is required")
+        if window_rows < 1:
+            raise ValueError("window_rows must be >= 1")
+        self.window_rows = int(window_rows)
+        self._index = {code: i for i, code in enumerate(self.languages)}
+        n = len(self.languages)
+        b = len(DRIFT_SCORE_BOUNDS) + 1
+        self._n, self._b = n, b
+        self._lock = multiprocessing.Lock()
+        self._rows = multiprocessing.Array("q", 3, lock=False)
+        self._decisions = multiprocessing.Array("q", 3 * n, lock=False)
+        self._score_sums = multiprocessing.Array("d", 3 * n, lock=False)
+        self._score_counts = multiprocessing.Array(
+            "q", 3 * n * b, lock=False
+        )
+        self._windows_completed = multiprocessing.Value("Q", 0, lock=False)
+
+    def observe(self, scores) -> None:
+        """Fold one scored batch into the current window.
+
+        ``scores`` maps language code (or anything ``str()``-able to
+        one, e.g. a :class:`~repro.core.types.Language`) to that
+        language's per-URL score list — exactly the shape
+        ``scores_many`` returns.  Unknown languages are ignored, so a
+        caller can feed a superset without pre-filtering.  One lock
+        acquisition per *batch*, far off the per-URL hot path.
+        """
+        staged: list[tuple[int, int, float, list[int]]] = []
+        rows = 0
+        for code, values in scores.items():
+            index = self._index.get(self._code(code))
+            if index is None:
+                continue
+            rows = max(rows, len(values))
+            staged.append((index, *self._reduce(values)))
+        if not staged or rows == 0:
+            return
+        n, b = self._n, self._b
+        with self._lock:
+            for index, positives, total, bucket_counts in staged:
+                slot = _DRIFT_CURRENT * n + index
+                self._decisions[slot] += positives
+                self._score_sums[slot] += total
+                base = slot * b
+                for bucket, count in enumerate(bucket_counts):
+                    if count:
+                        self._score_counts[base + bucket] += count
+            self._rows[_DRIFT_CURRENT] += rows
+            if self._rows[_DRIFT_CURRENT] >= self.window_rows:
+                self._roll_locked()
+
+    @staticmethod
+    def _reduce(values) -> tuple[int, float, list[int]]:
+        """One language's batch -> (positives, score sum, bucket counts)."""
+        buckets = [0] * (len(DRIFT_SCORE_BOUNDS) + 1)
+        try:
+            import numpy
+        except ImportError:
+            positives = 0
+            total = 0.0
+            for value in values:
+                value = float(value)
+                if value > 0.0:
+                    positives += 1
+                total += value
+                buckets[bisect.bisect_left(DRIFT_SCORE_BOUNDS, value)] += 1
+            return positives, total, buckets
+        array = numpy.asarray(values, dtype=numpy.float64)
+        positions = numpy.searchsorted(
+            DRIFT_SCORE_BOUNDS, array, side="left"
+        )
+        for bucket, count in zip(
+            *numpy.unique(positions, return_counts=True)
+        ):
+            buckets[int(bucket)] = int(count)
+        return int((array > 0.0).sum()), float(array.sum()), buckets
+
+    def _roll_locked(self) -> None:
+        """Complete the current window (caller holds the lock)."""
+        n, b = self._n, self._b
+        banks = [_DRIFT_WINDOW]
+        if self._rows[_DRIFT_BASELINE] == 0:
+            banks.append(_DRIFT_BASELINE)
+        for bank in banks:
+            self._rows[bank] = self._rows[_DRIFT_CURRENT]
+            for i in range(n):
+                self._decisions[bank * n + i] = \
+                    self._decisions[_DRIFT_CURRENT * n + i]
+                self._score_sums[bank * n + i] = \
+                    self._score_sums[_DRIFT_CURRENT * n + i]
+            for i in range(n * b):
+                self._score_counts[bank * n * b + i] = \
+                    self._score_counts[_DRIFT_CURRENT * n * b + i]
+        self._rows[_DRIFT_CURRENT] = 0
+        for i in range(n):
+            self._decisions[_DRIFT_CURRENT * n + i] = 0
+            self._score_sums[_DRIFT_CURRENT * n + i] = 0.0
+        for i in range(n * b):
+            self._score_counts[_DRIFT_CURRENT * n * b + i] = 0
+        self._windows_completed.value += 1
+
+    def reset(self) -> None:
+        """Forget everything — a reloaded model starts a new baseline."""
+        with self._lock:
+            for i in range(3):
+                self._rows[i] = 0
+            for i in range(3 * self._n):
+                self._decisions[i] = 0
+                self._score_sums[i] = 0.0
+            for i in range(3 * self._n * self._b):
+                self._score_counts[i] = 0
+            self._windows_completed.value = 0
+
+    def _bank_view(self, bank: int) -> dict:
+        n, b = self._n, self._b
+        rows = self._rows[bank]
+        view: dict = {
+            "rows": rows,
+            "decisions": {},
+            "decision_rate": {},
+            "score_mean": {},
+            "score_counts": {},
+        }
+        for i, code in enumerate(self.languages):
+            decisions = self._decisions[bank * n + i]
+            view["decisions"][code] = decisions
+            view["decision_rate"][code] = (
+                decisions / rows if rows else None
+            )
+            view["score_mean"][code] = (
+                self._score_sums[bank * n + i] / rows if rows else None
+            )
+            base = (bank * n + i) * b
+            view["score_counts"][code] = list(
+                self._score_counts[base:base + b]
+            )
+        return view
+
+    def snapshot(self) -> dict:
+        """JSON-ready drift view: banks, per-language deltas, headline.
+
+        The comparison side is the most recent *completed* window when
+        one exists beyond the baseline, else the partially-filled
+        current window (so young daemons still show live rates).
+        ``max_abs_rate_delta`` is the headline number — the biggest
+        per-language decision-rate move vs baseline — and
+        ``score_shift`` is the L1 distance between the normalised
+        baseline and recent score histograms (0 = identical shapes,
+        2 = disjoint).
+        """
+        with self._lock:
+            baseline = self._bank_view(_DRIFT_BASELINE)
+            window = self._bank_view(_DRIFT_WINDOW)
+            current = self._bank_view(_DRIFT_CURRENT)
+            windows_completed = int(self._windows_completed.value)
+        recent, recent_name = (
+            (window, "window") if windows_completed > 1 else
+            (current, "current")
+        )
+        comparison: dict = {}
+        deltas: list[float] = []
+        for code in self.languages:
+            base_rate = baseline["decision_rate"][code]
+            recent_rate = recent["decision_rate"][code]
+            entry: dict = {
+                "baseline_rate": base_rate,
+                "recent_rate": recent_rate,
+                "rate_delta": None,
+                "score_shift": None,
+            }
+            if base_rate is not None and recent_rate is not None:
+                entry["rate_delta"] = recent_rate - base_rate
+                deltas.append(abs(entry["rate_delta"]))
+                entry["score_shift"] = self._l1(
+                    baseline["score_counts"][code],
+                    recent["score_counts"][code],
+                )
+            comparison[code] = entry
+        return {
+            "languages": list(self.languages),
+            "window_rows": self.window_rows,
+            "windows_completed": windows_completed,
+            "score_bounds": list(DRIFT_SCORE_BOUNDS),
+            "baseline": baseline,
+            "window": window,
+            "current": current,
+            "recent_bank": recent_name,
+            "comparison": comparison,
+            "max_abs_rate_delta": max(deltas) if deltas else None,
+        }
+
+    @staticmethod
+    def _l1(left: list[int], right: list[int]) -> float | None:
+        """L1 distance between two normalised bucket distributions."""
+        left_total, right_total = sum(left), sum(right)
+        if not left_total or not right_total:
+            return None
+        return sum(
+            abs(a / left_total - b / right_total)
+            for a, b in zip(left, right)
+        )
 
 
 class RequestMetrics:

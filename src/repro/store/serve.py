@@ -54,16 +54,19 @@ class ServedUrl(NamedTuple):
 
 
 def score_batch(
-    identifier: IdentifierBase, urls: Sequence[str]
+    identifier: IdentifierBase, urls: Sequence[str], scores=None
 ) -> list[ServedUrl]:
     """Score one batch with ``identifier`` (a single matmul when compiled).
 
     The per-batch kernel shared by the pool workers here, the daemon's
     ``classify`` operation, and the CLI's ``classify`` command: one
     ``scores_many`` pass yields both the best label and the
-    per-language yes/no answers, in input order.
+    per-language yes/no answers, in input order.  A caller that already
+    holds the batch's ``scores_many`` result (the daemon does, to feed
+    its drift counters) passes it as ``scores`` to skip the re-score.
     """
-    scores = identifier.scores_many(urls)
+    if scores is None:
+        scores = identifier.scores_many(urls)
     best = identifier.classify_many(urls, scores=scores)
     results = []
     for row, url in enumerate(urls):

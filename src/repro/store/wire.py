@@ -9,6 +9,7 @@ framing over a stream socket (Unix domain by default):
     offset 0   frame length   uint32 big-endian   (4 bytes)
     offset 4   deadline       uint64 big-endian   (8 bytes, optional)
     ...        correlation    uint32 big-endian   (4 bytes, optional)
+    ...        trace          16-byte id + uint32 span (20 bytes, optional)
     ...        body           UTF-8 JSON          (length bytes)
 
 The top bits of the length word are flags, not part of the length
@@ -22,9 +23,14 @@ hosts.  Bit 30 (:data:`CORRELATION_FLAG`): a 4-byte big-endian
 deadline is present).  A server echoes a request's correlation id on
 the matching response frame, which is what lets a client pipeline many
 requests down one keep-alive connection and pair the strictly-ordered
-responses back to their callers without guessing.  Frames without
-either flag are byte-identical to the original protocol, which is why
-neither field is a :data:`PROTOCOL_VERSION` bump.
+responses back to their callers without guessing.  Bit 29
+(:data:`TRACE_FLAG`): a *trace* field follows the correlation id — 16
+raw bytes of trace id plus a 4-byte big-endian span id — tying the
+frame to a distributed trace.  A server echoes the request's trace id
+on the response (stamping its own span id), and records a per-stage
+span in its ring buffer (see :mod:`repro.obs`).  Frames without any
+flag are byte-identical to the original protocol, which is why none of
+these fields is a :data:`PROTOCOL_VERSION` bump.
 
 A *request* body is an object with at least ``{"v": 1, "op": <name>}``;
 op-specific fields (``urls`` for the batch ops) ride alongside.  A
@@ -104,8 +110,22 @@ CORRELATION_FLAG = 0x4000_0000
 #: wrap simply reuse ids no longer in flight.
 MAX_CORRELATION_ID = (1 << 32) - 1
 
+#: Bit 29 of the length word marks a trace field in the frame header:
+#: 16 raw bytes of trace id followed by a 4-byte big-endian span id,
+#: after the (optional) deadline and correlation fields.  A response
+#: echoes its request's trace id with the server's own span id, so one
+#: trace id names the whole client → daemon → worker hop on both wires.
+TRACE_FLAG = 0x2000_0000
+
+#: Exact byte width of the trace id on the wire (hex-encoded to a
+#: 32-character string at the API surface).
+TRACE_ID_BYTES = 16
+
+#: Widest span id the header can carry (uint32).
+MAX_SPAN_ID = (1 << 32) - 1
+
 #: Every header bit that is a flag rather than length.
-_FLAG_MASK = DEADLINE_FLAG | CORRELATION_FLAG
+_FLAG_MASK = DEADLINE_FLAG | CORRELATION_FLAG | TRACE_FLAG
 
 
 class WireError(Exception):
@@ -187,10 +207,32 @@ class Frame:
     message: dict
     deadline_ms: int | None = None
     correlation_id: int | None = None
+    #: Hex-encoded 16-byte trace id (32 lowercase hex chars) or None.
+    trace_id: str | None = None
+    #: The sender's span id within the trace (uint32) or None.
+    span_id: int | None = None
+
+
+def _trace_field(trace_id: str, span_id: int | None) -> bytes:
+    """Validate and pack the 20-byte trace field."""
+    try:
+        raw = bytes.fromhex(trace_id)
+    except (TypeError, ValueError):
+        raise WireError(f"trace id {trace_id!r} is not hex") from None
+    if len(raw) != TRACE_ID_BYTES:
+        raise WireError(
+            f"trace id must be {TRACE_ID_BYTES} bytes, got {len(raw)}"
+        )
+    span = 0 if span_id is None else int(span_id)
+    if not 0 <= span <= MAX_SPAN_ID:
+        raise WireError(f"span id {span_id!r} outside uint32 range")
+    return raw + span.to_bytes(4, "big")
 
 
 def encode_frame(message: dict, deadline_ms: int | None = None,
-                 correlation_id: int | None = None) -> bytes:
+                 correlation_id: int | None = None,
+                 trace_id: str | None = None,
+                 span_id: int | None = None) -> bytes:
     """Encode ``message`` plus optional header fields into wire bytes.
 
     This is the single encoder both the blocking sender
@@ -215,12 +257,17 @@ def encode_frame(message: dict, deadline_ms: int | None = None,
             )
         word |= CORRELATION_FLAG
         tail += int(correlation_id).to_bytes(4, "big")
+    if trace_id is not None:
+        word |= TRACE_FLAG
+        tail += _trace_field(trace_id, span_id)
     return word.to_bytes(4, "big") + tail + body
 
 
 def send_message(sock: socket.socket, message: dict,
                  deadline_ms: int | None = None,
-                 correlation_id: int | None = None) -> None:
+                 correlation_id: int | None = None,
+                 trace_id: str | None = None,
+                 span_id: int | None = None) -> None:
     """Frame ``message`` as length-prefixed JSON and send it whole.
 
     ``deadline_ms`` (request frames only) grants the receiver that many
@@ -228,8 +275,14 @@ def send_message(sock: socket.socket, message: dict,
     can refuse or abandon work the caller will no longer wait for.
     ``correlation_id`` tags the frame so pipelined responses can be
     paired with their requests; servers echo it back verbatim.
+    ``trace_id``/``span_id`` tie the frame to a distributed trace;
+    servers echo the trace id with their own span id on the response.
     """
-    _send_all(sock, encode_frame(message, deadline_ms, correlation_id))
+    _send_all(
+        sock,
+        encode_frame(message, deadline_ms, correlation_id,
+                     trace_id=trace_id, span_id=span_id),
+    )
 
 
 def _decode_body(body: bytes) -> dict:
@@ -245,15 +298,17 @@ def _decode_body(body: bytes) -> dict:
     return message
 
 
-def _header_layout(prefix: bytes) -> tuple[int, bool, bool]:
-    """Split the length word into ``(length, has_deadline, has_cid)``."""
+def _header_layout(prefix: bytes) -> tuple[int, bool, bool, bool]:
+    """Split the length word into ``(length, has_deadline, has_cid,
+    has_trace)``."""
     word = int.from_bytes(prefix, "big")
     length = word & ~_FLAG_MASK
     if length > MAX_FRAME_BYTES:
         raise FrameTooLargeError(
             f"incoming frame announces {length} bytes; limit {MAX_FRAME_BYTES}"
         )
-    return length, bool(word & DEADLINE_FLAG), bool(word & CORRELATION_FLAG)
+    return (length, bool(word & DEADLINE_FLAG),
+            bool(word & CORRELATION_FLAG), bool(word & TRACE_FLAG))
 
 
 def recv_frame_ex(sock: socket.socket) -> Frame:
@@ -265,19 +320,25 @@ def recv_frame_ex(sock: socket.socket) -> Frame:
     not a JSON object.
     """
     prefix = _recv_exact(sock, 4)  # clean=True if closed on the boundary
-    length, has_deadline, has_cid = _header_layout(prefix)
+    length, has_deadline, has_cid, has_trace = _header_layout(prefix)
     deadline_ms: int | None = None
     correlation_id: int | None = None
+    trace_id: str | None = None
+    span_id: int | None = None
     try:
         if has_deadline:
             deadline_ms = int.from_bytes(_recv_exact(sock, 8), "big")
         if has_cid:
             correlation_id = int.from_bytes(_recv_exact(sock, 4), "big")
+        if has_trace:
+            trace_id = _recv_exact(sock, TRACE_ID_BYTES).hex()
+            span_id = int.from_bytes(_recv_exact(sock, 4), "big")
         body = _recv_exact(sock, length)
     except ConnectionClosed as error:
         error.clean = False  # the frame had started; this is a truncation
         raise
-    return Frame(_decode_body(body), deadline_ms, correlation_id)
+    return Frame(_decode_body(body), deadline_ms, correlation_id,
+                 trace_id, span_id)
 
 
 def recv_frame(sock: socket.socket) -> tuple[dict, int | None]:
@@ -306,20 +367,26 @@ async def read_frame_async(reader: "asyncio.StreamReader") -> Frame:
             "peer closed before a frame header",
             clean=not error.partial,
         ) from None
-    length, has_deadline, has_cid = _header_layout(prefix)
+    length, has_deadline, has_cid, has_trace = _header_layout(prefix)
     deadline_ms: int | None = None
     correlation_id: int | None = None
+    trace_id: str | None = None
+    span_id: int | None = None
     try:
         if has_deadline:
             deadline_ms = int.from_bytes(await reader.readexactly(8), "big")
         if has_cid:
             correlation_id = int.from_bytes(await reader.readexactly(4), "big")
+        if has_trace:
+            trace_id = (await reader.readexactly(TRACE_ID_BYTES)).hex()
+            span_id = int.from_bytes(await reader.readexactly(4), "big")
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError:
         raise ConnectionClosed(
             "peer closed mid-frame", clean=False
         ) from None
-    return Frame(_decode_body(body), deadline_ms, correlation_id)
+    return Frame(_decode_body(body), deadline_ms, correlation_id,
+                 trace_id, span_id)
 
 
 def recv_message(sock: socket.socket) -> dict:

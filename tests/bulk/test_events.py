@@ -1,0 +1,80 @@
+"""The bulk engine's structured progress stream (``events.jsonl``)."""
+
+from __future__ import annotations
+
+import json
+
+import repro.bulk as bulk
+from repro.bulk.engine import EVENTS_NAME
+
+
+def read_events(output_dir):
+    return [
+        json.loads(line)
+        for line in (output_dir / EVENTS_NAME).read_text().splitlines()
+    ]
+
+
+class TestRunEvents:
+    def test_fresh_run_narrates_start_commits_done(
+        self, bulk_model, corpus, tmp_path
+    ):
+        path, _ = bulk_model
+        shard_dir, urls = corpus
+        out = tmp_path / "run"
+        report = bulk.run(path, shard_dir, out, workers=2)
+        events = read_events(out)
+        assert [e["event"] for e in events] == (
+            ["run-start"] + ["shard-commit"] * 3 + ["run-done"]
+        )
+        start = events[0]
+        assert start["component"] == "bulk"
+        assert start["shards_total"] == 3
+        assert start["shards_pending"] == 3
+        assert start["workers"] == 2
+        assert start["bytes_pending"] > 0
+        commits = events[1:4]
+        assert sorted(c["output"] for c in commits) == sorted(report.outputs)
+        assert [c["completed"] for c in commits] == [1, 2, 3]
+        for commit in commits:
+            assert commit["rows"] > 0
+            assert commit["rows_per_s"] > 0
+        # The last commit has nothing left: no ETA field at all.
+        assert "eta_seconds" not in commits[-1]
+        done = events[-1]
+        assert done["rows_scored"] == len(urls)
+        assert done["shards_scored"] == 3
+        assert done["quarantined"] == 0
+        assert done["wall_seconds"] >= 0
+
+    def test_resume_appends_a_second_run_record(
+        self, bulk_model, corpus, tmp_path
+    ):
+        path, _ = bulk_model
+        shard_dir, _ = corpus
+        out = tmp_path / "run"
+        bulk.run(path, shard_dir, out, workers=1)
+        bulk.run(path, shard_dir, out, workers=1, resume=True)
+        events = read_events(out)
+        starts = [e for e in events if e["event"] == "run-start"]
+        assert [s["resume"] for s in starts] == [False, True]
+        assert starts[1]["shards_pending"] == 0
+        assert starts[1]["shards_skipped"] == 3
+        dones = [e for e in events if e["event"] == "run-done"]
+        assert dones[1]["shards_scored"] == 0
+        assert dones[1]["shards_skipped"] == 3
+
+    def test_stdin_run_writes_no_events_file(
+        self, bulk_model, corpus, tmp_path, monkeypatch
+    ):
+        import io
+        import sys
+
+        path, _ = bulk_model
+        _, urls = corpus
+        out = tmp_path / "run"
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO("\n".join(urls[:5]) + "\n")
+        )
+        bulk.run(path, "-", out, workers=1)
+        assert not (out / EVENTS_NAME).exists()

@@ -1,0 +1,74 @@
+"""Structured JSON event logging (REPRO_LOG=json / --log-json)."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.obs.events import EventLogger, json_log_enabled
+
+
+class TestJsonLogEnabled:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert not json_log_enabled()
+
+    @pytest.mark.parametrize("value", ["json", "JSON", " json "])
+    def test_env_gate_accepts_case_and_whitespace(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_LOG", value)
+        assert json_log_enabled()
+
+    def test_other_values_do_not_enable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "text")
+        assert not json_log_enabled()
+
+
+class TestEventLogger:
+    def test_emits_one_json_object_per_line(self):
+        stream = io.StringIO()
+        logger = EventLogger(stream, component="serve")
+        logger.emit("daemon-start", workers=2)
+        logger.emit("reload", generation=3)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["event"] == "daemon-start"
+        assert first["workers"] == 2
+        assert first["component"] == "serve"
+        assert first["pid"] == os.getpid()
+        assert isinstance(first["ts"], float)
+        assert second == {**second, "event": "reload", "generation": 3}
+
+    def test_none_fields_are_dropped(self):
+        stream = io.StringIO()
+        record = EventLogger(stream).emit("request", trace=None, op="ping")
+        assert "trace" not in record
+        assert json.loads(stream.getvalue())["op"] == "ping"
+
+    def test_path_mode_appends_across_loggers(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogger(path=path, component="bulk") as logger:
+            logger.emit("run-start", shards_total=3)
+        with EventLogger(path=path, component="bulk") as logger:
+            logger.emit("run-done", rows_scored=9)
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert [event["event"] for event in events] == [
+            "run-start", "run-done",
+        ]
+
+    def test_stream_and_path_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventLogger(io.StringIO(), path=tmp_path / "x.jsonl")
+
+    def test_write_failures_are_swallowed(self):
+        class Broken(io.StringIO):
+            def write(self, text):
+                raise OSError("disk gone")
+
+        record = EventLogger(Broken()).emit("daemon-stop")
+        assert record["event"] == "daemon-stop"

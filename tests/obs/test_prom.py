@@ -1,0 +1,206 @@
+"""The Prometheus text encoder behind GET /metrics and status --prom."""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.obs.prom import CONTENT_TYPE, render_prometheus
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? "
+    r"(?P<value>\S+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text: str):
+    """A miniature exposition-format checker: returns
+    ``(types, samples)`` and asserts the structural rules a Prometheus
+    scraper enforces (HELP/TYPE precede samples, names are legal,
+    values parse as floats)."""
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict, float]] = []
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert name not in types, f"duplicate TYPE for {name}"
+            assert kind in ("counter", "gauge", "histogram", "summary")
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _SAMPLE.match(line)
+        assert match, f"unparsable sample line: {line!r}"
+        name = match.group("name")
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in types or family in types, f"sample {name} has no TYPE"
+        labels = dict(_LABEL.findall(match.group("labels") or ""))
+        value = match.group("value")
+        parsed = (
+            math.inf if value == "+Inf"
+            else -math.inf if value == "-Inf"
+            else float("nan") if value == "NaN"
+            else float(value)
+        )
+        samples.append((name, labels, parsed))
+    return types, samples
+
+
+def _status(**overrides) -> dict:
+    status = {
+        "role": "parent",
+        "state": "serving",
+        "generation": 1,
+        "uptime_seconds": 12.5,
+        "workers": 2,
+        "inflight": 0,
+        "model": {
+            "name": "demo",
+            "algorithm": "custom-allpairs",
+            "feature_set": "allgrams",
+            "checksum": "ab" * 32,
+        },
+        "requests": {
+            "count": 7,
+            "errors": 1,
+            "by_op": {"classify": 5, "status": 2},
+            "by_transport": {"unix": 7},
+            "latency_ms": {
+                "count": 7,
+                "mean_ms": 2.0,
+                "bounds_ms": [0.5, 5.0],
+                "counts": [3, 3, 1],
+            },
+        },
+        "robustness": {
+            "overload_rejections": 2,
+            "deadline_expiries": 0,
+            "retries_observed": 1,
+            "worker_respawns": 0,
+            "last_crash_at": None,
+            "last_crash_age_seconds": None,
+        },
+        "caches": {"tokenizer": {"hits": 10, "misses": 3}},
+    }
+    status.update(overrides)
+    return status
+
+
+class TestRenderPrometheus:
+    def test_content_type_names_the_text_format(self):
+        assert "text/plain" in CONTENT_TYPE
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_output_parses_and_covers_core_families(self):
+        types, samples = parse_exposition(render_prometheus(_status()))
+        assert types["repro_requests_total"] == "counter"
+        assert types["repro_daemon_degraded"] == "gauge"
+        assert types["repro_request_latency_seconds"] == "histogram"
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        assert ({"op": "classify"}, 5.0) in by_name["repro_requests_total"]
+        assert by_name["repro_request_errors_total"] == [({}, 1.0)]
+
+    def test_histogram_buckets_are_cumulative_and_end_plus_inf(self):
+        _, samples = parse_exposition(render_prometheus(_status()))
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in samples
+            if name == "repro_request_latency_seconds_bucket"
+        ]
+        assert buckets == [("0.0005", 3.0), ("0.005", 6.0), ("+Inf", 7.0)]
+        counts = [
+            value for name, _, value in samples
+            if name == "repro_request_latency_seconds_count"
+        ]
+        assert counts == [7.0]
+
+    def test_none_valued_gauges_are_omitted(self):
+        text = render_prometheus(_status())
+        assert "# TYPE repro_last_crash_timestamp_seconds gauge" in text
+        assert "\nrepro_last_crash_timestamp_seconds " not in text
+
+    def test_crash_age_sample_present_when_known(self):
+        status = _status()
+        status["robustness"]["last_crash_at"] = 1000.0
+        status["robustness"]["last_crash_age_seconds"] = 3.25
+        _, samples = parse_exposition(render_prometheus(status))
+        values = {name: value for name, _, value in samples}
+        assert values["repro_last_crash_timestamp_seconds"] == 1000.0
+        assert values["repro_last_crash_age_seconds"] == 3.25
+
+    def test_label_values_are_escaped(self):
+        status = _status()
+        status["model"]["name"] = 'we"ird\nmo\\del'
+        text = render_prometheus(status)
+        assert 'model="we\\"ird\\nmo\\\\del"' in text
+        parse_exposition(text)
+
+    def test_degraded_state_flips_the_gauge(self):
+        _, samples = parse_exposition(
+            render_prometheus(_status(state="degraded"))
+        )
+        values = {name: value for name, _, value in samples}
+        assert values["repro_daemon_degraded"] == 1.0
+
+    def test_drift_block_renders_per_language_series(self):
+        drift = {
+            "window_rows": 100,
+            "windows_completed": 2,
+            "baseline": {
+                "rows": 100,
+                "decisions": {"en": 40, "de": 10},
+                "decision_rate": {"en": 0.4, "de": 0.1},
+                "score_mean": {"en": 1.5, "de": -2.0},
+            },
+            "window": {
+                "rows": 100,
+                "decisions": {"en": 60, "de": 10},
+                "decision_rate": {"en": 0.6, "de": 0.1},
+                "score_mean": {"en": 2.5, "de": -2.0},
+            },
+            "current": {
+                "rows": 5,
+                "decisions": {"en": 2, "de": 1},
+                "decision_rate": {"en": 0.4, "de": 0.2},
+                "score_mean": {"en": 1.0, "de": -1.0},
+            },
+            "comparison": {
+                "en": {"rate_delta": 0.2, "score_shift": 0.5},
+                "de": {"rate_delta": 0.0, "score_shift": 0.0},
+            },
+            "max_abs_rate_delta": 0.2,
+        }
+        types, samples = parse_exposition(
+            render_prometheus(_status(drift=drift))
+        )
+        assert types["repro_drift_rate_delta"] == "gauge"
+        rows = {
+            labels["bank"]: value
+            for name, labels, value in samples
+            if name == "repro_drift_rows_total"
+        }
+        assert rows == {"baseline": 100.0, "window": 100.0, "current": 5.0}
+        deltas = {
+            labels["language"]: value
+            for name, labels, value in samples
+            if name == "repro_drift_rate_delta"
+        }
+        assert deltas == {"en": pytest.approx(0.2), "de": 0.0}
+
+    def test_trace_block_renders_ring_stats(self):
+        _, samples = parse_exposition(
+            render_prometheus(
+                _status(traces={"retained": 4, "recorded": 19, "capacity": 8})
+            )
+        )
+        values = {name: value for name, _, value in samples}
+        assert values["repro_trace_spans_retained"] == 4.0
+        assert values["repro_trace_spans_total"] == 19.0

@@ -107,11 +107,11 @@ class TestWire:
     def test_oversized_frame_rejected_without_reading(self):
         a, b = socket.socketpair()
         with a, b:
-            # Bits 31/30 are the deadline/correlation flags, so the
-            # largest flag-free declared length is (1 << 30) - 1; any
+            # Bits 31/30/29 are the deadline/correlation/trace flags, so
+            # the largest flag-free declared length is (1 << 29) - 1; any
             # value above MAX_FRAME_BYTES in that space must be refused
             # before a single body byte is read.
-            a.sendall((1 << 29).to_bytes(4, "big"))
+            a.sendall((1 << 28).to_bytes(4, "big"))
             with pytest.raises(FrameTooLargeError):
                 recv_message(b)
 

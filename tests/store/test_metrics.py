@@ -3,12 +3,18 @@ status`` and the bulk engine's progress reporting."""
 
 from __future__ import annotations
 
+import multiprocessing
+
 import pytest
 
 from repro.store.metrics import (
     BUCKET_BOUNDS_MS,
+    DRIFT_SCORE_BOUNDS,
+    DriftCounters,
+    HistogramBoundsError,
     LatencyHistogram,
     RequestMetrics,
+    RobustnessCounters,
 )
 
 
@@ -54,6 +60,23 @@ class TestLatencyHistogram:
         assert snapshot["p50_ms"] is None and snapshot["p99_ms"] is None
         json.loads(json.dumps(snapshot, allow_nan=False))  # strict JSON
 
+    def test_snapshot_surfaces_bucket_bounds(self):
+        snapshot = LatencyHistogram().snapshot()
+        assert snapshot["bounds_ms"] == list(BUCKET_BOUNDS_MS)
+
+    def test_merge_refuses_mismatched_bounds(self):
+        ours = LatencyHistogram()
+        foreign = LatencyHistogram.from_snapshot({
+            "bounds_ms": [1.0, 10.0],
+            "counts": [1, 2, 3],
+            "count": 6,
+            "mean_ms": 4.0,
+        })
+        assert foreign.bounds == (1.0, 10.0)  # snapshot's own bounds kept
+        with pytest.raises(HistogramBoundsError):
+            ours.merge(foreign)
+        ours.merge(LatencyHistogram())  # same bounds still merge fine
+
     def test_quantiles_are_bucket_bounds(self):
         histogram = LatencyHistogram()
         for _ in range(99):
@@ -77,3 +100,148 @@ class TestRequestMetrics:
         assert snapshot["by_op"] == {"classify": 2, "score": 1}
         assert snapshot["errors"] == 1
         assert snapshot["latency_ms"]["count"] == 3
+
+
+class TestRobustnessCrashAge:
+    def test_no_crash_reports_none_for_both_fields(self):
+        snapshot = RobustnessCounters().snapshot()
+        assert snapshot["last_crash_at"] is None
+        assert snapshot["last_crash_age_seconds"] is None
+
+    def test_crash_reports_epoch_and_age(self):
+        import time
+
+        counters = RobustnessCounters()
+        counters.mark_crash(time.time() - 5.0)
+        snapshot = counters.snapshot()
+        assert snapshot["last_crash_at"] == pytest.approx(
+            time.time() - 5.0, abs=1.0
+        )
+        assert 4.0 <= snapshot["last_crash_age_seconds"] <= 7.0
+
+    def test_future_stamped_crash_clamps_age_to_zero(self):
+        import time
+
+        counters = RobustnessCounters()
+        counters.mark_crash(time.time() + 60.0)  # clock skew
+        assert counters.snapshot()["last_crash_age_seconds"] == 0.0
+
+
+def _drift_observe_batches(drift: DriftCounters, batches: int) -> None:
+    for _ in range(batches):
+        drift.observe({"en": [1.0, -2.0], "de": [-1.0, 3.0]})
+
+
+class TestDriftCounters:
+    def test_accumulates_decisions_and_scores(self):
+        drift = DriftCounters(["en", "de"], window_rows=1000)
+        drift.observe({"en": [1.5, -0.2, 3.0], "de": [-1.0, -2.0, 0.5]})
+        current = drift.snapshot()["current"]
+        assert current["rows"] == 3
+        assert current["decisions"] == {"en": 2, "de": 1}
+        assert current["decision_rate"]["en"] == pytest.approx(2 / 3)
+        assert current["score_mean"]["en"] == pytest.approx(4.3 / 3)
+
+    def test_language_enum_keys_normalise_to_codes(self):
+        from repro.languages import Language
+
+        drift = DriftCounters(list(Language), window_rows=1000)
+        drift.observe({Language.ENGLISH: [2.0], Language.GERMAN: [-2.0]})
+        current = drift.snapshot()["current"]
+        assert current["decisions"]["en"] == 1
+        assert current["decisions"]["de"] == 0
+
+    def test_unknown_languages_are_ignored(self):
+        drift = DriftCounters(["en"], window_rows=1000)
+        drift.observe({"xx": [9.0], "en": [1.0]})
+        assert drift.snapshot()["current"]["decisions"] == {"en": 1}
+
+    def test_first_window_freezes_the_baseline(self):
+        drift = DriftCounters(["en"], window_rows=4)
+        drift.observe({"en": [1.0, 1.0, -1.0, -1.0]})  # completes window 1
+        snapshot = drift.snapshot()
+        assert snapshot["windows_completed"] == 1
+        assert snapshot["baseline"]["rows"] == 4
+        assert snapshot["baseline"]["decision_rate"]["en"] == 0.5
+        assert snapshot["current"]["rows"] == 0
+        # Only one completed window: the live current bank is compared.
+        assert snapshot["recent_bank"] == "current"
+
+    def test_later_windows_compare_against_frozen_baseline(self):
+        drift = DriftCounters(["en"], window_rows=4)
+        drift.observe({"en": [1.0, 1.0, -1.0, -1.0]})  # baseline: 50%
+        drift.observe({"en": [1.0, 1.0, 1.0, 1.0]})  # window 2: 100%
+        snapshot = drift.snapshot()
+        assert snapshot["windows_completed"] == 2
+        assert snapshot["recent_bank"] == "window"
+        assert snapshot["baseline"]["decision_rate"]["en"] == 0.5
+        assert snapshot["window"]["decision_rate"]["en"] == 1.0
+        entry = snapshot["comparison"]["en"]
+        assert entry["rate_delta"] == pytest.approx(0.5)
+        assert entry["score_shift"] is not None
+        assert snapshot["max_abs_rate_delta"] == pytest.approx(0.5)
+
+    def test_score_buckets_follow_drift_bounds(self):
+        drift = DriftCounters(["en"], window_rows=1000)
+        drift.observe({"en": [-30.0, 0.25, 30.0]})
+        counts = drift.snapshot()["current"]["score_counts"]["en"]
+        assert len(counts) == len(DRIFT_SCORE_BOUNDS) + 1
+        assert counts[0] == 1  # -30 under the lowest bound
+        assert counts[-1] == 1  # +30 in the overflow bucket
+        assert sum(counts) == 3
+
+    def test_reset_starts_a_new_baseline(self):
+        drift = DriftCounters(["en"], window_rows=2)
+        drift.observe({"en": [1.0, 1.0]})
+        drift.reset()
+        snapshot = drift.snapshot()
+        assert snapshot["windows_completed"] == 0
+        assert snapshot["baseline"]["rows"] == 0
+        assert snapshot["current"]["rows"] == 0
+        assert snapshot["max_abs_rate_delta"] is None
+
+    def test_forked_workers_accumulate_into_shared_banks(self):
+        drift = DriftCounters(["en", "de"], window_rows=10_000)
+        workers = [
+            multiprocessing.Process(
+                target=_drift_observe_batches, args=(drift, 25)
+            )
+            for _ in range(4)
+        ]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join()
+            assert process.exitcode == 0
+        current = drift.snapshot()["current"]
+        assert current["rows"] == 4 * 25 * 2
+        assert current["decisions"] == {"en": 100, "de": 100}
+
+    def test_window_roll_is_exact_under_fork_concurrency(self):
+        # Rolls triggered by whichever worker crosses the boundary must
+        # never lose rows: banks always account for every observation.
+        drift = DriftCounters(["en"], window_rows=20)
+        workers = [
+            multiprocessing.Process(
+                target=_drift_observe_batches, args=(drift, 30)
+            )
+            for _ in range(3)
+        ]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join()
+            assert process.exitcode == 0
+        snapshot = drift.snapshot()
+        # 3 workers x 30 batches x 2 rows = 180 rows total; windows of
+        # >= 20 rows (a batch can overshoot the boundary) plus the
+        # partial current bank must add up exactly.
+        rolled = snapshot["windows_completed"]
+        assert rolled >= 1
+        assert snapshot["baseline"]["rows"] >= 20
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError):
+            DriftCounters([])
+        with pytest.raises(ValueError):
+            DriftCounters(["en"], window_rows=0)

@@ -31,8 +31,11 @@ from repro.store.wire import (
     MAX_CORRELATION_ID,
     MAX_DEADLINE_MS,
     MAX_FRAME_BYTES,
+    MAX_SPAN_ID,
     PROTOCOL_VERSION,
     RETRYABLE_CODES,
+    TRACE_FLAG,
+    TRACE_ID_BYTES,
     ConnectionClosed,
     Frame,
     FrameTooLargeError,
@@ -77,7 +80,7 @@ def decode_bytes_async(payload: bytes) -> Frame:
 
 
 def frame_bytes(message: dict, deadline_ms=None, correlation_id=None,
-                length=None) -> bytes:
+                length=None, trace_id=None, span_id=0) -> bytes:
     """Hand-rolled frame encoding, independent of :func:`encode_frame`,
     so encoder and decoder are checked against the spec rather than
     against each other.  ``length`` overrides the announced length."""
@@ -90,6 +93,9 @@ def frame_bytes(message: dict, deadline_ms=None, correlation_id=None,
     if correlation_id is not None:
         word |= CORRELATION_FLAG
         tail += correlation_id.to_bytes(4, "big")
+    if trace_id is not None:
+        word |= TRACE_FLAG
+        tail += bytes.fromhex(trace_id) + span_id.to_bytes(4, "big")
     return word.to_bytes(4, "big") + tail + body
 
 
@@ -201,10 +207,106 @@ class TestFrameGrammar:
                 assert frame.message["cid"] == expected
 
     def test_flag_bits_do_not_shrink_the_length_budget(self):
-        """MAX_FRAME_BYTES must leave both flag bits clear."""
-        assert MAX_FRAME_BYTES & DEADLINE_FLAG == 0
-        assert MAX_FRAME_BYTES & CORRELATION_FLAG == 0
-        assert MAX_FRAME_BYTES < min(DEADLINE_FLAG, CORRELATION_FLAG)
+        """MAX_FRAME_BYTES must leave every flag bit clear."""
+        for flag in (DEADLINE_FLAG, CORRELATION_FLAG, TRACE_FLAG):
+            assert MAX_FRAME_BYTES & flag == 0
+        assert MAX_FRAME_BYTES < min(
+            DEADLINE_FLAG, CORRELATION_FLAG, TRACE_FLAG
+        )
+
+    def test_flag_bits_are_distinct(self):
+        assert len({DEADLINE_FLAG, CORRELATION_FLAG, TRACE_FLAG}) == 3
+        assert DEADLINE_FLAG | CORRELATION_FLAG | TRACE_FLAG == 0xE000_0000
+
+
+TRACE_ID = "00112233445566778899aabbccddeeff"
+
+
+class TestTraceField:
+    def test_traceless_frames_stay_byte_identical(self):
+        """A client that never traces emits exactly the old bytes —
+        the no-version-bump compatibility contract."""
+        for deadline_ms, correlation_id in (
+            (None, None), (1000, None), (None, 3), (77, 12),
+        ):
+            assert encode_frame(
+                {"op": "y"}, deadline_ms, correlation_id
+            ) == frame_bytes({"op": "y"}, deadline_ms, correlation_id)
+
+    def test_trace_roundtrip(self):
+        frame = decode_bytes(
+            encode_frame({"op": "x"}, trace_id=TRACE_ID, span_id=42)
+        )
+        assert frame.trace_id == TRACE_ID
+        assert frame.span_id == 42
+        assert frame.deadline_ms is None and frame.correlation_id is None
+
+    def test_trace_roundtrip_async(self):
+        frame = decode_bytes_async(
+            encode_frame({"op": "x"}, trace_id=TRACE_ID, span_id=7)
+        )
+        assert (frame.trace_id, frame.span_id) == (TRACE_ID, 7)
+
+    def test_encoder_matches_hand_rolled_trace_encoding(self):
+        assert encode_frame(
+            {"op": "y"}, 50, 9, trace_id=TRACE_ID, span_id=3
+        ) == frame_bytes({"op": "y"}, 50, 9, trace_id=TRACE_ID, span_id=3)
+
+    def test_header_field_order_deadline_cid_trace(self):
+        raw = frame_bytes({"op": "x"}, deadline_ms=9, correlation_id=5,
+                          trace_id=TRACE_ID, span_id=6)
+        word = int.from_bytes(raw[:4], "big")
+        assert word & DEADLINE_FLAG and word & CORRELATION_FLAG
+        assert word & TRACE_FLAG
+        assert raw[4:12] == (9).to_bytes(8, "big")
+        assert raw[12:16] == (5).to_bytes(4, "big")
+        assert raw[16:32] == bytes.fromhex(TRACE_ID)
+        assert raw[32:36] == (6).to_bytes(4, "big")
+        frame = decode_bytes(raw)
+        assert frame == Frame({"op": "x"}, 9, 5, TRACE_ID, 6)
+
+    def test_span_defaults_to_zero_when_omitted(self):
+        frame = decode_bytes(encode_frame({"op": "x"}, trace_id=TRACE_ID))
+        assert frame.span_id == 0
+
+    def test_uppercase_trace_id_normalises_to_lowercase(self):
+        frame = decode_bytes(
+            encode_frame({"op": "x"}, trace_id=TRACE_ID.upper())
+        )
+        assert frame.trace_id == TRACE_ID
+
+    @pytest.mark.parametrize("span", [0, 1, MAX_SPAN_ID])
+    def test_span_id_boundaries_roundtrip(self, span):
+        assert decode_bytes(
+            encode_frame({"op": "x"}, trace_id=TRACE_ID, span_id=span)
+        ).span_id == span
+
+    @pytest.mark.parametrize("bad", [
+        "short", "zz" * 16, TRACE_ID + "00", "", "g" * 32,
+    ])
+    def test_malformed_trace_id_refused_at_encode(self, bad):
+        with pytest.raises(WireError, match="trace id"):
+            encode_frame({"op": "x"}, trace_id=bad)
+
+    @pytest.mark.parametrize("span", [-1, MAX_SPAN_ID + 1])
+    def test_span_id_out_of_range_refused_at_encode(self, span):
+        with pytest.raises(WireError, match="span id"):
+            encode_frame({"op": "x"}, trace_id=TRACE_ID, span_id=span)
+
+    def test_truncated_trace_field_is_dirty(self):
+        full = encode_frame({"op": "x"}, trace_id=TRACE_ID, span_id=1)
+        for cut in range(5, 4 + TRACE_ID_BYTES + 4):  # inside the field
+            with pytest.raises(ConnectionClosed) as caught:
+                decode_bytes(full[:cut])
+            assert caught.value.clean is False
+
+    def test_trace_rides_with_send_message(self):
+        a, b = socket.socketpair()
+        with a, b:
+            send_message(a, {"op": "x"}, trace_id=TRACE_ID, span_id=11)
+            b.settimeout(DECODE_TIMEOUT)
+            frame = recv_frame_ex(b)
+            assert (frame.trace_id, frame.span_id) == (TRACE_ID, 11)
 
 
 # -- the error-code catalogue ------------------------------------------------------
@@ -338,6 +440,15 @@ PARITY_TABLE = [
      Frame({"op": "x"}, None, 9)),
     ("both", encode_frame({"op": "x"}, deadline_ms=1, correlation_id=2),
      Frame({"op": "x"}, 1, 2)),
+    ("trace", encode_frame({"op": "x"}, trace_id="ab" * 16, span_id=4),
+     Frame({"op": "x"}, None, None, "ab" * 16, 4)),
+    ("all-fields", encode_frame({"op": "x"}, deadline_ms=1,
+                                correlation_id=2, trace_id="cd" * 16,
+                                span_id=8),
+     Frame({"op": "x"}, 1, 2, "cd" * 16, 8)),
+    ("torn-trace",
+     encode_frame({"op": "x"}, trace_id="ab" * 16)[:10],
+     ConnectionClosed),
     ("eof", b"", ConnectionClosed),
     ("torn-header", b"\x00\x00\x01", ConnectionClosed),
     ("torn-body", encode_frame({"op": "ping"})[:-2], ConnectionClosed),

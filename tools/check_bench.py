@@ -59,6 +59,7 @@ PER_ENTRY_TOLERANCE = {
     "serve_keepalive_vs_reconnect": 0.60,
     "serve_tcp_concurrent_rps": 0.60,
     "serve_robustness_overhead": 0.60,
+    "obs_overhead": 0.60,
     "bulk_scoring_throughput": 0.60,
     "bulk_workers_scaling": 0.60,
     "query_index_overhead": 0.60,

@@ -42,6 +42,7 @@ DOCS = (
     "docs/architecture.md",
     "docs/api.md",
     "docs/serving.md",
+    "docs/observability.md",
     "docs/cli.md",
     "docs/bulk.md",
     "docs/query.md",
